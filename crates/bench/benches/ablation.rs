@@ -1,0 +1,70 @@
+//! Experiment E-T6 (table T4): ablations of the design choices DESIGN.md
+//! calls out.
+//!
+//! * homomorphism fast path on/off — how much of the workload the PTIME
+//!   witness absorbs before the canonical loop runs;
+//! * expansion bound `B` vs `B+2` — the bound is provably sufficient, so a
+//!   larger bound only costs time (the answers are asserted identical in the
+//!   integration tests);
+//! * brute-force spine pinning — the Proposition 3.1(3) label pinning is
+//!   what keeps the oracle usable (here: with vs without the relaxed-size
+//!   budget as proxy, since un-pinning is not expressible without weakening
+//!   the enumerator's correctness).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use xpv_bench::containment_batch;
+use xpv_semantics::{contained_with, expansion_bound, ContainmentOptions};
+use xpv_workload::Fragment;
+
+fn hom_fast_path(c: &mut Criterion) {
+    let batch = containment_batch(Fragment::Full, 3, 12, 0xFEED);
+    let on = ContainmentOptions { hom_fast_path: true, bound_override: None };
+    let off = ContainmentOptions { hom_fast_path: false, bound_override: None };
+    let mut group = c.benchmark_group("ablation_hom_fast_path");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::from_parameter("on"), &batch, |b, batch| {
+        b.iter(|| {
+            batch
+                .iter()
+                .filter(|(p1, p2)| contained_with(black_box(p1), p2, &on).holds)
+                .count()
+        })
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("off"), &batch, |b, batch| {
+        b.iter(|| {
+            batch
+                .iter()
+                .filter(|(p1, p2)| contained_with(black_box(p1), p2, &off).holds)
+                .count()
+        })
+    });
+    group.finish();
+}
+
+fn expansion_bound_padding(c: &mut Criterion) {
+    let batch = containment_batch(Fragment::Full, 3, 8, 0xF00D);
+    let mut group = c.benchmark_group("ablation_expansion_bound");
+    group.sample_size(10);
+    for pad in [0usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(pad), &batch, |b, batch| {
+            b.iter(|| {
+                batch
+                    .iter()
+                    .filter(|(p1, p2)| {
+                        let opts = ContainmentOptions {
+                            hom_fast_path: false,
+                            bound_override: Some(expansion_bound(p2) + pad),
+                        };
+                        contained_with(black_box(p1), p2, &opts).holds
+                    })
+                    .count()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, hom_fast_path, expansion_bound_padding);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Experiment E-T2 (figure C1): containment latency across fragments and
+//! sizes.
+//!
+//! The paper's complexity landscape (Section 1): containment is PTIME on the
+//! three sub-fragments (homomorphism) and coNP-complete on `XP{//,[],*}`.
+//! This bench shows the *shape* of that landscape: per-fragment latency
+//! scaling, the homomorphism fast path vs the canonical-model loop, and the
+//! hom-gap family where only the canonical loop can answer.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use xpv_bench::containment_batch;
+use xpv_semantics::{contained, contained_with, ContainmentOptions};
+use xpv_workload::{conp_stress_instance, hom_gap_instance, Fragment};
+
+fn fragment_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("containment_by_fragment");
+    group.sample_size(20);
+    for (name, fragment) in [
+        ("XP{//,[]}", Fragment::NoWildcard),
+        ("XP{[],*}", Fragment::NoDescendant),
+        ("XP{//,*}", Fragment::NoBranch),
+        ("XP{//,[],*}", Fragment::Full),
+    ] {
+        for depth in [2usize, 3, 4] {
+            let batch = containment_batch(fragment, depth, 16, 0xC0FFEE + depth as u64);
+            group.bench_with_input(
+                BenchmarkId::new(name, depth),
+                &batch,
+                |b, batch| {
+                    b.iter(|| {
+                        let mut holds = 0usize;
+                        for (p1, p2) in batch {
+                            holds += usize::from(contained(black_box(p1), black_box(p2)));
+                        }
+                        holds
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn hom_gap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("containment_hom_gap");
+    for n in [1usize, 2, 3, 4] {
+        let (p1, p2) = hom_gap_instance(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(p1, p2), |b, (p1, p2)| {
+            b.iter(|| contained(black_box(p1), black_box(p2)))
+        });
+    }
+    group.finish();
+}
+
+fn conp_stress(c: &mut Criterion) {
+    let mut group = c.benchmark_group("containment_conp_stress");
+    group.sample_size(10);
+    let opts = ContainmentOptions { hom_fast_path: false, bound_override: None };
+    for m in [1usize, 2, 3] {
+        let (p1, p2) = conp_stress_instance(m, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &(p1, p2), |b, (p1, p2)| {
+            b.iter(|| contained_with(black_box(p1), black_box(p2), &opts).holds)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fragment_scaling, hom_gap, conp_stress);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Experiments E-F1..E-F4: the paper's figures, re-verified and timed.
+//!
+//! Each iteration re-runs the figure's *claim*: Figure 1's composition
+//! equivalence, Figure 2's candidate gap, Figure 3's relaxation chain, and
+//! Figure 4's planner decisions. The assertions run once up front so a
+//! regression fails the bench loudly rather than producing garbage timings.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use xpv_core::{figure1, figure2, figure3, figure4, RewritePlanner};
+use xpv_pattern::compose;
+use xpv_semantics::equivalent;
+
+fn fig1(c: &mut Criterion) {
+    let f = figure1();
+    let rv = compose(&f.r, &f.v).expect("composes");
+    assert!(equivalent(&rv, &f.p), "Figure 1 claim violated");
+    c.bench_function("fig1_compose_and_verify", |b| {
+        b.iter(|| {
+            let rv = compose(black_box(&f.r), black_box(&f.v)).expect("composes");
+            equivalent(&rv, &f.p)
+        })
+    });
+}
+
+fn fig2(c: &mut Criterion) {
+    let f = figure2();
+    let base = compose(&f.cand_base, &f.v).expect("composes");
+    let relaxed = compose(&f.cand_relaxed, &f.v).expect("composes");
+    assert!(!equivalent(&base, &f.p) && equivalent(&relaxed, &f.p), "Figure 2 claim violated");
+    c.bench_function("fig2_candidate_tests", |b| {
+        b.iter(|| {
+            let b1 = compose(black_box(&f.cand_base), &f.v).expect("composes");
+            let b2 = compose(black_box(&f.cand_relaxed), &f.v).expect("composes");
+            (equivalent(&b1, &f.p), equivalent(&b2, &f.p))
+        })
+    });
+}
+
+fn fig3(c: &mut Criterion) {
+    let f = figure3();
+    assert!(equivalent(&f.b, &f.b_prime), "Figure 3 claim violated");
+    c.bench_function("fig3_relaxation_chain", |b| {
+        b.iter(|| {
+            (
+                equivalent(black_box(&f.b), &f.b_relaxed),
+                equivalent(&f.b_relaxed, &f.b_prime),
+            )
+        })
+    });
+}
+
+fn fig4(c: &mut Criterion) {
+    let f = figure4();
+    let planner = RewritePlanner::without_fallback();
+    for (name, p) in [("P1", &f.p1), ("P2", &f.p2), ("P3", &f.p3)] {
+        assert!(
+            planner.decide(p, &f.v).rewriting().is_some(),
+            "Figure 4 {name} claim violated"
+        );
+    }
+    c.bench_function("fig4_planner_p1_p2_p3", |b| {
+        b.iter(|| {
+            (
+                planner.decide(black_box(&f.p1), &f.v).rewriting().is_some(),
+                planner.decide(black_box(&f.p2), &f.v).rewriting().is_some(),
+                planner.decide(black_box(&f.p3), &f.v).rewriting().is_some(),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, fig1, fig2, fig3, fig4);
+criterion_main!(benches);

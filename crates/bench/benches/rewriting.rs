@@ -1,0 +1,84 @@
+//! Experiment E-T3 (table T2): the planner's "few containment tests" vs the
+//! Proposition 3.4 brute force.
+//!
+//! The paper's headline practical claim: under the completeness conditions,
+//! rewriting-existence costs at most two equivalence tests (coNP in the
+//! input, but the input is small), while the only previously known complete
+//! procedure is the double-exponential enumeration. This bench measures both
+//! on the same instances.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use xpv_bench::{condition_catalog, instance_batch};
+use xpv_core::{brute_force_rewrite, BruteForceConfig, RewritePlanner};
+use xpv_workload::Fragment;
+
+fn planner_on_conditions(c: &mut Criterion) {
+    let planner = RewritePlanner::without_fallback();
+    let mut group = c.benchmark_group("planner_conditions");
+    for (name, p, v) in condition_catalog() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &(p, v), |b, (p, v)| {
+            b.iter(|| planner.decide(black_box(p), black_box(v)))
+        });
+    }
+    group.finish();
+}
+
+fn planner_vs_brute_force(c: &mut Criterion) {
+    let planner = RewritePlanner::without_fallback();
+    let bf_cfg = BruteForceConfig { max_nodes: 6, max_tested: 500, ..Default::default() };
+    let mut group = c.benchmark_group("planner_vs_bruteforce");
+    group.sample_size(10);
+    for depth in [2usize, 3, 4] {
+        let batch = instance_batch(Fragment::Full, depth, 8, 0xBEEF + depth as u64);
+        group.bench_with_input(BenchmarkId::new("planner", depth), &batch, |b, batch| {
+            b.iter(|| {
+                for (p, v) in batch {
+                    let _ = black_box(planner.decide(p, v));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("bruteforce", depth), &batch, |b, batch| {
+            b.iter(|| {
+                for (p, v) in batch {
+                    if v.depth() <= p.depth() {
+                        let _ = black_box(brute_force_rewrite(p, v, &bf_cfg));
+                    }
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn ptime_baseline(c: &mut Criterion) {
+    // The Xu–Özsoyoglu baseline on the sub-fragments vs the full planner.
+    let planner = RewritePlanner::without_fallback();
+    let mut group = c.benchmark_group("ptime_baseline");
+    for (name, fragment) in [
+        ("XP{//,[]}", Fragment::NoWildcard),
+        ("XP{[],*}", Fragment::NoDescendant),
+        ("XP{//,*}", Fragment::NoBranch),
+    ] {
+        let batch = instance_batch(fragment, 4, 12, 0xABCD);
+        group.bench_with_input(BenchmarkId::new("hom_only", name), &batch, |b, batch| {
+            b.iter(|| {
+                for (p, v) in batch {
+                    let _ = black_box(xpv_core::ptime_rewrite(p, v, false));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("full_planner", name), &batch, |b, batch| {
+            b.iter(|| {
+                for (p, v) in batch {
+                    let _ = black_box(planner.decide(p, v));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, planner_on_conditions, planner_vs_brute_force, ptime_baseline);
+criterion_main!(benches);

@@ -1,0 +1,160 @@
+//! # xpv-bench — shared fixtures for the benchmark harness
+//!
+//! The Criterion benches (`benches/`) and the `experiments` binary both draw
+//! their instances from here so that timings and tables describe the same
+//! workloads. Every fixture is seeded and deterministic.
+
+use xpv_pattern::{parse_xpath, Pattern};
+use xpv_workload::{Fragment, PatternGen, PatternGenConfig};
+
+/// Parses a pattern, panicking on error (fixtures are static).
+pub fn pat(s: &str) -> Pattern {
+    parse_xpath(s).expect("fixture pattern parses")
+}
+
+/// A deterministic batch of (query, correlated view) instances in the given
+/// fragment at the given selection depth.
+pub fn instance_batch(
+    fragment: Fragment,
+    depth: usize,
+    count: usize,
+    seed: u64,
+) -> Vec<(Pattern, Pattern)> {
+    let cfg = PatternGenConfig {
+        depth: (depth, depth),
+        fragment,
+        ..PatternGenConfig::default()
+    };
+    let mut g = PatternGen::new(cfg, seed);
+    (0..count).map(|_| g.instance()).collect()
+}
+
+/// A deterministic batch of containment pairs in the given fragment, mixing
+/// three kinds so the decision procedure sees both verdicts:
+///
+/// * `(p, p_r//)` — containment holds (homomorphism-witnessed);
+/// * `(p_r//, p)` — usually fails (the canonical loop must refute);
+/// * `(p, q)` for independent `p`, `q` — rarely related.
+pub fn containment_batch(
+    fragment: Fragment,
+    depth: usize,
+    count: usize,
+    seed: u64,
+) -> Vec<(Pattern, Pattern)> {
+    let cfg = PatternGenConfig {
+        depth: (depth, depth),
+        fragment,
+        ..PatternGenConfig::default()
+    };
+    let mut g = PatternGen::new(cfg, seed);
+    (0..count)
+        .map(|i| {
+            let p = g.pattern();
+            match i % 3 {
+                0 => {
+                    let gen = p.relax_root_edges();
+                    (p, gen)
+                }
+                1 => {
+                    let gen = p.relax_root_edges();
+                    (gen, p)
+                }
+                _ => {
+                    let q = g.pattern();
+                    (p, q)
+                }
+            }
+        })
+        .collect()
+}
+
+/// Independent (query, view) pairs — unlike [`instance_batch`], the view is
+/// *not* derived from the query, so the planner's depth/label gates fire
+/// often. Used by the gate ablation.
+pub fn independent_batch(
+    fragment: Fragment,
+    depth: usize,
+    count: usize,
+    seed: u64,
+) -> Vec<(Pattern, Pattern)> {
+    let cfg = PatternGenConfig {
+        depth: (1, depth),
+        fragment,
+        ..PatternGenConfig::default()
+    };
+    let mut g = PatternGen::new(cfg, seed);
+    (0..count)
+        .map(|_| {
+            let p = g.pattern();
+            let v = g.pattern();
+            (p, v)
+        })
+        .collect()
+}
+
+/// The per-condition instance catalog used by the completeness audit (table
+/// T1): for each completeness condition, a handful of hand-built instances
+/// known to fall under it. The `(pos)`/`(neg)` suffix encodes whether a
+/// rewriting exists — pinned by the `catalog_labels_are_accurate` test.
+pub fn condition_catalog() -> Vec<(&'static str, Pattern, Pattern)> {
+    vec![
+        ("k=d (pos)", pat("a/b[c]"), pat("a/*")),
+        ("k=d (neg)", pat("a/b"), pat("a[z]/b")),
+        ("Thm4.3 stable (pos)", pat("a//b//c"), pat("a//*")),
+        ("Thm4.3 stable (neg)", pat("a/b/c"), pat("a//b")),
+        ("Thm4.4 prefix (pos)", pat("a/*//*"), pat("a//*")),
+        ("Thm4.4 prefix (neg)", pat("a/*//c/d"), pat("a[w]/*")),
+        ("Thm4.9 desc-out (pos)", pat("a//*//e"), pat("a//*")),
+        ("Thm4.9 desc-out (neg)", pat("a//*//e"), pat("a[w]//*")),
+        ("Thm4.10 V-child (pos)", pat("a[b]//*/e[d]"), pat("a[b]/*")),
+        ("Thm4.10 V-child (neg)", pat("a[b]//*/e[d]"), pat("a[q]/*")),
+        ("Thm4.16 correl (pos)", pat("a/*//*/*/e"), pat("a/*//*/*")),
+        ("Thm5.4 GNF (pos)", pat("a//*/*/*/e"), pat("a/*//*/*")),
+        ("Prop5.6 *// (neg)", pat("a//*[*/e]/*/*/e"), pat("a/*//*/*")),
+        ("Thm5.9 ext (neg)", pat("*//*[c/c]/*/c//e"), pat("*//*/*")),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xpv_core::{RewriteAnswer, RewritePlanner};
+    use xpv_workload::Fragment;
+
+    #[test]
+    fn catalog_labels_are_accurate() {
+        let planner = RewritePlanner::without_fallback();
+        for (name, p, v) in condition_catalog() {
+            let ans = planner.decide(&p, &v);
+            let expect_pos = name.contains("(pos)");
+            match (&ans, expect_pos) {
+                (RewriteAnswer::Rewriting(_), true) | (RewriteAnswer::NoRewriting(_), false) => {}
+                other => panic!("catalog entry {name} mislabeled: got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn batches_are_deterministic() {
+        let a = instance_batch(Fragment::Full, 3, 5, 9);
+        let b = instance_batch(Fragment::Full, 3, 5, 9);
+        for ((p1, v1), (p2, v2)) in a.iter().zip(&b) {
+            assert!(p1.structurally_eq(p2) && v1.structurally_eq(v2));
+        }
+        let c = containment_batch(Fragment::Full, 3, 6, 9);
+        assert_eq!(c.len(), 6);
+        let d = independent_batch(Fragment::Full, 3, 6, 9);
+        assert_eq!(d.len(), 6);
+    }
+
+    #[test]
+    fn containment_batch_mixes_verdicts() {
+        let batch = containment_batch(Fragment::Full, 3, 18, 0xC0FFEE);
+        let holds = batch
+            .iter()
+            .filter(|(a, b)| xpv_semantics::contained(a, b))
+            .count();
+        assert!(holds > 0, "some pairs must be contained");
+        assert!(holds < batch.len(), "some pairs must not be contained");
+    }
+}

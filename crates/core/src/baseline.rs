@@ -1,0 +1,165 @@
+//! The PTIME baseline of Xu & Özsoyoglu (VLDB 2005, the paper's \[17\]).
+//!
+//! For the three sub-fragments `XP{//,[]}`, `XP{//,*}` and `XP{[],*}`,
+//! containment is characterized by homomorphisms (Miklau–Suciu), and \[17\]
+//! showed the rewriting problem is in PTIME "precisely because one only has
+//! to look for a homomorphism to determine containment". This module
+//! implements that algorithm faithfully:
+//!
+//! * the candidates are the natural candidates (which are complete on these
+//!   fragments: labeled roots make `P≥k` stable in `XP{//,[]}`; child-only
+//!   prefixes cover `XP{[],*}`; linearity puts `XP{//,*}` in GNF/*);
+//! * every equivalence test is performed with **homomorphisms only** — two
+//!   PTIME checks instead of the coNP canonical-model procedure.
+//!
+//! On the full fragment the homomorphism test is sound but incomplete, so
+//! [`ptime_rewrite`] refuses inputs outside the sub-fragments unless
+//! explicitly told to proceed (useful for the benchmark that measures how
+//! often the incomplete test loses answers — the "lack of theoretical
+//! foundations" the paper's introduction criticizes in \[3, 5, 13, 18\]).
+
+use xpv_pattern::{compose, FragmentFlags, Pattern};
+use xpv_semantics::{homomorphism_exists, HomMode};
+
+/// Result of the PTIME baseline.
+#[derive(Clone, Debug)]
+pub enum PtimeAnswer {
+    /// A rewriting verified by two homomorphism checks.
+    Rewriting(Box<Pattern>),
+    /// No natural candidate passes the homomorphism-equivalence test.
+    /// Complete (a real "no") on the homomorphism-complete sub-fragments.
+    NoCandidateWorks,
+    /// The instance leaves the sub-fragments and `allow_incomplete` was off.
+    OutsideFragment {
+        /// Fragment of the query.
+        query: FragmentFlags,
+        /// Fragment of the view.
+        view: FragmentFlags,
+    },
+}
+
+/// Homomorphism-based equivalence: PTIME, complete only on the
+/// homomorphism-complete sub-fragments.
+pub fn hom_equivalent(a: &Pattern, b: &Pattern) -> bool {
+    homomorphism_exists(b, a, HomMode::RootAnchored)
+        && homomorphism_exists(a, b, HomMode::RootAnchored)
+}
+
+/// The Xu–Özsoyoglu-style PTIME rewriting procedure.
+///
+/// When `allow_incomplete` is `false`, inputs whose query, view, or candidate
+/// *composition* uses all three constructs are rejected with
+/// [`PtimeAnswer::OutsideFragment`]; when `true`, the procedure runs anyway
+/// and may miss rewritings (never returns a wrong one: homomorphism
+/// equivalence is sound).
+pub fn ptime_rewrite(p: &Pattern, v: &Pattern, allow_incomplete: bool) -> PtimeAnswer {
+    let qf = FragmentFlags::of(p);
+    let vf = FragmentFlags::of(v);
+    if !allow_incomplete {
+        let combined = FragmentFlags {
+            wildcard: qf.wildcard || vf.wildcard,
+            descendant: qf.descendant || vf.descendant,
+            branching: qf.branching || vf.branching,
+        };
+        if !combined.homomorphism_complete() {
+            return PtimeAnswer::OutsideFragment { query: qf, view: vf };
+        }
+    }
+    let k = v.depth();
+    if k > p.depth() {
+        return PtimeAnswer::NoCandidateWorks;
+    }
+    let base = p.sub_pattern_geq(k);
+    let relaxed = base.relax_root_edges();
+    for cand in [base, relaxed] {
+        if let Some(rv) = compose(&cand, v) {
+            if hom_equivalent(&rv, p) {
+                return PtimeAnswer::Rewriting(Box::new(cand));
+            }
+        }
+    }
+    PtimeAnswer::NoCandidateWorks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xpv_pattern::parse_xpath;
+    use xpv_semantics::equivalent;
+
+    fn pat(s: &str) -> Pattern {
+        parse_xpath(s).expect("pattern parses")
+    }
+
+    #[test]
+    fn no_wildcard_fragment() {
+        // XP{//,[]}: labels everywhere.
+        match ptime_rewrite(&pat("a[x]//b/c[y]"), &pat("a[x]//b"), false) {
+            PtimeAnswer::Rewriting(r) => {
+                assert_eq!(r.to_string(), "b/c[y]");
+                let rv = compose(&r, &pat("a[x]//b")).expect("composes");
+                assert!(equivalent(&rv, &pat("a[x]//b/c[y]")));
+            }
+            other => panic!("expected rewriting, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn no_descendant_fragment() {
+        // XP{[],*}.
+        match ptime_rewrite(&pat("a[*]/b/c"), &pat("a[*]/b"), false) {
+            PtimeAnswer::Rewriting(r) => assert_eq!(r.to_string(), "b/c"),
+            other => panic!("expected rewriting, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn linear_fragment() {
+        // XP{//,*}: linear patterns.
+        match ptime_rewrite(&pat("a//*/c"), &pat("a//*"), false) {
+            PtimeAnswer::Rewriting(r) => {
+                let rv = compose(&r, &pat("a//*")).expect("composes");
+                assert!(equivalent(&rv, &pat("a//*/c")));
+            }
+            other => panic!("expected rewriting, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negative_answer_is_definitive_in_fragment() {
+        // XP{//,[]}: V's descendant edge into out(V) cannot be undone.
+        match ptime_rewrite(&pat("a/b/c"), &pat("a//b"), false) {
+            PtimeAnswer::NoCandidateWorks => {}
+            other => panic!("expected no, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn full_fragment_rejected_by_default() {
+        match ptime_rewrite(&pat("a[b]//*/e[d]"), &pat("a[b]/*"), false) {
+            PtimeAnswer::OutsideFragment { .. } => {}
+            other => panic!("expected rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn incomplete_mode_is_sound() {
+        // In the full fragment the hom test may find the Figure 2 rewriting
+        // or not — but a returned rewriting must be genuine.
+        if let PtimeAnswer::Rewriting(r) =
+            ptime_rewrite(&pat("a[b]//*/e[d]"), &pat("a[b]/*"), true)
+        {
+            let rv = compose(&r, &pat("a[b]/*")).expect("composes");
+            assert!(equivalent(&rv, &pat("a[b]//*/e[d]")));
+        }
+    }
+
+    #[test]
+    fn combined_fragment_check_catches_mixed_instances() {
+        // Query in XP{//,[]} and view in XP{*}: combined they use all three.
+        match ptime_rewrite(&pat("a[x]//b/c"), &pat("a[*]/b").relax_root_edges(), false) {
+            PtimeAnswer::OutsideFragment { .. } => {}
+            other => panic!("expected rejection, got {other:?}"),
+        }
+    }
+}

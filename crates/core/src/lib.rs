@@ -1,0 +1,36 @@
+//! # xpv-core — rewriting XPath queries using views
+//!
+//! The primary contribution of *On Rewriting XPath Queries Using Views*
+//! (Afrati et al., EDBT 2009), as a library:
+//!
+//! * [`natural_candidates`] — the two linear-time candidates `P≥k`,
+//!   `P≥k_r//` (Section 4);
+//! * [`find_condition`] — the completeness certificates of Theorems
+//!   4.3 / 4.4 / 4.9 / 4.10 / 4.16, the Section 5 reductions (stable-suffix,
+//!   `∗//`, extension + output-lifting) and GNF/* (Theorem 5.4);
+//! * [`RewritePlanner`] — the end-to-end decision procedure: gates,
+//!   candidate tests, certificates, and the budgeted Proposition 3.4
+//!   brute force ([`brute_force_rewrite`]);
+//! * [`ptime_rewrite`] — the homomorphism-based PTIME baseline of Xu &
+//!   Özsoyoglu \[17\] for the three sub-fragments;
+//! * [`figures`] — executable reconstructions of the paper's Figures 1–4.
+
+pub mod baseline;
+pub mod brute;
+pub mod candidates;
+pub mod conditions;
+pub mod figures;
+pub mod multiview;
+pub mod planner;
+
+pub use baseline::{hom_equivalent, ptime_rewrite, PtimeAnswer};
+pub use brute::{brute_force_rewrite, BruteForceConfig, BruteForceOutcome, BruteForceStats};
+pub use candidates::{natural_candidates, test_candidate, Candidate, CandidateTestStats};
+pub use conditions::{find_condition, Condition};
+pub use figures::{figure1, figure2, figure3, figure4, Figure1, Figure2, Figure3, Figure4};
+pub use multiview::{
+    contained_rewriting, rewritable_views, rewrite_using_chain, ChainAnswer, ViewChoice,
+};
+pub use planner::{
+    Method, NoRewriteReason, PlannerStats, RewriteAnswer, RewritePlanner, Rewriting, UnknownInfo,
+};

@@ -1,0 +1,367 @@
+//! A rewriting-based view cache: the application the paper motivates.
+//!
+//! The introduction of the paper criticizes caching systems (\[3, 5, 13, 18\])
+//! for using *incomplete* algorithms when answering queries from cached
+//! XPath views. [`ViewCache`] is the complete counterpart: for each incoming
+//! query it consults the [`xpv_core::RewritePlanner`]; whenever an
+//! *equivalent* rewriting over some cached view exists, the answer is
+//! computed from the view (virtually — no subtree copies), and otherwise the
+//! query runs directly against the document. Soundness is inherited from the
+//! planner: a rewriting is only used after `R ◦ V ≡ P` has been verified.
+
+use std::time::{Duration, Instant};
+
+use xpv_core::{contained_rewriting, RewriteAnswer, RewritePlanner};
+use xpv_model::{NodeId, Tree};
+use xpv_pattern::Pattern;
+use xpv_semantics::evaluate;
+
+use crate::view::MaterializedView;
+
+/// How the cache picks among several usable views.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ChoicePolicy {
+    /// The first registered view that admits a rewriting (lowest planning
+    /// cost: planning stops at the first hit).
+    #[default]
+    FirstMatch,
+    /// Among all views admitting a rewriting, the one with the smallest
+    /// materialized result (lowest evaluation cost; plans against every
+    /// view).
+    SmallestView,
+}
+
+/// How a query was answered.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Route {
+    /// Answered from the named view through the given rewriting.
+    ViaView {
+        /// Name of the view used.
+        view: String,
+        /// The rewriting `R` that was applied to the view result.
+        rewriting: String,
+    },
+    /// Answered by evaluating the query directly on the document.
+    Direct,
+}
+
+/// A cache answer: the output nodes plus provenance.
+#[derive(Clone, Debug)]
+pub struct CacheAnswer {
+    /// Output nodes in the cached document.
+    pub nodes: Vec<NodeId>,
+    /// How the answer was produced.
+    pub route: Route,
+    /// Time spent deciding rewritability (planning only).
+    pub planning: Duration,
+    /// Time spent evaluating (view-based or direct).
+    pub evaluation: Duration,
+}
+
+/// Aggregate statistics over the cache's lifetime.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CacheStats {
+    /// Queries answered.
+    pub queries: u64,
+    /// Queries answered from a view.
+    pub view_hits: u64,
+    /// Queries answered directly.
+    pub direct: u64,
+}
+
+/// A set of materialized views over a single document, with rewriting-based
+/// query answering.
+#[derive(Debug)]
+pub struct ViewCache {
+    doc: Tree,
+    views: Vec<MaterializedView>,
+    planner: RewritePlanner,
+    policy: ChoicePolicy,
+    stats: CacheStats,
+}
+
+impl ViewCache {
+    /// Creates an empty cache over `doc` with the default planner.
+    pub fn new(doc: Tree) -> ViewCache {
+        Self::with_planner(doc, RewritePlanner::default())
+    }
+
+    /// Creates an empty cache with a custom planner configuration.
+    pub fn with_planner(doc: Tree, planner: RewritePlanner) -> ViewCache {
+        ViewCache {
+            doc,
+            views: Vec::new(),
+            planner,
+            policy: ChoicePolicy::default(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Sets the view-selection policy (builder style).
+    pub fn with_policy(mut self, policy: ChoicePolicy) -> ViewCache {
+        self.policy = policy;
+        self
+    }
+
+    /// The cached document.
+    pub fn document(&self) -> &Tree {
+        &self.doc
+    }
+
+    /// Materializes `def` over the document and registers it under `name`.
+    /// Returns the number of answers materialized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a view with the same name is already registered.
+    pub fn add_view(&mut self, name: &str, def: Pattern) -> usize {
+        assert!(
+            self.views.iter().all(|v| v.name() != name),
+            "duplicate view name {name:?}"
+        );
+        let view = MaterializedView::materialize(name, def, &self.doc);
+        let n = view.len();
+        self.views.push(view);
+        n
+    }
+
+    /// The registered views.
+    pub fn views(&self) -> &[MaterializedView] {
+        &self.views
+    }
+
+    /// Lifetime statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Answers `query`, preferring an equivalent rewriting over any
+    /// registered view and falling back to direct evaluation. Which view
+    /// wins when several apply is governed by the [`ChoicePolicy`].
+    pub fn answer(&mut self, query: &Pattern) -> CacheAnswer {
+        self.stats.queries += 1;
+        let plan_start = Instant::now();
+        let mut chosen: Option<(usize, Pattern)> = None;
+        for (i, view) in self.views.iter().enumerate() {
+            if let RewriteAnswer::Rewriting(rw) = self.planner.decide(query, view.definition()) {
+                let better = match (&chosen, self.policy) {
+                    (None, _) => true,
+                    (Some(_), ChoicePolicy::FirstMatch) => false,
+                    (Some((j, _)), ChoicePolicy::SmallestView) => {
+                        view.len() < self.views[*j].len()
+                    }
+                };
+                if better {
+                    chosen = Some((i, rw.pattern().clone()));
+                }
+                if self.policy == ChoicePolicy::FirstMatch {
+                    break;
+                }
+            }
+        }
+        let planning = plan_start.elapsed();
+
+        let eval_start = Instant::now();
+        let (nodes, route) = match chosen {
+            Some((i, r)) => {
+                self.stats.view_hits += 1;
+                let view = &self.views[i];
+                let nodes = view.apply_virtual(&r, &self.doc);
+                (
+                    nodes,
+                    Route::ViaView { view: view.name().to_string(), rewriting: r.to_string() },
+                )
+            }
+            None => {
+                self.stats.direct += 1;
+                (evaluate(query, &self.doc), Route::Direct)
+            }
+        };
+        let evaluation = eval_start.elapsed();
+        CacheAnswer { nodes, route, planning, evaluation }
+    }
+
+    /// Answers `query` by direct evaluation only (baseline for benchmarks).
+    pub fn answer_direct(&self, query: &Pattern) -> Vec<NodeId> {
+        evaluate(query, &self.doc)
+    }
+
+    /// A **partial** answer from the views when no equivalent rewriting
+    /// exists: uses a *contained* rewriting (`R ∘ V ⊑ P`, the sound half of
+    /// the paper's open problem 3), so every returned node is a genuine
+    /// answer of `query`, but some answers may be missing. Returns `None`
+    /// when no view yields even a contained rewriting.
+    ///
+    /// The `complete` flag is `true` only when the rewriting is equivalent
+    /// (in which case this behaves like [`ViewCache::answer`]).
+    pub fn answer_partial(&mut self, query: &Pattern) -> Option<(Vec<NodeId>, bool)> {
+        // Equivalent rewriting first.
+        for view in &self.views {
+            if let RewriteAnswer::Rewriting(rw) = self.planner.decide(query, view.definition()) {
+                return Some((view.apply_virtual(rw.pattern(), &self.doc), true));
+            }
+        }
+        // Contained rewriting: pick the view yielding the most answers.
+        let mut best: Option<Vec<NodeId>> = None;
+        for view in &self.views {
+            if let Some(r) = contained_rewriting(query, view.definition()) {
+                let nodes = view.apply_virtual(&r, &self.doc);
+                if best.as_ref().is_none_or(|b| nodes.len() > b.len()) {
+                    best = Some(nodes);
+                }
+            }
+        }
+        best.map(|nodes| (nodes, false))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xpv_model::TreeBuilder;
+    use xpv_pattern::parse_xpath;
+
+    fn pat(s: &str) -> Pattern {
+        parse_xpath(s).expect("pattern parses")
+    }
+
+    fn doc() -> Tree {
+        TreeBuilder::root("site", |b| {
+            for _ in 0..3 {
+                b.child("region", |b| {
+                    b.child("item", |b| {
+                        b.leaf("name");
+                        b.child("desc", |b| {
+                            b.leaf("keyword");
+                        });
+                    });
+                    b.child("item", |b| {
+                        b.leaf("name");
+                    });
+                });
+            }
+        })
+    }
+
+    #[test]
+    fn view_hit_produces_correct_answer() {
+        let mut cache = ViewCache::new(doc());
+        cache.add_view("items", pat("site/region/item"));
+        let q = pat("site/region/item/name");
+        let direct = cache.answer_direct(&q);
+        let ans = cache.answer(&q);
+        assert_eq!(ans.nodes, direct);
+        match ans.route {
+            Route::ViaView { view, .. } => assert_eq!(view, "items"),
+            other => panic!("expected view hit, got {other:?}"),
+        }
+        assert_eq!(cache.stats().view_hits, 1);
+    }
+
+    #[test]
+    fn miss_falls_back_to_direct() {
+        let mut cache = ViewCache::new(doc());
+        cache.add_view("names", pat("site/region/item/name"));
+        // Query output lies above the view output: no rewriting can exist.
+        let q = pat("site/region/item[name]");
+        let ans = cache.answer(&q);
+        assert_eq!(ans.route, Route::Direct);
+        assert_eq!(ans.nodes, cache.answer_direct(&q));
+        assert_eq!(cache.stats().direct, 1);
+    }
+
+    #[test]
+    fn first_usable_view_wins() {
+        let mut cache = ViewCache::new(doc());
+        cache.add_view("regions", pat("site/region"));
+        cache.add_view("items", pat("site/region/item"));
+        let q = pat("site/region/item[desc/keyword]/name");
+        let ans = cache.answer(&q);
+        match &ans.route {
+            Route::ViaView { view, .. } => assert_eq!(view, "regions"),
+            other => panic!("expected view hit, got {other:?}"),
+        }
+        assert_eq!(ans.nodes, cache.answer_direct(&q));
+    }
+
+    #[test]
+    fn multiple_queries_accumulate_stats() {
+        let mut cache = ViewCache::new(doc());
+        cache.add_view("items", pat("site/region/item"));
+        let q1 = pat("site/region/item/name");
+        let q2 = pat("site//keyword");
+        let _ = cache.answer(&q1);
+        let _ = cache.answer(&q2);
+        let s = cache.stats();
+        assert_eq!(s.queries, 2);
+        assert_eq!(s.view_hits + s.direct, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate view name")]
+    fn duplicate_view_names_rejected() {
+        let mut cache = ViewCache::new(doc());
+        cache.add_view("v", pat("site/region"));
+        cache.add_view("v", pat("site/region/item"));
+    }
+
+    #[test]
+    fn smallest_view_policy_prefers_selective_views() {
+        let mut cache = ViewCache::new(doc()).with_policy(ChoicePolicy::SmallestView);
+        // Both views admit a rewriting for the query; `items` is smaller
+        // than `regions`' subtree count? regions = 3, items = 6 — regions is
+        // the smaller view by answer count.
+        cache.add_view("regions", pat("site/region"));
+        cache.add_view("items", pat("site/region/item"));
+        let q = pat("site/region/item/name");
+        let ans = cache.answer(&q);
+        match &ans.route {
+            Route::ViaView { view, .. } => assert_eq!(view, "regions"),
+            other => panic!("expected view hit, got {other:?}"),
+        }
+        assert_eq!(ans.nodes, cache.answer_direct(&q));
+    }
+
+    #[test]
+    fn partial_answers_are_sound_subsets() {
+        let mut cache = ViewCache::new(doc());
+        // The view only covers items with a desc branch — queries over all
+        // items cannot be answered equivalently.
+        cache.add_view("desc_items", pat("site/region/item[desc]"));
+        let q = pat("site/region/item/name");
+        assert_eq!(cache.answer(&q).route, Route::Direct);
+        let (partial, complete) = cache.answer_partial(&q).expect("contained rewriting exists");
+        assert!(!complete);
+        let full = cache.answer_direct(&q);
+        assert!(partial.iter().all(|n| full.contains(n)));
+        assert!(partial.len() < full.len(), "view genuinely covers a subset");
+        assert!(!partial.is_empty());
+    }
+
+    #[test]
+    fn partial_answer_reports_complete_when_equivalent() {
+        let mut cache = ViewCache::new(doc());
+        cache.add_view("items", pat("site/region/item"));
+        let q = pat("site/region/item/name");
+        let (nodes, complete) = cache.answer_partial(&q).expect("equivalent exists");
+        assert!(complete);
+        assert_eq!(nodes, cache.answer_direct(&q));
+    }
+
+    #[test]
+    fn deep_descendant_query_via_descendant_view() {
+        let mut cache = ViewCache::new(doc());
+        cache.add_view("all_items", pat("site//item"));
+        let q = pat("site//item/desc/keyword");
+        let ans = cache.answer(&q);
+        match &ans.route {
+            Route::ViaView { view, rewriting } => {
+                assert_eq!(view, "all_items");
+                assert_eq!(rewriting, "item/desc/keyword");
+            }
+            other => panic!("expected view hit, got {other:?}"),
+        }
+        assert_eq!(ans.nodes, cache.answer_direct(&q));
+        assert_eq!(ans.nodes.len(), 3);
+    }
+}

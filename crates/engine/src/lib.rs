@@ -1,0 +1,16 @@
+//! # xpv-engine — answering XPath queries using materialized views
+//!
+//! The application layer of the `xpath-views` workspace (Afrati et al.,
+//! EDBT 2009 reproduction): materialize view patterns over XML documents
+//! ([`MaterializedView`]) and answer queries from them whenever the
+//! [`xpv_core::RewritePlanner`] certifies an equivalent rewriting
+//! ([`ViewCache`]). Both the virtual (node-identity) and materialized
+//! (subtree-copy) representations of `V(t)` are supported, and
+//! Proposition 2.4 — `R ◦ V (t) = R(V(t))` — is the correctness contract
+//! the tests enforce end to end.
+
+pub mod cache;
+pub mod view;
+
+pub use cache::{CacheAnswer, CacheStats, ChoicePolicy, Route, ViewCache};
+pub use view::{answer_value_set, MaterializedView};

@@ -1,0 +1,183 @@
+//! Materialized views over XML documents.
+//!
+//! A materialized view (Section 2.4) is the precomputed result `V(t)` of
+//! applying a view pattern to a document. Two representations are provided:
+//!
+//! * **virtual** — the output-node set of `V` on `t`, keeping node
+//!   identities. A rewriting `R` is then evaluated *anchored* at those nodes,
+//!   which is exactly `R(V(t))` by Proposition 2.4 and never copies data;
+//! * **materialized** — independent subtree copies, the representation a
+//!   cache that ships results across a wire would use. Answers computed this
+//!   way are compared by value (canonical keys), since copies have no node
+//!   identity in the source document.
+//!
+//! Both paths are tested to agree with direct evaluation whenever the planner
+//! hands us an equivalent rewriting.
+
+use xpv_model::{NodeId, Tree};
+use xpv_pattern::Pattern;
+use xpv_semantics::{evaluate, evaluate_anchored};
+
+/// The precomputed result of a view over one document.
+#[derive(Clone, Debug)]
+pub struct MaterializedView {
+    name: String,
+    def: Pattern,
+    nodes: Vec<NodeId>,
+    trees: Vec<Tree>,
+}
+
+impl MaterializedView {
+    /// Evaluates `def` over `doc` and stores both representations.
+    pub fn materialize(name: impl Into<String>, def: Pattern, doc: &Tree) -> MaterializedView {
+        let nodes = evaluate(&def, doc);
+        let trees = nodes.iter().map(|&n| doc.subtree(n).0).collect();
+        MaterializedView { name: name.into(), def, nodes, trees }
+    }
+
+    /// The view's name (cache key).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The view definition `V`.
+    pub fn definition(&self) -> &Pattern {
+        &self.def
+    }
+
+    /// `V(t)` as output nodes of the source document (virtual form).
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// `V(t)` as independent subtree copies (materialized form).
+    pub fn trees(&self) -> &[Tree] {
+        &self.trees
+    }
+
+    /// Number of answers in the view.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when the view result is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Applies a rewriting to the view **virtually**: `R(V(t))` as output
+    /// nodes of the source document (Proposition 2.4's right-hand side).
+    pub fn apply_virtual(&self, r: &Pattern, doc: &Tree) -> Vec<NodeId> {
+        evaluate_anchored(r, doc, &self.nodes)
+    }
+
+    /// Applies a rewriting to the **materialized** copies: `R(V(t))` as a
+    /// set of result trees, deduplicated by value.
+    pub fn apply_materialized(&self, r: &Pattern) -> Vec<Tree> {
+        let mut out: Vec<Tree> = Vec::new();
+        let mut seen: std::collections::HashSet<String> = std::collections::HashSet::new();
+        for u in &self.trees {
+            for o in evaluate(r, u) {
+                let (sub, _) = u.subtree(o);
+                if seen.insert(sub.canonical_key()) {
+                    out.push(sub);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Normalizes a node-set answer over `doc` to a deduplicated value set
+/// (canonical keys), for comparing virtual and materialized answers.
+pub fn answer_value_set(doc: &Tree, nodes: &[NodeId]) -> Vec<String> {
+    let mut keys: Vec<String> = nodes.iter().map(|&n| doc.canonical_key_at(n)).collect();
+    keys.sort();
+    keys.dedup();
+    keys
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xpv_model::TreeBuilder;
+    use xpv_pattern::parse_xpath;
+
+    fn pat(s: &str) -> Pattern {
+        parse_xpath(s).expect("pattern parses")
+    }
+
+    fn doc() -> Tree {
+        TreeBuilder::root("lib", |b| {
+            b.child("shelf", |b| {
+                b.child("book", |b| {
+                    b.leaf("title");
+                    b.leaf("author");
+                });
+                b.child("book", |b| {
+                    b.leaf("title");
+                });
+            });
+            b.child("shelf", |b| {
+                b.child("box", |b| {
+                    b.child("book", |b| {
+                        b.leaf("title");
+                        b.leaf("author");
+                    });
+                });
+            });
+        })
+    }
+
+    #[test]
+    fn materialization_counts() {
+        let d = doc();
+        let v = MaterializedView::materialize("books", pat("lib//book"), &d);
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.trees().len(), 3);
+        assert!(!v.is_empty());
+        assert_eq!(v.name(), "books");
+    }
+
+    #[test]
+    fn virtual_application_matches_direct() {
+        let d = doc();
+        let v = MaterializedView::materialize("books", pat("lib//book"), &d);
+        // R = book/title applied to the view = lib//book/title directly.
+        let via_view = v.apply_virtual(&pat("book/title"), &d);
+        let direct = evaluate(&pat("lib//book/title"), &d);
+        assert_eq!(via_view, direct);
+        assert_eq!(via_view.len(), 3);
+    }
+
+    #[test]
+    fn materialized_application_matches_by_value() {
+        let d = doc();
+        let v = MaterializedView::materialize("books", pat("lib//book"), &d);
+        let r = pat("book[author]/title");
+        let via_nodes = v.apply_virtual(&r, &d);
+        let via_trees = v.apply_materialized(&r);
+        let mut tree_keys: Vec<String> = via_trees.iter().map(Tree::canonical_key).collect();
+        tree_keys.sort();
+        assert_eq!(answer_value_set(&d, &via_nodes), tree_keys);
+    }
+
+    #[test]
+    fn empty_view_yields_empty_answers() {
+        let d = doc();
+        let v = MaterializedView::materialize("none", pat("lib/book"), &d);
+        assert!(v.is_empty());
+        assert!(v.apply_virtual(&pat("book/title"), &d).is_empty());
+        assert!(v.apply_materialized(&pat("book/title")).is_empty());
+    }
+
+    #[test]
+    fn view_with_branch_condition() {
+        let d = doc();
+        // Books having an author.
+        let v = MaterializedView::materialize("authored", pat("lib//book[author]"), &d);
+        assert_eq!(v.len(), 2);
+        let titles = v.apply_virtual(&pat("book/title"), &d);
+        assert_eq!(titles.len(), 2);
+    }
+}

@@ -1,0 +1,24 @@
+//! # xpv-model — documents for the XPath-views system
+//!
+//! This crate is the lowest layer of the `xpath-views` workspace, a Rust
+//! reproduction of *On Rewriting XPath Queries Using Views* (Afrati et al.,
+//! EDBT 2009). It provides the paper's **data model**:
+//!
+//! * [`Label`] — interned labels from the alphabet `Σ`, including the reserved
+//!   canonical-model label `⊥` and fresh-label generation (for `µ`);
+//! * [`Tree`] — rooted, labeled, unordered trees (XML documents `T_Σ`), stored
+//!   as arenas with cheap navigation and unordered-isomorphism keys;
+//! * [`parse_xml`] / [`to_xml`] — an element-only XML subset;
+//! * [`BitSet`] — the set representation used by the embedding matcher.
+//!
+//! Patterns (queries and views) live one layer up, in `xpv-pattern`.
+
+pub mod bitset;
+pub mod label;
+pub mod tree;
+pub mod xml;
+
+pub use bitset::BitSet;
+pub use label::{Label, BOTTOM_NAME};
+pub use tree::{NodeId, Tree, TreeBuilder};
+pub use xml::{parse_xml, to_xml, XmlError};

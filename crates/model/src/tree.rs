@@ -1,0 +1,421 @@
+//! Rooted, labeled, **unordered** trees — the paper's XML documents.
+//!
+//! A [`Tree`] is an arena of nodes; [`NodeId`]s are indices into the arena.
+//! The root is always node 0 and nodes are stored in creation order, which for
+//! all constructors in this crate family is a pre-order (parents precede
+//! children). Child order is *not* semantically meaningful: embeddings
+//! (Definition 2.1) never inspect sibling order, so structural equality is
+//! unordered-tree isomorphism, exposed via [`Tree::canonical_key`] and
+//! [`Tree::structurally_eq`].
+
+use std::fmt;
+
+use crate::label::Label;
+
+/// Index of a node inside a [`Tree`] arena.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The arena index as a `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+#[derive(Clone, Debug)]
+struct TreeNode {
+    label: Label,
+    parent: Option<NodeId>,
+    children: Vec<NodeId>,
+}
+
+/// A rooted labeled tree (an XML document in the paper's data model).
+#[derive(Clone)]
+pub struct Tree {
+    nodes: Vec<TreeNode>,
+}
+
+impl Tree {
+    /// Creates a tree consisting of a single root labeled `root_label`.
+    pub fn new(root_label: Label) -> Tree {
+        Tree {
+            nodes: vec![TreeNode {
+                label: root_label,
+                parent: None,
+                children: Vec::new(),
+            }],
+        }
+    }
+
+    /// The root node (always id 0).
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Trees always contain at least the root; provided for API completeness.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Appends a new leaf labeled `label` under `parent`, returning its id.
+    pub fn add_child(&mut self, parent: NodeId, label: Label) -> NodeId {
+        assert!(parent.index() < self.nodes.len(), "parent out of bounds");
+        let id = NodeId(u32::try_from(self.nodes.len()).expect("tree too large"));
+        self.nodes.push(TreeNode {
+            label,
+            parent: Some(parent),
+            children: Vec::new(),
+        });
+        self.nodes[parent.index()].children.push(id);
+        id
+    }
+
+    /// The label of `n`.
+    #[inline]
+    pub fn label(&self, n: NodeId) -> Label {
+        self.nodes[n.index()].label
+    }
+
+    /// Relabels node `n` (used by canonical-model construction).
+    pub fn set_label(&mut self, n: NodeId, label: Label) {
+        self.nodes[n.index()].label = label;
+    }
+
+    /// The parent of `n` (`None` for the root).
+    #[inline]
+    pub fn parent(&self, n: NodeId) -> Option<NodeId> {
+        self.nodes[n.index()].parent
+    }
+
+    /// The children of `n`, in insertion order (order carries no meaning).
+    #[inline]
+    pub fn children(&self, n: NodeId) -> &[NodeId] {
+        &self.nodes[n.index()].children
+    }
+
+    /// Returns `true` if `n` has no children.
+    #[inline]
+    pub fn is_leaf(&self, n: NodeId) -> bool {
+        self.nodes[n.index()].children.is_empty()
+    }
+
+    /// All node ids in arena order (a pre-order for trees built top-down).
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Depth of `n`: number of edges from the root (root has depth 0).
+    pub fn depth(&self, n: NodeId) -> usize {
+        let mut d = 0;
+        let mut cur = n;
+        while let Some(p) = self.parent(cur) {
+            d += 1;
+            cur = p;
+        }
+        d
+    }
+
+    /// Height of the tree: the maximal number of edges on a root-to-leaf path.
+    pub fn height(&self) -> usize {
+        self.node_ids()
+            .filter(|&n| self.is_leaf(n))
+            .map(|n| self.depth(n))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Returns `true` if `a` is a **proper** ancestor of `b`.
+    pub fn is_proper_ancestor(&self, a: NodeId, b: NodeId) -> bool {
+        let mut cur = self.parent(b);
+        while let Some(p) = cur {
+            if p == a {
+                return true;
+            }
+            cur = self.parent(p);
+        }
+        false
+    }
+
+    /// Pre-order traversal of the subtree rooted at `n` (including `n`).
+    pub fn descendants_inclusive(&self, n: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut stack = vec![n];
+        while let Some(cur) = stack.pop() {
+            out.push(cur);
+            // Reverse keeps pre-order stable; order is cosmetic anyway.
+            for &c in self.children(cur).iter().rev() {
+                stack.push(c);
+            }
+        }
+        out
+    }
+
+    /// The subtree `t↓n` ("t sub n" in the paper: the subtree of `t` rooted at
+    /// `n`) copied out as an independent tree. Returns the new tree and, for
+    /// callers that need it, the mapping from old ids to new ids.
+    pub fn subtree(&self, n: NodeId) -> (Tree, Vec<(NodeId, NodeId)>) {
+        let mut t = Tree::new(self.label(n));
+        let mut map = vec![(n, t.root())];
+        let mut stack = vec![(n, t.root())];
+        while let Some((old, new)) = stack.pop() {
+            for &c in self.children(old) {
+                let nc = t.add_child(new, self.label(c));
+                map.push((c, nc));
+                stack.push((c, nc));
+            }
+        }
+        (t, map)
+    }
+
+    /// Grafts a copy of `other` under `parent`, returning the id of the copy
+    /// of `other`'s root.
+    pub fn attach_tree(&mut self, parent: NodeId, other: &Tree) -> NodeId {
+        let new_root = self.add_child(parent, other.label(other.root()));
+        let mut stack = vec![(other.root(), new_root)];
+        while let Some((old, new)) = stack.pop() {
+            for &c in other.children(old) {
+                let nc = self.add_child(new, other.label(c));
+                stack.push((c, nc));
+            }
+        }
+        new_root
+    }
+
+    /// A canonical serialization of the subtree at `n` under unordered-tree
+    /// isomorphism: two subtrees have equal keys iff they are isomorphic as
+    /// unordered labeled trees.
+    pub fn canonical_key_at(&self, n: NodeId) -> String {
+        let mut child_keys: Vec<String> = self
+            .children(n)
+            .iter()
+            .map(|&c| self.canonical_key_at(c))
+            .collect();
+        child_keys.sort();
+        let mut s = String::new();
+        s.push('(');
+        s.push_str(self.label(n).name());
+        for k in &child_keys {
+            s.push_str(&k.to_string());
+        }
+        s.push(')');
+        s
+    }
+
+    /// Canonical key of the whole tree (see [`Tree::canonical_key_at`]).
+    pub fn canonical_key(&self) -> String {
+        self.canonical_key_at(self.root())
+    }
+
+    /// Unordered-tree isomorphism test.
+    pub fn structurally_eq(&self, other: &Tree) -> bool {
+        self.len() == other.len() && self.canonical_key() == other.canonical_key()
+    }
+
+    /// The multiset of labels used in the tree, deduplicated and sorted.
+    pub fn label_set(&self) -> Vec<Label> {
+        let mut ls: Vec<Label> = self.node_ids().map(|n| self.label(n)).collect();
+        ls.sort();
+        ls.dedup();
+        ls
+    }
+}
+
+impl fmt::Debug for Tree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tree({})", crate::xml::to_xml(self))
+    }
+}
+
+/// Builds a tree from a nested closure DSL. Mostly a convenience for tests:
+///
+/// ```
+/// use xpv_model::{Label, TreeBuilder};
+/// let t = TreeBuilder::root("a", |b| {
+///     b.leaf("b");
+///     b.child("c", |b| {
+///         b.leaf("d");
+///     });
+/// });
+/// assert_eq!(t.len(), 4);
+/// ```
+pub struct TreeBuilder<'t> {
+    tree: &'t mut Tree,
+    cur: NodeId,
+}
+
+impl TreeBuilder<'_> {
+    /// Builds a tree whose root is labeled `root_label`; `f` populates it.
+    pub fn root(root_label: &str, f: impl FnOnce(&mut TreeBuilder<'_>)) -> Tree {
+        let mut tree = Tree::new(Label::new(root_label));
+        let root = tree.root();
+        let mut b = TreeBuilder {
+            tree: &mut tree,
+            cur: root,
+        };
+        f(&mut b);
+        tree
+    }
+
+    /// Adds a leaf child.
+    pub fn leaf(&mut self, label: &str) -> &mut Self {
+        self.tree.add_child(self.cur, Label::new(label));
+        self
+    }
+
+    /// Adds an internal child and recurses into it.
+    pub fn child(&mut self, label: &str, f: impl FnOnce(&mut TreeBuilder<'_>)) -> &mut Self {
+        let id = self.tree.add_child(self.cur, Label::new(label));
+        let mut b = TreeBuilder {
+            tree: self.tree,
+            cur: id,
+        };
+        f(&mut b);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn abc_tree() -> Tree {
+        // a(b, c(d))
+        TreeBuilder::root("a", |b| {
+            b.leaf("b");
+            b.child("c", |b| {
+                b.leaf("d");
+            });
+        })
+    }
+
+    #[test]
+    fn construction_and_navigation() {
+        let t = abc_tree();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.label(t.root()).name(), "a");
+        let kids = t.children(t.root());
+        assert_eq!(kids.len(), 2);
+        assert_eq!(t.parent(kids[0]), Some(t.root()));
+        assert_eq!(t.parent(t.root()), None);
+    }
+
+    #[test]
+    fn depth_and_height() {
+        let t = abc_tree();
+        assert_eq!(t.height(), 2);
+        let c = t.children(t.root())[1];
+        let d = t.children(c)[0];
+        assert_eq!(t.depth(t.root()), 0);
+        assert_eq!(t.depth(c), 1);
+        assert_eq!(t.depth(d), 2);
+    }
+
+    #[test]
+    fn proper_ancestor() {
+        let t = abc_tree();
+        let c = t.children(t.root())[1];
+        let d = t.children(c)[0];
+        assert!(t.is_proper_ancestor(t.root(), d));
+        assert!(t.is_proper_ancestor(c, d));
+        assert!(!t.is_proper_ancestor(d, c));
+        assert!(!t.is_proper_ancestor(d, d));
+    }
+
+    #[test]
+    fn subtree_extraction() {
+        let t = abc_tree();
+        let c = t.children(t.root())[1];
+        let (sub, map) = t.subtree(c);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.label(sub.root()).name(), "c");
+        assert_eq!(map.len(), 2);
+    }
+
+    #[test]
+    fn attach_tree_grafts_copy() {
+        let mut t = abc_tree();
+        let graft = TreeBuilder::root("x", |b| {
+            b.leaf("y");
+        });
+        let at = t.attach_tree(t.root(), &graft);
+        assert_eq!(t.label(at).name(), "x");
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.children(at).len(), 1);
+    }
+
+    #[test]
+    fn unordered_isomorphism() {
+        let t1 = TreeBuilder::root("a", |b| {
+            b.leaf("b");
+            b.leaf("c");
+        });
+        let t2 = TreeBuilder::root("a", |b| {
+            b.leaf("c");
+            b.leaf("b");
+        });
+        assert!(t1.structurally_eq(&t2));
+        let t3 = TreeBuilder::root("a", |b| {
+            b.leaf("c");
+            b.leaf("c");
+        });
+        assert!(!t1.structurally_eq(&t3));
+    }
+
+    #[test]
+    fn isomorphism_is_not_fooled_by_depth_shift() {
+        // a(b(c)) vs a(b, c): same label multiset, different shape.
+        let t1 = TreeBuilder::root("a", |b| {
+            b.child("b", |b| {
+                b.leaf("c");
+            });
+        });
+        let t2 = TreeBuilder::root("a", |b| {
+            b.leaf("b");
+            b.leaf("c");
+        });
+        assert!(!t1.structurally_eq(&t2));
+    }
+
+    #[test]
+    fn descendants_inclusive_covers_subtree() {
+        let t = abc_tree();
+        let all = t.descendants_inclusive(t.root());
+        assert_eq!(all.len(), 4);
+        let c = t.children(t.root())[1];
+        assert_eq!(t.descendants_inclusive(c).len(), 2);
+    }
+
+    #[test]
+    fn label_set_is_sorted_dedup() {
+        let t = TreeBuilder::root("a", |b| {
+            b.leaf("b");
+            b.leaf("b");
+            b.leaf("a");
+        });
+        let ls = t.label_set();
+        assert_eq!(ls.len(), 2);
+    }
+
+    #[test]
+    fn relabel() {
+        let mut t = abc_tree();
+        t.set_label(t.root(), Label::bottom());
+        assert!(t.label(t.root()).is_bottom());
+    }
+}

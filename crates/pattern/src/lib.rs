@@ -1,0 +1,37 @@
+//! # xpv-pattern — tree patterns for `XP{//,[],*}`
+//!
+//! Queries and views in *On Rewriting XPath Queries Using Views* (Afrati et
+//! al., EDBT 2009) are **tree patterns**: rooted trees labeled over
+//! `Σ ∪ {*}` with child and descendant edges and a distinguished output node
+//! (Section 2.1 of the paper). This crate provides:
+//!
+//! * the arena [`Pattern`] type with selection-path machinery ([`Pattern::k_node`],
+//!   [`Pattern::sub_pattern_geq`], [`Pattern::upper_pattern_leq`], …);
+//! * every structural operation of the paper: composition
+//!   ([`compose`], Section 2.3), combination ([`Pattern::combine`]),
+//!   root relaxation ([`Pattern::relax_root_edges`]), `l`-extension
+//!   ([`Pattern::extend`]), output lifting ([`Pattern::lift_output`]) and the
+//!   `l//Q` prefix ([`Pattern::prefix_descendant`]);
+//! * a parser ([`parse_xpath`]) and printer ([`to_xpath`]) for the fragment's
+//!   XPath syntax `q ::= q/q | q//q | q[q] | l | *`;
+//! * syntactic classification: fragments ([`FragmentFlags`]), linearity,
+//!   the Proposition 4.1 stability witnesses ([`stability_witness`]) and the
+//!   GNF/* normal form of Definition 5.3 ([`is_gnf_star`]).
+//!
+//! Semantics (embeddings, evaluation, containment) live in `xpv-semantics`.
+
+pub mod classify;
+pub mod ops;
+pub mod parse;
+pub mod pattern;
+pub mod print;
+
+pub use classify::{
+    deepest_descendant_selection_edge, gnf_star_certificate, is_gnf_star, is_linear,
+    selection_node_labeled, selection_prefix_all_child, stability_witness, star_chain_len,
+    FragmentFlags, GnfCase, StabilityWitness,
+};
+pub use ops::{compose, compose_chain};
+pub use parse::{parse_xpath, ParseError};
+pub use pattern::{Axis, NodeTest, PatId, Pattern, PatternBuilder};
+pub use print::to_xpath;

@@ -1,0 +1,561 @@
+//! Embeddings and weak embeddings (Definition 2.1) and query evaluation.
+//!
+//! An **embedding** of a pattern `P` into a tree `t` maps pattern nodes to
+//! tree nodes so that the root maps to the root, labels are preserved (`*`
+//! matches anything), child edges map to child edges, and descendant edges to
+//! proper descendants. A **weak embedding** drops the root condition.
+//!
+//! `P(t)` — the result of applying `P` to `t` — is the set of subtrees
+//! `t↓o` produced by embeddings; since a subtree of `t` is identified by its
+//! root node, we represent `P(t)` as the set of output **nodes**
+//! ([`evaluate`]), and `P^w(t)` likewise ([`evaluate_weak`]).
+//!
+//! The matcher is a bottom-up dynamic program over the pattern: for every
+//! pattern node `p` it computes the bitset of tree nodes `n` such that the
+//! subtree of the pattern rooted at `p` embeds with `p ↦ n` (the root
+//! condition ignored). Descendant-edge satisfiability is pushed up the tree
+//! in one reverse-arena sweep, so the whole table costs
+//! `O(|P| · |t| · avg-degree)`.
+
+use xpv_model::{BitSet, NodeId, Tree};
+use xpv_pattern::{Axis, PatId, Pattern};
+
+/// A (weak) embedding: for every pattern node (indexed by `PatId::index`),
+/// the tree node it maps to.
+pub type Embedding = Vec<NodeId>;
+
+/// For every pattern node `p`, the set of tree nodes `n` such that the
+/// pattern subtree rooted at `p` embeds into `t` with `p ↦ n`.
+///
+/// `pin` optionally restricts a single pattern node to a single tree node —
+/// used to pin `out(P)` onto a designated node during containment tests.
+pub fn sub_match_sets(p: &Pattern, t: &Tree, pin: Option<(PatId, NodeId)>) -> Vec<BitSet> {
+    let nt = t.len();
+    let mut sub: Vec<BitSet> = vec![BitSet::new(nt); p.len()];
+
+    // Pattern arenas are built parent-first, so reverse arena order is a
+    // post-order: children are finished before their parent is processed.
+    for pi in (0..p.len()).rev() {
+        let pid = PatId(pi as u32);
+
+        // For every child c of pid, compute the set of tree nodes that have a
+        // suitable witness for c (a child witness or proper-descendant
+        // witness, depending on the edge axis).
+        let mut child_ok: Vec<BitSet> = Vec::with_capacity(p.children(pid).len());
+        for &c in p.children(pid) {
+            let mut ok = BitSet::new(nt);
+            match p.axis(c) {
+                Axis::Child => {
+                    for n in t.node_ids() {
+                        if t.children(n).iter().any(|&m| sub[c.index()].contains(m.index())) {
+                            ok.insert(n.index());
+                        }
+                    }
+                }
+                Axis::Descendant => {
+                    // desc_ok[n] = OR over children m of (sub[c][m] | desc_ok[m]).
+                    // Tree arenas are also parent-first, so iterate in reverse.
+                    for ni in (0..nt).rev() {
+                        let n = NodeId(ni as u32);
+                        let hit = t.children(n).iter().any(|&m| {
+                            sub[c.index()].contains(m.index()) || ok.contains(m.index())
+                        });
+                        if hit {
+                            ok.insert(ni);
+                        }
+                    }
+                }
+            }
+            child_ok.push(ok);
+        }
+
+        let test = p.test(pid);
+        for n in t.node_ids() {
+            if !test.matches(t.label(n)) {
+                continue;
+            }
+            if let Some((pin_p, pin_n)) = pin {
+                if pin_p == pid && n != pin_n {
+                    continue;
+                }
+            }
+            if child_ok.iter().all(|ok| ok.contains(n.index())) {
+                sub[pi].insert(n.index());
+            }
+        }
+    }
+    sub
+}
+
+/// Propagates anchor sets down the selection path. Returns, for the output
+/// node, the exact set of tree nodes reachable as embedding outputs, given
+/// the set of tree nodes the pattern root may map to.
+fn propagate_selection(p: &Pattern, t: &Tree, sub: &[BitSet], roots: BitSet) -> BitSet {
+    let path = p.selection_path();
+    let mut current = roots;
+    current.intersect_with(&sub[path[0].index()]);
+    for &next in &path[1..] {
+        let mut reach = BitSet::new(t.len());
+        match p.axis(next) {
+            Axis::Child => {
+                for n in current.iter() {
+                    for &m in t.children(NodeId(n as u32)) {
+                        if sub[next.index()].contains(m.index()) {
+                            reach.insert(m.index());
+                        }
+                    }
+                }
+            }
+            Axis::Descendant => {
+                for n in current.iter() {
+                    for m in t.descendants_inclusive(NodeId(n as u32)).into_iter().skip(1) {
+                        if sub[next.index()].contains(m.index()) {
+                            reach.insert(m.index());
+                        }
+                    }
+                }
+            }
+        }
+        current = reach;
+        if current.is_empty() {
+            break;
+        }
+    }
+    current
+}
+
+/// Evaluates `P(t)`: the set of output nodes over all embeddings.
+pub fn evaluate(p: &Pattern, t: &Tree) -> Vec<NodeId> {
+    let sub = sub_match_sets(p, t, None);
+    let mut roots = BitSet::new(t.len());
+    roots.insert(t.root().index());
+    propagate_selection(p, t, &sub, roots)
+        .iter()
+        .map(|i| NodeId(i as u32))
+        .collect()
+}
+
+/// Evaluates `P^w(t)`: the set of output nodes over all **weak** embeddings.
+pub fn evaluate_weak(p: &Pattern, t: &Tree) -> Vec<NodeId> {
+    let sub = sub_match_sets(p, t, None);
+    let roots = sub[p.root().index()].clone();
+    propagate_selection(p, t, &sub, roots)
+        .iter()
+        .map(|i| NodeId(i as u32))
+        .collect()
+}
+
+/// Evaluates `p` on the subtrees `t↓n` for every anchor `n`, i.e. the union
+/// `⋃_n p(t↓n)` with node identities preserved. This is the *virtual* view
+/// evaluation used by `xpv-engine`: applying a rewriting to a materialized
+/// view result without copying subtrees. A strong embedding into `t↓n` is
+/// exactly an embedding of `p` into `t` with the root mapped to `n` (all
+/// images stay inside the subtree), so one sub-match table serves all
+/// anchors.
+pub fn evaluate_anchored(p: &Pattern, t: &Tree, anchors: &[NodeId]) -> Vec<NodeId> {
+    let sub = sub_match_sets(p, t, None);
+    let mut roots = BitSet::new(t.len());
+    for &n in anchors {
+        roots.insert(n.index());
+    }
+    propagate_selection(p, t, &sub, roots)
+        .iter()
+        .map(|i| NodeId(i as u32))
+        .collect()
+}
+
+/// Does some embedding of `p` into `t` produce output `o`?
+pub fn embeds_with_output(p: &Pattern, t: &Tree, o: NodeId) -> bool {
+    let sub = sub_match_sets(p, t, Some((p.output(), o)));
+    let mut roots = BitSet::new(t.len());
+    roots.insert(t.root().index());
+    !propagate_selection(p, t, &sub, roots).is_empty()
+}
+
+/// Does some **weak** embedding of `p` into `t` produce output `o`?
+pub fn weakly_embeds_with_output(p: &Pattern, t: &Tree, o: NodeId) -> bool {
+    let sub = sub_match_sets(p, t, Some((p.output(), o)));
+    let roots = sub[p.root().index()].clone();
+    !propagate_selection(p, t, &sub, roots).is_empty()
+}
+
+/// Extracts one embedding with the pattern root mapped to `anchor`, if the
+/// sub-match table admits it. The table proves extendability, so the greedy
+/// construction below never backtracks.
+fn extract_from(p: &Pattern, t: &Tree, sub: &[BitSet], anchor: NodeId) -> Option<Embedding> {
+    if !sub[p.root().index()].contains(anchor.index()) {
+        return None;
+    }
+    let mut map: Vec<NodeId> = vec![NodeId(0); p.len()];
+    map[p.root().index()] = anchor;
+    let mut stack = vec![p.root()];
+    while let Some(q) = stack.pop() {
+        let at = map[q.index()];
+        for &c in p.children(q) {
+            let witness = match p.axis(c) {
+                Axis::Child => t
+                    .children(at)
+                    .iter()
+                    .copied()
+                    .find(|m| sub[c.index()].contains(m.index())),
+                Axis::Descendant => t
+                    .descendants_inclusive(at)
+                    .into_iter()
+                    .skip(1)
+                    .find(|m| sub[c.index()].contains(m.index())),
+            };
+            map[c.index()] = witness.expect("sub-match table guarantees a witness");
+            stack.push(c);
+        }
+    }
+    Some(map)
+}
+
+/// Finds one embedding of `p` into `t` (root mapped to root), if any.
+pub fn find_embedding(p: &Pattern, t: &Tree) -> Option<Embedding> {
+    let sub = sub_match_sets(p, t, None);
+    extract_from(p, t, &sub, t.root())
+}
+
+/// Finds one weak embedding of `p` into `t`, if any.
+pub fn find_weak_embedding(p: &Pattern, t: &Tree) -> Option<Embedding> {
+    let sub = sub_match_sets(p, t, None);
+    let anchor = sub[p.root().index()].iter().next()?;
+    extract_from(p, t, &sub, NodeId(anchor as u32))
+}
+
+/// Verifies that `e` is a (strong or weak) embedding of `p` into `t`.
+/// Used by tests as an independent oracle for the constructive paths.
+pub fn check_embedding(p: &Pattern, t: &Tree, e: &Embedding, require_root: bool) -> bool {
+    if e.len() != p.len() {
+        return false;
+    }
+    if require_root && e[p.root().index()] != t.root() {
+        return false;
+    }
+    for q in p.node_ids() {
+        let n = e[q.index()];
+        if n.index() >= t.len() || !p.test(q).matches(t.label(n)) {
+            return false;
+        }
+        if let Some(parent) = p.parent(q) {
+            let pn = e[parent.index()];
+            match p.axis(q) {
+                Axis::Child => {
+                    if t.parent(n) != Some(pn) {
+                        return false;
+                    }
+                }
+                Axis::Descendant => {
+                    if !t.is_proper_ancestor(pn, n) {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Enumerates embeddings (up to `cap`) by exhaustive backtracking over the
+/// sub-match table. Exponential in the worst case; intended for tests and
+/// small inputs.
+pub fn enumerate_embeddings(p: &Pattern, t: &Tree, require_root: bool, cap: usize) -> Vec<Embedding> {
+    let sub = sub_match_sets(p, t, None);
+    let mut out = Vec::new();
+    let anchors: Vec<NodeId> = if require_root {
+        vec![t.root()]
+    } else {
+        sub[p.root().index()].iter().map(|i| NodeId(i as u32)).collect()
+    };
+
+    // Depth-first assignment in arena order (parents first).
+    fn rec(
+        p: &Pattern,
+        t: &Tree,
+        sub: &[BitSet],
+        map: &mut Vec<NodeId>,
+        next: usize,
+        out: &mut Vec<Embedding>,
+        cap: usize,
+    ) {
+        if out.len() >= cap {
+            return;
+        }
+        if next == p.len() {
+            out.push(map.clone());
+            return;
+        }
+        let q = PatId(next as u32);
+        let parent = p.parent(q).expect("non-root nodes have parents in arena order");
+        let at = map[parent.index()];
+        let candidates: Vec<NodeId> = match p.axis(q) {
+            Axis::Child => t.children(at).to_vec(),
+            Axis::Descendant => t.descendants_inclusive(at).into_iter().skip(1).collect(),
+        };
+        for m in candidates {
+            if sub[q.index()].contains(m.index()) {
+                map[next] = m;
+                rec(p, t, sub, map, next + 1, out, cap);
+                if out.len() >= cap {
+                    return;
+                }
+            }
+        }
+    }
+
+    for anchor in anchors {
+        if !sub[p.root().index()].contains(anchor.index()) {
+            continue;
+        }
+        let mut map = vec![NodeId(0); p.len()];
+        map[0] = anchor;
+        rec(p, t, &sub, &mut map, 1, &mut out, cap);
+        if out.len() >= cap {
+            break;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xpv_model::TreeBuilder;
+    use xpv_pattern::parse_xpath;
+
+    fn pat(s: &str) -> Pattern {
+        parse_xpath(s).expect("pattern parses")
+    }
+
+    fn doc() -> Tree {
+        // a
+        // ├── b
+        // │   └── c
+        // │       └── d
+        // └── c
+        //     └── d
+        TreeBuilder::root("a", |t| {
+            t.child("b", |t| {
+                t.child("c", |t| {
+                    t.leaf("d");
+                });
+            });
+            t.child("c", |t| {
+                t.leaf("d");
+            });
+        })
+    }
+
+    fn labels_of(t: &Tree, nodes: &[NodeId]) -> Vec<String> {
+        let mut v: Vec<String> = nodes.iter().map(|&n| t.label(n).name().to_string()).collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn evaluate_child_path() {
+        let t = doc();
+        let r = evaluate(&pat("a/c/d"), &t);
+        assert_eq!(r.len(), 1);
+        assert_eq!(t.depth(r[0]), 2);
+    }
+
+    #[test]
+    fn evaluate_descendant_path() {
+        let t = doc();
+        let r = evaluate(&pat("a//d"), &t);
+        assert_eq!(r.len(), 2);
+        assert_eq!(labels_of(&t, &r), vec!["d", "d"]);
+    }
+
+    #[test]
+    fn evaluate_wildcard() {
+        let t = doc();
+        let r = evaluate(&pat("a/*"), &t);
+        assert_eq!(labels_of(&t, &r), vec!["b", "c"]);
+    }
+
+    #[test]
+    fn evaluate_branch_filters() {
+        let t = doc();
+        // Nodes labeled c (anywhere) having a d child: both c's qualify.
+        assert_eq!(evaluate(&pat("a//c[d]"), &t).len(), 2);
+        // c nodes that are children of b.
+        assert_eq!(evaluate(&pat("a/b/c[d]"), &t).len(), 1);
+        // Branch that never matches.
+        assert_eq!(evaluate(&pat("a//c[x]"), &t).len(), 0);
+    }
+
+    #[test]
+    fn evaluate_root_mismatch_is_empty() {
+        let t = doc();
+        assert!(evaluate(&pat("b//d"), &t).is_empty());
+    }
+
+    #[test]
+    fn weak_evaluation_ignores_root() {
+        let t = doc();
+        assert!(evaluate(&pat("b/c"), &t).is_empty());
+        let w = evaluate_weak(&pat("b/c"), &t);
+        assert_eq!(w.len(), 1);
+        assert_eq!(labels_of(&t, &w), vec!["c"]);
+        // Weak always contains strong.
+        let s = evaluate(&pat("a//d"), &t);
+        let w = evaluate_weak(&pat("a//d"), &t);
+        assert!(s.iter().all(|n| w.contains(n)));
+    }
+
+    #[test]
+    fn descendant_is_proper() {
+        // A node is not its own descendant: a//a on a single-a tree is empty.
+        let t = TreeBuilder::root("a", |_| {});
+        assert!(evaluate(&pat("a//a"), &t).is_empty());
+        // But nested a's match.
+        let t2 = TreeBuilder::root("a", |b| {
+            b.leaf("a");
+        });
+        assert_eq!(evaluate(&pat("a//a"), &t2).len(), 1);
+    }
+
+    #[test]
+    fn output_in_the_middle() {
+        let t = doc();
+        // Query "c nodes that have a d child", output c, written a//c[d].
+        let p = pat("a//c[d]");
+        let r = evaluate(&p, &t);
+        assert_eq!(labels_of(&t, &r), vec!["c", "c"]);
+    }
+
+    #[test]
+    fn embeds_with_output_pins() {
+        let t = doc();
+        let p = pat("a//d");
+        let outs = evaluate(&p, &t);
+        for o in &outs {
+            assert!(embeds_with_output(&p, &t, *o));
+        }
+        // The root is never an output of this pattern.
+        assert!(!embeds_with_output(&p, &t, t.root()));
+    }
+
+    #[test]
+    fn find_embedding_is_valid() {
+        let t = doc();
+        for q in ["a//d", "a/*/c", "a[b]//d", "a[b[c]][c/d]//d"] {
+            let p = pat(q);
+            let e = find_embedding(&p, &t).unwrap_or_else(|| panic!("{q} should embed"));
+            assert!(check_embedding(&p, &t, &e, true), "{q}");
+        }
+        assert!(find_embedding(&pat("a/x"), &t).is_none());
+    }
+
+    #[test]
+    fn find_weak_embedding_is_valid() {
+        let t = doc();
+        let p = pat("c/d");
+        let e = find_weak_embedding(&p, &t).expect("weakly embeds");
+        assert!(check_embedding(&p, &t, &e, false));
+        assert!(!check_embedding(&p, &t, &e, true));
+    }
+
+    #[test]
+    fn enumerate_matches_evaluate() {
+        let t = doc();
+        for q in ["a//d", "a/*", "a//c[d]", "a//*"] {
+            let p = pat(q);
+            let embs = enumerate_embeddings(&p, &t, true, 10_000);
+            let mut outs: Vec<NodeId> = embs.iter().map(|e| e[p.output().index()]).collect();
+            outs.sort();
+            outs.dedup();
+            let mut eval = evaluate(&p, &t);
+            eval.sort();
+            assert_eq!(outs, eval, "{q}");
+            for e in &embs {
+                assert!(check_embedding(&p, &t, e, true), "{q}");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_branch_consistency() {
+        // A pattern with two branches that can only be satisfied by different
+        // children — embeddings need not be injective but must satisfy both.
+        let t = TreeBuilder::root("r", |b| {
+            b.child("x", |b| {
+                b.leaf("p");
+            });
+            b.child("x", |b| {
+                b.leaf("q");
+            });
+        });
+        // r/x[p]: only the first x.
+        assert_eq!(evaluate(&pat("r/x[p]"), &t).len(), 1);
+        // r[x/p]/x[q]: root needs an x/p somewhere (yes) and output x with q.
+        let r = evaluate(&pat("r[x/p]/x[q]"), &t);
+        assert_eq!(r.len(), 1);
+        assert_eq!(labels_of(&t, &r), vec!["x"]);
+        // r/x[p][q]: no single x has both.
+        assert!(evaluate(&pat("r/x[p][q]"), &t).is_empty());
+    }
+
+    #[test]
+    fn deep_star_spine() {
+        let t = doc();
+        assert_eq!(evaluate(&pat("*/*/*"), &t).len(), 2);
+        assert_eq!(evaluate(&pat("*//*"), &t).len(), 5); // every non-root node
+    }
+
+    #[test]
+    fn anchored_evaluation_unions_subtree_results() {
+        let t = doc();
+        // Anchors: both c nodes. Pattern c/d anchored there finds both d's.
+        let cs = evaluate(&pat("a//c"), &t);
+        assert_eq!(cs.len(), 2);
+        let ds = evaluate_anchored(&pat("c/d"), &t, &cs);
+        assert_eq!(ds.len(), 2);
+        // Equivalent to evaluating the composition a//c/d directly.
+        assert_eq!(ds, evaluate(&pat("a//c/d"), &t));
+        // Empty anchor set yields empty result.
+        assert!(evaluate_anchored(&pat("c/d"), &t, &[]).is_empty());
+        // Anchors where the pattern root does not match contribute nothing.
+        let bs = evaluate(&pat("a/b"), &t);
+        assert!(evaluate_anchored(&pat("c/d"), &t, &bs).is_empty());
+    }
+
+    #[test]
+    fn anchored_evaluation_stays_inside_subtrees() {
+        // A pattern anchored at a node must not see siblings outside the
+        // subtree: anchor at b, pattern b//d may only reach b's own d.
+        let t = doc();
+        let b = t.children(t.root())[0];
+        assert_eq!(t.label(b).name(), "b");
+        let r = evaluate_anchored(&pat("b//d"), &t, &[b]);
+        assert_eq!(r.len(), 1);
+        assert!(t.is_proper_ancestor(b, r[0]));
+    }
+
+    #[test]
+    fn weak_output_pinning() {
+        let t = doc();
+        let p = pat("c/d");
+        let outs = evaluate_weak(&p, &t);
+        assert_eq!(outs.len(), 2);
+        for o in &outs {
+            assert!(weakly_embeds_with_output(&p, &t, *o));
+        }
+        assert!(!weakly_embeds_with_output(&p, &t, t.root()));
+    }
+
+    #[test]
+    fn single_node_patterns() {
+        let t = doc();
+        // Root label matches.
+        assert_eq!(evaluate(&pat("a"), &t), vec![t.root()]);
+        assert_eq!(evaluate(&pat("*"), &t), vec![t.root()]);
+        assert!(evaluate(&pat("b"), &t).is_empty());
+        // Weak single-node: every node with that label.
+        assert_eq!(evaluate_weak(&pat("d"), &t).len(), 2);
+        assert_eq!(evaluate_weak(&pat("*"), &t).len(), t.len());
+    }
+}

@@ -1,0 +1,298 @@
+//! Pattern-to-pattern homomorphisms.
+//!
+//! A homomorphism `h : Q → P` maps the nodes of `Q` to nodes of `P` such that
+//!
+//! * `h(root(Q)) = root(P)` and `h(out(Q)) = out(P)`;
+//! * labels are preserved (`Q`'s wildcards map anywhere; a `Σ`-labeled node
+//!   of `Q` maps to a node of `P` with the *same* label — a wildcard node of
+//!   `P` does not satisfy a labeled node of `Q`);
+//! * child edges of `Q` map to child edges of `P`;
+//! * descendant edges of `Q` map to proper-descendant pairs of `P` (any mix
+//!   of edges along the path).
+//!
+//! The existence of a homomorphism always implies containment `P ⊑ Q`
+//! (compose `h` with any embedding of `P`); for the three sub-fragments
+//! `XP{//,[]}`, `XP{//,*}`, `XP{[],*}` it is also *necessary* (Miklau–Suciu,
+//! the paper's \[14\]), which both makes containment PTIME there and gives the
+//! rewriting algorithm of Xu & Özsoyoglu \[17\] its engine. For the full
+//! fragment it serves as a sound fast path ahead of the canonical-model test.
+
+use xpv_model::BitSet;
+use xpv_pattern::{Axis, NodeTest, PatId, Pattern};
+
+/// Root handling for homomorphism search.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HomMode {
+    /// `h(root(Q)) = root(P)` — witnesses ordinary containment.
+    RootAnchored,
+    /// `root(Q)` may map anywhere — witnesses weak containment.
+    Free,
+}
+
+/// Does the target pattern `p` have node `b` as a proper descendant of `a`?
+fn is_proper_desc(p: &Pattern, a: PatId, b: PatId) -> bool {
+    let mut cur = p.parent(b);
+    while let Some(x) = cur {
+        if x == a {
+            return true;
+        }
+        cur = p.parent(x);
+    }
+    false
+}
+
+fn test_compatible(q_test: NodeTest, p_test: NodeTest) -> bool {
+    match q_test {
+        NodeTest::Wildcard => true,
+        NodeTest::Label(l) => p_test == NodeTest::Label(l),
+    }
+}
+
+/// Decides the existence of a homomorphism `h : q → p` (with `h(out(q)) =
+/// out(p)` and the root condition given by `mode`) by the same bottom-up
+/// bitset dynamic program as the tree matcher. Runs in
+/// `O(|q| · |p| · degree)` time.
+pub fn homomorphism_exists(q: &Pattern, p: &Pattern, mode: HomMode) -> bool {
+    let np = p.len();
+    let mut sub: Vec<BitSet> = vec![BitSet::new(np); q.len()];
+
+    for qi in (0..q.len()).rev() {
+        let qid = PatId(qi as u32);
+        let mut child_ok: Vec<BitSet> = Vec::with_capacity(q.children(qid).len());
+        for &c in q.children(qid) {
+            let mut ok = BitSet::new(np);
+            match q.axis(c) {
+                Axis::Child => {
+                    for n in p.node_ids() {
+                        // A child edge of q must land on a child edge of p.
+                        let hit = p.children(n).iter().any(|&m| {
+                            p.axis(m) == Axis::Child && sub[c.index()].contains(m.index())
+                        });
+                        if hit {
+                            ok.insert(n.index());
+                        }
+                    }
+                }
+                Axis::Descendant => {
+                    // desc_ok[n] = OR over p-children m of (sub[c][m] | desc_ok[m]);
+                    // any proper descendant (across any edge kinds) qualifies.
+                    for ni in (0..np).rev() {
+                        let n = PatId(ni as u32);
+                        let hit = p.children(n).iter().any(|&m| {
+                            sub[c.index()].contains(m.index()) || ok.contains(m.index())
+                        });
+                        if hit {
+                            ok.insert(ni);
+                        }
+                    }
+                }
+            }
+            child_ok.push(ok);
+        }
+
+        for n in p.node_ids() {
+            if !test_compatible(q.test(qid), p.test(n)) {
+                continue;
+            }
+            if qid == q.output() && n != p.output() {
+                continue;
+            }
+            if child_ok.iter().all(|ok| ok.contains(n.index())) {
+                sub[qi].insert(n.index());
+            }
+        }
+    }
+
+    match mode {
+        HomMode::RootAnchored => sub[q.root().index()].contains(p.root().index()),
+        HomMode::Free => !sub[q.root().index()].is_empty(),
+    }
+}
+
+/// Extracts one homomorphism `h : q → p` as a node map, if one exists.
+pub fn find_homomorphism(q: &Pattern, p: &Pattern, mode: HomMode) -> Option<Vec<PatId>> {
+    // Recompute the table (cheap) and extract greedily, mirroring the tree
+    // matcher's witness construction.
+    let np = p.len();
+    let mut sub: Vec<BitSet> = vec![BitSet::new(np); q.len()];
+    for qi in (0..q.len()).rev() {
+        let qid = PatId(qi as u32);
+        for n in p.node_ids() {
+            if !test_compatible(q.test(qid), p.test(n)) {
+                continue;
+            }
+            if qid == q.output() && n != p.output() {
+                continue;
+            }
+            let all_ok = q.children(qid).iter().all(|&c| match q.axis(c) {
+                Axis::Child => p
+                    .children(n)
+                    .iter()
+                    .any(|&m| p.axis(m) == Axis::Child && sub[c.index()].contains(m.index())),
+                Axis::Descendant => p
+                    .node_ids()
+                    .any(|m| sub[c.index()].contains(m.index()) && is_proper_desc(p, n, m)),
+            });
+            if all_ok {
+                sub[qi].insert(n.index());
+            }
+        }
+    }
+
+    let anchor = match mode {
+        HomMode::RootAnchored => {
+            if sub[q.root().index()].contains(p.root().index()) {
+                p.root()
+            } else {
+                return None;
+            }
+        }
+        HomMode::Free => PatId(sub[q.root().index()].iter().next()? as u32),
+    };
+
+    let mut map = vec![PatId(0); q.len()];
+    map[q.root().index()] = anchor;
+    let mut stack = vec![q.root()];
+    while let Some(cur) = stack.pop() {
+        let at = map[cur.index()];
+        for &c in q.children(cur) {
+            let witness = match q.axis(c) {
+                Axis::Child => p
+                    .children(at)
+                    .iter()
+                    .copied()
+                    .find(|&m| p.axis(m) == Axis::Child && sub[c.index()].contains(m.index())),
+                Axis::Descendant => p
+                    .node_ids()
+                    .find(|&m| sub[c.index()].contains(m.index()) && is_proper_desc(p, at, m)),
+            };
+            map[c.index()] = witness.expect("sub table guarantees extension");
+            stack.push(c);
+        }
+    }
+    Some(map)
+}
+
+/// Validates a homomorphism map (test oracle).
+pub fn check_homomorphism(q: &Pattern, p: &Pattern, h: &[PatId], mode: HomMode) -> bool {
+    if h.len() != q.len() {
+        return false;
+    }
+    if mode == HomMode::RootAnchored && h[q.root().index()] != p.root() {
+        return false;
+    }
+    if h[q.output().index()] != p.output() {
+        return false;
+    }
+    for n in q.node_ids() {
+        let img = h[n.index()];
+        if !test_compatible(q.test(n), p.test(img)) {
+            return false;
+        }
+        if let Some(par) = q.parent(n) {
+            let pimg = h[par.index()];
+            match q.axis(n) {
+                Axis::Child => {
+                    if p.parent(img) != Some(pimg) || p.axis(img) != Axis::Child {
+                        return false;
+                    }
+                }
+                Axis::Descendant => {
+                    if !is_proper_desc(p, pimg, img) {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xpv_pattern::parse_xpath;
+
+    fn pat(s: &str) -> Pattern {
+        parse_xpath(s).expect("pattern parses")
+    }
+
+    fn hom(qs: &str, ps: &str) -> bool {
+        homomorphism_exists(&pat(qs), &pat(ps), HomMode::RootAnchored)
+    }
+
+    #[test]
+    fn identity_homomorphism() {
+        for s in ["a", "a//b[c]/d", "*[x]//y"] {
+            assert!(hom(s, s), "{s}");
+        }
+    }
+
+    #[test]
+    fn descendant_absorbs_longer_paths() {
+        // q = a//c, p = a/b/c: the descendant edge maps to the 2-edge path.
+        assert!(hom("a//c", "a/b/c"));
+        // And across descendant edges of p.
+        assert!(hom("a//c", "a//b/c"));
+        // But a child edge cannot stretch.
+        assert!(!hom("a/c", "a/b/c"));
+        // Nor ride a descendant edge of p.
+        assert!(!hom("a/c", "a//c"));
+    }
+
+    #[test]
+    fn wildcards_map_anywhere_but_labels_are_strict() {
+        assert!(hom("a/*", "a/b"));
+        // p has a wildcard where q needs a label: no.
+        assert!(!hom("a/b", "a/*"));
+    }
+
+    #[test]
+    fn branches_can_merge() {
+        // Both branches of q map onto the single branch of p (outputs are the
+        // roots on both sides).
+        assert!(hom("a[b][b/c]", "a[b/c]"));
+        assert!(!hom("a[b][d]", "a[b]"));
+    }
+
+    #[test]
+    fn output_must_map_to_output() {
+        // Same shape, different output: no homomorphism.
+        let q = pat("a/b"); // output b
+        let mut p = pat("a/b");
+        p.set_output(p.root()); // output a, prints a[b]
+        assert!(!homomorphism_exists(&q, &p, HomMode::RootAnchored));
+        assert!(!homomorphism_exists(&p, &q, HomMode::RootAnchored));
+    }
+
+    #[test]
+    fn free_mode_allows_root_shift() {
+        // q = b/c (out c) into p = a/b/c (out c): root must shift to b.
+        assert!(!homomorphism_exists(&pat("b/c"), &pat("a/b/c"), HomMode::RootAnchored));
+        assert!(homomorphism_exists(&pat("b/c"), &pat("a/b/c"), HomMode::Free));
+    }
+
+    #[test]
+    fn extracted_homomorphisms_validate() {
+        let cases = [
+            ("a//c", "a/b/c"),
+            ("a[b][b/c]", "a[b/c]"),
+            ("a/*//d", "a/b/c/d"),
+            ("*//d", "a/b[x]/d"),
+        ];
+        for (qs, ps) in cases {
+            let q = pat(qs);
+            let p = pat(ps);
+            let h = find_homomorphism(&q, &p, HomMode::RootAnchored)
+                .unwrap_or_else(|| panic!("{qs} -> {ps}"));
+            assert!(check_homomorphism(&q, &p, &h, HomMode::RootAnchored), "{qs} -> {ps}");
+        }
+    }
+
+    #[test]
+    fn descendant_edge_needs_proper_descendant() {
+        // q = a//a must map the second a strictly below the first.
+        assert!(!hom("a//a", "a"));
+        assert!(hom("a//a", "a/a"));
+    }
+}

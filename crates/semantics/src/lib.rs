@@ -1,0 +1,35 @@
+//! # xpv-semantics — embeddings, evaluation, containment
+//!
+//! The semantic layer of the `xpath-views` workspace (Afrati et al., EDBT
+//! 2009 reproduction). It implements:
+//!
+//! * **embeddings / weak embeddings** (Definition 2.1) and query evaluation
+//!   `P(t)`, `P^w(t)` as output-node sets ([`evaluate`], [`evaluate_weak`]);
+//! * **canonical models** (Section 2.1): the minimal model `τ(P)` ([`tau`])
+//!   and bounded enumeration ([`CanonicalModels`]);
+//! * **pattern homomorphisms** ([`homomorphism_exists`]) — the PTIME
+//!   containment witness, complete on the three sub-fragments;
+//! * **containment / equivalence**, strong and weak ([`contained`],
+//!   [`equivalent`], [`weakly_contained`], [`weakly_equivalent`]), via the
+//!   staged procedure described in DESIGN.md §3.
+
+pub mod canonical;
+pub mod contain;
+pub mod embed;
+pub mod hom;
+pub mod reduce;
+
+pub use canonical::{
+    descendant_edge_targets, expansion_bound, tau, CanonicalModel, CanonicalModels,
+};
+pub use contain::{
+    contained, contained_with, equivalent, equivalent_opt, weakly_contained,
+    weakly_contained_with, weakly_equivalent, ContainmentOptions, ContainmentOutcome,
+};
+pub use embed::{
+    check_embedding, embeds_with_output, enumerate_embeddings, evaluate, evaluate_anchored,
+    evaluate_weak, find_embedding, find_weak_embedding, sub_match_sets,
+    weakly_embeds_with_output, Embedding,
+};
+pub use hom::{check_homomorphism, find_homomorphism, homomorphism_exists, HomMode};
+pub use reduce::{is_non_redundant, redundant_branches, remove_redundant_branches};

@@ -1,0 +1,53 @@
+//! One-off search tool: find containments in XP{//,[],*} that hold without
+//! a homomorphism witness (used to pin the `hom_gap_instance` gadget).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xpv_pattern::{Axis, NodeTest, Pattern};
+
+fn random_pattern(rng: &mut StdRng, max_nodes: usize) -> Pattern {
+    let labels = ["a", "b", "c"];
+    let test = |rng: &mut StdRng| {
+        if rng.gen_bool(0.45) {
+            NodeTest::Wildcard
+        } else {
+            NodeTest::label(labels[rng.gen_range(0..labels.len())])
+        }
+    };
+    let mut p = Pattern::single(test(rng));
+    let n = rng.gen_range(2..=max_nodes);
+    for _ in 1..n {
+        let ids: Vec<_> = p.node_ids().collect();
+        let parent = ids[rng.gen_range(0..ids.len())];
+        let axis = if rng.gen_bool(0.4) { Axis::Descendant } else { Axis::Child };
+        p.add_child(parent, axis, test(rng));
+    }
+    let ids: Vec<_> = p.node_ids().collect();
+    let out = ids[rng.gen_range(0..ids.len())];
+    p.set_output(out);
+    p
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1));
+    let mut found = 0;
+    for trial in 0u64..5_000_000 {
+        let p1 = random_pattern(&mut rng, 7);
+        let p2 = random_pattern(&mut rng, 6);
+        // Cheap necessary prefilters to keep the expensive test rare.
+        if p1.depth() < p2.depth() {
+            continue;
+        }
+        if xpv_semantics::homomorphism_exists(&p2, &p1, xpv_semantics::HomMode::RootAnchored) {
+            continue;
+        }
+        if xpv_semantics::contained(&p1, &p2) {
+            println!("GAP (trial {trial}):\n  P1 = {p1}\n  P2 = {p2}");
+            found += 1;
+            if found >= 8 {
+                return;
+            }
+        }
+    }
+    println!("no gap found");
+}

@@ -1,0 +1,20 @@
+//! # xpv-workload — generators for the reproduction experiments
+//!
+//! Seeded, reproducible workload generation for the `xpath-views` project:
+//!
+//! * [`PatternGen`] — random patterns with fragment restrictions
+//!   ([`Fragment`]) and correlated (query, view) instances;
+//! * [`TreeGen`] — random documents for falsification and scaling;
+//! * [`site_doc`] / [`bib_doc`] — XMark/DBLP-shaped synthetic documents with
+//!   query/view catalogs ([`site_catalog`], [`bib_catalog`]);
+//! * [`adversarial`] — hom-gap, coNP-stress and certificate-free families.
+
+pub mod adversarial;
+pub mod patterns;
+pub mod scenarios;
+pub mod trees;
+
+pub use adversarial::{conp_stress_instance, hom_gap_instance, no_condition_instance};
+pub use patterns::{workload_labels, Fragment, PatternGen, PatternGenConfig};
+pub use scenarios::{bib_catalog, bib_doc, site_catalog, site_doc, Catalog};
+pub use trees::{TreeGen, TreeGenConfig};

@@ -1,0 +1,190 @@
+//! Synthetic documents with real-world shapes, plus their query/view
+//! catalogs.
+//!
+//! The paper's motivating applications are caching and information
+//! integration over document collections like auction sites and
+//! bibliographies. We cannot ship XMark or DBLP data, so these generators
+//! produce documents with the *same shape* (element hierarchy, fanout
+//! skew) at configurable scale — the documented substitution from
+//! DESIGN.md §1. Each scenario comes with a catalog of queries and view
+//! definitions that exercise the rewriting engine the way the paper's
+//! introduction describes (views materialize hot subtrees; queries drill
+//! into them).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use xpv_model::{Label, Tree};
+use xpv_pattern::{parse_xpath, Pattern};
+
+fn l(name: &str) -> Label {
+    Label::new(name)
+}
+
+fn pat(s: &str) -> Pattern {
+    parse_xpath(s).expect("catalog patterns are well-formed")
+}
+
+/// An XMark-like auction site: `site/regions*/item*` with descriptions,
+/// bidders and categories. `regions` controls the top-level fanout,
+/// `items_per_region` the second level; sizes grow linearly.
+pub fn site_doc(regions: usize, items_per_region: usize, seed: u64) -> Tree {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = Tree::new(l("site"));
+    let root = t.root();
+    let cats = t.add_child(root, l("categories"));
+    for _ in 0..(regions.max(1)) {
+        let c = t.add_child(cats, l("category"));
+        t.add_child(c, l("name"));
+    }
+    for _ in 0..regions {
+        let region = t.add_child(root, l("region"));
+        for _ in 0..items_per_region {
+            let item = t.add_child(region, l("item"));
+            t.add_child(item, l("name"));
+            let desc = t.add_child(item, l("description"));
+            let para = t.add_child(desc, l("parlist"));
+            for _ in 0..rng.gen_range(1..=3) {
+                t.add_child(para, l("listitem"));
+            }
+            if rng.gen_bool(0.6) {
+                let bids = t.add_child(item, l("bids"));
+                for _ in 0..rng.gen_range(1..=4) {
+                    let bid = t.add_child(bids, l("bid"));
+                    t.add_child(bid, l("bidder"));
+                    t.add_child(bid, l("price"));
+                }
+            }
+            if rng.gen_bool(0.3) {
+                let ship = t.add_child(item, l("shipping"));
+                t.add_child(ship, l("cost"));
+            }
+        }
+    }
+    t
+}
+
+/// A DBLP-like bibliography: `bib/(article|inproceedings)*` with authors,
+/// titles, venues and optional cite lists.
+pub fn bib_doc(publications: usize, seed: u64) -> Tree {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = Tree::new(l("bib"));
+    let root = t.root();
+    for _ in 0..publications {
+        let kind = if rng.gen_bool(0.5) { "article" } else { "inproceedings" };
+        let p = t.add_child(root, l(kind));
+        t.add_child(p, l("title"));
+        for _ in 0..rng.gen_range(1..=4) {
+            let a = t.add_child(p, l("author"));
+            t.add_child(a, l("name"));
+        }
+        let venue = t.add_child(p, l("venue"));
+        t.add_child(venue, l("year"));
+        if rng.gen_bool(0.4) {
+            let cites = t.add_child(p, l("cites"));
+            for _ in 0..rng.gen_range(1..=3) {
+                t.add_child(cites, l("cite"));
+            }
+        }
+    }
+    t
+}
+
+/// A named query/view workload over a scenario document.
+#[derive(Clone, Debug)]
+pub struct Catalog {
+    /// Scenario name (`site` or `bib`).
+    pub name: &'static str,
+    /// View definitions to materialize, with names.
+    pub views: Vec<(&'static str, Pattern)>,
+    /// Queries to answer, with names.
+    pub queries: Vec<(&'static str, Pattern)>,
+}
+
+/// The auction-site workload: views materialize the hot `item` subtrees;
+/// queries drill into names, bids and descriptions.
+pub fn site_catalog() -> Catalog {
+    Catalog {
+        name: "site",
+        views: vec![
+            ("items", pat("site/region/item")),
+            ("all_bids", pat("site//bid")),
+            ("descriptions", pat("site/region/item/description")),
+        ],
+        queries: vec![
+            ("item_names", pat("site/region/item/name")),
+            ("bid_prices", pat("site//bid/price")),
+            ("item_listitems", pat("site/region/item/description/parlist/listitem")),
+            ("bidders_of_shipped", pat("site/region/item[shipping]//bidder")),
+            ("priced_bidders", pat("site//bid[price]/bidder")),
+            ("categories", pat("site/categories/category/name")),
+        ],
+    }
+}
+
+/// The bibliography workload.
+pub fn bib_catalog() -> Catalog {
+    Catalog {
+        name: "bib",
+        views: vec![
+            ("articles", pat("bib/article")),
+            ("all_authors", pat("bib/*/author")),
+        ],
+        queries: vec![
+            ("article_titles", pat("bib/article/title")),
+            ("author_names", pat("bib/*/author/name")),
+            ("cited_articles", pat("bib/article[cites/cite]/title")),
+            ("venues", pat("bib/article/venue/year")),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn site_doc_scales_linearly() {
+        let small = site_doc(2, 3, 1);
+        let large = site_doc(4, 6, 1);
+        assert!(large.len() > small.len() * 2);
+        assert_eq!(small.label(small.root()).name(), "site");
+    }
+
+    #[test]
+    fn site_doc_deterministic() {
+        assert!(site_doc(3, 4, 7).structurally_eq(&site_doc(3, 4, 7)));
+    }
+
+    #[test]
+    fn bib_doc_has_expected_shape() {
+        let t = bib_doc(10, 3);
+        let pubs = t.children(t.root()).len();
+        assert_eq!(pubs, 10);
+        // Every publication has a title child.
+        for &p in t.children(t.root()) {
+            assert!(t
+                .children(p)
+                .iter()
+                .any(|&c| t.label(c).name() == "title"));
+        }
+    }
+
+    #[test]
+    fn catalogs_parse_and_apply() {
+        let doc = site_doc(3, 4, 11);
+        let cat = site_catalog();
+        for (name, q) in &cat.queries {
+            // All catalog queries must be evaluable (some may be empty on
+            // small documents, but item_names never is).
+            let res = xpv_semantics::evaluate(q, &doc);
+            if *name == "item_names" {
+                assert_eq!(res.len(), 12);
+            }
+        }
+        let bib = bib_doc(5, 2);
+        for (_, q) in &bib_catalog().queries {
+            let _ = xpv_semantics::evaluate(q, &bib);
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Seeded random document generation.
+//!
+//! Random trees drive the falsification side of the property tests (a
+//! containment claimed by the decision procedure must hold on every random
+//! document) and the scaling axis of the engine benchmarks.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use xpv_model::{Label, NodeId, Tree};
+
+use crate::patterns::workload_labels;
+
+/// Configuration for [`TreeGen`].
+#[derive(Clone, Debug)]
+pub struct TreeGenConfig {
+    /// Target number of nodes (the generator stops adding once reached).
+    pub size: usize,
+    /// Maximum depth of any node.
+    pub max_depth: usize,
+    /// Maximum children per node.
+    pub max_children: usize,
+    /// Number of distinct labels (shared universe with the pattern
+    /// generators, plus a root label).
+    pub label_count: usize,
+}
+
+impl Default for TreeGenConfig {
+    fn default() -> Self {
+        TreeGenConfig { size: 30, max_depth: 6, max_children: 4, label_count: 4 }
+    }
+}
+
+/// A reproducible random document generator.
+#[derive(Clone, Debug)]
+pub struct TreeGen {
+    cfg: TreeGenConfig,
+    rng: StdRng,
+    labels: Vec<Label>,
+}
+
+impl TreeGen {
+    /// Creates a generator from a config and seed.
+    pub fn new(cfg: TreeGenConfig, seed: u64) -> TreeGen {
+        let labels = workload_labels(cfg.label_count);
+        TreeGen { cfg, rng: StdRng::seed_from_u64(seed), labels }
+    }
+
+    fn label(&mut self) -> Label {
+        self.labels[self.rng.gen_range(0..self.labels.len())]
+    }
+
+    /// Draws one document.
+    pub fn tree(&mut self) -> Tree {
+        let root_label = self.label();
+        let mut t = Tree::new(root_label);
+        // Open slots: nodes that may still take children.
+        let mut open: Vec<NodeId> = vec![t.root()];
+        while t.len() < self.cfg.size && !open.is_empty() {
+            let slot = self.rng.gen_range(0..open.len());
+            let parent = open[slot];
+            let label = self.label();
+            let child = t.add_child(parent, label);
+            if t.depth(child) < self.cfg.max_depth {
+                open.push(child);
+            }
+            if t.children(parent).len() >= self.cfg.max_children {
+                open.swap_remove(slot);
+            }
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let mut g1 = TreeGen::new(TreeGenConfig::default(), 99);
+        let mut g2 = TreeGen::new(TreeGenConfig::default(), 99);
+        for _ in 0..10 {
+            assert!(g1.tree().structurally_eq(&g2.tree()));
+        }
+    }
+
+    #[test]
+    fn respects_bounds() {
+        let cfg = TreeGenConfig { size: 60, max_depth: 4, max_children: 3, label_count: 3 };
+        let mut g = TreeGen::new(cfg, 5);
+        for _ in 0..20 {
+            let t = g.tree();
+            assert!(t.len() <= 60);
+            assert!(t.height() <= 4);
+            for n in t.node_ids() {
+                assert!(t.children(n).len() <= 3);
+            }
+        }
+    }
+
+    #[test]
+    fn reaches_target_size_with_room() {
+        let cfg = TreeGenConfig { size: 50, max_depth: 10, max_children: 8, label_count: 2 };
+        let mut g = TreeGen::new(cfg, 1);
+        let t = g.tree();
+        assert_eq!(t.len(), 50);
+    }
+}

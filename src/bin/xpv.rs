@@ -1,0 +1,163 @@
+//! `xpv` — command-line front end for the xpath-views library.
+//!
+//! ```text
+//! xpv rewrite  <QUERY> <VIEW>        decide rewritability, print R + certificate
+//! xpv contain  <P1> <P2>             decide P1 ⊑ P2 (and the reverse)
+//! xpv eval     <QUERY> <FILE.xml>    evaluate a query over a document ('-' = stdin)
+//! xpv reduce   <PATTERN>             remove redundant branches
+//! xpv figures                        verify the paper's figures
+//! ```
+//!
+//! Patterns use the fragment's XPath syntax: `a[b]//c[.//d]/e`.
+
+use std::io::Read;
+use std::process::ExitCode;
+
+use xpath_views::prelude::*;
+use xpath_views::rewrite::{figure1, figure2, figure3, figure4, NoRewriteReason};
+use xpath_views::semantics::remove_redundant_branches;
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage:\n  xpv rewrite <QUERY> <VIEW>\n  xpv contain <P1> <P2>\n  \
+         xpv eval <QUERY> <FILE.xml|->\n  xpv reduce <PATTERN>\n  xpv figures"
+    );
+    ExitCode::FAILURE
+}
+
+fn parse(label: &str, s: &str) -> Result<Pattern, String> {
+    parse_xpath(s).map_err(|e| format!("{label}: {e}"))
+}
+
+fn cmd_rewrite(query: &str, view: &str) -> Result<ExitCode, String> {
+    let p = parse("query", query)?;
+    let v = parse("view", view)?;
+    match RewritePlanner::default().decide(&p, &v) {
+        RewriteAnswer::Rewriting(rw) => {
+            println!("rewriting: {}", rw.pattern());
+            println!("method:    {:?}", rw.method);
+            if let Some(c) = &rw.condition {
+                println!("condition: {c}  [{}]", c.source());
+            }
+            let rv = compose(rw.pattern(), &v).expect("verified rewriting composes");
+            println!("check:     R∘V = {rv} ≡ P");
+            Ok(ExitCode::SUCCESS)
+        }
+        RewriteAnswer::NoRewriting(reason) => {
+            match reason {
+                NoRewriteReason::ViewDeeperThanQuery => {
+                    println!("no rewriting: the view is deeper than the query (Prop 3.1)")
+                }
+                NoRewriteReason::KNodeLabelClash { query_k_test, view_out_test } => println!(
+                    "no rewriting: k-node test {query_k_test} clashes with out(V) test \
+                     {view_out_test} (Prop 3.1(3))"
+                ),
+                NoRewriteReason::CandidatesFailUnderCondition(c) => println!(
+                    "no rewriting: natural candidates fail and the instance is covered by \
+                     {c} [{}]",
+                    c.source()
+                ),
+            }
+            Ok(ExitCode::from(2))
+        }
+        RewriteAnswer::Unknown(info) => {
+            println!(
+                "undecided: no completeness condition applies{}",
+                if info.no_small_rewriting {
+                    "; no rewriting up to the brute-force size budget"
+                } else {
+                    ""
+                }
+            );
+            Ok(ExitCode::from(3))
+        }
+    }
+}
+
+fn cmd_contain(a: &str, b: &str) -> Result<ExitCode, String> {
+    let p1 = parse("P1", a)?;
+    let p2 = parse("P2", b)?;
+    let fwd = contained(&p1, &p2);
+    let bwd = contained(&p2, &p1);
+    println!("P1 ⊑ P2: {fwd}");
+    println!("P2 ⊑ P1: {bwd}");
+    println!(
+        "verdict: {}",
+        match (fwd, bwd) {
+            (true, true) => "equivalent",
+            (true, false) => "P1 strictly contained in P2",
+            (false, true) => "P2 strictly contained in P1",
+            (false, false) => "incomparable",
+        }
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_eval(query: &str, file: &str) -> Result<ExitCode, String> {
+    let p = parse("query", query)?;
+    let xml = if file == "-" {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| format!("stdin: {e}"))?;
+        buf
+    } else {
+        std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?
+    };
+    let doc = parse_xml(&xml).map_err(|e| format!("{file}: {e}"))?;
+    let answers = evaluate(&p, &doc);
+    println!("{} answer(s)", answers.len());
+    for n in answers {
+        println!("{}", to_xml(&doc.subtree(n).0));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_reduce(pattern: &str) -> Result<ExitCode, String> {
+    let p = parse("pattern", pattern)?;
+    let r = remove_redundant_branches(&p);
+    println!("{r}");
+    if r.len() < p.len() {
+        eprintln!("removed {} redundant node(s)", p.len() - r.len());
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_figures() -> Result<ExitCode, String> {
+    let f1 = figure1();
+    let rv = compose(&f1.r, &f1.v).expect("composes");
+    assert!(equivalent(&rv, &f1.p));
+    println!("figure 1: R = {} rewrites P = {} using V = {}", f1.r, f1.p, f1.v);
+    let f2 = figure2();
+    assert!(!equivalent(&compose(&f2.cand_base, &f2.v).expect("composes"), &f2.p));
+    assert!(equivalent(&compose(&f2.cand_relaxed, &f2.v).expect("composes"), &f2.p));
+    println!("figure 2: P≥1 = {} fails; P≥1_r// = {} succeeds", f2.cand_base, f2.cand_relaxed);
+    let f3 = figure3();
+    assert!(equivalent(&f3.b, &f3.b_prime) && equivalent(&f3.b, &f3.b_relaxed));
+    println!("figure 3: B ≡ B_r// ≡ B′ for B = {}", f3.b);
+    let f4 = figure4();
+    let planner = RewritePlanner::default();
+    for (name, p) in [("P1", &f4.p1), ("P2", &f4.p2), ("P3", &f4.p3)] {
+        let r = planner.decide(p, &f4.v).rewriting().expect("rewriting").clone();
+        println!("figure 4: {name} = {p} rewritten by {r}");
+    }
+    println!("all figure claims verified");
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.as_slice() {
+        [cmd, q, v] if cmd == "rewrite" => cmd_rewrite(q, v),
+        [cmd, a, b] if cmd == "contain" => cmd_contain(a, b),
+        [cmd, q, f] if cmd == "eval" => cmd_eval(q, f),
+        [cmd, p] if cmd == "reduce" => cmd_reduce(p),
+        [cmd] if cmd == "figures" => cmd_figures(),
+        _ => return fail("expected a subcommand"),
+    };
+    match result {
+        Ok(code) => code,
+        Err(msg) => fail(&msg),
+    }
+}

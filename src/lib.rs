@@ -1,0 +1,60 @@
+//! # xpath-views
+//!
+//! A from-scratch Rust reproduction of **“On Rewriting XPath Queries Using
+//! Views”** (Afrati, Chirkova, Gergatsoulis, Kimelfeld, Pavlaki, Sagiv —
+//! EDBT 2009).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`model`] — labels, XML trees, XML parsing ([`xpv_model`]);
+//! * [`pattern`] — tree patterns for `XP{//,[],*}`, parser/printer and the
+//!   paper's structural operations ([`xpv_pattern`]);
+//! * [`semantics`] — embeddings, evaluation, canonical models and the
+//!   containment/equivalence decision procedures ([`xpv_semantics`]);
+//! * [`rewrite`] — natural rewriting candidates, completeness conditions,
+//!   the planner, and the brute-force decision procedure ([`xpv_core`]);
+//! * [`engine`] — materialized views and answering queries using views
+//!   ([`xpv_engine`]);
+//! * [`workload`] — generators for patterns, documents and rewriting
+//!   scenarios ([`xpv_workload`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use xpath_views::prelude::*;
+//!
+//! // The view that has been materialized, and the new query.
+//! let v = parse_xpath("a[b]/*").unwrap();
+//! let p = parse_xpath("a[b]//*/e[d]").unwrap();
+//!
+//! // Decide rewritability and fetch the rewriting.
+//! let planner = RewritePlanner::default();
+//! match planner.decide(&p, &v) {
+//!     RewriteAnswer::Rewriting(rw) => {
+//!         // Applying rw.pattern() to V(t) equals applying p to t, for all t.
+//!         assert_eq!(rw.pattern().to_string(), "*//e[d]");
+//!     }
+//!     other => panic!("expected a rewriting, got {other:?}"),
+//! }
+//! ```
+
+pub use xpv_core as rewrite;
+pub use xpv_engine as engine;
+pub use xpv_model as model;
+pub use xpv_pattern as pattern;
+pub use xpv_semantics as semantics;
+pub use xpv_workload as workload;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use xpv_core::{BruteForceConfig, Condition, RewriteAnswer, RewritePlanner, Rewriting};
+    pub use xpv_engine::{MaterializedView, ViewCache};
+    pub use xpv_model::{parse_xml, to_xml, Label, NodeId, Tree, TreeBuilder};
+    pub use xpv_pattern::{
+        compose, parse_xpath, to_xpath, Axis, NodeTest, PatId, Pattern, PatternBuilder,
+    };
+    pub use xpv_semantics::{
+        contained, equivalent, evaluate, evaluate_weak, weakly_contained, weakly_equivalent,
+    };
+    pub use xpv_workload::{PatternGen, PatternGenConfig, TreeGen, TreeGenConfig};
+}

@@ -1,0 +1,63 @@
+//! Shared helpers for the integration test suite: seeded generators wrapped
+//! for use inside proptest strategies, and pattern mutation utilities.
+#![allow(dead_code)] // each integration test binary uses a subset of these helpers
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xpath_views::pattern::{NodeTest, PatId, Pattern};
+use xpath_views::workload::{Fragment, PatternGen, PatternGenConfig, TreeGen, TreeGenConfig};
+
+/// A small random pattern from a seed (deterministic).
+pub fn pattern_from_seed(seed: u64, fragment: Fragment) -> Pattern {
+    let cfg = PatternGenConfig {
+        depth: (1, 3),
+        max_branch_size: 2,
+        fragment,
+        ..Default::default()
+    };
+    PatternGen::new(cfg, seed).pattern()
+}
+
+/// A correlated (query, view) instance from a seed.
+pub fn instance_from_seed(seed: u64, fragment: Fragment) -> (Pattern, Pattern) {
+    let cfg = PatternGenConfig {
+        depth: (1, 3),
+        max_branch_size: 2,
+        fragment,
+        ..Default::default()
+    };
+    PatternGen::new(cfg, seed).instance()
+}
+
+/// A small random document from a seed.
+pub fn tree_from_seed(seed: u64, size: usize) -> xpath_views::model::Tree {
+    let cfg = TreeGenConfig { size, max_depth: 6, max_children: 4, label_count: 4 };
+    TreeGen::new(cfg, seed).tree()
+}
+
+/// Weakenings: each step transforms `p` into some `p'` with `p ⊑ p'`.
+pub fn weaken(p: &Pattern, seed: u64) -> Pattern {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = p.clone();
+    match rng.gen_range(0..3) {
+        0 => out = out.relax_root_edges(),
+        1 => {
+            // Wildcard a random node's test.
+            let ids: Vec<PatId> = out.node_ids().collect();
+            let n = ids[rng.gen_range(0..ids.len())];
+            out.set_test(n, NodeTest::Wildcard);
+        }
+        _ => {
+            // Relax a random non-root edge.
+            let ids: Vec<PatId> = out
+                .node_ids()
+                .filter(|&n| out.parent(n).is_some())
+                .collect();
+            if !ids.is_empty() {
+                let n = ids[rng.gen_range(0..ids.len())];
+                out.set_axis(n, xpath_views::pattern::Axis::Descendant);
+            }
+        }
+    }
+    out
+}

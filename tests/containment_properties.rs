@@ -1,0 +1,120 @@
+//! Deeper properties of the containment engine: bound robustness, the
+//! hom-gap family, canonical-model counter-examples, and the figures'
+//! containment facts under both deciders.
+
+mod common;
+
+use xpath_views::prelude::*;
+use xpath_views::semantics::{
+    contained_with, expansion_bound, tau, CanonicalModels, ContainmentOptions,
+};
+use xpath_views::workload::{hom_gap_instance, Fragment};
+
+use common::{pattern_from_seed, weaken};
+
+#[test]
+fn expansion_bound_is_robust_on_random_pairs() {
+    // Raising the per-edge expansion bound must never change a verdict.
+    for seed in 0..24u64 {
+        let p = pattern_from_seed(seed * 3 + 1, Fragment::Full);
+        let q = if seed % 2 == 0 {
+            weaken(&p, seed)
+        } else {
+            pattern_from_seed(seed * 5 + 2, Fragment::Full)
+        };
+        let base = ContainmentOptions { hom_fast_path: false, bound_override: None };
+        let padded = ContainmentOptions {
+            hom_fast_path: false,
+            bound_override: Some(expansion_bound(&q) + 2),
+        };
+        assert_eq!(
+            contained_with(&p, &q, &base).holds,
+            contained_with(&p, &q, &padded).holds,
+            "bound padding changed the verdict for {p} vs {q}"
+        );
+    }
+}
+
+#[test]
+fn hom_fast_path_agrees_with_canonical_loop() {
+    for seed in 0..24u64 {
+        let p = pattern_from_seed(seed * 7 + 1, Fragment::Full);
+        let q = weaken(&p, seed ^ 0xABCD);
+        let with_hom = ContainmentOptions { hom_fast_path: true, bound_override: None };
+        let without = ContainmentOptions { hom_fast_path: false, bound_override: None };
+        assert_eq!(
+            contained_with(&p, &q, &with_hom).holds,
+            contained_with(&p, &q, &without).holds,
+            "fast path changed the verdict for {p} vs {q}"
+        );
+    }
+}
+
+#[test]
+fn hom_gap_family_scales() {
+    for n in 1..=4 {
+        let (p1, p2) = hom_gap_instance(n);
+        let out = contained_with(&p1, &p2, &ContainmentOptions::default());
+        assert!(out.holds, "gap containment must hold at n={n}");
+        assert!(!out.via_homomorphism, "gap must not be hom-witnessed at n={n}");
+        assert!(out.models_checked >= 1);
+    }
+}
+
+#[test]
+fn counter_models_falsify_on_real_documents() {
+    // When containment fails, the returned counter-model is a concrete
+    // document witnessing P1(t) ⊄ P2(t).
+    for seed in 0..24u64 {
+        let p1 = pattern_from_seed(seed * 9 + 4, Fragment::Full);
+        let p2 = pattern_from_seed(seed * 11 + 6, Fragment::Full);
+        let out = contained_with(&p1, &p2, &ContainmentOptions::default());
+        if let Some(cm) = &out.counter_model {
+            assert!(!out.holds);
+            assert!(evaluate(&p1, &cm.tree).contains(&cm.output));
+            assert!(!evaluate(&p2, &cm.tree).contains(&cm.output));
+        }
+    }
+}
+
+#[test]
+fn tau_is_minimal_canonical_model() {
+    for seed in 0..20u64 {
+        let p = pattern_from_seed(seed * 13 + 2, Fragment::Full);
+        let m = tau(&p);
+        // τ(P) has exactly |P| nodes (descendant edges become single edges).
+        assert_eq!(m.tree.len(), p.len());
+        // It is the smallest canonical model in the bounded enumeration.
+        let min = CanonicalModels::new(&p, 2)
+            .map(|cm| cm.tree.len())
+            .min()
+            .expect("nonempty enumeration");
+        assert_eq!(min, m.tree.len());
+        // And P answers its canonical output on it.
+        assert!(evaluate(&p, &m.tree).contains(&m.output));
+    }
+}
+
+#[test]
+fn equivalence_is_an_equivalence_relation_on_samples() {
+    let a = parse_xpath("a[b][b/c]/d").unwrap();
+    let b = parse_xpath("a[b/c]/d").unwrap();
+    let c = parse_xpath("a[b/c][b]/d").unwrap();
+    assert!(equivalent(&a, &a));
+    assert!(equivalent(&a, &b) && equivalent(&b, &a));
+    assert!(equivalent(&b, &c));
+    assert!(equivalent(&a, &c), "transitivity");
+}
+
+#[test]
+fn star_descendant_absorption_identities() {
+    // The identities behind Figure 2 and Theorem 4.10's relaxation argument.
+    let id = |a: &str, b: &str| equivalent(&parse_xpath(a).unwrap(), &parse_xpath(b).unwrap());
+    assert!(id("a/*//e", "a//*/e"));
+    assert!(id("a//*//e", "a//*//e"));
+    // a/*//*/e vs a//*/*/e: both place e at depth >= 3 (child+desc+child vs
+    // desc+child+child) — genuinely equivalent.
+    assert!(id("a/*//*/e", "a//*/*/e"));
+    // But child chains do not absorb: a/*/e pins depth exactly.
+    assert!(!id("a/*/e", "a//*/e"));
+}

@@ -1,0 +1,118 @@
+//! Property tests for the rewriting layer: planner soundness and
+//! determinism, certificate monotonicity, contained-rewriting soundness,
+//! and the multi-view chain law.
+
+mod common;
+
+use proptest::prelude::*;
+use xpath_views::prelude::*;
+use xpath_views::rewrite::{
+    contained_rewriting, find_condition, rewrite_using_chain, RewritePlanner,
+};
+use xpath_views::semantics::evaluate_anchored;
+use xpath_views::workload::Fragment;
+
+use common::{instance_from_seed, tree_from_seed};
+
+fn fragments() -> impl Strategy<Value = Fragment> {
+    prop_oneof![
+        Just(Fragment::Full),
+        Just(Fragment::NoWildcard),
+        Just(Fragment::NoDescendant),
+        Just(Fragment::NoBranch),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every rewriting the planner returns satisfies R ∘ V ≡ P, and the
+    /// verdict is deterministic across calls.
+    #[test]
+    fn planner_soundness_and_determinism(seed in any::<u64>(), frag in fragments()) {
+        let (p, v) = instance_from_seed(seed, frag);
+        let planner = RewritePlanner::without_fallback();
+        let a1 = planner.decide(&p, &v);
+        let a2 = planner.decide(&p, &v);
+        match (&a1, &a2) {
+            (RewriteAnswer::Rewriting(r1), RewriteAnswer::Rewriting(r2)) => {
+                prop_assert!(r1.pattern().structurally_eq(r2.pattern()));
+                let rv = compose(r1.pattern(), &v).expect("verified rewriting composes");
+                prop_assert!(equivalent(&rv, &p));
+            }
+            (RewriteAnswer::NoRewriting(_), RewriteAnswer::NoRewriting(_)) => {}
+            (RewriteAnswer::Unknown(_), RewriteAnswer::Unknown(_)) => {}
+            other => prop_assert!(false, "nondeterministic verdicts: {other:?}"),
+        }
+    }
+
+    /// Rewritings answer queries correctly on documents (the end-to-end
+    /// contract: R(V(t)) = P(t)).
+    #[test]
+    fn rewriting_answers_match_direct(seed in any::<u64>(), tseed in any::<u64>(), frag in fragments()) {
+        let (p, v) = instance_from_seed(seed, frag);
+        if let RewriteAnswer::Rewriting(rw) =
+            RewritePlanner::without_fallback().decide(&p, &v)
+        {
+            let t = tree_from_seed(tseed, 32);
+            let v_nodes = evaluate(&v, &t);
+            let via_view = evaluate_anchored(rw.pattern(), &t, &v_nodes);
+            let direct = evaluate(&p, &t);
+            prop_assert_eq!(via_view, direct, "R(V(t)) != P(t) for P={}, V={}", p, v);
+        }
+    }
+
+    /// More condition-search fuel never loses a certificate.
+    #[test]
+    fn certificate_fuel_monotonicity(seed in any::<u64>(), frag in fragments()) {
+        let (p, v) = instance_from_seed(seed, frag);
+        if v.depth() <= p.depth() {
+            for fuel in 0..3usize {
+                if find_condition(&p, &v, fuel).is_some() {
+                    prop_assert!(
+                        find_condition(&p, &v, fuel + 1).is_some(),
+                        "certificate lost when fuel grew: {} / {}", p, v
+                    );
+                }
+            }
+        }
+    }
+
+    /// Contained rewritings are sound: answers through them are subsets of
+    /// the direct answers on every document.
+    #[test]
+    fn contained_rewriting_soundness(seed in any::<u64>(), tseed in any::<u64>()) {
+        let (p, v) = instance_from_seed(seed, Fragment::Full);
+        if v.depth() <= p.depth() {
+            if let Some(r) = contained_rewriting(&p, &v) {
+                let rv = compose(&r, &v).expect("contained rewriting composes");
+                prop_assert!(contained(&rv, &p));
+                let t = tree_from_seed(tseed, 32);
+                let v_nodes = evaluate(&v, &t);
+                let partial = evaluate_anchored(&r, &t, &v_nodes);
+                let full = evaluate(&p, &t);
+                prop_assert!(partial.iter().all(|n| full.contains(n)));
+            }
+        }
+    }
+
+    /// Chain law: planning against a stack of views equals planning against
+    /// their composition, and the effective view evaluates identically to
+    /// stage-wise evaluation.
+    #[test]
+    fn view_chain_law(seed in any::<u64>(), tseed in any::<u64>()) {
+        let (outer, v1) = instance_from_seed(seed, Fragment::Full);
+        // Use P's suffix as the stacked view so the chain is meaningful.
+        let v2 = outer.sub_pattern_geq(v1.depth());
+        let planner = RewritePlanner::without_fallback();
+        let chain = rewrite_using_chain(&planner, &outer, &[&v1, &v2]);
+        if let Some(eff) = &chain.effective_view {
+            let t = tree_from_seed(tseed, 32);
+            // Stage-wise evaluation equals effective-view evaluation.
+            let stage1 = evaluate(&v1, &t);
+            let stage2 = evaluate_anchored(&v2, &t, &stage1);
+            let direct = evaluate(eff, &t);
+            prop_assert_eq!(stage2, direct, "chain law failed for V1={}, V2={}", v1, v2);
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Property tests for the semantic layer, spanning crates:
+//!
+//! * Proposition 2.4 — `R ◦ V (t) = R(V(t))` for all trees;
+//! * homomorphism soundness — a hom witness implies containment, and a
+//!   claimed containment holds on every random document;
+//! * weak vs strong evaluation inclusion;
+//! * parser/printer round-trips on generated patterns;
+//! * weakening steps produce genuine containments (and Prop. 3.1 facts on
+//!   weakly equivalent pairs).
+
+mod common;
+
+use proptest::prelude::*;
+use xpath_views::prelude::*;
+use xpath_views::semantics::{
+    evaluate_anchored, homomorphism_exists, weakly_contained, weakly_equivalent, HomMode,
+};
+use xpath_views::workload::Fragment;
+
+use common::{instance_from_seed, pattern_from_seed, tree_from_seed, weaken};
+
+fn fragments() -> impl Strategy<Value = Fragment> {
+    prop_oneof![
+        Just(Fragment::Full),
+        Just(Fragment::NoWildcard),
+        Just(Fragment::NoDescendant),
+        Just(Fragment::NoBranch),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Proposition 2.4: applying R ∘ V to a tree equals applying V first and
+    /// then R to each result subtree.
+    #[test]
+    fn composition_law(seed in any::<u64>(), tseed in any::<u64>(), frag in fragments()) {
+        let (r, v) = instance_from_seed(seed, frag);
+        // Use the instance pair in reverse roles too: compose arbitrary
+        // pattern pairs, not just plausible rewritings.
+        let t = tree_from_seed(tseed, 24);
+        let lhs: Vec<_> = match compose(&r, &v) {
+            Some(rv) => evaluate(&rv, &t),
+            None => Vec::new(),
+        };
+        let v_out = evaluate(&v, &t);
+        let rhs = evaluate_anchored(&r, &t, &v_out);
+        prop_assert_eq!(lhs, rhs, "Prop 2.4 violated for R={}, V={}", r, v);
+    }
+
+    /// Homomorphism soundness: a hom witness q→p implies p ⊑ q, confirmed
+    /// both by the complete decision procedure and on random documents.
+    #[test]
+    fn homomorphism_implies_containment(s1 in any::<u64>(), s2 in any::<u64>(), tseed in any::<u64>()) {
+        let p = pattern_from_seed(s1, Fragment::Full);
+        let q = pattern_from_seed(s2, Fragment::Full);
+        if homomorphism_exists(&q, &p, HomMode::RootAnchored) {
+            prop_assert!(contained(&p, &q), "hom exists but containment denied: {} vs {}", p, q);
+            let t = tree_from_seed(tseed, 24);
+            let rp = evaluate(&p, &t);
+            let rq = evaluate(&q, &t);
+            prop_assert!(rp.iter().all(|n| rq.contains(n)));
+        }
+    }
+
+    /// Any containment claimed by the decision procedure holds on random
+    /// documents (falsification test).
+    #[test]
+    fn claimed_containment_holds_on_documents(s1 in any::<u64>(), tseed in any::<u64>()) {
+        let p = pattern_from_seed(s1, Fragment::Full);
+        let q = weaken(&p, s1 ^ 0x9E3779B97F4A7C15);
+        prop_assert!(contained(&p, &q), "weakening must contain: {} vs {}", p, q);
+        let t = tree_from_seed(tseed, 30);
+        let rp = evaluate(&p, &t);
+        let rq = evaluate(&q, &t);
+        prop_assert!(
+            rp.iter().all(|n| rq.contains(n)),
+            "document falsifies claimed containment {} ⊑ {}", p, q
+        );
+    }
+
+    /// Weak evaluation includes strong evaluation; weak containment is
+    /// implied by containment... (containment and weak containment are
+    /// incomparable in general because weak embeddings shift roots, but on
+    /// *weakenings* of the same pattern both hold).
+    #[test]
+    fn weak_includes_strong(seed in any::<u64>(), tseed in any::<u64>(), frag in fragments()) {
+        let p = pattern_from_seed(seed, frag);
+        let t = tree_from_seed(tseed, 24);
+        let strong = evaluate(&p, &t);
+        let weak = evaluate_weak(&p, &t);
+        prop_assert!(strong.iter().all(|n| weak.contains(n)));
+    }
+
+    /// Weakening chains are transitive containments.
+    #[test]
+    fn weakening_chain_transitivity(seed in any::<u64>()) {
+        let p0 = pattern_from_seed(seed, Fragment::Full);
+        let p1 = weaken(&p0, seed.wrapping_add(1));
+        let p2 = weaken(&p1, seed.wrapping_add(2));
+        prop_assert!(contained(&p0, &p1));
+        prop_assert!(contained(&p1, &p2));
+        prop_assert!(contained(&p0, &p2), "transitivity failed: {} {} {}", p0, p1, p2);
+    }
+
+    /// Parser/printer round-trip on generated patterns.
+    #[test]
+    fn print_parse_roundtrip(seed in any::<u64>(), frag in fragments()) {
+        let p = pattern_from_seed(seed, frag);
+        let printed = p.to_string();
+        let reparsed = parse_xpath(&printed).expect("printer output parses");
+        prop_assert!(p.structurally_eq(&reparsed), "roundtrip failed for {}", printed);
+    }
+
+    /// Proposition 3.1 on weakly equivalent pairs: equal depths, weakly
+    /// equivalent k-sub-patterns, identical selection labels.
+    #[test]
+    fn prop_3_1_consequences(seed in any::<u64>()) {
+        let p1 = pattern_from_seed(seed, Fragment::Full);
+        // A cheap source of weak equivalences: a pattern and itself after a
+        // print/parse round trip (identity), plus relax-root when provably
+        // weakly equivalent — test the implications only when ≡w holds.
+        let p2 = p1.relax_root_edges();
+        if weakly_equivalent(&p1, &p2) {
+            prop_assert_eq!(p1.depth(), p2.depth());
+            for i in 0..=p1.depth() {
+                prop_assert_eq!(p1.test(p1.k_node(i)), p2.test(p2.k_node(i)));
+                prop_assert!(weakly_equivalent(
+                    &p1.sub_pattern_geq(i),
+                    &p2.sub_pattern_geq(i)
+                ));
+            }
+        }
+    }
+
+    /// Weak containment identity: P1 ⊑w P2 iff for all u, P1(u) ⊆ P2^w(u) —
+    /// spot-checked by falsification on random trees.
+    #[test]
+    fn weak_containment_on_documents(s1 in any::<u64>(), s2 in any::<u64>(), tseed in any::<u64>()) {
+        let p1 = pattern_from_seed(s1, Fragment::Full);
+        let p2 = pattern_from_seed(s2, Fragment::Full);
+        if weakly_contained(&p1, &p2) {
+            let t = tree_from_seed(tseed, 24);
+            let lhs = evaluate(&p1, &t);
+            let rhs = evaluate_weak(&p2, &t);
+            prop_assert!(lhs.iter().all(|n| rhs.contains(n)));
+        }
+    }
+
+    /// The k-sub-pattern/upper-pattern algebra: combine(upper, sub) restores
+    /// the original when a descendant edge enters the k-node, and node
+    /// counts always partition.
+    #[test]
+    fn subpattern_algebra(seed in any::<u64>(), frag in fragments()) {
+        let p = pattern_from_seed(seed, frag);
+        let d = p.depth();
+        for k in 0..=d {
+            let upper = p.upper_pattern_leq(k);
+            let lower = p.sub_pattern_geq(k);
+            // P≤k prunes exactly the subtree rooted at the (k+1)-node (the
+            // k-node and its side branches belong to BOTH parts).
+            if k < d {
+                prop_assert_eq!(upper.len() + p.sub_pattern_geq(k + 1).len(), p.len());
+            } else {
+                prop_assert_eq!(upper.len(), p.len());
+            }
+            prop_assert_eq!(lower.depth(), d - k);
+            prop_assert_eq!(upper.depth(), k);
+        }
+        if d >= 1 {
+            let k = 1 + (seed as usize % d);
+            if p.axis(p.k_node(k)) == Axis::Descendant {
+                let rebuilt = p.upper_pattern_lt(k).combine(k - 1, &p.sub_pattern_geq(k));
+                prop_assert!(rebuilt.structurally_eq(&p));
+            }
+        }
+    }
+}
