@@ -26,18 +26,12 @@ fn hom_fast_path(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_with_input(BenchmarkId::from_parameter("on"), &batch, |b, batch| {
         b.iter(|| {
-            batch
-                .iter()
-                .filter(|(p1, p2)| contained_with(black_box(p1), p2, &on).holds)
-                .count()
+            batch.iter().filter(|(p1, p2)| contained_with(black_box(p1), p2, &on).holds).count()
         })
     });
     group.bench_with_input(BenchmarkId::from_parameter("off"), &batch, |b, batch| {
         b.iter(|| {
-            batch
-                .iter()
-                .filter(|(p1, p2)| contained_with(black_box(p1), p2, &off).holds)
-                .count()
+            batch.iter().filter(|(p1, p2)| contained_with(black_box(p1), p2, &off).holds).count()
         })
     });
     group.finish();

@@ -25,19 +25,15 @@ fn fragment_scaling(c: &mut Criterion) {
     ] {
         for depth in [2usize, 3, 4] {
             let batch = containment_batch(fragment, depth, 16, 0xC0FFEE + depth as u64);
-            group.bench_with_input(
-                BenchmarkId::new(name, depth),
-                &batch,
-                |b, batch| {
-                    b.iter(|| {
-                        let mut holds = 0usize;
-                        for (p1, p2) in batch {
-                            holds += usize::from(contained(black_box(p1), black_box(p2)));
-                        }
-                        holds
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name, depth), &batch, |b, batch| {
+                b.iter(|| {
+                    let mut holds = 0usize;
+                    for (p1, p2) in batch {
+                        holds += usize::from(contained(black_box(p1), black_box(p2)));
+                    }
+                    holds
+                })
+            });
         }
     }
     group.finish();

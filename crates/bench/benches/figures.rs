@@ -42,12 +42,7 @@ fn fig3(c: &mut Criterion) {
     let f = figure3();
     assert!(equivalent(&f.b, &f.b_prime), "Figure 3 claim violated");
     c.bench_function("fig3_relaxation_chain", |b| {
-        b.iter(|| {
-            (
-                equivalent(black_box(&f.b), &f.b_relaxed),
-                equivalent(&f.b_relaxed, &f.b_prime),
-            )
-        })
+        b.iter(|| (equivalent(black_box(&f.b), &f.b_relaxed), equivalent(&f.b_relaxed, &f.b_prime)))
     });
 }
 
@@ -55,10 +50,7 @@ fn fig4(c: &mut Criterion) {
     let f = figure4();
     let planner = RewritePlanner::without_fallback();
     for (name, p) in [("P1", &f.p1), ("P2", &f.p2), ("P3", &f.p3)] {
-        assert!(
-            planner.decide(p, &f.v).rewriting().is_some(),
-            "Figure 4 {name} claim violated"
-        );
+        assert!(planner.decide(p, &f.v).rewriting().is_some(), "Figure 4 {name} claim violated");
     }
     c.bench_function("fig4_planner_p1_p2_p3", |b| {
         b.iter(|| {

@@ -1,0 +1,187 @@
+//! Throughput under repeated traffic: the tentpole experiment for the
+//! containment-oracle + plan-memo architecture.
+//!
+//! A `ViewCache` over an XMark-shaped document serves a Zipf-distributed
+//! query stream (heavy repetition of a few hot queries — the regime a
+//! production cache actually sees). Three configurations are timed:
+//!
+//! * **memo on** — the shipped configuration: long-lived planning session,
+//!   oracle memo, plan memo;
+//! * **memo off** — the ablation: every arrival replans from scratch
+//!   (`ViewCache::set_memo_enabled` is kept exactly for this comparison);
+//! * **direct** — no views at all, every query evaluated on the document.
+//!
+//! Besides the criterion timings, the bench writes a machine-readable
+//! summary to `BENCH_throughput.json` at the repository root: mean
+//! per-query latency for each configuration, the amortized speedup, and the
+//! memo-hit counters that prove repeated queries run zero canonical-model
+//! containment calls.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xpv_engine::ViewCache;
+use xpv_pattern::Pattern;
+use xpv_workload::{site_catalog, site_doc};
+
+/// Zipf(s = 1) ranks over `n` items: item `i` has weight `1 / (i + 1)`.
+fn zipf_indices(n: usize, count: usize, seed: u64) -> Vec<usize> {
+    let weights: Vec<f64> = (0..n).map(|i| 1.0 / (i + 1) as f64).collect();
+    let total: f64 = weights.iter().sum();
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let mut x = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64 * total;
+            for (i, w) in weights.iter().enumerate() {
+                if x < *w {
+                    return i;
+                }
+                x -= w;
+            }
+            n - 1
+        })
+        .collect()
+}
+
+/// The workload: a Zipf-repeated stream over the site catalog's queries.
+fn query_stream(count: usize) -> Vec<Pattern> {
+    let catalog = site_catalog();
+    let queries: Vec<Pattern> = catalog.queries.iter().map(|(_, q)| q.clone()).collect();
+    zipf_indices(queries.len(), count, 0x21F).into_iter().map(|i| queries[i].clone()).collect()
+}
+
+fn fresh_cache(memo: bool) -> ViewCache {
+    let doc = site_doc(12, 12, 7);
+    let mut cache = ViewCache::new(doc);
+    if !memo {
+        cache.set_memo_enabled(false);
+    }
+    for (name, def) in site_catalog().views {
+        cache.add_view(name, def);
+    }
+    cache
+}
+
+/// One timed pass over the stream; mean µs per query.
+fn run_stream(cache: &mut ViewCache, stream: &[Pattern]) -> f64 {
+    let start = Instant::now();
+    let answers = cache.answer_batch(stream);
+    let elapsed = start.elapsed();
+    assert_eq!(answers.len(), stream.len());
+    elapsed.as_secs_f64() * 1e6 / stream.len() as f64
+}
+
+fn write_summary_json(
+    stream_len: usize,
+    mean_on_us: f64,
+    mean_off_us: f64,
+    mean_direct_us: f64,
+    cache_on: &ViewCache,
+) {
+    let s = cache_on.stats();
+    let speedup = if mean_on_us > 0.0 { mean_off_us / mean_on_us } else { 0.0 };
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"throughput_zipf_site\",\n",
+            "  \"stream_len\": {},\n",
+            "  \"mean_us_per_query_memo_on\": {:.3},\n",
+            "  \"mean_us_per_query_memo_off\": {:.3},\n",
+            "  \"mean_us_per_query_direct\": {:.3},\n",
+            "  \"amortized_speedup_memo_on_vs_off\": {:.3},\n",
+            "  \"plan_memo_hits\": {},\n",
+            "  \"plan_memo_misses\": {},\n",
+            "  \"oracle_memo_hits\": {},\n",
+            "  \"oracle_canonical_runs\": {},\n",
+            "  \"view_hits\": {},\n",
+            "  \"direct\": {}\n",
+            "}}\n"
+        ),
+        stream_len,
+        mean_on_us,
+        mean_off_us,
+        mean_direct_us,
+        speedup,
+        s.plan_memo_hits,
+        s.plan_memo_misses,
+        s.oracle_memo_hits,
+        s.oracle_canonical_runs,
+        s.view_hits,
+        s.direct,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_throughput.json");
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("warning: could not write {path}: {e}");
+    } else {
+        println!("wrote {path}");
+    }
+    print!("{json}");
+}
+
+fn throughput(c: &mut Criterion) {
+    let stream = query_stream(300);
+
+    // Correctness anchor: memoized answers equal memo-less and direct ones.
+    {
+        let mut on = fresh_cache(true);
+        let mut off = fresh_cache(false);
+        for q in stream.iter().take(40) {
+            let a = on.answer(q);
+            let b = off.answer(q);
+            assert_eq!(a.nodes, b.nodes, "memo changed an answer for {q}");
+            assert_eq!(a.nodes, on.answer_direct(q), "cache answer wrong for {q}");
+        }
+    }
+
+    // The JSON summary pass (measured once, outside criterion's loop, so the
+    // memo-on numbers include the cold first pass exactly once).
+    let mut cache_on = fresh_cache(true);
+    let mean_on_us = run_stream(&mut cache_on, &stream);
+    let mut cache_off = fresh_cache(false);
+    let mean_off_us = run_stream(&mut cache_off, &stream);
+    let direct_cache = fresh_cache(true);
+    let direct_start = Instant::now();
+    for q in &stream {
+        black_box(direct_cache.answer_direct(q));
+    }
+    let mean_direct_us = direct_start.elapsed().as_secs_f64() * 1e6 / stream.len() as f64;
+    write_summary_json(stream.len(), mean_on_us, mean_off_us, mean_direct_us, &cache_on);
+    assert_eq!(
+        cache_on.stats().plan_memo_hits + cache_on.stats().plan_memo_misses,
+        stream.len() as u64
+    );
+
+    // Criterion timings over a shorter slice (each iteration re-answers the
+    // slice; the memo-on cache is warm after its first iteration, which is
+    // exactly the steady state being measured).
+    let slice = &stream[..100];
+    let mut group = c.benchmark_group("throughput_zipf_site");
+    group.sample_size(10);
+    let mut warm = fresh_cache(true);
+    group.bench_with_input(BenchmarkId::from_parameter("memo_on"), &slice, |b, slice| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for a in warm.answer_batch(black_box(slice)) {
+                n += a.nodes.len();
+            }
+            n
+        })
+    });
+    let mut cold = fresh_cache(false);
+    group.bench_with_input(BenchmarkId::from_parameter("memo_off"), &slice, |b, slice| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for a in cold.answer_batch(black_box(slice)) {
+                n += a.nodes.len();
+            }
+            n
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, throughput);
+criterion_main!(benches);

@@ -29,8 +29,7 @@ use xpv_semantics::{
     contained, contained_with, equivalent, evaluate, expansion_bound, ContainmentOptions,
 };
 use xpv_workload::{
-    conp_stress_instance, hom_gap_instance, no_condition_instance, site_catalog, site_doc,
-    Fragment,
+    conp_stress_instance, hom_gap_instance, no_condition_instance, site_catalog, site_doc, Fragment,
 };
 
 fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
@@ -120,10 +119,7 @@ fn table_t1(quick: bool) {
     for (name, p, v) in condition_catalog() {
         let (rw, no_rw, unknown, disagree, _) = audit_instance(&planner, &bf, &p, &v);
         disagreements_total += disagree;
-        println!(
-            "{name:<28} {:>9} {rw:>9} {no_rw:>9} {unknown:>9} {disagree:>10}",
-            1
-        );
+        println!("{name:<28} {:>9} {rw:>9} {no_rw:>9} {unknown:>9} {disagree:>10}", 1);
     }
 
     let per_class = if quick { 40 } else { 150 };
@@ -143,10 +139,7 @@ fn table_t1(quick: bool) {
             disagree += d;
         }
         disagreements_total += disagree;
-        println!(
-            "{name:<28} {:>9} {rw:>9} {no_rw:>9} {unknown:>9} {disagree:>10}",
-            batch.len()
-        );
+        println!("{name:<28} {:>9} {rw:>9} {no_rw:>9} {unknown:>9} {disagree:>10}", batch.len());
     }
     println!("TOTAL disagreements: {disagreements_total} (expected: 0)");
 }
@@ -251,9 +244,7 @@ fn table_c1(quick: bool) {
             let mut total = 0u32;
             for _ in 0..reps {
                 for (p1, p2) in &batch {
-                    let (out, d) = time(|| {
-                        contained_with(p1, p2, &ContainmentOptions::default())
-                    });
+                    let (out, d) = time(|| contained_with(p1, p2, &ContainmentOptions::default()));
                     samples.push(d);
                     total += 1;
                     hom_hits += u32::from(out.via_homomorphism);
@@ -308,11 +299,8 @@ fn table_c2(quick: bool) {
         // Selective view: the bids (a small slice of the document).
         let view_def = pat("site//bid");
         let view = MaterializedView::materialize("bids", view_def.clone(), &doc);
-        let (_, query) = catalog
-            .queries
-            .iter()
-            .find(|(n, _)| *n == "bid_prices")
-            .expect("catalog query");
+        let (_, query) =
+            catalog.queries.iter().find(|(n, _)| *n == "bid_prices").expect("catalog query");
         let rewriting = match planner.decide(query, &view_def) {
             RewriteAnswer::Rewriting(rw) => rw.pattern().clone(),
             other => panic!("expected rewriting, got {other:?}"),
@@ -348,23 +336,17 @@ fn table_c2(quick: bool) {
 
 fn table_t4(quick: bool) {
     println!("\n== T4: ablations ==");
-    let batch = xpv_bench::containment_batch(Fragment::Full, 4, if quick { 12 } else { 24 }, 0xFEED);
+    let batch =
+        xpv_bench::containment_batch(Fragment::Full, 4, if quick { 12 } else { 24 }, 0xFEED);
 
     // (a) hom fast path.
     let on = ContainmentOptions { hom_fast_path: true, bound_override: None };
     let off = ContainmentOptions { hom_fast_path: false, bound_override: None };
     let (hits, t_on) = time(|| {
-        batch
-            .iter()
-            .filter(|(p1, p2)| contained_with(p1, p2, &on).via_homomorphism)
-            .count()
+        batch.iter().filter(|(p1, p2)| contained_with(p1, p2, &on).via_homomorphism).count()
     });
-    let (_, t_off) = time(|| {
-        batch
-            .iter()
-            .filter(|(p1, p2)| contained_with(p1, p2, &off).holds)
-            .count()
-    });
+    let (_, t_off) =
+        time(|| batch.iter().filter(|(p1, p2)| contained_with(p1, p2, &off).holds).count());
     println!(
         "hom fast path: hit {}/{} checks; total {:.1}µs (on) vs {:.1}µs (off)",
         hits,
@@ -427,7 +409,10 @@ fn table_t4(quick: bool) {
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    println!("xpath-views experiments (seeded, deterministic){}", if quick { " [quick]" } else { "" });
+    println!(
+        "xpath-views experiments (seeded, deterministic){}",
+        if quick { " [quick]" } else { "" }
+    );
     // Correctness anchor for the figures before any table.
     let f1 = xpv_core::figure1();
     let rv = compose(&f1.r, &f1.v).expect("composes");

@@ -20,11 +20,7 @@ pub fn instance_batch(
     count: usize,
     seed: u64,
 ) -> Vec<(Pattern, Pattern)> {
-    let cfg = PatternGenConfig {
-        depth: (depth, depth),
-        fragment,
-        ..PatternGenConfig::default()
-    };
+    let cfg = PatternGenConfig { depth: (depth, depth), fragment, ..PatternGenConfig::default() };
     let mut g = PatternGen::new(cfg, seed);
     (0..count).map(|_| g.instance()).collect()
 }
@@ -41,11 +37,7 @@ pub fn containment_batch(
     count: usize,
     seed: u64,
 ) -> Vec<(Pattern, Pattern)> {
-    let cfg = PatternGenConfig {
-        depth: (depth, depth),
-        fragment,
-        ..PatternGenConfig::default()
-    };
+    let cfg = PatternGenConfig { depth: (depth, depth), fragment, ..PatternGenConfig::default() };
     let mut g = PatternGen::new(cfg, seed);
     (0..count)
         .map(|i| {
@@ -77,11 +69,7 @@ pub fn independent_batch(
     count: usize,
     seed: u64,
 ) -> Vec<(Pattern, Pattern)> {
-    let cfg = PatternGenConfig {
-        depth: (1, depth),
-        fragment,
-        ..PatternGenConfig::default()
-    };
+    let cfg = PatternGenConfig { depth: (1, depth), fragment, ..PatternGenConfig::default() };
     let mut g = PatternGen::new(cfg, seed);
     (0..count)
         .map(|_| {
@@ -150,10 +138,7 @@ mod tests {
     #[test]
     fn containment_batch_mixes_verdicts() {
         let batch = containment_batch(Fragment::Full, 3, 18, 0xC0FFEE);
-        let holds = batch
-            .iter()
-            .filter(|(a, b)| xpv_semantics::contained(a, b))
-            .count();
+        let holds = batch.iter().filter(|(a, b)| xpv_semantics::contained(a, b)).count();
         assert!(holds > 0, "some pairs must be contained");
         assert!(holds < batch.len(), "some pairs must not be contained");
     }

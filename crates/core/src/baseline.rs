@@ -146,8 +146,7 @@ mod tests {
     fn incomplete_mode_is_sound() {
         // In the full fragment the hom test may find the Figure 2 rewriting
         // or not — but a returned rewriting must be genuine.
-        if let PtimeAnswer::Rewriting(r) =
-            ptime_rewrite(&pat("a[b]//*/e[d]"), &pat("a[b]/*"), true)
+        if let PtimeAnswer::Rewriting(r) = ptime_rewrite(&pat("a[b]//*/e[d]"), &pat("a[b]/*"), true)
         {
             let rv = compose(&r, &pat("a[b]/*")).expect("composes");
             assert!(equivalent(&rv, &pat("a[b]//*/e[d]")));

@@ -27,7 +27,7 @@
 use std::collections::HashSet;
 
 use xpv_pattern::{compose, Axis, NodeTest, PatId, Pattern};
-use xpv_semantics::{contained_with, ContainmentOptions};
+use xpv_semantics::{ContainmentOptions, ContainmentOracle};
 
 use crate::candidates::CandidateTestStats;
 
@@ -104,12 +104,28 @@ fn allowed_root_tests(p: &Pattern, v: &Pattern) -> Result<Vec<NodeTest>, &'stati
     }
 }
 
-/// Enumerates candidate rewritings of `p` using `v` and tests them.
+/// Enumerates candidate rewritings of `p` using `v` and tests them with a
+/// fresh oracle (wrapper over [`brute_force_rewrite_with_oracle`]).
 ///
 /// # Panics
 ///
 /// Panics if `v.depth() > p.depth()` — callers gate on depth first.
 pub fn brute_force_rewrite(p: &Pattern, v: &Pattern, cfg: &BruteForceConfig) -> BruteForceOutcome {
+    let mut oracle = ContainmentOracle::with_options(cfg.containment);
+    brute_force_rewrite_with_oracle(p, v, cfg, &mut oracle)
+}
+
+/// [`brute_force_rewrite`] deciding every equivalence test through a shared
+/// `oracle`. The enumeration repeatedly composes near-identical candidates
+/// with the same view, so consecutive tests hit the oracle's verdict memo for
+/// the direction that did not change — and a planner that falls back to brute
+/// force reuses the candidate-phase verdicts outright.
+pub fn brute_force_rewrite_with_oracle(
+    p: &Pattern,
+    v: &Pattern,
+    cfg: &BruteForceConfig,
+    oracle: &mut ContainmentOracle,
+) -> BruteForceOutcome {
     let d = p.depth();
     let k = v.depth();
     assert!(k <= d, "depth gate must be checked before brute force");
@@ -128,11 +144,8 @@ pub fn brute_force_rewrite(p: &Pattern, v: &Pattern, cfg: &BruteForceConfig) -> 
     if spine_len > max_height {
         return BruteForceOutcome::GateClosed("spine longer than the height bound allows");
     }
-    let mut label_pool: Vec<NodeTest> = p_geq_k
-        .label_set()
-        .into_iter()
-        .map(NodeTest::Label)
-        .collect();
+    let mut label_pool: Vec<NodeTest> =
+        p_geq_k.label_set().into_iter().map(NodeTest::Label).collect();
     label_pool.push(NodeTest::Wildcard);
 
     let mut stats = BruteForceStats::default();
@@ -196,16 +209,14 @@ pub fn brute_force_rewrite(p: &Pattern, v: &Pattern, cfg: &BruteForceConfig) -> 
             } else {
                 stats.tested += 1;
                 stats.test_stats.equivalence_tests += 1;
-                let fwd = contained_with(&rv, p, &cfg.containment);
-                stats.test_stats.models_checked += fwd.models_checked;
-                stats.test_stats.hom_hits += u32::from(fwd.via_homomorphism);
-                if fwd.holds {
-                    let bwd = contained_with(p, &rv, &cfg.containment);
-                    stats.test_stats.models_checked += bwd.models_checked;
-                    stats.test_stats.hom_hits += u32::from(bwd.via_homomorphism);
-                    if bwd.holds {
-                        return BruteForceOutcome::Found(Box::new(r), stats);
-                    }
+                let before = oracle.stats();
+                let holds = oracle.contained(&rv, p) && oracle.contained(p, &rv);
+                let delta = oracle.stats().since(&before);
+                stats.test_stats.models_checked += delta.models_checked;
+                stats.test_stats.hom_hits +=
+                    u32::try_from(delta.hom_fast_path_hits).unwrap_or(u32::MAX);
+                if holds {
+                    return BruteForceOutcome::Found(Box::new(r), stats);
                 }
             }
         }

@@ -13,7 +13,7 @@
 //! algorithm, exactly as the paper advertises.
 
 use xpv_pattern::{compose, Pattern};
-use xpv_semantics::{contained_with, ContainmentOptions};
+use xpv_semantics::{ContainmentOptions, ContainmentOracle};
 
 /// A natural candidate, tagged with whether it is the relaxed one.
 #[derive(Clone, Debug)]
@@ -34,10 +34,7 @@ pub struct Candidate {
 /// rules out rewritings altogether).
 pub fn natural_candidates(p: &Pattern, v: &Pattern) -> Vec<Candidate> {
     let k = v.depth();
-    assert!(
-        k <= p.depth(),
-        "natural candidates undefined for views deeper than the query"
-    );
+    assert!(k <= p.depth(), "natural candidates undefined for views deeper than the query");
     let base = p.sub_pattern_geq(k);
     let relaxed = base.relax_root_edges();
     let mut out = vec![Candidate { pattern: base.clone(), relaxed: false }];
@@ -60,6 +57,9 @@ pub struct CandidateTestStats {
 
 /// Tests whether `r` is a rewriting of `p` using `v`, i.e. `r ◦ v ≡ p`.
 /// Label clashes (`r ◦ v = Υ`) are never rewritings since `p` is satisfiable.
+///
+/// Convenience wrapper running a fresh [`ContainmentOracle`]; planner-scale
+/// callers use [`test_candidate_with_oracle`] so verdicts are shared.
 pub fn test_candidate(
     p: &Pattern,
     v: &Pattern,
@@ -67,20 +67,31 @@ pub fn test_candidate(
     opts: &ContainmentOptions,
     stats: &mut CandidateTestStats,
 ) -> bool {
+    let mut oracle = ContainmentOracle::with_options(*opts);
+    test_candidate_with_oracle(p, v, r, &mut oracle, stats)
+}
+
+/// [`test_candidate`] deciding both containments through a shared `oracle`:
+/// repeated candidate tests on overlapping instances reuse each other's
+/// verdicts (and homomorphism witnesses) instead of recomputing them.
+pub fn test_candidate_with_oracle(
+    p: &Pattern,
+    v: &Pattern,
+    r: &Pattern,
+    oracle: &mut ContainmentOracle,
+    stats: &mut CandidateTestStats,
+) -> bool {
     let Some(rv) = compose(r, v) else {
         return false;
     };
     stats.equivalence_tests += 1;
-    let fwd = contained_with(&rv, p, opts);
-    stats.models_checked += fwd.models_checked;
-    stats.hom_hits += u32::from(fwd.via_homomorphism);
-    if !fwd.holds {
-        return false;
-    }
-    let bwd = contained_with(p, &rv, opts);
-    stats.models_checked += bwd.models_checked;
-    stats.hom_hits += u32::from(bwd.via_homomorphism);
-    bwd.holds
+    let before = oracle.stats();
+    let fwd = oracle.contained(&rv, p);
+    let holds = fwd && oracle.contained(p, &rv);
+    let delta = oracle.stats().since(&before);
+    stats.models_checked += delta.models_checked;
+    stats.hom_hits += u32::try_from(delta.hom_fast_path_hits).unwrap_or(u32::MAX);
+    holds
 }
 
 #[cfg(test)]

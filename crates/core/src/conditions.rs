@@ -28,8 +28,8 @@ use std::fmt;
 
 use xpv_model::Label;
 use xpv_pattern::{
-    deepest_descendant_selection_edge, is_gnf_star, selection_prefix_all_child,
-    stability_witness, Axis, NodeTest, Pattern,
+    deepest_descendant_selection_edge, is_gnf_star, selection_prefix_all_child, stability_witness,
+    Axis, NodeTest, Pattern,
 };
 
 /// A certificate naming the theorem (or reduction chain) under which the
@@ -210,10 +210,7 @@ pub fn find_condition(p: &Pattern, v: &Pattern, fuel: usize) -> Option<Condition
             // only recurse if it differs from (p, v).
             if !p_red.structurally_eq(p) || !v_red.structurally_eq(v) {
                 if let Some(inner) = find_condition(&p_red, &v_red, fuel - 1) {
-                    return Some(Condition::SlashSlashReduction {
-                        at: i,
-                        inner: Box::new(inner),
-                    });
+                    return Some(Condition::SlashSlashReduction { at: i, inner: Box::new(inner) });
                 }
             }
         }
@@ -224,10 +221,7 @@ pub fn find_condition(p: &Pattern, v: &Pattern, fuel: usize) -> Option<Condition
                 let p_tr = p.extend(NodeTest::Label(mu)).lift_output(j);
                 let v_tr = v.extend(NodeTest::Wildcard);
                 if let Some(inner) = find_condition(&p_tr, &v_tr, fuel - 1) {
-                    return Some(Condition::ExtensionLifting {
-                        at: j,
-                        inner: Box::new(inner),
-                    });
+                    return Some(Condition::ExtensionLifting { at: j, inner: Box::new(inner) });
                 }
             }
         }
@@ -319,10 +313,7 @@ mod tests {
         match &c {
             Condition::SlashSlashReduction { at, inner } => {
                 assert_eq!(*at, 2);
-                assert_eq!(
-                    **inner,
-                    Condition::CorrespondingLastDescendant { depth: 1 }
-                );
+                assert_eq!(**inner, Condition::CorrespondingLastDescendant { depth: 1 });
             }
             other => panic!("expected *// reduction, got {other}"),
         }

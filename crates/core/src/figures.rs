@@ -43,11 +43,7 @@ pub struct Figure1 {
 
 /// Builds the Figure 1 reconstruction.
 pub fn figure1() -> Figure1 {
-    Figure1 {
-        v: pat("a[b]/*"),
-        p: pat("a[b]//*/e[d]"),
-        r: pat("*//e[d]"),
-    }
+    Figure1 { v: pat("a[b]/*"), p: pat("a[b]//*/e[d]"), r: pat("*//e[d]") }
 }
 
 /// Figure 2: the natural candidates for Figure 1's instance.
@@ -198,12 +194,8 @@ mod tests {
         let mut cur = b.root();
         loop {
             assert!(b.test(cur).is_wildcard());
-            let child_kids: Vec<_> = b
-                .children(cur)
-                .iter()
-                .copied()
-                .filter(|&c| b.axis(c) == Axis::Child)
-                .collect();
+            let child_kids: Vec<_> =
+                b.children(cur).iter().copied().filter(|&c| b.axis(c) == Axis::Child).collect();
             if child_kids.is_empty() {
                 // Endpoint: all outgoing edges are descendant edges.
                 assert!(b.children(cur).iter().all(|&c| b.axis(c) == Axis::Descendant));
@@ -219,10 +211,7 @@ mod tests {
         let f = figure4();
         // V: depth 3, axes [child, descendant, child].
         assert_eq!(f.v.depth(), 3);
-        assert_eq!(
-            f.v.selection_axes(),
-            vec![Axis::Child, Axis::Descendant, Axis::Child]
-        );
+        assert_eq!(f.v.selection_axes(), vec![Axis::Child, Axis::Descendant, Axis::Child]);
         // P1: last descendant edge at depth 2 — matches V's descendant edge.
         assert_eq!(deepest_descendant_selection_edge(&f.p1), Some(2));
         let c1 = find_condition(&f.p1, &f.v, 0).expect("4.16 applies");
@@ -250,9 +239,8 @@ mod tests {
         let f = figure4();
         for (name, p) in [("P1", &f.p1), ("P2", &f.p2), ("P3", &f.p3)] {
             let ans = planner.decide(p, &f.v);
-            let r = ans
-                .rewriting()
-                .unwrap_or_else(|| panic!("{name} should be rewritable using V"));
+            let r =
+                ans.rewriting().unwrap_or_else(|| panic!("{name} should be rewritable using V"));
             let rv = compose(r, &f.v).expect("composes");
             assert!(equivalent(&rv, p), "{name}: R∘V ≢ P");
         }
@@ -270,10 +258,7 @@ mod tests {
         assert_eq!(f.p2_ext.len(), f.p2.len() + 1);
         // Lifting moves the output to the c-node at depth 4.
         assert_eq!(f.p2_ext_lifted.depth(), 4);
-        assert_eq!(
-            f.p2_ext_lifted.test(f.p2_ext_lifted.output()),
-            NodeTest::label("c")
-        );
+        assert_eq!(f.p2_ext_lifted.test(f.p2_ext_lifted.output()), NodeTest::label("c"));
     }
 
     #[test]

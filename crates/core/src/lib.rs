@@ -11,6 +11,11 @@
 //! * [`RewritePlanner`] — the end-to-end decision procedure: gates,
 //!   candidate tests, certificates, and the budgeted Proposition 3.4
 //!   brute force ([`brute_force_rewrite`]);
+//! * [`PlanningSession`] — a planner bound to a long-lived
+//!   [`xpv_semantics::ContainmentOracle`], so every containment verdict,
+//!   homomorphism witness, and interned pattern is shared across all the
+//!   queries and views the session sees ([`PlannerStats`] reports per-call
+//!   memo hits / misses and coNP work);
 //! * [`ptime_rewrite`] — the homomorphism-based PTIME baseline of Xu &
 //!   Özsoyoglu \[17\] for the three sub-fragments;
 //! * [`figures`] — executable reconstructions of the paper's Figures 1–4.
@@ -24,13 +29,20 @@ pub mod multiview;
 pub mod planner;
 
 pub use baseline::{hom_equivalent, ptime_rewrite, PtimeAnswer};
-pub use brute::{brute_force_rewrite, BruteForceConfig, BruteForceOutcome, BruteForceStats};
-pub use candidates::{natural_candidates, test_candidate, Candidate, CandidateTestStats};
+pub use brute::{
+    brute_force_rewrite, brute_force_rewrite_with_oracle, BruteForceConfig, BruteForceOutcome,
+    BruteForceStats,
+};
+pub use candidates::{
+    natural_candidates, test_candidate, test_candidate_with_oracle, Candidate, CandidateTestStats,
+};
 pub use conditions::{find_condition, Condition};
 pub use figures::{figure1, figure2, figure3, figure4, Figure1, Figure2, Figure3, Figure4};
 pub use multiview::{
-    contained_rewriting, rewritable_views, rewrite_using_chain, ChainAnswer, ViewChoice,
+    contained_rewriting, contained_rewriting_in, rewritable_views, rewritable_views_in,
+    rewrite_using_chain, rewrite_using_chain_in, ChainAnswer, ViewChoice,
 };
 pub use planner::{
-    Method, NoRewriteReason, PlannerStats, RewriteAnswer, RewritePlanner, Rewriting, UnknownInfo,
+    Method, NoRewriteReason, PlannerStats, PlanningSession, RewriteAnswer, RewritePlanner,
+    Rewriting, UnknownInfo,
 };

@@ -19,10 +19,10 @@
 //!   branch-reduced variants.
 
 use xpv_pattern::{compose, compose_chain, Pattern};
-use xpv_semantics::{contained_with, remove_redundant_branches, ContainmentOptions};
+use xpv_semantics::{remove_redundant_branches, ContainmentOracle};
 
 use crate::candidates::natural_candidates;
-use crate::planner::{RewriteAnswer, RewritePlanner};
+use crate::planner::{PlanningSession, RewriteAnswer, RewritePlanner};
 
 /// The result of planning against a chain of stacked views.
 #[derive(Clone, Debug)]
@@ -43,6 +43,15 @@ pub fn rewrite_using_chain(
     p: &Pattern,
     views: &[&Pattern],
 ) -> ChainAnswer {
+    rewrite_using_chain_in(&mut planner.session(), p, views)
+}
+
+/// [`rewrite_using_chain`] planning through a shared [`PlanningSession`].
+pub fn rewrite_using_chain_in(
+    session: &mut PlanningSession,
+    p: &Pattern,
+    views: &[&Pattern],
+) -> ChainAnswer {
     assert!(!views.is_empty(), "a chain needs at least one view");
     let top = views[views.len() - 1];
     let rest: Vec<&Pattern> = views[..views.len() - 1].iter().rev().copied().collect();
@@ -50,7 +59,7 @@ pub fn rewrite_using_chain(
     match effective {
         None => ChainAnswer { effective_view: None, answer: None },
         Some(v) => {
-            let answer = planner.decide(p, &v);
+            let answer = session.decide(p, &v);
             ChainAnswer { effective_view: Some(v), answer: Some(answer) }
         }
     }
@@ -73,9 +82,21 @@ pub fn rewritable_views(
     p: &Pattern,
     pool: &[Pattern],
 ) -> Vec<ViewChoice> {
+    rewritable_views_in(&mut planner.session(), p, pool)
+}
+
+/// [`rewritable_views`] planning through a shared [`PlanningSession`]:
+/// ranking one query against a whole pool repeats many sub-containments
+/// (every candidate is tested against the *same* query), which the session's
+/// oracle serves from its memo.
+pub fn rewritable_views_in(
+    session: &mut PlanningSession,
+    p: &Pattern,
+    pool: &[Pattern],
+) -> Vec<ViewChoice> {
     let mut out = Vec::new();
     for (index, v) in pool.iter().enumerate() {
-        if let RewriteAnswer::Rewriting(rw) = planner.decide(p, v) {
+        if let RewriteAnswer::Rewriting(rw) = session.decide(p, v) {
             out.push(ViewChoice { index, rewriting: rw.pattern().clone() });
         }
     }
@@ -88,10 +109,18 @@ pub fn rewritable_views(
 /// works (which does *not* prove none exists; maximally-contained rewriting
 /// is the paper's open problem 3).
 pub fn contained_rewriting(p: &Pattern, v: &Pattern) -> Option<Pattern> {
+    contained_rewriting_in(&mut ContainmentOracle::new(), p, v)
+}
+
+/// [`contained_rewriting`] deciding containments through a shared `oracle`.
+pub fn contained_rewriting_in(
+    oracle: &mut ContainmentOracle,
+    p: &Pattern,
+    v: &Pattern,
+) -> Option<Pattern> {
     if v.depth() > p.depth() {
         return None;
     }
-    let opts = ContainmentOptions::default();
     let mut tried: Vec<Pattern> = Vec::new();
     for cand in natural_candidates(p, v) {
         // The branch-reduced variant can only be weaker, hence is tried
@@ -101,7 +130,7 @@ pub fn contained_rewriting(p: &Pattern, v: &Pattern) -> Option<Pattern> {
     }
     for r in tried {
         if let Some(rv) = compose(&r, v) {
-            if contained_with(&rv, p, &opts).holds {
+            if oracle.contained(&rv, p) {
                 return Some(r);
             }
         }
@@ -153,9 +182,9 @@ mod tests {
     fn pool_ranking_finds_all_usable_views() {
         let planner = RewritePlanner::default();
         let pool = vec![
-            pat("site/region"),          // usable
-            pat("site//name"),           // output too deep / wrong shape
-            pat("site/region/item"),     // usable
+            pat("site/region"),      // usable
+            pat("site//name"),       // output too deep / wrong shape
+            pat("site/region/item"), // usable
         ];
         let p = pat("site/region/item/name");
         let choices = rewritable_views(&planner, &p, &pool);

@@ -20,10 +20,13 @@
 //!    the certificate.
 
 use xpv_pattern::{NodeTest, Pattern};
-use xpv_semantics::ContainmentOptions;
+use xpv_semantics::{ContainmentOptions, ContainmentOracle, OracleStats};
 
-use crate::brute::{brute_force_rewrite, BruteForceConfig, BruteForceOutcome, BruteForceStats};
-use crate::candidates::{natural_candidates, test_candidate, CandidateTestStats};
+use crate::brute::{
+    brute_force_rewrite, brute_force_rewrite_with_oracle, BruteForceConfig, BruteForceOutcome,
+    BruteForceStats,
+};
+use crate::candidates::{natural_candidates, test_candidate_with_oracle, CandidateTestStats};
 use crate::conditions::{find_condition, Condition};
 
 /// How a rewriting was obtained.
@@ -125,6 +128,14 @@ pub struct PlannerStats {
     pub condition_found: bool,
     /// Whether brute force ran.
     pub brute_forced: bool,
+    /// Containment verdicts served from the session oracle's memo during
+    /// this call (0 for one-shot `RewritePlanner::decide` calls, which run a
+    /// fresh oracle).
+    pub memo_hits: u64,
+    /// Containment verdicts this call had to compute.
+    pub memo_misses: u64,
+    /// Canonical-model loops (the coNP work) this call actually ran.
+    pub canonical_runs: u64,
 }
 
 /// The configurable decision procedure.
@@ -152,29 +163,60 @@ impl RewritePlanner {
     /// A planner without the brute-force fallback (pure paper algorithm:
     /// gates, candidates, conditions).
     pub fn without_fallback() -> Self {
-        RewritePlanner {
-            brute_force: None,
-            ..Self::default()
-        }
+        RewritePlanner { brute_force: None, ..Self::default() }
+    }
+
+    /// Opens a [`PlanningSession`]: a long-lived oracle wired to this
+    /// planner's containment options. Components answering many queries
+    /// (caches, batch planners) should decide through one session so
+    /// containment verdicts are shared.
+    pub fn session(&self) -> PlanningSession {
+        PlanningSession::new(self.clone())
     }
 
     /// Decides the rewriting-existence problem for query `p` and view `v`.
+    ///
+    /// One-shot convenience: runs a fresh oracle per call. Use
+    /// [`RewritePlanner::session`] to amortize across calls.
     pub fn decide(&self, p: &Pattern, v: &Pattern) -> RewriteAnswer {
         self.decide_with_stats(p, v).0
     }
 
-    /// [`RewritePlanner::decide`] with counters.
+    /// [`RewritePlanner::decide`] with counters (fresh oracle per call).
     pub fn decide_with_stats(&self, p: &Pattern, v: &Pattern) -> (RewriteAnswer, PlannerStats) {
+        let mut oracle = ContainmentOracle::with_options(self.containment);
+        self.decide_in(&mut oracle, p, v)
+    }
+
+    /// The decision procedure, deciding every containment through `oracle`.
+    pub fn decide_in(
+        &self,
+        oracle: &mut ContainmentOracle,
+        p: &Pattern,
+        v: &Pattern,
+    ) -> (RewriteAnswer, PlannerStats) {
+        let oracle_before: OracleStats = oracle.stats();
+        let (answer, mut stats) = self.decide_inner(oracle, p, v);
+        let delta = oracle.stats().since(&oracle_before);
+        stats.memo_hits = delta.verdict_memo_hits;
+        stats.memo_misses = delta.verdict_memo_misses;
+        stats.canonical_runs = delta.canonical_runs;
+        (answer, stats)
+    }
+
+    fn decide_inner(
+        &self,
+        oracle: &mut ContainmentOracle,
+        p: &Pattern,
+        v: &Pattern,
+    ) -> (RewriteAnswer, PlannerStats) {
         let mut stats = PlannerStats::default();
         let d = p.depth();
         let k = v.depth();
 
         // Gate 1: Proposition 3.1(1).
         if k > d {
-            return (
-                RewriteAnswer::NoRewriting(NoRewriteReason::ViewDeeperThanQuery),
-                stats,
-            );
+            return (RewriteAnswer::NoRewriting(NoRewriteReason::ViewDeeperThanQuery), stats);
         }
 
         // Gate 2: Proposition 3.1(3) + glb: the composed k-node test
@@ -203,7 +245,7 @@ impl RewritePlanner {
 
         // Natural candidates (at most two equivalence tests).
         for cand in natural_candidates(p, v) {
-            if test_candidate(p, v, &cand.pattern, &self.containment, &mut stats.candidate_tests) {
+            if test_candidate_with_oracle(p, v, &cand.pattern, oracle, &mut stats.candidate_tests) {
                 return (
                     RewriteAnswer::Rewriting(Rewriting {
                         pattern: cand.pattern,
@@ -224,10 +266,18 @@ impl RewritePlanner {
             );
         }
 
-        // Fallback: budgeted Proposition 3.4 search.
+        // Fallback: budgeted Proposition 3.4 search. The session oracle is
+        // shared only when its options match the brute-force config; a
+        // custom `cfg.containment` (bound ablations etc.) gets its own
+        // oracle so the configured knobs actually govern the tests.
         if let Some(cfg) = &self.brute_force {
             stats.brute_forced = true;
-            match brute_force_rewrite(p, v, cfg) {
+            let outcome = if cfg.containment == *oracle.options() {
+                brute_force_rewrite_with_oracle(p, v, cfg, oracle)
+            } else {
+                brute_force_rewrite(p, v, cfg)
+            };
+            match outcome {
                 BruteForceOutcome::Found(r, bf_stats) => {
                     stats.candidate_tests.equivalence_tests +=
                         bf_stats.test_stats.equivalence_tests;
@@ -276,6 +326,70 @@ impl RewritePlanner {
             RewriteAnswer::Unknown(UnknownInfo { no_small_rewriting: false, brute_stats: None }),
             stats,
         )
+    }
+}
+
+/// A long-lived planning context: a [`RewritePlanner`] plus the
+/// [`ContainmentOracle`] all its decisions flow through.
+///
+/// One-shot `RewritePlanner::decide` calls pay the full coNP cost every
+/// time; a session shares interned patterns, homomorphism witnesses, and
+/// containment verdicts across *all* queries and views it sees, which is
+/// what makes repeated traffic cheap (the `ViewCache` holds one for its
+/// entire lifetime).
+///
+/// ```
+/// use xpv_core::{RewriteAnswer, RewritePlanner};
+/// use xpv_pattern::parse_xpath;
+///
+/// let mut session = RewritePlanner::default().session();
+/// let p = parse_xpath("a[b]//*/e[d]").unwrap();
+/// let v = parse_xpath("a[b]/*").unwrap();
+/// let first = session.decide_with_stats(&p, &v).1;
+/// let second = session.decide_with_stats(&p, &v).1;
+/// assert_eq!(second.canonical_runs, 0, "repeat plans run zero coNP work");
+/// assert!(second.memo_hits > 0 && first.memo_hits == 0);
+/// ```
+#[derive(Debug)]
+pub struct PlanningSession {
+    planner: RewritePlanner,
+    oracle: ContainmentOracle,
+}
+
+impl PlanningSession {
+    /// A session wrapping `planner` with a fresh oracle (wired to the
+    /// planner's containment options).
+    pub fn new(planner: RewritePlanner) -> PlanningSession {
+        let oracle = ContainmentOracle::with_options(planner.containment);
+        PlanningSession { planner, oracle }
+    }
+
+    /// The planner configuration in effect.
+    pub fn planner(&self) -> &RewritePlanner {
+        &self.planner
+    }
+
+    /// Read access to the shared oracle (stats, interner size).
+    pub fn oracle(&self) -> &ContainmentOracle {
+        &self.oracle
+    }
+
+    /// Mutable access to the shared oracle (interning, ablation knobs).
+    pub fn oracle_mut(&mut self) -> &mut ContainmentOracle {
+        &mut self.oracle
+    }
+
+    /// Decides the rewriting-existence problem, sharing all containment
+    /// work with previous calls on this session.
+    pub fn decide(&mut self, p: &Pattern, v: &Pattern) -> RewriteAnswer {
+        self.decide_with_stats(p, v).0
+    }
+
+    /// [`PlanningSession::decide`] with per-call counters; `memo_hits` /
+    /// `memo_misses` / `canonical_runs` describe exactly this call's share
+    /// of the oracle's work.
+    pub fn decide_with_stats(&mut self, p: &Pattern, v: &Pattern) -> (RewriteAnswer, PlannerStats) {
+        self.planner.decide_in(&mut self.oracle, p, v)
     }
 }
 
@@ -437,14 +551,56 @@ mod tests {
 
     #[test]
     fn stats_reflect_work() {
-        let (ans, stats) = RewritePlanner::default().decide_with_stats(
-            &pat("a[b]//*/e[d]"),
-            &pat("a[b]/*"),
-        );
+        let (ans, stats) =
+            RewritePlanner::default().decide_with_stats(&pat("a[b]//*/e[d]"), &pat("a[b]/*"));
         assert!(ans.is_definitive());
         assert!(stats.condition_found);
         assert!(stats.candidate_tests.equivalence_tests >= 1);
         assert!(!stats.brute_forced);
+    }
+
+    #[test]
+    fn session_memoizes_across_decides() {
+        let mut session = RewritePlanner::default().session();
+        let p = pat("a[b]//*/e[d]");
+        let v = pat("a[b]/*");
+        let (first_ans, first) = session.decide_with_stats(&p, &v);
+        assert!(first_ans.is_definitive());
+        assert_eq!(first.memo_hits, 0);
+        assert!(first.memo_misses > 0);
+
+        let (second_ans, second) = session.decide_with_stats(&p, &v);
+        assert!(matches!(second_ans, RewriteAnswer::Rewriting(_)));
+        assert!(second.memo_hits > 0, "repeat decide must hit the oracle memo");
+        assert_eq!(second.memo_misses, 0);
+        assert_eq!(second.canonical_runs, 0, "repeat decide runs zero coNP loops");
+
+        // A different instance still plans fresh (no false sharing).
+        let (_, third) = session.decide_with_stats(&pat("a//b//c"), &pat("a//*"));
+        assert!(third.memo_misses > 0);
+    }
+
+    #[test]
+    fn one_shot_decide_matches_session_decide() {
+        let planner = RewritePlanner::default();
+        let mut session = planner.session();
+        for (ps, vs) in [
+            ("a[b]//*/e[d]", "a[b]/*"),
+            ("a/b/c", "a//b"),
+            ("a//b//c", "a//*"),
+            ("a/b", "a/b/c"),
+            ("a/*/c", "a/b"),
+        ] {
+            let (p, v) = (pat(ps), pat(vs));
+            let one_shot = planner.decide(&p, &v);
+            let shared = session.decide(&p, &v);
+            assert_eq!(
+                one_shot.rewriting().map(|r| r.to_string()),
+                shared.rewriting().map(|r| r.to_string()),
+                "session and one-shot disagree on {ps} / {vs}"
+            );
+            assert_eq!(one_shot.is_definitive(), shared.is_definitive());
+        }
     }
 
     #[test]

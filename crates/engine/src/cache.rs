@@ -8,12 +8,31 @@
 //! computed from the view (virtually — no subtree copies), and otherwise the
 //! query runs directly against the document. Soundness is inherited from the
 //! planner: a rewriting is only used after `R ◦ V ≡ P` has been verified.
+//!
+//! ## Amortization under repeated traffic
+//!
+//! The cache plans through one long-lived [`xpv_core::PlanningSession`], so
+//! containment verdicts and homomorphism witnesses are shared across *all*
+//! queries, and keeps a **plan memo** keyed by interned query keys
+//! ([`xpv_pattern::PatternKey`]): the second arrival of a query (or of any
+//! sibling-reordered isomorph) skips planning entirely — zero
+//! canonical-model containment calls, observable via
+//! [`CacheStats::plan_memo_hits`] and the flat
+//! [`CacheStats::oracle_canonical_runs`] counter. Registering a new view
+//! invalidates the plan memo (a fresh view can only *improve* routes, so
+//! plans are re-derived), while the oracle's containment verdicts — which
+//! depend only on the pattern pair — survive.
+//!
+//! [`ViewCache::answer_batch`] answers a workload slice in one pass over
+//! this machinery; [`ViewCache::set_memo_enabled`] is the ablation knob that
+//! turns both memo levels off for before/after measurements.
 
+use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
-use xpv_core::{contained_rewriting, RewriteAnswer, RewritePlanner};
+use xpv_core::{contained_rewriting_in, PlanningSession, RewriteAnswer, RewritePlanner};
 use xpv_model::{NodeId, Tree};
-use xpv_pattern::Pattern;
+use xpv_pattern::{Pattern, PatternKey};
 use xpv_semantics::evaluate;
 
 use crate::view::MaterializedView;
@@ -59,24 +78,54 @@ pub struct CacheAnswer {
 }
 
 /// Aggregate statistics over the cache's lifetime.
+///
+/// `queries == plan_memo_hits + plan_memo_misses` holds across both
+/// [`ViewCache::answer`] and [`ViewCache::answer_partial`]; partial answers
+/// served through a *contained* (non-equivalent) rewriting count toward
+/// `queries` but toward neither `view_hits` nor `direct`.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct CacheStats {
-    /// Queries answered.
+    /// Queries answered (full and partial).
     pub queries: u64,
-    /// Queries answered from a view.
+    /// Queries answered from a view through an equivalent rewriting.
     pub view_hits: u64,
-    /// Queries answered directly.
+    /// Queries answered by direct evaluation.
     pub direct: u64,
+    /// Queries whose route came straight from the plan memo (no planner
+    /// call, zero containment tests).
+    pub plan_memo_hits: u64,
+    /// Queries that had to be planned.
+    pub plan_memo_misses: u64,
+    /// Containment verdicts the session oracle served from its memo.
+    pub oracle_memo_hits: u64,
+    /// Canonical-model loops (coNP containment work) run so far. Flat
+    /// between two [`ViewCache::answer`] calls ⇔ the second call did zero
+    /// canonical-model containment work.
+    pub oracle_canonical_runs: u64,
+    /// Canonical models enumerated inside those loops.
+    pub oracle_models_checked: u64,
+}
+
+/// A memoized routing decision for one query key.
+#[derive(Clone, Debug)]
+enum PlannedRoute {
+    /// Serve from `views[index]` through `rewriting`.
+    ViaView { index: usize, rewriting: Pattern },
+    /// No registered view admits an equivalent rewriting.
+    Direct,
 }
 
 /// A set of materialized views over a single document, with rewriting-based
-/// query answering.
+/// query answering, a long-lived planning session, and a per-query plan
+/// memo (see the module docs for the amortization story).
 #[derive(Debug)]
 pub struct ViewCache {
     doc: Tree,
     views: Vec<MaterializedView>,
-    planner: RewritePlanner,
+    session: PlanningSession,
     policy: ChoicePolicy,
+    plan_memo: HashMap<PatternKey, PlannedRoute>,
+    memo_enabled: bool,
     stats: CacheStats,
 }
 
@@ -91,16 +140,37 @@ impl ViewCache {
         ViewCache {
             doc,
             views: Vec::new(),
-            planner,
+            session: PlanningSession::new(planner),
             policy: ChoicePolicy::default(),
+            plan_memo: HashMap::new(),
+            memo_enabled: true,
             stats: CacheStats::default(),
         }
     }
 
-    /// Sets the view-selection policy (builder style).
+    /// Sets the view-selection policy (builder style). Invalidates the plan
+    /// memo: routes chosen under the previous policy are stale.
     pub fn with_policy(mut self, policy: ChoicePolicy) -> ViewCache {
         self.policy = policy;
+        self.plan_memo.clear();
         self
+    }
+
+    /// Enables or disables **all** memoization — the plan memo and the
+    /// session oracle's verdict/homomorphism memos. This is the ablation
+    /// knob the throughput bench flips to measure what sharing buys;
+    /// disabling clears every memo so a re-enable starts cold.
+    pub fn set_memo_enabled(&mut self, enabled: bool) {
+        self.memo_enabled = enabled;
+        if !enabled {
+            self.plan_memo.clear();
+        }
+        self.session.oracle_mut().set_memo_enabled(enabled);
+    }
+
+    /// Whether memoization is active.
+    pub fn memo_enabled(&self) -> bool {
+        self.memo_enabled
     }
 
     /// The cached document.
@@ -111,17 +181,19 @@ impl ViewCache {
     /// Materializes `def` over the document and registers it under `name`.
     /// Returns the number of answers materialized.
     ///
+    /// Invalidates the plan memo: a new view may serve queries that
+    /// previously routed elsewhere. The oracle's containment verdicts are
+    /// unaffected (they depend only on the pattern pair).
+    ///
     /// # Panics
     ///
     /// Panics if a view with the same name is already registered.
     pub fn add_view(&mut self, name: &str, def: Pattern) -> usize {
-        assert!(
-            self.views.iter().all(|v| v.name() != name),
-            "duplicate view name {name:?}"
-        );
+        assert!(self.views.iter().all(|v| v.name() != name), "duplicate view name {name:?}");
         let view = MaterializedView::materialize(name, def, &self.doc);
         let n = view.len();
         self.views.push(view);
+        self.plan_memo.clear();
         n
     }
 
@@ -130,26 +202,34 @@ impl ViewCache {
         &self.views
     }
 
-    /// Lifetime statistics.
+    /// Lifetime statistics (the oracle counters are folded in live).
     pub fn stats(&self) -> CacheStats {
-        self.stats
+        let oracle = self.session.oracle().stats();
+        CacheStats {
+            oracle_memo_hits: oracle.verdict_memo_hits,
+            oracle_canonical_runs: oracle.canonical_runs,
+            oracle_models_checked: oracle.models_checked,
+            ..self.stats
+        }
     }
 
-    /// Answers `query`, preferring an equivalent rewriting over any
-    /// registered view and falling back to direct evaluation. Which view
-    /// wins when several apply is governed by the [`ChoicePolicy`].
-    pub fn answer(&mut self, query: &Pattern) -> CacheAnswer {
-        self.stats.queries += 1;
-        let plan_start = Instant::now();
+    /// Picks the route for `query`, consulting (and feeding) the plan memo.
+    fn plan(&mut self, query: &Pattern) -> PlannedRoute {
+        let key = self.session.oracle_mut().intern(query);
+        if self.memo_enabled {
+            if let Some(route) = self.plan_memo.get(&key) {
+                self.stats.plan_memo_hits += 1;
+                return route.clone();
+            }
+        }
+        self.stats.plan_memo_misses += 1;
         let mut chosen: Option<(usize, Pattern)> = None;
         for (i, view) in self.views.iter().enumerate() {
-            if let RewriteAnswer::Rewriting(rw) = self.planner.decide(query, view.definition()) {
+            if let RewriteAnswer::Rewriting(rw) = self.session.decide(query, view.definition()) {
                 let better = match (&chosen, self.policy) {
                     (None, _) => true,
                     (Some(_), ChoicePolicy::FirstMatch) => false,
-                    (Some((j, _)), ChoicePolicy::SmallestView) => {
-                        view.len() < self.views[*j].len()
-                    }
+                    (Some((j, _)), ChoicePolicy::SmallestView) => view.len() < self.views[*j].len(),
                 };
                 if better {
                     chosen = Some((i, rw.pattern().clone()));
@@ -159,26 +239,57 @@ impl ViewCache {
                 }
             }
         }
+        let route = match chosen {
+            Some((index, rewriting)) => PlannedRoute::ViaView { index, rewriting },
+            None => PlannedRoute::Direct,
+        };
+        if self.memo_enabled {
+            self.plan_memo.insert(key, route.clone());
+        }
+        route
+    }
+
+    /// Answers `query`, preferring an equivalent rewriting over any
+    /// registered view and falling back to direct evaluation. Which view
+    /// wins when several apply is governed by the [`ChoicePolicy`].
+    ///
+    /// From its second occurrence on, a query's route is served from the
+    /// plan memo: no planner call and **zero** canonical-model containment
+    /// calls ([`CacheStats::plan_memo_hits`] counts these).
+    pub fn answer(&mut self, query: &Pattern) -> CacheAnswer {
+        self.stats.queries += 1;
+        let plan_start = Instant::now();
+        let route = self.plan(query);
         let planning = plan_start.elapsed();
 
         let eval_start = Instant::now();
-        let (nodes, route) = match chosen {
-            Some((i, r)) => {
+        let (nodes, route) = match route {
+            PlannedRoute::ViaView { index, rewriting } => {
                 self.stats.view_hits += 1;
-                let view = &self.views[i];
-                let nodes = view.apply_virtual(&r, &self.doc);
+                let view = &self.views[index];
+                let nodes = view.apply_virtual(&rewriting, &self.doc);
                 (
                     nodes,
-                    Route::ViaView { view: view.name().to_string(), rewriting: r.to_string() },
+                    Route::ViaView {
+                        view: view.name().to_string(),
+                        rewriting: rewriting.to_string(),
+                    },
                 )
             }
-            None => {
+            PlannedRoute::Direct => {
                 self.stats.direct += 1;
                 (evaluate(query, &self.doc), Route::Direct)
             }
         };
         let evaluation = eval_start.elapsed();
         CacheAnswer { nodes, route, planning, evaluation }
+    }
+
+    /// Answers a whole workload slice in one pass. Repeated queries (and
+    /// sibling-reordered isomorphs) in the batch are planned once; answers
+    /// come back in input order.
+    pub fn answer_batch(&mut self, queries: &[Pattern]) -> Vec<CacheAnswer> {
+        queries.iter().map(|q| self.answer(q)).collect()
     }
 
     /// Answers `query` by direct evaluation only (baseline for benchmarks).
@@ -195,16 +306,18 @@ impl ViewCache {
     /// The `complete` flag is `true` only when the rewriting is equivalent
     /// (in which case this behaves like [`ViewCache::answer`]).
     pub fn answer_partial(&mut self, query: &Pattern) -> Option<(Vec<NodeId>, bool)> {
-        // Equivalent rewriting first.
-        for view in &self.views {
-            if let RewriteAnswer::Rewriting(rw) = self.planner.decide(query, view.definition()) {
-                return Some((view.apply_virtual(rw.pattern(), &self.doc), true));
-            }
+        self.stats.queries += 1;
+        // Equivalent rewriting first (shares the plan memo with `answer`).
+        if let PlannedRoute::ViaView { index, rewriting } = self.plan(query) {
+            self.stats.view_hits += 1;
+            return Some((self.views[index].apply_virtual(&rewriting, &self.doc), true));
         }
         // Contained rewriting: pick the view yielding the most answers.
         let mut best: Option<Vec<NodeId>> = None;
         for view in &self.views {
-            if let Some(r) = contained_rewriting(query, view.definition()) {
+            if let Some(r) =
+                contained_rewriting_in(self.session.oracle_mut(), query, view.definition())
+            {
                 let nodes = view.apply_virtual(&r, &self.doc);
                 if best.as_ref().is_none_or(|b| nodes.len() > b.len()) {
                     best = Some(nodes);
@@ -346,6 +459,127 @@ mod tests {
         let (nodes, complete) = cache.answer_partial(&q).expect("equivalent exists");
         assert!(complete);
         assert_eq!(nodes, cache.answer_direct(&q));
+    }
+
+    #[test]
+    fn repeated_queries_hit_the_plan_memo_with_zero_conp_work() {
+        let mut cache = ViewCache::new(doc());
+        cache.add_view("items", pat("site/region/item"));
+        let q = pat("site/region/item/name");
+
+        let first = cache.answer(&q);
+        let after_first = cache.stats();
+        assert_eq!(after_first.plan_memo_hits, 0);
+        assert_eq!(after_first.plan_memo_misses, 1);
+
+        let second = cache.answer(&q);
+        let after_second = cache.stats();
+        assert_eq!(after_second.plan_memo_hits, 1, "second occurrence must memo-hit");
+        assert_eq!(
+            after_second.oracle_canonical_runs, after_first.oracle_canonical_runs,
+            "repeat answer must perform zero canonical-model containment calls"
+        );
+        assert_eq!(after_second.oracle_models_checked, after_first.oracle_models_checked);
+        assert_eq!(first.nodes, second.nodes);
+        assert_eq!(first.route, second.route);
+
+        // A sibling-reordered isomorph of a seen query also memo-hits.
+        let mut cache2 = ViewCache::new(doc());
+        cache2.add_view("items", pat("site/region/item"));
+        let _ = cache2.answer(&pat("site/region[item]/item[name][desc]/name"));
+        let runs = cache2.stats().oracle_canonical_runs;
+        let _ = cache2.answer(&pat("site/region[item]/item[desc][name]/name"));
+        assert_eq!(cache2.stats().plan_memo_hits, 1);
+        assert_eq!(cache2.stats().oracle_canonical_runs, runs);
+    }
+
+    #[test]
+    fn memo_disabled_replans_every_time() {
+        let mut cache = ViewCache::new(doc());
+        cache.set_memo_enabled(false);
+        cache.add_view("items", pat("site/region/item"));
+        let q = pat("site/region/item/name");
+        let _ = cache.answer(&q);
+        let runs_first = cache.stats().oracle_canonical_runs;
+        let _ = cache.answer(&q);
+        let s = cache.stats();
+        assert_eq!(s.plan_memo_hits, 0);
+        assert_eq!(s.plan_memo_misses, 2);
+        assert!(
+            s.oracle_canonical_runs >= runs_first,
+            "no-memo cache repeats its containment work"
+        );
+    }
+
+    #[test]
+    fn add_view_invalidates_plan_memo() {
+        let mut cache = ViewCache::new(doc());
+        cache.add_view("names", pat("site/region/item/name"));
+        // No usable view: route memoized as Direct.
+        let q = pat("site/region/item");
+        assert_eq!(cache.answer(&q).route, Route::Direct);
+        // The new view must be picked up despite the memoized Direct route.
+        cache.add_view("items", pat("site/region/item"));
+        match cache.answer(&q).route {
+            Route::ViaView { view, .. } => assert_eq!(view, "items"),
+            other => panic!("expected the fresh view to serve, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn policy_change_invalidates_memoized_routes() {
+        let mut cache = ViewCache::new(doc());
+        cache.add_view("regions", pat("site/region"));
+        cache.add_view("items", pat("site/region/item"));
+        let q = pat("site/region/item/name");
+        // FirstMatch memoizes the "regions" route.
+        match cache.answer(&q).route {
+            Route::ViaView { view, .. } => assert_eq!(view, "regions"),
+            other => panic!("expected view hit, got {other:?}"),
+        }
+        // Switching policy must not serve the stale FirstMatch route.
+        let mut cache = cache.with_policy(ChoicePolicy::SmallestView);
+        match cache.answer(&q).route {
+            Route::ViaView { view, .. } => {
+                assert_eq!(view, "regions", "regions is the smaller view here");
+            }
+            other => panic!("expected view hit, got {other:?}"),
+        }
+        assert_eq!(cache.stats().plan_memo_misses, 2, "route re-planned after policy change");
+    }
+
+    #[test]
+    fn partial_answers_keep_stats_consistent() {
+        let mut cache = ViewCache::new(doc());
+        cache.add_view("desc_items", pat("site/region/item[desc]"));
+        let q = pat("site/region/item/name");
+        let _ = cache.answer_partial(&q);
+        let s = cache.stats();
+        assert_eq!(s.queries, 1);
+        assert_eq!(s.plan_memo_hits + s.plan_memo_misses, s.queries);
+        assert_eq!(s.view_hits, 0, "contained rewriting is not an equivalent view hit");
+    }
+
+    #[test]
+    fn batch_answers_match_singles_and_amortize() {
+        let mut cache = ViewCache::new(doc());
+        cache.add_view("items", pat("site/region/item"));
+        let qs = vec![
+            pat("site/region/item/name"),
+            pat("site//keyword"),
+            pat("site/region/item/name"),
+            pat("site/region/item/name"),
+            pat("site//keyword"),
+        ];
+        let answers = cache.answer_batch(&qs);
+        assert_eq!(answers.len(), qs.len());
+        for (q, a) in qs.iter().zip(&answers) {
+            assert_eq!(a.nodes, cache.answer_direct(q), "batch answer wrong for {q}");
+        }
+        let s = cache.stats();
+        assert_eq!(s.queries, 5);
+        assert_eq!(s.plan_memo_misses, 2, "two distinct queries planned once each");
+        assert_eq!(s.plan_memo_hits, 3);
     }
 
     #[test]

@@ -16,10 +16,7 @@ pub struct BitSet {
 impl BitSet {
     /// An empty set with capacity for values `0..len`.
     pub fn new(len: usize) -> BitSet {
-        BitSet {
-            words: vec![0; len.div_ceil(64)],
-            len,
-        }
+        BitSet { words: vec![0; len.div_ceil(64)], len }
     }
 
     /// Capacity (the exclusive upper bound on stored values).

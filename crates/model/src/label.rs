@@ -21,9 +21,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::num::NonZeroU32;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::OnceLock;
-
-use parking_lot::RwLock;
+use std::sync::{OnceLock, RwLock};
 
 /// An interned node label (an element of the paper's alphabet `Σ`).
 ///
@@ -40,12 +38,7 @@ struct Interner {
 
 fn interner() -> &'static RwLock<Interner> {
     static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
-    INTERNER.get_or_init(|| {
-        RwLock::new(Interner {
-            by_name: HashMap::new(),
-            names: Vec::new(),
-        })
-    })
+    INTERNER.get_or_init(|| RwLock::new(Interner { by_name: HashMap::new(), names: Vec::new() }))
 }
 
 /// The reserved spelling of the canonical-model label `⊥`.
@@ -78,10 +71,10 @@ impl Label {
 
     fn intern(name: &str) -> Label {
         // Fast path: already interned.
-        if let Some(&l) = interner().read().by_name.get(name) {
+        if let Some(&l) = interner().read().expect("label interner poisoned").by_name.get(name) {
             return l;
         }
-        let mut w = interner().write();
+        let mut w = interner().write().expect("label interner poisoned");
         if let Some(&l) = w.by_name.get(name) {
             return l;
         }
@@ -112,7 +105,12 @@ impl Label {
         loop {
             let n = COUNTER.fetch_add(1, Ordering::Relaxed);
             let candidate = format!("{prefix}\u{00b7}{n}");
-            if interner().read().by_name.contains_key(candidate.as_str()) {
+            if interner()
+                .read()
+                .expect("label interner poisoned")
+                .by_name
+                .contains_key(candidate.as_str())
+            {
                 continue;
             }
             return Self::intern(&candidate);
@@ -121,7 +119,7 @@ impl Label {
 
     /// The spelling of this label.
     pub fn name(self) -> &'static str {
-        interner().read().names[(self.0.get() - 1) as usize]
+        interner().read().expect("label interner poisoned").names[(self.0.get() - 1) as usize]
     }
 
     /// A stable integer id (useful as an index key in hot paths).

@@ -46,13 +46,7 @@ pub struct Tree {
 impl Tree {
     /// Creates a tree consisting of a single root labeled `root_label`.
     pub fn new(root_label: Label) -> Tree {
-        Tree {
-            nodes: vec![TreeNode {
-                label: root_label,
-                parent: None,
-                children: Vec::new(),
-            }],
-        }
+        Tree { nodes: vec![TreeNode { label: root_label, parent: None, children: Vec::new() }] }
     }
 
     /// The root node (always id 0).
@@ -77,11 +71,7 @@ impl Tree {
     pub fn add_child(&mut self, parent: NodeId, label: Label) -> NodeId {
         assert!(parent.index() < self.nodes.len(), "parent out of bounds");
         let id = NodeId(u32::try_from(self.nodes.len()).expect("tree too large"));
-        self.nodes.push(TreeNode {
-            label,
-            parent: Some(parent),
-            children: Vec::new(),
-        });
+        self.nodes.push(TreeNode { label, parent: Some(parent), children: Vec::new() });
         self.nodes[parent.index()].children.push(id);
         id
     }
@@ -133,11 +123,7 @@ impl Tree {
 
     /// Height of the tree: the maximal number of edges on a root-to-leaf path.
     pub fn height(&self) -> usize {
-        self.node_ids()
-            .filter(|&n| self.is_leaf(n))
-            .map(|n| self.depth(n))
-            .max()
-            .unwrap_or(0)
+        self.node_ids().filter(|&n| self.is_leaf(n)).map(|n| self.depth(n)).max().unwrap_or(0)
     }
 
     /// Returns `true` if `a` is a **proper** ancestor of `b`.
@@ -201,11 +187,8 @@ impl Tree {
     /// isomorphism: two subtrees have equal keys iff they are isomorphic as
     /// unordered labeled trees.
     pub fn canonical_key_at(&self, n: NodeId) -> String {
-        let mut child_keys: Vec<String> = self
-            .children(n)
-            .iter()
-            .map(|&c| self.canonical_key_at(c))
-            .collect();
+        let mut child_keys: Vec<String> =
+            self.children(n).iter().map(|&c| self.canonical_key_at(c)).collect();
         child_keys.sort();
         let mut s = String::new();
         s.push('(');
@@ -264,10 +247,7 @@ impl TreeBuilder<'_> {
     pub fn root(root_label: &str, f: impl FnOnce(&mut TreeBuilder<'_>)) -> Tree {
         let mut tree = Tree::new(Label::new(root_label));
         let root = tree.root();
-        let mut b = TreeBuilder {
-            tree: &mut tree,
-            cur: root,
-        };
+        let mut b = TreeBuilder { tree: &mut tree, cur: root };
         f(&mut b);
         tree
     }
@@ -281,10 +261,7 @@ impl TreeBuilder<'_> {
     /// Adds an internal child and recurses into it.
     pub fn child(&mut self, label: &str, f: impl FnOnce(&mut TreeBuilder<'_>)) -> &mut Self {
         let id = self.tree.add_child(self.cur, Label::new(label));
-        let mut b = TreeBuilder {
-            tree: self.tree,
-            cur: id,
-        };
+        let mut b = TreeBuilder { tree: self.tree, cur: id };
         f(&mut b);
         self
     }

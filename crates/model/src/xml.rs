@@ -37,10 +37,7 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn err<T>(&self, message: impl Into<String>) -> Result<T, XmlError> {
-        Err(XmlError {
-            offset: self.pos,
-            message: message.into(),
-        })
+        Err(XmlError { offset: self.pos, message: message.into() })
     }
 
     fn rest(&self) -> &'a str {
@@ -81,7 +78,11 @@ impl<'a> Parser<'a> {
 
     /// Parses one element (having already consumed nothing). On success the
     /// element has been appended under `parent` (or made the root).
-    fn parse_element(&mut self, tree: &mut Option<Tree>, parent: Option<NodeId>) -> Result<(), XmlError> {
+    fn parse_element(
+        &mut self,
+        tree: &mut Option<Tree>,
+        parent: Option<NodeId>,
+    ) -> Result<(), XmlError> {
         if !self.eat("<") {
             return self.err("expected '<'");
         }
@@ -107,7 +108,9 @@ impl<'a> Parser<'a> {
             if self.eat("</") {
                 let close = self.parse_name()?;
                 if close != name {
-                    return self.err(format!("mismatched close tag: expected </{name}>, found </{close}>"));
+                    return self.err(format!(
+                        "mismatched close tag: expected </{name}>, found </{close}>"
+                    ));
                 }
                 self.skip_ws();
                 if !self.eat(">") {

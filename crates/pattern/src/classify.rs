@@ -97,10 +97,7 @@ pub fn stability_witness(p: &Pattern) -> Option<StabilityWitness> {
     }
     let q_geq1 = p.sub_pattern_geq(1);
     let inner = q_geq1.label_set();
-    let fresh = p
-        .label_set()
-        .into_iter()
-        .find(|l| inner.binary_search(l).is_err());
+    let fresh = p.label_set().into_iter().find(|l| inner.binary_search(l).is_err());
     fresh.map(StabilityWitness::FreshLabelOutsideQGeq1)
 }
 
@@ -152,19 +149,13 @@ pub fn is_gnf_star(p: &Pattern) -> bool {
 /// largest `i` such that a descendant edge enters the i-node. `None` when the
 /// selection path has only child edges.
 pub fn deepest_descendant_selection_edge(p: &Pattern) -> Option<usize> {
-    p.selection_axes()
-        .iter()
-        .rposition(|&a| a == Axis::Descendant)
-        .map(|idx| idx + 1)
+    p.selection_axes().iter().rposition(|&a| a == Axis::Descendant).map(|idx| idx + 1)
 }
 
 /// Returns `true` if the first `upto` selection edges are all child edges.
 /// (`upto` is clamped to the pattern depth.)
 pub fn selection_prefix_all_child(p: &Pattern, upto: usize) -> bool {
-    p.selection_axes()
-        .iter()
-        .take(upto)
-        .all(|&a| a == Axis::Child)
+    p.selection_axes().iter().take(upto).all(|&a| a == Axis::Child)
 }
 
 /// Returns `true` if the i-node of `p` carries a non-wildcard label.
@@ -238,23 +229,14 @@ mod tests {
 
     #[test]
     fn stability_root_labeled() {
-        assert_eq!(
-            stability_witness(&pat("a//*")),
-            Some(StabilityWitness::RootLabeled)
-        );
+        assert_eq!(stability_witness(&pat("a//*")), Some(StabilityWitness::RootLabeled));
     }
 
     #[test]
     fn stability_depth_zero() {
-        assert_eq!(
-            stability_witness(&pat("*")),
-            Some(StabilityWitness::DepthZero)
-        );
+        assert_eq!(stability_witness(&pat("*")), Some(StabilityWitness::DepthZero));
         // Depth 0 with branches is still depth 0.
-        assert_eq!(
-            stability_witness(&pat("*[a][b]")),
-            Some(StabilityWitness::DepthZero)
-        );
+        assert_eq!(stability_witness(&pat("*[a][b]")), Some(StabilityWitness::DepthZero));
     }
 
     #[test]

@@ -14,6 +14,10 @@
 //!   `l//Q` prefix ([`Pattern::prefix_descendant`]);
 //! * a parser ([`parse_xpath`]) and printer ([`to_xpath`]) for the fragment's
 //!   XPath syntax `q ::= q/q | q//q | q[q] | l | *`;
+//! * structural hashing and interning ([`Pattern::fingerprint`],
+//!   [`PatternInterner`] / [`PatternKey`]) — stable under sibling
+//!   reordering — so patterns can serve as cheap memo keys for the
+//!   containment oracle in `xpv-semantics`;
 //! * syntactic classification: fragments ([`FragmentFlags`]), linearity,
 //!   the Proposition 4.1 stability witnesses ([`stability_witness`]) and the
 //!   GNF/* normal form of Definition 5.3 ([`is_gnf_star`]).
@@ -21,6 +25,7 @@
 //! Semantics (embeddings, evaluation, containment) live in `xpv-semantics`.
 
 pub mod classify;
+pub mod intern;
 pub mod ops;
 pub mod parse;
 pub mod pattern;
@@ -31,6 +36,7 @@ pub use classify::{
     selection_node_labeled, selection_prefix_all_child, stability_witness, star_chain_len,
     FragmentFlags, GnfCase, StabilityWitness,
 };
+pub use intern::{PatternInterner, PatternKey};
 pub use ops::{compose, compose_chain};
 pub use parse::{parse_xpath, ParseError};
 pub use pattern::{Axis, NodeTest, PatId, Pattern, PatternBuilder};

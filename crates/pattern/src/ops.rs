@@ -149,10 +149,7 @@ impl Pattern {
     /// Panics if `n` is the root or lies on the selection path (removing it
     /// would not leave a pattern with the same output node).
     pub fn without_subtree(&self, n: PatId) -> Pattern {
-        assert!(
-            !self.selection_path().contains(&n),
-            "cannot remove a selection-path node"
-        );
+        assert!(!self.selection_path().contains(&n), "cannot remove a selection-path node");
         let (mut out, map) = self.copy_excluding(Some(n));
         let new_out = Self::mapped(&map, self.output());
         out.set_output(new_out);

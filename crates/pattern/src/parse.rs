@@ -50,10 +50,7 @@ const NAME_STOP: &[char] = &['/', '[', ']', '*', '.', '<', '>', '"', '(', ')'];
 
 impl<'a> Parser<'a> {
     fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
-        Err(ParseError {
-            offset: self.pos,
-            message: message.into(),
-        })
+        Err(ParseError { offset: self.pos, message: message.into() })
     }
 
     fn rest(&self) -> &'a str {
@@ -240,11 +237,7 @@ mod tests {
     fn dot_slashslash_predicate_is_descendant() {
         let p = parse_xpath("a[.//b]/c").expect("parse");
         let kids = p.children(p.root());
-        let b = kids
-            .iter()
-            .copied()
-            .find(|&c| p.test(c) == NodeTest::label("b"))
-            .expect("b child");
+        let b = kids.iter().copied().find(|&c| p.test(c) == NodeTest::label("b")).expect("b child");
         assert_eq!(p.axis(b), Axis::Descendant);
         let p2 = parse_xpath("a[./b]/c").expect("parse");
         let b2 = p2.children(p2.root())[0];
@@ -330,10 +323,7 @@ mod tests {
     fn fig4_style_patterns() {
         let v = parse_xpath("a/*//*/*").expect("parse");
         assert_eq!(v.depth(), 3);
-        assert_eq!(
-            v.selection_axes(),
-            vec![Axis::Child, Axis::Descendant, Axis::Child]
-        );
+        assert_eq!(v.selection_axes(), vec![Axis::Child, Axis::Descendant, Axis::Child]);
         let p2 = parse_xpath("a/*//*/*/c//e").expect("parse");
         assert_eq!(p2.depth(), 5);
         assert_eq!(p2.selection_axes().last(), Some(&Axis::Descendant));

@@ -140,22 +140,14 @@ impl Pattern {
     pub fn single(test: NodeTest) -> Pattern {
         Self::assert_test_allowed(test);
         Pattern {
-            nodes: vec![PatNode {
-                test,
-                parent: None,
-                axis: Axis::Child,
-                children: Vec::new(),
-            }],
+            nodes: vec![PatNode { test, parent: None, axis: Axis::Child, children: Vec::new() }],
             output: PatId(0),
         }
     }
 
     fn assert_test_allowed(test: NodeTest) {
         if let NodeTest::Label(l) = test {
-            assert!(
-                !l.is_bottom(),
-                "patterns must not use the reserved canonical-model label ⊥"
-            );
+            assert!(!l.is_bottom(), "patterns must not use the reserved canonical-model label ⊥");
         }
     }
 
@@ -194,12 +186,7 @@ impl Pattern {
         Self::assert_test_allowed(test);
         assert!(parent.index() < self.nodes.len(), "parent out of bounds");
         let id = PatId(u32::try_from(self.nodes.len()).expect("pattern too large"));
-        self.nodes.push(PatNode {
-            test,
-            parent: Some(parent),
-            axis,
-            children: Vec::new(),
-        });
+        self.nodes.push(PatNode { test, parent: Some(parent), axis, children: Vec::new() });
         self.nodes[parent.index()].children.push(id);
         id
     }
@@ -311,10 +298,7 @@ impl Pattern {
     /// The set of concrete labels (elements of `Σ`) used in the pattern,
     /// sorted and deduplicated. Wildcards are not labels and are excluded.
     pub fn label_set(&self) -> Vec<Label> {
-        let mut ls: Vec<Label> = self
-            .node_ids()
-            .filter_map(|n| self.test(n).as_label())
-            .collect();
+        let mut ls: Vec<Label> = self.node_ids().filter_map(|n| self.test(n).as_label()).collect();
         ls.sort();
         ls.dedup();
         ls
@@ -448,7 +432,12 @@ impl PatternBuilder<'_> {
     }
 
     /// Adds an internal child and recurses into it.
-    pub fn child(&mut self, axis: Axis, label: &str, f: impl FnOnce(&mut PatternBuilder<'_>)) -> &mut Self {
+    pub fn child(
+        &mut self,
+        axis: Axis,
+        label: &str,
+        f: impl FnOnce(&mut PatternBuilder<'_>),
+    ) -> &mut Self {
         let id = self.pat.add_child(self.cur, axis, Self::test_of(label));
         let mut b = PatternBuilder { pat: self.pat, cur: id };
         f(&mut b);

@@ -64,10 +64,7 @@ mod tests {
         let p = parse_xpath(s).expect("parse");
         let printed = to_xpath(&p);
         let p2 = parse_xpath(&printed).expect("reparse");
-        assert!(
-            p.structurally_eq(&p2),
-            "roundtrip failed: {s} -> {printed}"
-        );
+        assert!(p.structurally_eq(&p2), "roundtrip failed: {s} -> {printed}");
     }
 
     #[test]
@@ -90,14 +87,7 @@ mod tests {
 
     #[test]
     fn exact_rendering() {
-        let cases = [
-            "a",
-            "a/b",
-            "a//b",
-            "a[b]//c[e]/d",
-            "a[.//b]/c",
-            "a[b/c]/d",
-        ];
+        let cases = ["a", "a/b", "a//b", "a[b]//c[e]/d", "a[.//b]/c", "a[b/c]/d"];
         for s in cases {
             assert_eq!(to_xpath(&parse_xpath(s).expect("parse")), s);
         }

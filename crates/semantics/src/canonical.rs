@@ -83,9 +83,7 @@ pub fn tau(p: &Pattern) -> CanonicalModel {
 
 /// The pattern nodes with an incoming descendant edge, in arena order.
 pub fn descendant_edge_targets(p: &Pattern) -> Vec<PatId> {
-    p.node_ids()
-        .filter(|&q| p.parent(q).is_some() && p.axis(q) == Axis::Descendant)
-        .collect()
+    p.node_ids().filter(|&q| p.parent(q).is_some() && p.axis(q) == Axis::Descendant).collect()
 }
 
 /// Iterator over the canonical models of a pattern with per-edge expansion
@@ -156,15 +154,8 @@ mod tests {
         let m = tau(&p);
         assert_eq!(m.tree.len(), p.len());
         // Stars became bottom.
-        let stars = p
-            .node_ids()
-            .filter(|&q| p.test(q).is_wildcard())
-            .count();
-        let bottoms = m
-            .tree
-            .node_ids()
-            .filter(|&n| m.tree.label(n).is_bottom())
-            .count();
+        let stars = p.node_ids().filter(|&q| p.test(q).is_wildcard()).count();
+        let bottoms = m.tree.node_ids().filter(|&n| m.tree.label(n).is_bottom()).count();
         assert_eq!(stars, bottoms);
     }
 
@@ -213,16 +204,10 @@ mod tests {
     #[test]
     fn interior_nodes_are_bottom() {
         let p = pat("a//b");
-        let long = CanonicalModels::new(&p, 3)
-            .max_by_key(|m| m.tree.len())
-            .expect("nonempty");
+        let long = CanonicalModels::new(&p, 3).max_by_key(|m| m.tree.len()).expect("nonempty");
         assert_eq!(long.tree.len(), 4);
         // Interior chain nodes carry ⊥; endpoints carry a and b.
-        let labels: Vec<&str> = long
-            .tree
-            .node_ids()
-            .map(|n| long.tree.label(n).name())
-            .collect();
+        let labels: Vec<&str> = long.tree.node_ids().map(|n| long.tree.label(n).name()).collect();
         assert_eq!(labels.iter().filter(|&&l| l == xpv_model::BOTTOM_NAME).count(), 2);
         assert!(labels.contains(&"a") && labels.contains(&"b"));
     }

@@ -26,7 +26,7 @@ use xpv_pattern::Pattern;
 
 /// Tuning knobs for the containment procedure (exposed for the ablation
 /// experiments; the defaults are what every other crate uses).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ContainmentOptions {
     /// Try the PTIME homomorphism witness before the canonical-model loop.
     pub hom_fast_path: bool,
@@ -56,7 +56,7 @@ pub struct ContainmentOutcome {
     pub counter_model: Option<CanonicalModel>,
 }
 
-fn canonical_loop(
+pub(crate) fn canonical_loop(
     p1: &Pattern,
     p2: &Pattern,
     bound: usize,
@@ -122,21 +122,27 @@ pub fn weakly_contained_with(
 }
 
 /// `p1 ⊑ p2` with default options.
+///
+/// One-shot entry point: runs the staged procedure directly, with no
+/// memoization overhead — verdict-identical to asking a fresh
+/// [`crate::ContainmentOracle`] (the oracle runs this same procedure on a
+/// memo miss). Components that decide containment repeatedly should hold a
+/// long-lived oracle instead so verdicts are shared across calls.
 pub fn contained(p1: &Pattern, p2: &Pattern) -> bool {
     contained_with(p1, p2, &ContainmentOptions::default()).holds
 }
 
-/// `p1 ⊑w p2` with default options.
+/// `p1 ⊑w p2` with default options (one-shot; see [`contained`]).
 pub fn weakly_contained(p1: &Pattern, p2: &Pattern) -> bool {
     weakly_contained_with(p1, p2, &ContainmentOptions::default()).holds
 }
 
-/// `p1 ≡ p2` (two-sided containment).
+/// `p1 ≡ p2` (two-sided containment; one-shot, see [`contained`]).
 pub fn equivalent(p1: &Pattern, p2: &Pattern) -> bool {
     contained(p1, p2) && contained(p2, p1)
 }
 
-/// `p1 ≡w p2` (two-sided weak containment).
+/// `p1 ≡w p2` (two-sided weak containment; one-shot, see [`contained`]).
 pub fn weakly_equivalent(p1: &Pattern, p2: &Pattern) -> bool {
     weakly_contained(p1, p2) && weakly_contained(p2, p1)
 }
@@ -305,12 +311,8 @@ mod tests {
     #[test]
     fn bound_robustness_spot_check() {
         // Raising the expansion bound never changes the verdict.
-        let pairs = [
-            ("a/*//e", "a//*/e"),
-            ("a//b", "a/*/b"),
-            ("*[a]//b", "*//b"),
-            ("a[*/c]//d", "a//d"),
-        ];
+        let pairs =
+            [("a/*//e", "a//*/e"), ("a//b", "a/*/b"), ("*[a]//b", "*//b"), ("a[*/c]//d", "a//d")];
         for (l, r) in pairs {
             let base = contained(&pat(l), &pat(r));
             let opts = ContainmentOptions {

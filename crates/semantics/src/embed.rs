@@ -57,9 +57,10 @@ pub fn sub_match_sets(p: &Pattern, t: &Tree, pin: Option<(PatId, NodeId)>) -> Ve
                     // Tree arenas are also parent-first, so iterate in reverse.
                     for ni in (0..nt).rev() {
                         let n = NodeId(ni as u32);
-                        let hit = t.children(n).iter().any(|&m| {
-                            sub[c.index()].contains(m.index()) || ok.contains(m.index())
-                        });
+                        let hit = t
+                            .children(n)
+                            .iter()
+                            .any(|&m| sub[c.index()].contains(m.index()) || ok.contains(m.index()));
                         if hit {
                             ok.insert(ni);
                         }
@@ -129,20 +130,14 @@ pub fn evaluate(p: &Pattern, t: &Tree) -> Vec<NodeId> {
     let sub = sub_match_sets(p, t, None);
     let mut roots = BitSet::new(t.len());
     roots.insert(t.root().index());
-    propagate_selection(p, t, &sub, roots)
-        .iter()
-        .map(|i| NodeId(i as u32))
-        .collect()
+    propagate_selection(p, t, &sub, roots).iter().map(|i| NodeId(i as u32)).collect()
 }
 
 /// Evaluates `P^w(t)`: the set of output nodes over all **weak** embeddings.
 pub fn evaluate_weak(p: &Pattern, t: &Tree) -> Vec<NodeId> {
     let sub = sub_match_sets(p, t, None);
     let roots = sub[p.root().index()].clone();
-    propagate_selection(p, t, &sub, roots)
-        .iter()
-        .map(|i| NodeId(i as u32))
-        .collect()
+    propagate_selection(p, t, &sub, roots).iter().map(|i| NodeId(i as u32)).collect()
 }
 
 /// Evaluates `p` on the subtrees `t↓n` for every anchor `n`, i.e. the union
@@ -158,10 +153,7 @@ pub fn evaluate_anchored(p: &Pattern, t: &Tree, anchors: &[NodeId]) -> Vec<NodeI
     for &n in anchors {
         roots.insert(n.index());
     }
-    propagate_selection(p, t, &sub, roots)
-        .iter()
-        .map(|i| NodeId(i as u32))
-        .collect()
+    propagate_selection(p, t, &sub, roots).iter().map(|i| NodeId(i as u32)).collect()
 }
 
 /// Does some embedding of `p` into `t` produce output `o`?
@@ -193,11 +185,9 @@ fn extract_from(p: &Pattern, t: &Tree, sub: &[BitSet], anchor: NodeId) -> Option
         let at = map[q.index()];
         for &c in p.children(q) {
             let witness = match p.axis(c) {
-                Axis::Child => t
-                    .children(at)
-                    .iter()
-                    .copied()
-                    .find(|m| sub[c.index()].contains(m.index())),
+                Axis::Child => {
+                    t.children(at).iter().copied().find(|m| sub[c.index()].contains(m.index()))
+                }
                 Axis::Descendant => t
                     .descendants_inclusive(at)
                     .into_iter()
@@ -260,7 +250,12 @@ pub fn check_embedding(p: &Pattern, t: &Tree, e: &Embedding, require_root: bool)
 /// Enumerates embeddings (up to `cap`) by exhaustive backtracking over the
 /// sub-match table. Exponential in the worst case; intended for tests and
 /// small inputs.
-pub fn enumerate_embeddings(p: &Pattern, t: &Tree, require_root: bool, cap: usize) -> Vec<Embedding> {
+pub fn enumerate_embeddings(
+    p: &Pattern,
+    t: &Tree,
+    require_root: bool,
+    cap: usize,
+) -> Vec<Embedding> {
     let sub = sub_match_sets(p, t, None);
     let mut out = Vec::new();
     let anchors: Vec<NodeId> = if require_root {

@@ -21,7 +21,7 @@ use xpv_model::BitSet;
 use xpv_pattern::{Axis, NodeTest, PatId, Pattern};
 
 /// Root handling for homomorphism search.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum HomMode {
     /// `h(root(Q)) = root(P)` — witnesses ordinary containment.
     RootAnchored,
@@ -78,9 +78,10 @@ pub fn homomorphism_exists(q: &Pattern, p: &Pattern, mode: HomMode) -> bool {
                     // any proper descendant (across any edge kinds) qualifies.
                     for ni in (0..np).rev() {
                         let n = PatId(ni as u32);
-                        let hit = p.children(n).iter().any(|&m| {
-                            sub[c.index()].contains(m.index()) || ok.contains(m.index())
-                        });
+                        let hit = p
+                            .children(n)
+                            .iter()
+                            .any(|&m| sub[c.index()].contains(m.index()) || ok.contains(m.index()));
                         if hit {
                             ok.insert(ni);
                         }

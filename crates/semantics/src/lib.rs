@@ -11,25 +11,34 @@
 //!   containment witness, complete on the three sub-fragments;
 //! * **containment / equivalence**, strong and weak ([`contained`],
 //!   [`equivalent`], [`weakly_contained`], [`weakly_equivalent`]), via the
-//!   staged procedure described in DESIGN.md §3.
+//!   staged procedure described in DESIGN.md §3;
+//! * the **memoizing containment oracle** ([`ContainmentOracle`]) — the
+//!   shared decision service every planning layer routes through: patterns
+//!   are interned to structural keys and both the homomorphism witnesses and
+//!   the full canonical-model verdicts are memoized ([`OracleStats`] counts
+//!   hits, misses, and coNP work). The free containment functions run the
+//!   same staged procedure one-shot, so oracle and free-function verdicts
+//!   always agree.
 
 pub mod canonical;
 pub mod contain;
 pub mod embed;
 pub mod hom;
+pub mod oracle;
 pub mod reduce;
 
 pub use canonical::{
     descendant_edge_targets, expansion_bound, tau, CanonicalModel, CanonicalModels,
 };
 pub use contain::{
-    contained, contained_with, equivalent, equivalent_opt, weakly_contained,
-    weakly_contained_with, weakly_equivalent, ContainmentOptions, ContainmentOutcome,
+    contained, contained_with, equivalent, equivalent_opt, weakly_contained, weakly_contained_with,
+    weakly_equivalent, ContainmentOptions, ContainmentOutcome,
 };
 pub use embed::{
     check_embedding, embeds_with_output, enumerate_embeddings, evaluate, evaluate_anchored,
-    evaluate_weak, find_embedding, find_weak_embedding, sub_match_sets,
-    weakly_embeds_with_output, Embedding,
+    evaluate_weak, find_embedding, find_weak_embedding, sub_match_sets, weakly_embeds_with_output,
+    Embedding,
 };
 pub use hom::{check_homomorphism, find_homomorphism, homomorphism_exists, HomMode};
+pub use oracle::{ContainmentOracle, OracleStats};
 pub use reduce::{is_non_redundant, redundant_branches, remove_redundant_branches};

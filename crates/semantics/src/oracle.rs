@@ -1,0 +1,357 @@
+//! The memoizing containment oracle.
+//!
+//! Every layer of the rewriting pipeline — candidate tests, completeness
+//! certificates, the brute-force search, multi-view ranking, the `ViewCache`
+//! — bottoms out in the coNP canonical-model containment test of Section 2.2.
+//! Those call sites overlap heavily: a single `RewritePlanner::decide` tests
+//! both natural candidates against the *same* query, the brute force
+//! re-derives composition prefixes thousands of times, and a cache serving
+//! repeated traffic re-decides identical `(P, V)` pairs on every arrival.
+//!
+//! [`ContainmentOracle`] makes that sharing explicit. It interns patterns
+//! into [`PatternKey`]s (structural identity, sibling order ignored) and
+//! keeps a **two-level memo**:
+//!
+//! 1. **homomorphism witnesses** — the PTIME fast path, keyed by
+//!    `(q, p, mode)`; a hit skips the matcher entirely;
+//! 2. **full verdicts** — the containment answer after the canonical-model
+//!    loop, keyed by `(p1, p2, weak)`; a hit skips the coNP test entirely.
+//!
+//! The free functions [`contained`](crate::contained) /
+//! [`equivalent`](crate::equivalent) / the weak variants are thin wrappers
+//! that run a fresh oracle per call, so existing call sites keep their exact
+//! behavior; long-lived components hold an oracle (usually inside an
+//! `xpv_core::PlanningSession`) and route every decision through it.
+//!
+//! For ablation experiments the memo can be disabled
+//! ([`ContainmentOracle::set_memo_enabled`]): the oracle then recomputes
+//! every verdict while still counting the work, which is how the throughput
+//! bench quantifies what memoization buys.
+
+use std::collections::HashMap;
+
+use xpv_pattern::{Pattern, PatternInterner, PatternKey};
+
+use crate::canonical::expansion_bound;
+use crate::contain::{canonical_loop, ContainmentOptions, ContainmentOutcome};
+use crate::hom::{homomorphism_exists, HomMode};
+
+/// Counters describing the oracle's lifetime work (all monotone).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OracleStats {
+    /// Containment questions asked (strong + weak).
+    pub queries: u64,
+    /// Questions answered from the verdict memo.
+    pub verdict_memo_hits: u64,
+    /// Questions that had to be computed.
+    pub verdict_memo_misses: u64,
+    /// Homomorphism questions asked (fast path + callers).
+    pub hom_queries: u64,
+    /// Homomorphism questions answered from the hom memo.
+    pub hom_memo_hits: u64,
+    /// Questions settled by the homomorphism fast path.
+    pub hom_fast_path_hits: u64,
+    /// Canonical-model loops actually run (the coNP work).
+    pub canonical_runs: u64,
+    /// Canonical models enumerated across all loops.
+    pub models_checked: u64,
+}
+
+impl OracleStats {
+    /// Component-wise difference (`self - earlier`); all counters are
+    /// monotone, so this measures the work between two snapshots.
+    pub fn since(&self, earlier: &OracleStats) -> OracleStats {
+        OracleStats {
+            queries: self.queries - earlier.queries,
+            verdict_memo_hits: self.verdict_memo_hits - earlier.verdict_memo_hits,
+            verdict_memo_misses: self.verdict_memo_misses - earlier.verdict_memo_misses,
+            hom_queries: self.hom_queries - earlier.hom_queries,
+            hom_memo_hits: self.hom_memo_hits - earlier.hom_memo_hits,
+            hom_fast_path_hits: self.hom_fast_path_hits - earlier.hom_fast_path_hits,
+            canonical_runs: self.canonical_runs - earlier.canonical_runs,
+            models_checked: self.models_checked - earlier.models_checked,
+        }
+    }
+}
+
+/// A memoizing decision service for containment and equivalence.
+///
+/// ```
+/// use xpv_pattern::parse_xpath;
+/// use xpv_semantics::ContainmentOracle;
+///
+/// let p = parse_xpath("a/b/c").unwrap();
+/// let q = parse_xpath("a//c").unwrap();
+/// let mut oracle = ContainmentOracle::new();
+/// assert!(oracle.contained(&p, &q));
+/// assert!(oracle.contained(&p, &q)); // memo hit: no recomputation
+/// assert_eq!(oracle.stats().verdict_memo_hits, 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct ContainmentOracle {
+    interner: PatternInterner,
+    opts: ContainmentOptions,
+    memo_enabled: bool,
+    /// Level-1 memo: homomorphism existence, keyed `(q, p, mode)`.
+    hom_memo: HashMap<(PatternKey, PatternKey, HomMode), bool>,
+    /// Level-2 memo: full containment verdicts, keyed `(p1, p2, weak)`.
+    verdict_memo: HashMap<(PatternKey, PatternKey, bool), bool>,
+    stats: OracleStats,
+}
+
+impl ContainmentOracle {
+    /// An oracle with default [`ContainmentOptions`] and memoization on.
+    pub fn new() -> ContainmentOracle {
+        Self::with_options(ContainmentOptions::default())
+    }
+
+    /// An oracle with custom containment options.
+    pub fn with_options(opts: ContainmentOptions) -> ContainmentOracle {
+        ContainmentOracle {
+            interner: PatternInterner::new(),
+            opts,
+            memo_enabled: true,
+            hom_memo: HashMap::new(),
+            verdict_memo: HashMap::new(),
+            stats: OracleStats::default(),
+        }
+    }
+
+    /// Enables or disables the memo (ablation knob). Disabling also clears
+    /// both levels so a later re-enable starts cold.
+    pub fn set_memo_enabled(&mut self, enabled: bool) {
+        self.memo_enabled = enabled;
+        if !enabled {
+            self.hom_memo.clear();
+            self.verdict_memo.clear();
+        }
+    }
+
+    /// Whether memoization is active.
+    pub fn memo_enabled(&self) -> bool {
+        self.memo_enabled
+    }
+
+    /// The options threaded into every test.
+    pub fn options(&self) -> &ContainmentOptions {
+        &self.opts
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> OracleStats {
+        self.stats
+    }
+
+    /// Resets the counters (the memo tables are kept).
+    pub fn reset_stats(&mut self) {
+        self.stats = OracleStats::default();
+    }
+
+    /// Number of distinct patterns interned so far.
+    pub fn interned_patterns(&self) -> usize {
+        self.interner.len()
+    }
+
+    /// Interns `p`, returning its structural key.
+    pub fn intern(&mut self, p: &Pattern) -> PatternKey {
+        self.interner.intern(p)
+    }
+
+    /// The representative pattern of an interned key.
+    pub fn resolve(&self, key: PatternKey) -> &Pattern {
+        self.interner.resolve(key)
+    }
+
+    /// Memoized homomorphism existence `q → p` under `mode`.
+    pub fn hom_exists(&mut self, q: &Pattern, p: &Pattern, mode: HomMode) -> bool {
+        let kq = self.intern(q);
+        let kp = self.intern(p);
+        self.hom_exists_inner(kq, kp, mode, q, p)
+    }
+
+    fn hom_exists_inner(
+        &mut self,
+        kq: PatternKey,
+        kp: PatternKey,
+        mode: HomMode,
+        q: &Pattern,
+        p: &Pattern,
+    ) -> bool {
+        self.stats.hom_queries += 1;
+        if self.memo_enabled {
+            if let Some(&hit) = self.hom_memo.get(&(kq, kp, mode)) {
+                self.stats.hom_memo_hits += 1;
+                return hit;
+            }
+        }
+        let holds = homomorphism_exists(q, p, mode);
+        if self.memo_enabled {
+            self.hom_memo.insert((kq, kp, mode), holds);
+        }
+        holds
+    }
+
+    /// Memoized `p1 ⊑ p2`.
+    pub fn contained(&mut self, p1: &Pattern, p2: &Pattern) -> bool {
+        self.decide(p1, p2, false)
+    }
+
+    /// Memoized weak containment `p1 ⊑w p2`.
+    pub fn weakly_contained(&mut self, p1: &Pattern, p2: &Pattern) -> bool {
+        self.decide(p1, p2, true)
+    }
+
+    /// Memoized equivalence (two-sided containment; each side memoizes
+    /// independently, so `equivalent(p, q)` after `contained(p, q)` only
+    /// pays for the missing direction).
+    pub fn equivalent(&mut self, p1: &Pattern, p2: &Pattern) -> bool {
+        self.contained(p1, p2) && self.contained(p2, p1)
+    }
+
+    /// Memoized weak equivalence.
+    pub fn weakly_equivalent(&mut self, p1: &Pattern, p2: &Pattern) -> bool {
+        self.weakly_contained(p1, p2) && self.weakly_contained(p2, p1)
+    }
+
+    fn decide(&mut self, p1: &Pattern, p2: &Pattern, weak: bool) -> bool {
+        let k1 = self.intern(p1);
+        let k2 = self.intern(p2);
+        self.decide_keys(k1, k2, p1, p2, weak)
+    }
+
+    fn decide_keys(
+        &mut self,
+        k1: PatternKey,
+        k2: PatternKey,
+        p1: &Pattern,
+        p2: &Pattern,
+        weak: bool,
+    ) -> bool {
+        self.stats.queries += 1;
+        if self.memo_enabled {
+            if let Some(&verdict) = self.verdict_memo.get(&(k1, k2, weak)) {
+                self.stats.verdict_memo_hits += 1;
+                return verdict;
+            }
+        }
+        self.stats.verdict_memo_misses += 1;
+
+        // Stage 1: the PTIME homomorphism witness (sound for the full
+        // fragment), itself memoized at level 1.
+        let mode = if weak { HomMode::Free } else { HomMode::RootAnchored };
+        let holds = if self.opts.hom_fast_path && self.hom_exists_inner(k2, k1, mode, p2, p1) {
+            self.stats.hom_fast_path_hits += 1;
+            true
+        } else {
+            // Stage 2: the complete canonical-model loop (Section 2.2).
+            self.stats.canonical_runs += 1;
+            let bound = self.opts.bound_override.unwrap_or_else(|| expansion_bound(p2));
+            let mut outcome = ContainmentOutcome {
+                holds: false,
+                via_homomorphism: false,
+                models_checked: 0,
+                counter_model: None,
+            };
+            let holds = canonical_loop(p1, p2, bound, weak, &mut outcome);
+            self.stats.models_checked += outcome.models_checked;
+            holds
+        };
+
+        if self.memo_enabled {
+            self.verdict_memo.insert((k1, k2, weak), holds);
+        }
+        holds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xpv_pattern::parse_xpath;
+
+    fn pat(s: &str) -> Pattern {
+        parse_xpath(s).expect("pattern parses")
+    }
+
+    #[test]
+    fn agrees_with_free_functions() {
+        let pairs = [
+            ("a/b/c", "a//c"),
+            ("a//c", "a/b/c"),
+            ("a[b][c]/d", "a[b]/d"),
+            ("a/*//e", "a//*/e"),
+            ("a[b]/*/e[d]", "a[b]//*/e[d]"),
+        ];
+        let mut oracle = ContainmentOracle::new();
+        for (l, r) in pairs {
+            let (p, q) = (pat(l), pat(r));
+            assert_eq!(oracle.contained(&p, &q), crate::contain::contained(&p, &q), "{l} vs {r}");
+            assert_eq!(
+                oracle.weakly_contained(&p, &q),
+                crate::contain::weakly_contained(&p, &q),
+                "weak {l} vs {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn repeated_queries_hit_the_memo() {
+        let mut oracle = ContainmentOracle::new();
+        let p = pat("a//c");
+        let q = pat("a/b/c");
+        assert!(!oracle.contained(&p, &q));
+        let runs_before = oracle.stats().canonical_runs;
+        assert!(runs_before >= 1, "first query must run the canonical loop");
+        for _ in 0..5 {
+            assert!(!oracle.contained(&p, &q));
+        }
+        let s = oracle.stats();
+        assert_eq!(s.canonical_runs, runs_before, "memo hits must skip the loop");
+        assert_eq!(s.verdict_memo_hits, 5);
+    }
+
+    #[test]
+    fn sibling_reordered_patterns_share_memo_entries() {
+        let mut oracle = ContainmentOracle::new();
+        assert!(oracle.contained(&pat("a[b][c]/d"), &pat("a[b]/d")));
+        let misses = oracle.stats().verdict_memo_misses;
+        // The reordered isomorph interns to the same key → memo hit.
+        assert!(oracle.contained(&pat("a[c][b]/d"), &pat("a[b]/d")));
+        assert_eq!(oracle.stats().verdict_memo_misses, misses);
+        assert_eq!(oracle.stats().verdict_memo_hits, 1);
+    }
+
+    #[test]
+    fn disabled_memo_recomputes() {
+        let mut oracle = ContainmentOracle::new();
+        oracle.set_memo_enabled(false);
+        let p = pat("a//c");
+        let q = pat("a/b/c");
+        assert!(!oracle.contained(&p, &q));
+        assert!(!oracle.contained(&p, &q));
+        let s = oracle.stats();
+        assert_eq!(s.verdict_memo_hits, 0);
+        assert_eq!(s.canonical_runs, 2);
+    }
+
+    #[test]
+    fn equivalence_reuses_directional_verdicts() {
+        let mut oracle = ContainmentOracle::new();
+        let p = pat("a[b][b/c]/d");
+        let q = pat("a[b/c]/d");
+        assert!(oracle.contained(&p, &q));
+        assert!(oracle.equivalent(&p, &q));
+        // The equivalent() call reused the p ⊑ q verdict.
+        assert!(oracle.stats().verdict_memo_hits >= 1);
+    }
+
+    #[test]
+    fn stats_since_is_a_delta() {
+        let mut oracle = ContainmentOracle::new();
+        let before = oracle.stats();
+        assert!(oracle.contained(&pat("a/b"), &pat("a/*")));
+        let delta = oracle.stats().since(&before);
+        assert_eq!(delta.queries, 1);
+        assert_eq!(delta.verdict_memo_misses, 1);
+    }
+}

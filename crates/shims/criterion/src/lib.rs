@@ -1,0 +1,215 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no network access; this shim implements the
+//! subset of criterion's API the workspace benches use (`criterion_group!`,
+//! `criterion_main!`, [`Criterion::bench_function`], benchmark groups with
+//! `sample_size` / `throughput` / `bench_with_input`) on top of a simple
+//! wall-clock loop: a short warm-up, then timed batches whose mean / min are
+//! printed in a criterion-like one-line format.
+//!
+//! It intentionally does **no** statistics, HTML reports, or baselines; the
+//! numbers are honest means, good enough for the relative comparisons the
+//! EXPERIMENTS tables make. Swap the real criterion back in by deleting the
+//! `[patch]`-style path dependency once a registry is reachable.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Measurement budget per benchmark (soft cap).
+const TARGET_TOTAL: Duration = Duration::from_millis(400);
+const WARMUP_ITERS: u64 = 2;
+
+/// A timing loop handle passed to bench closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Bencher {
+        Bencher { samples: Vec::new(), sample_size }
+    }
+
+    /// Times `f`, criterion-style: warm-up iterations first, then up to
+    /// `sample_size` timed iterations bounded by the total budget.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        for _ in 0..WARMUP_ITERS {
+            std::hint::black_box(f());
+        }
+        let budget_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            self.samples.push(start.elapsed());
+            if budget_start.elapsed() > TARGET_TOTAL {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<50} (no samples)");
+            return;
+        }
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / self.samples.len() as u32;
+        let min = self.samples.iter().min().copied().unwrap_or_default();
+        println!(
+            "{name:<50} mean {:>12} min {:>12} ({} samples)",
+            fmt_duration(mean),
+            fmt_duration(min),
+            self.samples.len()
+        );
+    }
+
+    /// Mean duration of the collected samples (used by harness front-ends
+    /// that export machine-readable summaries).
+    pub fn mean(&self) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        self.samples.iter().sum::<Duration>() / self.samples.len() as u32
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Benchmark identifier: a function name plus an optional parameter.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { id: format!("{name}/{parameter}") }
+    }
+
+    /// Just the parameter (the group name prefixes it).
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Throughput annotation (recorded, displayed as elements/sec where given).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    #[allow(dead_code)]
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the timed-iteration count per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Records the per-iteration throughput (accepted for API parity).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` against `input` under `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id.id));
+        self
+    }
+
+    /// Benchmarks a closure under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id));
+        self
+    }
+
+    /// Ends the group (no-op; groups flush eagerly).
+    pub fn finish(self) {}
+}
+
+/// The harness entry point, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: 20, criterion: self }
+    }
+
+    /// Benchmarks a single closure.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(20);
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    /// Accepted for API parity with `criterion_main!`'s expansion.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Final summary hook (no-op).
+    pub fn final_summary(&self) {}
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

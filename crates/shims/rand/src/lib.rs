@@ -1,0 +1,196 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access, so this in-tree shim provides
+//! exactly the surface the workspace uses: [`rngs::StdRng`],
+//! [`SeedableRng::seed_from_u64`], and the [`Rng`] methods `gen_bool` /
+//! `gen_range` over `usize`/`u64` ranges.
+//!
+//! The generator is **not** the upstream StdRng (ChaCha12); it is a
+//! xoshiro256** seeded through SplitMix64 — more than adequate for workload
+//! generation, and fully deterministic per seed, which is all the experiment
+//! harness requires. Streams differ from upstream `rand`, so regenerated
+//! fixtures are stable only within this workspace.
+
+/// Seedable random number generators.
+pub trait SeedableRng: Sized {
+    /// Constructs the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Ranges that [`Rng::gen_range`] can sample from.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draws a uniform value, given a source of random 64-bit words.
+    fn sample(self, next: &mut dyn FnMut() -> u64) -> Self::Output;
+}
+
+#[inline]
+fn uniform_below(next: &mut dyn FnMut() -> u64, n: u64) -> u64 {
+    debug_assert!(n > 0, "empty range");
+    // Lemire-style rejection-free-enough reduction; the modulo bias for
+    // workload-sized ranges (n « 2^64) is negligible, and determinism is
+    // what actually matters here.
+    next() % n
+}
+
+impl SampleRange for core::ops::Range<usize> {
+    type Output = usize;
+    fn sample(self, next: &mut dyn FnMut() -> u64) -> usize {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let span = (self.end - self.start) as u64;
+        self.start + uniform_below(next, span) as usize
+    }
+}
+
+impl SampleRange for core::ops::RangeInclusive<usize> {
+    type Output = usize;
+    fn sample(self, next: &mut dyn FnMut() -> u64) -> usize {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty range");
+        lo + uniform_below(next, (hi - lo) as u64 + 1) as usize
+    }
+}
+
+impl SampleRange for core::ops::Range<u64> {
+    type Output = u64;
+    fn sample(self, next: &mut dyn FnMut() -> u64) -> u64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + uniform_below(next, self.end - self.start)
+    }
+}
+
+impl SampleRange for core::ops::RangeInclusive<u64> {
+    type Output = u64;
+    fn sample(self, next: &mut dyn FnMut() -> u64) -> u64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty range");
+        lo + uniform_below(next, hi.wrapping_sub(lo).wrapping_add(1).max(1))
+    }
+}
+
+impl SampleRange for core::ops::Range<i32> {
+    type Output = i32;
+    fn sample(self, next: &mut dyn FnMut() -> u64) -> i32 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let span = (self.end as i64 - self.start as i64) as u64;
+        (self.start as i64 + uniform_below(next, span) as i64) as i32
+    }
+}
+
+impl SampleRange for core::ops::RangeInclusive<i32> {
+    type Output = i32;
+    fn sample(self, next: &mut dyn FnMut() -> u64) -> i32 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty range");
+        let span = (hi as i64 - lo as i64) as u64 + 1;
+        (lo as i64 + uniform_below(next, span) as i64) as i32
+    }
+}
+
+/// The subset of `rand::Rng` this workspace uses.
+pub trait Rng {
+    /// The next raw 64-bit word.
+    fn next_u64(&mut self) -> u64;
+
+    /// `true` with probability `p` (panics unless `0 ≤ p ≤ 1`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        // 53 uniform mantissa bits, the standard float-in-[0,1) recipe.
+        let x = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        x < p
+    }
+
+    /// A uniform draw from `range`.
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        let mut next = || self.next_u64();
+        range.sample(&mut next)
+    }
+}
+
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic xoshiro256** generator (SplitMix64-expanded seed).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = r.gen_range(3..10usize);
+            assert!((3..10).contains(&x));
+            let y = r.gen_range(5..=5usize);
+            assert_eq!(y, 5);
+        }
+    }
+
+    #[test]
+    fn gen_bool_respects_extremes() {
+        let mut r = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            assert!(!r.gen_bool(0.0));
+            assert!(r.gen_bool(1.0));
+        }
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&hits), "hits={hits}");
+    }
+}

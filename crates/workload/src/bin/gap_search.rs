@@ -29,7 +29,8 @@ fn random_pattern(rng: &mut StdRng, max_nodes: usize) -> Pattern {
 }
 
 fn main() {
-    let mut rng = StdRng::seed_from_u64(std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1));
+    let mut rng =
+        StdRng::seed_from_u64(std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1));
     let mut found = 0;
     for trial in 0u64..5_000_000 {
         let p1 = random_pattern(&mut rng, 7);

@@ -204,11 +204,9 @@ mod tests {
 
     #[test]
     fn fragment_restrictions_hold() {
-        for (fragment, check) in [
-            (Fragment::NoWildcard, 0usize),
-            (Fragment::NoDescendant, 1),
-            (Fragment::NoBranch, 2),
-        ] {
+        for (fragment, check) in
+            [(Fragment::NoWildcard, 0usize), (Fragment::NoDescendant, 1), (Fragment::NoBranch, 2)]
+        {
             let cfg = PatternGenConfig { fragment, ..Default::default() };
             let mut g = PatternGen::new(cfg, 11);
             for _ in 0..50 {

@@ -126,10 +126,7 @@ pub fn site_catalog() -> Catalog {
 pub fn bib_catalog() -> Catalog {
     Catalog {
         name: "bib",
-        views: vec![
-            ("articles", pat("bib/article")),
-            ("all_authors", pat("bib/*/author")),
-        ],
+        views: vec![("articles", pat("bib/article")), ("all_authors", pat("bib/*/author"))],
         queries: vec![
             ("article_titles", pat("bib/article/title")),
             ("author_names", pat("bib/*/author/name")),
@@ -163,10 +160,7 @@ mod tests {
         assert_eq!(pubs, 10);
         // Every publication has a title child.
         for &p in t.children(t.root()) {
-            assert!(t
-                .children(p)
-                .iter()
-                .any(|&c| t.label(c).name() == "title"));
+            assert!(t.children(p).iter().any(|&c| t.label(c).name() == "title"));
         }
     }
 

@@ -13,10 +13,7 @@ use xpath_views::rewrite::{find_condition, RewritePlanner};
 use xpath_views::workload::{Fragment, PatternGen, PatternGenConfig};
 
 fn main() {
-    let per_fragment: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(300);
+    let per_fragment: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(300);
 
     let planner = RewritePlanner::without_fallback();
     println!(
@@ -55,10 +52,7 @@ fn main() {
     println!("\ncompleteness certificates by source (all fragments):");
     let total: usize = condition_histogram.values().sum();
     for (source, count) in &condition_histogram {
-        println!(
-            "  {source:<38} {count:>7}  ({:.1}%)",
-            100.0 * *count as f64 / total as f64
-        );
+        println!("  {source:<38} {count:>7}  ({:.1}%)", 100.0 * *count as f64 / total as f64);
     }
 
     println!(

@@ -48,10 +48,7 @@ fn main() {
 
     // 3. Materialize the view and answer the query from it.
     let materialized = MaterializedView::materialize("books", view, &doc);
-    println!(
-        "view 'books' materialized: {} subtree(s)",
-        materialized.len()
-    );
+    println!("view 'books' materialized: {} subtree(s)", materialized.len());
     let via_view = materialized.apply_virtual(&rewriting, &doc);
     let direct = evaluate(&query, &doc);
     assert_eq!(via_view, direct);

@@ -98,9 +98,7 @@ fn cmd_eval(query: &str, file: &str) -> Result<ExitCode, String> {
     let p = parse("query", query)?;
     let xml = if file == "-" {
         let mut buf = String::new();
-        std::io::stdin()
-            .read_to_string(&mut buf)
-            .map_err(|e| format!("stdin: {e}"))?;
+        std::io::stdin().read_to_string(&mut buf).map_err(|e| format!("stdin: {e}"))?;
         buf
     } else {
         std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?

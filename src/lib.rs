@@ -18,6 +18,40 @@
 //! * [`workload`] — generators for patterns, documents and rewriting
 //!   scenarios ([`xpv_workload`]).
 //!
+//! ## The containment oracle and planning sessions
+//!
+//! Every decision in this workspace bottoms out in the coNP canonical-model
+//! containment test (Section 2.2 of the paper). All layers route it through
+//! a shared, memoizing [`ContainmentOracle`](semantics::ContainmentOracle):
+//! patterns are interned to structural keys
+//! ([`PatternInterner`](pattern::PatternInterner), stable under sibling
+//! reordering) and both homomorphism witnesses and full verdicts are cached.
+//!
+//! * One-shot calls (`contained(p, q)`, `planner.decide(p, v)`) run the
+//!   staged procedure without a memo — same behavior as before the oracle
+//!   existed, and verdict-identical to a fresh oracle.
+//! * Repeated traffic goes through a
+//!   [`PlanningSession`](rewrite::PlanningSession)
+//!   (`planner.session()`), which shares every verdict across calls.
+//! * [`ViewCache`](engine::ViewCache) holds a session for its lifetime plus
+//!   a per-query **plan memo**: the second arrival of a query skips planning
+//!   entirely — zero containment calls — and
+//!   [`ViewCache::answer_batch`](engine::ViewCache::answer_batch) answers a
+//!   workload slice in one pass. `CacheStats` / `PlannerStats` expose the
+//!   memo-hit counters; `set_memo_enabled(false)` is the ablation knob.
+//!
+//! ```
+//! use xpath_views::prelude::*;
+//!
+//! let mut session = RewritePlanner::default().session();
+//! let p = parse_xpath("a[b]//*/e[d]").unwrap();
+//! let v = parse_xpath("a[b]/*").unwrap();
+//! let (_, cold) = session.decide_with_stats(&p, &v);
+//! let (_, warm) = session.decide_with_stats(&p, &v);
+//! assert!(cold.memo_misses > 0 && warm.memo_misses == 0);
+//! assert_eq!(warm.canonical_runs, 0);
+//! ```
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -47,14 +81,19 @@ pub use xpv_workload as workload;
 
 /// The most common imports in one place.
 pub mod prelude {
-    pub use xpv_core::{BruteForceConfig, Condition, RewriteAnswer, RewritePlanner, Rewriting};
-    pub use xpv_engine::{MaterializedView, ViewCache};
+    pub use xpv_core::{
+        BruteForceConfig, Condition, PlannerStats, PlanningSession, RewriteAnswer, RewritePlanner,
+        Rewriting,
+    };
+    pub use xpv_engine::{CacheStats, MaterializedView, ViewCache};
     pub use xpv_model::{parse_xml, to_xml, Label, NodeId, Tree, TreeBuilder};
     pub use xpv_pattern::{
         compose, parse_xpath, to_xpath, Axis, NodeTest, PatId, Pattern, PatternBuilder,
+        PatternInterner, PatternKey,
     };
     pub use xpv_semantics::{
         contained, equivalent, evaluate, evaluate_weak, weakly_contained, weakly_equivalent,
+        ContainmentOracle, OracleStats,
     };
     pub use xpv_workload::{PatternGen, PatternGenConfig, TreeGen, TreeGenConfig};
 }

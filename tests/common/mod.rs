@@ -9,23 +9,15 @@ use xpath_views::workload::{Fragment, PatternGen, PatternGenConfig, TreeGen, Tre
 
 /// A small random pattern from a seed (deterministic).
 pub fn pattern_from_seed(seed: u64, fragment: Fragment) -> Pattern {
-    let cfg = PatternGenConfig {
-        depth: (1, 3),
-        max_branch_size: 2,
-        fragment,
-        ..Default::default()
-    };
+    let cfg =
+        PatternGenConfig { depth: (1, 3), max_branch_size: 2, fragment, ..Default::default() };
     PatternGen::new(cfg, seed).pattern()
 }
 
 /// A correlated (query, view) instance from a seed.
 pub fn instance_from_seed(seed: u64, fragment: Fragment) -> (Pattern, Pattern) {
-    let cfg = PatternGenConfig {
-        depth: (1, 3),
-        max_branch_size: 2,
-        fragment,
-        ..Default::default()
-    };
+    let cfg =
+        PatternGenConfig { depth: (1, 3), max_branch_size: 2, fragment, ..Default::default() };
     PatternGen::new(cfg, seed).instance()
 }
 
@@ -49,10 +41,7 @@ pub fn weaken(p: &Pattern, seed: u64) -> Pattern {
         }
         _ => {
             // Relax a random non-root edge.
-            let ids: Vec<PatId> = out
-                .node_ids()
-                .filter(|&n| out.parent(n).is_some())
-                .collect();
+            let ids: Vec<PatId> = out.node_ids().filter(|&n| out.parent(n).is_some()).collect();
             if !ids.is_empty() {
                 let n = ids[rng.gen_range(0..ids.len())];
                 out.set_axis(n, xpath_views::pattern::Axis::Descendant);

@@ -72,11 +72,7 @@ fn materialized_and_virtual_agree_by_value() {
                 mat.iter().map(xpath_views::model::Tree::canonical_key).collect();
             mat_keys.sort();
             mat_keys.dedup();
-            assert_eq!(
-                answer_value_set(&doc, &virt),
-                mat_keys,
-                "value mismatch for seed {seed}"
-            );
+            assert_eq!(answer_value_set(&doc, &virt), mat_keys, "value mismatch for seed {seed}");
         }
     }
 }

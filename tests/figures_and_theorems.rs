@@ -10,10 +10,8 @@ fn figure1_through_engine() {
     // Materialize Figure 1's view over a document containing matches and
     // answer P through R.
     let f = figure1();
-    let doc = parse_xml(
-        "<a><b/><x><y><e><d/></e></y></x><z><e><d/></e></z><w><e/></w></a>",
-    )
-    .expect("well-formed");
+    let doc = parse_xml("<a><b/><x><y><e><d/></e></y></x><z><e><d/></e></z><w><e/></w></a>")
+        .expect("well-formed");
     let mut cache = ViewCache::new(doc);
     cache.add_view("v", f.v.clone());
     let ans = cache.answer(&f.p);
@@ -194,11 +192,8 @@ fn proposition_5_5_descendant_prefix_respects_weak_equivalence() {
 #[test]
 fn proposition_5_8_extension_equivalence_transfer() {
     let mu = NodeTest::Label(xpath_views::model::Label::fresh("µ-test"));
-    let pairs = [
-        ("a[b][b/c]/d", "a[b/c]/d", true),
-        ("a/b", "a//b", false),
-        ("a/*//e", "a//*/e", true),
-    ];
+    let pairs =
+        [("a[b][b/c]/d", "a[b/c]/d", true), ("a/b", "a//b", false), ("a/*//e", "a//*/e", true)];
     for (l, r, expect) in pairs {
         let pl = parse_xpath(l).unwrap();
         let pr = parse_xpath(r).unwrap();

@@ -45,9 +45,7 @@ fn audit(p: &Pattern, v: &Pattern) {
         RewriteAnswer::NoRewriting(reason) => {
             if v.depth() <= p.depth() {
                 if let BruteForceOutcome::Found(r, _) = brute_force_rewrite(p, v, &bf) {
-                    panic!(
-                        "planner denied ({reason:?}) but oracle found R={r} for P={p}, V={v}"
-                    );
+                    panic!("planner denied ({reason:?}) but oracle found R={r} for P={p}, V={v}");
                 }
             }
         }
@@ -57,12 +55,9 @@ fn audit(p: &Pattern, v: &Pattern) {
 
 #[test]
 fn audit_random_instances_all_fragments() {
-    for fragment in [
-        Fragment::NoWildcard,
-        Fragment::NoDescendant,
-        Fragment::NoBranch,
-        Fragment::Full,
-    ] {
+    for fragment in
+        [Fragment::NoWildcard, Fragment::NoDescendant, Fragment::NoBranch, Fragment::Full]
+    {
         for seed in 0..40u64 {
             let (p, v) = instance_from_seed(seed * 7 + 1, fragment);
             audit(&p, &v);
@@ -100,9 +95,9 @@ fn certificate_free_instances_stay_honest() {
                 let rv = compose(rw.pattern(), &v).expect("composes");
                 assert!(equivalent(&rv, &p));
             }
-            RewriteAnswer::NoRewriting(r) =>
-
-                panic!("no certificate exists; a definitive no is unsound: {r:?}"),
+            RewriteAnswer::NoRewriting(r) => {
+                panic!("no certificate exists; a definitive no is unsound: {r:?}")
+            }
         }
     }
 }

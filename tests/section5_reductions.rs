@@ -61,10 +61,7 @@ fn prop_5_6_forward_transfer() {
     // Forward: every rewriting of the original rewrites the reduced pair.
     for candidate in [pat("d/e"), pat("d//e"), pat("*/e")] {
         if is_rewriting(&candidate, &p, &v) {
-            assert!(
-                is_rewriting(&candidate, &p_red, &v_red),
-                "Prop 5.6(1) failed for {candidate}"
-            );
+            assert!(is_rewriting(&candidate, &p_red, &v_red), "Prop 5.6(1) failed for {candidate}");
         }
     }
     // And at least one rewriting exists to make the test non-vacuous.
@@ -83,10 +80,7 @@ fn prop_5_6_reduced_rewriting_is_potential() {
     assert!(is_rewriting(&pat("d/e"), &p, &v), "original has a rewriting");
     for candidate in [pat("d/e"), pat("d//e"), pat("*/e"), pat("*//e")] {
         if is_rewriting(&candidate, &p_red, &v_red) {
-            assert!(
-                is_rewriting(&candidate, &p, &v),
-                "Prop 5.6(2) failed for {candidate}"
-            );
+            assert!(is_rewriting(&candidate, &p, &v), "Prop 5.6(2) failed for {candidate}");
         }
     }
 }
@@ -116,27 +110,21 @@ fn all_reductions_preserve_natural_candidates() {
     let p = pat("a//b[x]/c/d");
     let v = pat("a//b[x]/c");
     let k = v.depth();
-    let orig: Vec<String> = natural_candidates(&p, &v)
-        .into_iter()
-        .map(|c| c.pattern.canonical_key())
-        .collect();
+    let orig: Vec<String> =
+        natural_candidates(&p, &v).into_iter().map(|c| c.pattern.canonical_key()).collect();
 
     // §5.1 reduction at i = 1 (stable P>=1).
     let p1 = p.sub_pattern_geq(1);
     let v1 = v.sub_pattern_geq(1);
-    let red1: Vec<String> = natural_candidates(&p1, &v1)
-        .into_iter()
-        .map(|c| c.pattern.canonical_key())
-        .collect();
+    let red1: Vec<String> =
+        natural_candidates(&p1, &v1).into_iter().map(|c| c.pattern.canonical_key()).collect();
     assert_eq!(orig, red1, "5.1 changed the candidates");
 
     // §5.2 reduction at V's deepest descendant edge (i = 1).
     let p2 = Pattern::prefix_descendant(NodeTest::Wildcard, &p.sub_pattern_geq(1));
     let v2 = Pattern::prefix_descendant(NodeTest::Wildcard, &v.sub_pattern_geq(1));
-    let red2: Vec<String> = natural_candidates(&p2, &v2)
-        .into_iter()
-        .map(|c| c.pattern.canonical_key())
-        .collect();
+    let red2: Vec<String> =
+        natural_candidates(&p2, &v2).into_iter().map(|c| c.pattern.canonical_key()).collect();
     assert_eq!(orig, red2, "5.2 changed the candidates");
 
     // §5.3: the transformed instance's candidates are the +µ/lift images of
