@@ -21,36 +21,14 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::time::Instant;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use xpv_engine::ViewCache;
 use xpv_pattern::Pattern;
-use xpv_workload::{site_catalog, site_doc};
+use xpv_workload::{catalog_zipf_stream, site_catalog, site_doc};
 
-/// Zipf(s = 1) ranks over `n` items: item `i` has weight `1 / (i + 1)`.
-fn zipf_indices(n: usize, count: usize, seed: u64) -> Vec<usize> {
-    let weights: Vec<f64> = (0..n).map(|i| 1.0 / (i + 1) as f64).collect();
-    let total: f64 = weights.iter().sum();
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..count)
-        .map(|_| {
-            let mut x = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64 * total;
-            for (i, w) in weights.iter().enumerate() {
-                if x < *w {
-                    return i;
-                }
-                x -= w;
-            }
-            n - 1
-        })
-        .collect()
-}
-
-/// The workload: a Zipf-repeated stream over the site catalog's queries.
+/// The workload: a Zipf-repeated stream over the site catalog's queries
+/// (shared with the parallel bench and the CLI via `xpv_workload::zipf`).
 fn query_stream(count: usize) -> Vec<Pattern> {
-    let catalog = site_catalog();
-    let queries: Vec<Pattern> = catalog.queries.iter().map(|(_, q)| q.clone()).collect();
-    zipf_indices(queries.len(), count, 0x21F).into_iter().map(|i| queries[i].clone()).collect()
+    catalog_zipf_stream(&site_catalog(), count, 0x21F)
 }
 
 fn fresh_cache(memo: bool) -> ViewCache {

@@ -1,0 +1,191 @@
+//! Parallel throughput under repeated traffic: the scaling experiment for
+//! the sharded serving path.
+//!
+//! A [`ShardedViewCache`] over an XMark-shaped document serves the same
+//! Zipf-distributed query stream as the single-threaded throughput bench,
+//! but split round-robin across `T` worker threads that answer concurrently
+//! through one shared cache (`&self` end to end: sharded plan memo, sharded
+//! containment-oracle memo, copy-on-write view pool).
+//!
+//! For each thread count the bench measures whole-stream wall time on a
+//! fresh cache (so every configuration pays the same cold planning work)
+//! and emits a machine-readable scaling curve to
+//! `BENCH_throughput_parallel.json` at the repository root, including the
+//! `threads = 4` vs `threads = 1` speedup and the hardware parallelism of
+//! the machine that produced it (the curve can only bend up to that line).
+//!
+//! Before timing anything, every thread-count configuration is checked to
+//! produce answers identical to the single-threaded `ViewCache` — the
+//! correctness contract of the sharded path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
+use xpv_engine::{ShardedViewCache, ViewCache};
+use xpv_pattern::Pattern;
+use xpv_workload::{catalog_zipf_stream, site_catalog, site_doc};
+
+const SHARDS: usize = 16;
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn query_stream(count: usize) -> Vec<Pattern> {
+    catalog_zipf_stream(&site_catalog(), count, 0x21F)
+}
+
+fn fresh_sharded() -> ShardedViewCache {
+    let cache = ShardedViewCache::new(site_doc(12, 12, 7)).with_shards(SHARDS);
+    for (name, def) in site_catalog().views {
+        cache.add_view(name, def);
+    }
+    cache
+}
+
+/// Round-robin split of the stream into per-thread slices.
+fn partition(stream: &[Pattern], threads: usize) -> Vec<Vec<Pattern>> {
+    let mut chunks: Vec<Vec<Pattern>> = vec![Vec::new(); threads];
+    for (i, q) in stream.iter().enumerate() {
+        chunks[i % threads].push(q.clone());
+    }
+    chunks
+}
+
+/// One timed pass: `threads` workers drain their chunks concurrently.
+/// Returns queries per second over the whole stream.
+fn run_parallel(cache: &ShardedViewCache, chunks: &[Vec<Pattern>]) -> f64 {
+    let total: usize = chunks.iter().map(Vec::len).sum();
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for chunk in chunks {
+            scope.spawn(move || {
+                let answers = cache.answer_batch(chunk);
+                black_box(answers.len())
+            });
+        }
+    });
+    total as f64 / start.elapsed().as_secs_f64()
+}
+
+fn write_summary_json(stream_len: usize, scaling: &[(usize, f64)], cache: &ShardedViewCache) {
+    let qps_at = |t: usize| scaling.iter().find(|(n, _)| *n == t).map(|(_, q)| *q);
+    let speedup = match (qps_at(4), qps_at(1)) {
+        (Some(q4), Some(q1)) if q1 > 0.0 => q4 / q1,
+        _ => 0.0,
+    };
+    let hardware = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let s = cache.stats();
+    let curve: Vec<String> = scaling
+        .iter()
+        .map(|(t, qps)| {
+            format!(
+                "    {{ \"threads\": {t}, \"qps\": {qps:.1}, \"mean_us_per_query\": {:.3} }}",
+                1e6 / qps.max(f64::MIN_POSITIVE)
+            )
+        })
+        .collect();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"throughput_parallel_zipf_site\",\n",
+            "  \"stream_len\": {},\n",
+            "  \"shards\": {},\n",
+            "  \"hardware_threads\": {},\n",
+            "  \"scaling\": [\n{}\n  ],\n",
+            "  \"speedup_4_threads_vs_1\": {:.3},\n",
+            "  \"last_run_plan_memo_hits\": {},\n",
+            "  \"last_run_plan_memo_misses\": {},\n",
+            "  \"last_run_oracle_canonical_runs\": {}\n",
+            "}}\n"
+        ),
+        stream_len,
+        SHARDS,
+        hardware,
+        curve.join(",\n"),
+        speedup,
+        s.plan_memo_hits,
+        s.plan_memo_misses,
+        s.oracle_canonical_runs,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_throughput_parallel.json");
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("warning: could not write {path}: {e}");
+    } else {
+        println!("wrote {path}");
+    }
+    print!("{json}");
+}
+
+fn throughput_parallel(c: &mut Criterion) {
+    let stream = query_stream(2000);
+
+    // Correctness anchor: the sharded cache on every thread count returns
+    // exactly the single-threaded ViewCache's answers and routes.
+    {
+        let mut serial = ViewCache::new(site_doc(12, 12, 7));
+        for (name, def) in site_catalog().views {
+            serial.add_view(name, def);
+        }
+        let reference: Vec<_> = serial.answer_batch(&stream[..200]);
+        for &threads in &[1usize, 4] {
+            let cache = fresh_sharded();
+            let chunks = partition(&stream[..200], threads);
+            std::thread::scope(|scope| {
+                for chunk in &chunks {
+                    let cache = &cache;
+                    scope.spawn(move || {
+                        for q in chunk {
+                            black_box(cache.answer(q));
+                        }
+                    });
+                }
+            });
+            // Replay serially against the warm concurrent cache: routes and
+            // nodes must be what the single-threaded cache produced.
+            for (q, want) in stream[..200].iter().zip(&reference) {
+                let got = cache.answer(q);
+                assert_eq!(got.nodes, want.nodes, "nodes diverged for {q} at {threads} threads");
+                assert_eq!(got.route, want.route, "route diverged for {q} at {threads} threads");
+            }
+        }
+    }
+
+    // The scaling curve (fresh cache per configuration: each pays the same
+    // cold planning work; the JSON records the final configuration's stats).
+    let mut scaling: Vec<(usize, f64)> = Vec::new();
+    let mut last_cache = None;
+    for &threads in &THREAD_COUNTS {
+        let cache = fresh_sharded();
+        let chunks = partition(&stream, threads);
+        let qps = run_parallel(&cache, &chunks);
+        println!("threads={threads:<2} qps={qps:>10.1}");
+        scaling.push((threads, qps));
+        last_cache = Some(cache);
+    }
+    let last_cache = last_cache.expect("at least one configuration ran");
+    assert_eq!(
+        last_cache.stats().plan_memo_hits + last_cache.stats().plan_memo_misses,
+        stream.len() as u64
+    );
+    write_summary_json(stream.len(), &scaling, &last_cache);
+
+    // Criterion timings over a shorter slice: steady-state (warm) serving at
+    // 1 vs 4 threads.
+    let slice: Vec<Pattern> = stream[..400].to_vec();
+    let mut group = c.benchmark_group("throughput_parallel_zipf_site");
+    group.sample_size(10);
+    for &threads in &[1usize, 4] {
+        let cache = fresh_sharded();
+        let chunks = partition(&slice, threads);
+        // Warm pass so the criterion loop measures steady state.
+        let _ = run_parallel(&cache, &chunks);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("threads_{threads}")),
+            &chunks,
+            |b, chunks| b.iter(|| run_parallel(&cache, black_box(chunks))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, throughput_parallel);
+criterion_main!(benches);

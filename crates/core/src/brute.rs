@@ -111,8 +111,8 @@ fn allowed_root_tests(p: &Pattern, v: &Pattern) -> Result<Vec<NodeTest>, &'stati
 ///
 /// Panics if `v.depth() > p.depth()` — callers gate on depth first.
 pub fn brute_force_rewrite(p: &Pattern, v: &Pattern, cfg: &BruteForceConfig) -> BruteForceOutcome {
-    let mut oracle = ContainmentOracle::with_options(cfg.containment);
-    brute_force_rewrite_with_oracle(p, v, cfg, &mut oracle)
+    let oracle = ContainmentOracle::with_options(cfg.containment);
+    brute_force_rewrite_with_oracle(p, v, cfg, &oracle)
 }
 
 /// [`brute_force_rewrite`] deciding every equivalence test through a shared
@@ -124,7 +124,7 @@ pub fn brute_force_rewrite_with_oracle(
     p: &Pattern,
     v: &Pattern,
     cfg: &BruteForceConfig,
-    oracle: &mut ContainmentOracle,
+    oracle: &ContainmentOracle,
 ) -> BruteForceOutcome {
     let d = p.depth();
     let k = v.depth();

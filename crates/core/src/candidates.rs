@@ -67,8 +67,8 @@ pub fn test_candidate(
     opts: &ContainmentOptions,
     stats: &mut CandidateTestStats,
 ) -> bool {
-    let mut oracle = ContainmentOracle::with_options(*opts);
-    test_candidate_with_oracle(p, v, r, &mut oracle, stats)
+    let oracle = ContainmentOracle::with_options(*opts);
+    test_candidate_with_oracle(p, v, r, &oracle, stats)
 }
 
 /// [`test_candidate`] deciding both containments through a shared `oracle`:
@@ -78,7 +78,7 @@ pub fn test_candidate_with_oracle(
     p: &Pattern,
     v: &Pattern,
     r: &Pattern,
-    oracle: &mut ContainmentOracle,
+    oracle: &ContainmentOracle,
     stats: &mut CandidateTestStats,
 ) -> bool {
     let Some(rv) = compose(r, v) else {

@@ -43,12 +43,12 @@ pub fn rewrite_using_chain(
     p: &Pattern,
     views: &[&Pattern],
 ) -> ChainAnswer {
-    rewrite_using_chain_in(&mut planner.session(), p, views)
+    rewrite_using_chain_in(&planner.session(), p, views)
 }
 
 /// [`rewrite_using_chain`] planning through a shared [`PlanningSession`].
 pub fn rewrite_using_chain_in(
-    session: &mut PlanningSession,
+    session: &PlanningSession,
     p: &Pattern,
     views: &[&Pattern],
 ) -> ChainAnswer {
@@ -82,7 +82,7 @@ pub fn rewritable_views(
     p: &Pattern,
     pool: &[Pattern],
 ) -> Vec<ViewChoice> {
-    rewritable_views_in(&mut planner.session(), p, pool)
+    rewritable_views_in(&planner.session(), p, pool)
 }
 
 /// [`rewritable_views`] planning through a shared [`PlanningSession`]:
@@ -90,7 +90,7 @@ pub fn rewritable_views(
 /// (every candidate is tested against the *same* query), which the session's
 /// oracle serves from its memo.
 pub fn rewritable_views_in(
-    session: &mut PlanningSession,
+    session: &PlanningSession,
     p: &Pattern,
     pool: &[Pattern],
 ) -> Vec<ViewChoice> {
@@ -109,12 +109,12 @@ pub fn rewritable_views_in(
 /// works (which does *not* prove none exists; maximally-contained rewriting
 /// is the paper's open problem 3).
 pub fn contained_rewriting(p: &Pattern, v: &Pattern) -> Option<Pattern> {
-    contained_rewriting_in(&mut ContainmentOracle::new(), p, v)
+    contained_rewriting_in(&ContainmentOracle::new(), p, v)
 }
 
 /// [`contained_rewriting`] deciding containments through a shared `oracle`.
 pub fn contained_rewriting_in(
-    oracle: &mut ContainmentOracle,
+    oracle: &ContainmentOracle,
     p: &Pattern,
     v: &Pattern,
 ) -> Option<Pattern> {

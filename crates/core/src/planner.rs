@@ -184,14 +184,20 @@ impl RewritePlanner {
 
     /// [`RewritePlanner::decide`] with counters (fresh oracle per call).
     pub fn decide_with_stats(&self, p: &Pattern, v: &Pattern) -> (RewriteAnswer, PlannerStats) {
-        let mut oracle = ContainmentOracle::with_options(self.containment);
-        self.decide_in(&mut oracle, p, v)
+        let oracle = ContainmentOracle::with_options(self.containment);
+        self.decide_in(&oracle, p, v)
     }
 
     /// The decision procedure, deciding every containment through `oracle`.
+    ///
+    /// The per-call `memo_hits` / `memo_misses` / `canonical_runs` counters
+    /// are derived from oracle-stats snapshots around the call; when other
+    /// threads decide through the same oracle concurrently the delta
+    /// attributes their overlapping work to this call (the counters stay
+    /// exact whenever the oracle is driven from one thread at a time).
     pub fn decide_in(
         &self,
-        oracle: &mut ContainmentOracle,
+        oracle: &ContainmentOracle,
         p: &Pattern,
         v: &Pattern,
     ) -> (RewriteAnswer, PlannerStats) {
@@ -206,7 +212,7 @@ impl RewritePlanner {
 
     fn decide_inner(
         &self,
-        oracle: &mut ContainmentOracle,
+        oracle: &ContainmentOracle,
         p: &Pattern,
         v: &Pattern,
     ) -> (RewriteAnswer, PlannerStats) {
@@ -338,11 +344,16 @@ impl RewritePlanner {
 /// what makes repeated traffic cheap (the `ViewCache` holds one for its
 /// entire lifetime).
 ///
+/// Like the oracle it wraps, a session is fully shareable: `decide` takes
+/// `&self`, so worker threads answering concurrent traffic plan through one
+/// session and pool all containment work (the `ShardedViewCache` does
+/// exactly this).
+///
 /// ```
 /// use xpv_core::{RewriteAnswer, RewritePlanner};
 /// use xpv_pattern::parse_xpath;
 ///
-/// let mut session = RewritePlanner::default().session();
+/// let session = RewritePlanner::default().session();
 /// let p = parse_xpath("a[b]//*/e[d]").unwrap();
 /// let v = parse_xpath("a[b]/*").unwrap();
 /// let first = session.decide_with_stats(&p, &v).1;
@@ -369,27 +380,24 @@ impl PlanningSession {
         &self.planner
     }
 
-    /// Read access to the shared oracle (stats, interner size).
+    /// Access to the shared oracle (interning, stats, ablation knobs — all
+    /// of which take `&self` on the oracle itself).
     pub fn oracle(&self) -> &ContainmentOracle {
         &self.oracle
     }
 
-    /// Mutable access to the shared oracle (interning, ablation knobs).
-    pub fn oracle_mut(&mut self) -> &mut ContainmentOracle {
-        &mut self.oracle
-    }
-
     /// Decides the rewriting-existence problem, sharing all containment
     /// work with previous calls on this session.
-    pub fn decide(&mut self, p: &Pattern, v: &Pattern) -> RewriteAnswer {
+    pub fn decide(&self, p: &Pattern, v: &Pattern) -> RewriteAnswer {
         self.decide_with_stats(p, v).0
     }
 
     /// [`PlanningSession::decide`] with per-call counters; `memo_hits` /
     /// `memo_misses` / `canonical_runs` describe exactly this call's share
-    /// of the oracle's work.
-    pub fn decide_with_stats(&mut self, p: &Pattern, v: &Pattern) -> (RewriteAnswer, PlannerStats) {
-        self.planner.decide_in(&mut self.oracle, p, v)
+    /// of the oracle's work when the session is driven from a single thread
+    /// (see [`RewritePlanner::decide_in`] for the concurrent caveat).
+    pub fn decide_with_stats(&self, p: &Pattern, v: &Pattern) -> (RewriteAnswer, PlannerStats) {
+        self.planner.decide_in(&self.oracle, p, v)
     }
 }
 
@@ -561,7 +569,7 @@ mod tests {
 
     #[test]
     fn session_memoizes_across_decides() {
-        let mut session = RewritePlanner::default().session();
+        let session = RewritePlanner::default().session();
         let p = pat("a[b]//*/e[d]");
         let v = pat("a[b]/*");
         let (first_ans, first) = session.decide_with_stats(&p, &v);
@@ -583,7 +591,7 @@ mod tests {
     #[test]
     fn one_shot_decide_matches_session_decide() {
         let planner = RewritePlanner::default();
-        let mut session = planner.session();
+        let session = planner.session();
         for (ps, vs) in [
             ("a[b]//*/e[d]", "a[b]/*"),
             ("a/b/c", "a//b"),

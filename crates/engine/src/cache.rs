@@ -9,6 +9,14 @@
 //! query runs directly against the document. Soundness is inherited from the
 //! planner: a rewriting is only used after `R ◦ V ≡ P` has been verified.
 //!
+//! Since the serving path was sharded, `ViewCache` is a **thin
+//! single-threaded wrapper over one shard** of the concurrent
+//! [`ShardedViewCache`](crate::ShardedViewCache): identical planning, plan
+//! memo, statistics, and answers, with the familiar `&mut self` API and no
+//! locking overhead beyond one uncontended shard. Use `ShardedViewCache`
+//! (or the [`CacheServer`](crate::CacheServer) worker pool) when multiple
+//! threads must answer concurrently.
+//!
 //! ## Amortization under repeated traffic
 //!
 //! The cache plans through one long-lived [`xpv_core::PlanningSession`], so
@@ -19,114 +27,35 @@
 //! canonical-model containment calls, observable via
 //! [`CacheStats::plan_memo_hits`] and the flat
 //! [`CacheStats::oracle_canonical_runs`] counter. Registering a new view
-//! invalidates the plan memo (a fresh view can only *improve* routes, so
-//! plans are re-derived), while the oracle's containment verdicts — which
-//! depend only on the pattern pair — survive.
+//! invalidates only the plan-memo entries whose plan depends on the grown
+//! pool (`Direct` routes; see the [`shard`](crate::shard) module docs),
+//! while the oracle's containment verdicts — which depend only on the
+//! pattern pair — survive.
 //!
 //! [`ViewCache::answer_batch`] answers a workload slice in one pass over
-//! this machinery; [`ViewCache::set_memo_enabled`] is the ablation knob that
-//! turns both memo levels off for before/after measurements.
+//! this machinery, planning duplicated queries once and fanning the answer
+//! out; [`ViewCache::set_memo_enabled`] is the ablation knob that turns all
+//! memo levels off for before/after measurements.
 
-use std::collections::HashMap;
-use std::time::{Duration, Instant};
+use std::sync::Arc;
 
-use xpv_core::{contained_rewriting_in, PlanningSession, RewriteAnswer, RewritePlanner};
+use xpv_core::RewritePlanner;
 use xpv_model::{NodeId, Tree};
-use xpv_pattern::{Pattern, PatternKey};
-use xpv_semantics::evaluate;
+use xpv_pattern::Pattern;
 
+use crate::shard::ShardedViewCache;
+pub use crate::shard::{CacheAnswer, CacheStats, ChoicePolicy, Route};
 use crate::view::MaterializedView;
-
-/// How the cache picks among several usable views.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
-pub enum ChoicePolicy {
-    /// The first registered view that admits a rewriting (lowest planning
-    /// cost: planning stops at the first hit).
-    #[default]
-    FirstMatch,
-    /// Among all views admitting a rewriting, the one with the smallest
-    /// materialized result (lowest evaluation cost; plans against every
-    /// view).
-    SmallestView,
-}
-
-/// How a query was answered.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum Route {
-    /// Answered from the named view through the given rewriting.
-    ViaView {
-        /// Name of the view used.
-        view: String,
-        /// The rewriting `R` that was applied to the view result.
-        rewriting: String,
-    },
-    /// Answered by evaluating the query directly on the document.
-    Direct,
-}
-
-/// A cache answer: the output nodes plus provenance.
-#[derive(Clone, Debug)]
-pub struct CacheAnswer {
-    /// Output nodes in the cached document.
-    pub nodes: Vec<NodeId>,
-    /// How the answer was produced.
-    pub route: Route,
-    /// Time spent deciding rewritability (planning only).
-    pub planning: Duration,
-    /// Time spent evaluating (view-based or direct).
-    pub evaluation: Duration,
-}
-
-/// Aggregate statistics over the cache's lifetime.
-///
-/// `queries == plan_memo_hits + plan_memo_misses` holds across both
-/// [`ViewCache::answer`] and [`ViewCache::answer_partial`]; partial answers
-/// served through a *contained* (non-equivalent) rewriting count toward
-/// `queries` but toward neither `view_hits` nor `direct`.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct CacheStats {
-    /// Queries answered (full and partial).
-    pub queries: u64,
-    /// Queries answered from a view through an equivalent rewriting.
-    pub view_hits: u64,
-    /// Queries answered by direct evaluation.
-    pub direct: u64,
-    /// Queries whose route came straight from the plan memo (no planner
-    /// call, zero containment tests).
-    pub plan_memo_hits: u64,
-    /// Queries that had to be planned.
-    pub plan_memo_misses: u64,
-    /// Containment verdicts the session oracle served from its memo.
-    pub oracle_memo_hits: u64,
-    /// Canonical-model loops (coNP containment work) run so far. Flat
-    /// between two [`ViewCache::answer`] calls ⇔ the second call did zero
-    /// canonical-model containment work.
-    pub oracle_canonical_runs: u64,
-    /// Canonical models enumerated inside those loops.
-    pub oracle_models_checked: u64,
-}
-
-/// A memoized routing decision for one query key.
-#[derive(Clone, Debug)]
-enum PlannedRoute {
-    /// Serve from `views[index]` through `rewriting`.
-    ViaView { index: usize, rewriting: Pattern },
-    /// No registered view admits an equivalent rewriting.
-    Direct,
-}
 
 /// A set of materialized views over a single document, with rewriting-based
 /// query answering, a long-lived planning session, and a per-query plan
 /// memo (see the module docs for the amortization story).
 #[derive(Debug)]
 pub struct ViewCache {
-    doc: Tree,
-    views: Vec<MaterializedView>,
-    session: PlanningSession,
-    policy: ChoicePolicy,
-    plan_memo: HashMap<PatternKey, PlannedRoute>,
-    memo_enabled: bool,
-    stats: CacheStats,
+    inner: ShardedViewCache,
+    /// Mirror of the inner view pool so [`ViewCache::views`] can hand out a
+    /// plain slice (the concurrent pool lives behind a lock).
+    views_mirror: Arc<Vec<MaterializedView>>,
 }
 
 impl ViewCache {
@@ -137,22 +66,15 @@ impl ViewCache {
 
     /// Creates an empty cache with a custom planner configuration.
     pub fn with_planner(doc: Tree, planner: RewritePlanner) -> ViewCache {
-        ViewCache {
-            doc,
-            views: Vec::new(),
-            session: PlanningSession::new(planner),
-            policy: ChoicePolicy::default(),
-            plan_memo: HashMap::new(),
-            memo_enabled: true,
-            stats: CacheStats::default(),
-        }
+        let inner = ShardedViewCache::with_planner(doc, planner).with_shards(1);
+        let views_mirror = inner.views_snapshot();
+        ViewCache { inner, views_mirror }
     }
 
     /// Sets the view-selection policy (builder style). Invalidates the plan
     /// memo: routes chosen under the previous policy are stale.
     pub fn with_policy(mut self, policy: ChoicePolicy) -> ViewCache {
-        self.policy = policy;
-        self.plan_memo.clear();
+        self.inner.set_policy(policy);
         self
     }
 
@@ -161,92 +83,50 @@ impl ViewCache {
     /// knob the throughput bench flips to measure what sharing buys;
     /// disabling clears every memo so a re-enable starts cold.
     pub fn set_memo_enabled(&mut self, enabled: bool) {
-        self.memo_enabled = enabled;
-        if !enabled {
-            self.plan_memo.clear();
-        }
-        self.session.oracle_mut().set_memo_enabled(enabled);
+        self.inner.set_memo_enabled(enabled);
     }
 
     /// Whether memoization is active.
     pub fn memo_enabled(&self) -> bool {
-        self.memo_enabled
+        self.inner.memo_enabled()
     }
 
     /// The cached document.
     pub fn document(&self) -> &Tree {
-        &self.doc
+        self.inner.document()
+    }
+
+    /// The concurrent cache this wrapper drives (one shard). Useful for
+    /// promoting a configured single-threaded cache to shared serving.
+    pub fn into_sharded(self) -> ShardedViewCache {
+        self.inner
     }
 
     /// Materializes `def` over the document and registers it under `name`.
     /// Returns the number of answers materialized.
     ///
-    /// Invalidates the plan memo: a new view may serve queries that
-    /// previously routed elsewhere. The oracle's containment verdicts are
-    /// unaffected (they depend only on the pattern pair).
+    /// Invalidates only the plan-memo entries whose plan depends on the
+    /// grown view pool (a new view may serve queries that previously routed
+    /// `Direct`; memoized view routes survive). The oracle's containment
+    /// verdicts are unaffected (they depend only on the pattern pair).
     ///
     /// # Panics
     ///
     /// Panics if a view with the same name is already registered.
     pub fn add_view(&mut self, name: &str, def: Pattern) -> usize {
-        assert!(self.views.iter().all(|v| v.name() != name), "duplicate view name {name:?}");
-        let view = MaterializedView::materialize(name, def, &self.doc);
-        let n = view.len();
-        self.views.push(view);
-        self.plan_memo.clear();
+        let n = self.inner.add_view(name, def);
+        self.views_mirror = self.inner.views_snapshot();
         n
     }
 
     /// The registered views.
     pub fn views(&self) -> &[MaterializedView] {
-        &self.views
+        &self.views_mirror
     }
 
     /// Lifetime statistics (the oracle counters are folded in live).
     pub fn stats(&self) -> CacheStats {
-        let oracle = self.session.oracle().stats();
-        CacheStats {
-            oracle_memo_hits: oracle.verdict_memo_hits,
-            oracle_canonical_runs: oracle.canonical_runs,
-            oracle_models_checked: oracle.models_checked,
-            ..self.stats
-        }
-    }
-
-    /// Picks the route for `query`, consulting (and feeding) the plan memo.
-    fn plan(&mut self, query: &Pattern) -> PlannedRoute {
-        let key = self.session.oracle_mut().intern(query);
-        if self.memo_enabled {
-            if let Some(route) = self.plan_memo.get(&key) {
-                self.stats.plan_memo_hits += 1;
-                return route.clone();
-            }
-        }
-        self.stats.plan_memo_misses += 1;
-        let mut chosen: Option<(usize, Pattern)> = None;
-        for (i, view) in self.views.iter().enumerate() {
-            if let RewriteAnswer::Rewriting(rw) = self.session.decide(query, view.definition()) {
-                let better = match (&chosen, self.policy) {
-                    (None, _) => true,
-                    (Some(_), ChoicePolicy::FirstMatch) => false,
-                    (Some((j, _)), ChoicePolicy::SmallestView) => view.len() < self.views[*j].len(),
-                };
-                if better {
-                    chosen = Some((i, rw.pattern().clone()));
-                }
-                if self.policy == ChoicePolicy::FirstMatch {
-                    break;
-                }
-            }
-        }
-        let route = match chosen {
-            Some((index, rewriting)) => PlannedRoute::ViaView { index, rewriting },
-            None => PlannedRoute::Direct,
-        };
-        if self.memo_enabled {
-            self.plan_memo.insert(key, route.clone());
-        }
-        route
+        self.inner.stats()
     }
 
     /// Answers `query`, preferring an equivalent rewriting over any
@@ -257,44 +137,20 @@ impl ViewCache {
     /// plan memo: no planner call and **zero** canonical-model containment
     /// calls ([`CacheStats::plan_memo_hits`] counts these).
     pub fn answer(&mut self, query: &Pattern) -> CacheAnswer {
-        self.stats.queries += 1;
-        let plan_start = Instant::now();
-        let route = self.plan(query);
-        let planning = plan_start.elapsed();
-
-        let eval_start = Instant::now();
-        let (nodes, route) = match route {
-            PlannedRoute::ViaView { index, rewriting } => {
-                self.stats.view_hits += 1;
-                let view = &self.views[index];
-                let nodes = view.apply_virtual(&rewriting, &self.doc);
-                (
-                    nodes,
-                    Route::ViaView {
-                        view: view.name().to_string(),
-                        rewriting: rewriting.to_string(),
-                    },
-                )
-            }
-            PlannedRoute::Direct => {
-                self.stats.direct += 1;
-                (evaluate(query, &self.doc), Route::Direct)
-            }
-        };
-        let evaluation = eval_start.elapsed();
-        CacheAnswer { nodes, route, planning, evaluation }
+        self.inner.answer(query)
     }
 
-    /// Answers a whole workload slice in one pass. Repeated queries (and
-    /// sibling-reordered isomorphs) in the batch are planned once; answers
-    /// come back in input order.
+    /// Answers a whole workload slice in one pass. Queries repeated within
+    /// the batch (and sibling-reordered isomorphs) are planned **and
+    /// evaluated** once — repeat positions receive a fan-out clone of the
+    /// first occurrence's answer; answers come back in input order.
     pub fn answer_batch(&mut self, queries: &[Pattern]) -> Vec<CacheAnswer> {
-        queries.iter().map(|q| self.answer(q)).collect()
+        self.inner.answer_batch(queries)
     }
 
     /// Answers `query` by direct evaluation only (baseline for benchmarks).
     pub fn answer_direct(&self, query: &Pattern) -> Vec<NodeId> {
-        evaluate(query, &self.doc)
+        self.inner.answer_direct(query)
     }
 
     /// A **partial** answer from the views when no equivalent rewriting
@@ -306,25 +162,7 @@ impl ViewCache {
     /// The `complete` flag is `true` only when the rewriting is equivalent
     /// (in which case this behaves like [`ViewCache::answer`]).
     pub fn answer_partial(&mut self, query: &Pattern) -> Option<(Vec<NodeId>, bool)> {
-        self.stats.queries += 1;
-        // Equivalent rewriting first (shares the plan memo with `answer`).
-        if let PlannedRoute::ViaView { index, rewriting } = self.plan(query) {
-            self.stats.view_hits += 1;
-            return Some((self.views[index].apply_virtual(&rewriting, &self.doc), true));
-        }
-        // Contained rewriting: pick the view yielding the most answers.
-        let mut best: Option<Vec<NodeId>> = None;
-        for view in &self.views {
-            if let Some(r) =
-                contained_rewriting_in(self.session.oracle_mut(), query, view.definition())
-            {
-                let nodes = view.apply_virtual(&r, &self.doc);
-                if best.as_ref().is_none_or(|b| nodes.len() > b.len()) {
-                    best = Some(nodes);
-                }
-            }
-        }
-        best.map(|nodes| (nodes, false))
+        self.inner.answer_partial(query)
     }
 }
 
@@ -580,6 +418,7 @@ mod tests {
         assert_eq!(s.queries, 5);
         assert_eq!(s.plan_memo_misses, 2, "two distinct queries planned once each");
         assert_eq!(s.plan_memo_hits, 3);
+        assert_eq!(s.batch_dedup_hits, 3, "all three repeats fanned out without a lookup");
     }
 
     #[test]
@@ -597,5 +436,15 @@ mod tests {
         }
         assert_eq!(ans.nodes, cache.answer_direct(&q));
         assert_eq!(ans.nodes.len(), 3);
+    }
+
+    #[test]
+    fn views_accessor_mirrors_registrations() {
+        let mut cache = ViewCache::new(doc());
+        assert!(cache.views().is_empty());
+        cache.add_view("items", pat("site/region/item"));
+        cache.add_view("names", pat("site/region/item/name"));
+        let names: Vec<&str> = cache.views().iter().map(|v| v.name()).collect();
+        assert_eq!(names, vec!["items", "names"]);
     }
 }

@@ -3,14 +3,46 @@
 //! The application layer of the `xpath-views` workspace (Afrati et al.,
 //! EDBT 2009 reproduction): materialize view patterns over XML documents
 //! ([`MaterializedView`]) and answer queries from them whenever the
-//! [`xpv_core::RewritePlanner`] certifies an equivalent rewriting
-//! ([`ViewCache`]). Both the virtual (node-identity) and materialized
-//! (subtree-copy) representations of `V(t)` are supported, and
-//! Proposition 2.4 — `R ◦ V (t) = R(V(t))` — is the correctness contract
-//! the tests enforce end to end.
+//! [`xpv_core::RewritePlanner`] certifies an equivalent rewriting. Both the
+//! virtual (node-identity) and materialized (subtree-copy) representations
+//! of `V(t)` are supported, and Proposition 2.4 — `R ◦ V (t) = R(V(t))` —
+//! is the correctness contract the tests enforce end to end.
+//!
+//! ## Architecture: shard → cache → serve
+//!
+//! The serving path is built for shared-state concurrency, in three layers:
+//!
+//! * [`ShardedViewCache`] (**[`shard`]**) — the concurrent core. One
+//!   document, a copy-on-write view pool, and a plan memo partitioned into
+//!   lock shards by query fingerprint; every serving method takes `&self`.
+//!   Planning flows through one shared [`xpv_core::PlanningSession`] whose
+//!   containment oracle is itself sharded and `&self`-safe, so all threads
+//!   pool all coNP work. The memo is LRU-bounded
+//!   ([`ShardedViewCache::with_memo_cap`]) and `add_view` invalidates only
+//!   the entries whose plan depends on the grown pool — answers are
+//!   byte-identical to the single-threaded cache on any schedule.
+//! * [`ViewCache`] (**[`cache`]**) — the familiar single-threaded API, now
+//!   a thin wrapper over one shard: same planning, memo, stats, and
+//!   answers, with `&mut self` ergonomics and no cross-thread traffic.
+//! * [`CacheServer`] (**[`serve`]**) — the service front-end: a
+//!   `std::thread` worker pool draining a bounded admission queue of
+//!   per-tenant query batches over one shared `ShardedViewCache`, with
+//!   per-tenant accounting ([`TenantStats`]) and clean shutdown. The
+//!   admission queue is the seam for the ROADMAP's async port.
+//!
+//! Pick the innermost layer that fits: library callers embedding a cache in
+//! one thread use `ViewCache`; multi-threaded embedders share a
+//! `ShardedViewCache`; anything resembling a server fronts it with
+//! `CacheServer`.
 
 pub mod cache;
+pub mod serve;
+pub mod shard;
 pub mod view;
 
-pub use cache::{CacheAnswer, CacheStats, ChoicePolicy, Route, ViewCache};
+pub use cache::ViewCache;
+pub use serve::{BatchTicket, CacheServer, TenantStats, DEFAULT_MAX_PENDING};
+pub use shard::{
+    CacheAnswer, CacheStats, ChoicePolicy, Route, ShardedViewCache, DEFAULT_CACHE_SHARDS,
+};
 pub use view::{answer_value_set, MaterializedView};

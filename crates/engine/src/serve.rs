@@ -1,0 +1,351 @@
+//! A worker-pool serving front-end over the sharded cache.
+//!
+//! [`CacheServer`] turns the [`ShardedViewCache`] library into a service: a
+//! fixed pool of `std::thread` workers drains a bounded **admission queue**
+//! of query batches, answers each batch through the shared cache (planning,
+//! plan memo, and containment verdicts pooled across all workers), and
+//! replies on a per-batch channel. Batch semantics are exactly those of
+//! [`ShardedViewCache::answer_batch`]: answers in input order, in-batch
+//! duplicates planned once and fanned out.
+//!
+//! Every batch is submitted on behalf of a **tenant** (any string id);
+//! per-tenant counters ([`TenantStats`]) accumulate across batches for
+//! accounting and capacity planning. Backpressure is explicit: when the
+//! admission queue is full, [`CacheServer::submit`] blocks until a worker
+//! drains a slot, so a misbehaving client slows itself down rather than
+//! growing the queue without bound.
+//!
+//! The pool shuts down cleanly on drop: pending batches are completed,
+//! workers are joined, and outstanding [`BatchTicket`]s resolve.
+//!
+//! This is the synchronous precursor of the ROADMAP's async front-end: the
+//! admission queue is the seam where an async reactor would slot in.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use xpv_pattern::Pattern;
+
+use crate::shard::{CacheAnswer, Route, ShardedViewCache};
+
+/// Default bound on queued (admitted but not yet started) batches.
+pub const DEFAULT_MAX_PENDING: usize = 1024;
+
+/// Per-tenant serving counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TenantStats {
+    /// Batches answered for this tenant.
+    pub batches: u64,
+    /// Individual queries answered (sum of batch lengths).
+    pub queries: u64,
+    /// Queries answered from a view through an equivalent rewriting.
+    pub view_hits: u64,
+    /// Queries answered by direct evaluation.
+    pub direct: u64,
+}
+
+impl std::fmt::Display for TenantStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} queries in {} batches ({} via views, {} direct)",
+            self.queries, self.batches, self.view_hits, self.direct
+        )
+    }
+}
+
+/// One admitted unit of work: a tenant's query batch plus its reply slot.
+struct Job {
+    tenant: String,
+    queries: Vec<Pattern>,
+    reply: mpsc::Sender<Vec<CacheAnswer>>,
+}
+
+/// State shared between submitters and workers.
+struct Shared {
+    cache: Arc<ShardedViewCache>,
+    queue: Mutex<VecDeque<Job>>,
+    /// Signalled when a job is pushed (workers wait on this).
+    job_ready: Condvar,
+    /// Signalled when a job is popped (submitters blocked on a full queue
+    /// wait on this).
+    slot_ready: Condvar,
+    max_pending: usize,
+    shutting_down: AtomicBool,
+    tenants: Mutex<HashMap<String, TenantStats>>,
+}
+
+/// A pending batch: resolve it with [`BatchTicket::wait`].
+#[must_use = "a submitted batch is only observable through its ticket"]
+pub struct BatchTicket {
+    rx: mpsc::Receiver<Vec<CacheAnswer>>,
+}
+
+impl BatchTicket {
+    /// Blocks until the batch is answered (answers in input order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server was dropped before answering this batch — a
+    /// programming error, since `Drop` drains the queue first.
+    pub fn wait(self) -> Vec<CacheAnswer> {
+        self.rx.recv().expect("cache server dropped a pending batch")
+    }
+}
+
+/// A fixed worker pool answering query batches through one shared
+/// [`ShardedViewCache`].
+///
+/// ```
+/// use std::sync::Arc;
+/// use xpv_engine::{CacheServer, ShardedViewCache};
+/// use xpv_model::TreeBuilder;
+/// use xpv_pattern::parse_xpath;
+///
+/// let doc = TreeBuilder::root("a", |b| {
+///     b.leaf("b");
+/// });
+/// let cache = ShardedViewCache::new(doc);
+/// cache.add_view("bs", parse_xpath("a/b").unwrap());
+/// let server = CacheServer::start(Arc::new(cache), 2);
+/// let answers = server.answer_batch("tenant-1", &[parse_xpath("a/b").unwrap()]);
+/// assert_eq!(answers.len(), 1);
+/// assert_eq!(server.tenant_stats("tenant-1").unwrap().queries, 1);
+/// ```
+pub struct CacheServer {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl CacheServer {
+    /// Starts `workers` threads (minimum 1) over `cache` with the default
+    /// admission-queue bound.
+    pub fn start(cache: Arc<ShardedViewCache>, workers: usize) -> CacheServer {
+        Self::start_bounded(cache, workers, DEFAULT_MAX_PENDING)
+    }
+
+    /// [`CacheServer::start`] with an explicit admission-queue bound
+    /// (minimum 1): submitters block once `max_pending` batches are queued.
+    pub fn start_bounded(
+        cache: Arc<ShardedViewCache>,
+        workers: usize,
+        max_pending: usize,
+    ) -> CacheServer {
+        let shared = Arc::new(Shared {
+            cache,
+            queue: Mutex::new(VecDeque::new()),
+            job_ready: Condvar::new(),
+            slot_ready: Condvar::new(),
+            max_pending: max_pending.max(1),
+            shutting_down: AtomicBool::new(false),
+            tenants: Mutex::new(HashMap::new()),
+        });
+        let workers = (0..workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("xpv-serve-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn cache server worker")
+            })
+            .collect();
+        CacheServer { shared, workers }
+    }
+
+    /// The shared cache the pool answers from.
+    pub fn cache(&self) -> &Arc<ShardedViewCache> {
+        &self.shared.cache
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Admits a batch for `tenant`, blocking while the admission queue is
+    /// full. Returns a ticket resolving to the answers (input order).
+    pub fn submit(&self, tenant: &str, queries: Vec<Pattern>) -> BatchTicket {
+        let (tx, rx) = mpsc::channel();
+        let job = Job { tenant: tenant.to_string(), queries, reply: tx };
+        let mut queue = self.shared.queue.lock().expect("admission queue poisoned");
+        while queue.len() >= self.shared.max_pending {
+            queue = self.shared.slot_ready.wait(queue).expect("admission queue poisoned");
+        }
+        queue.push_back(job);
+        drop(queue);
+        self.shared.job_ready.notify_one();
+        BatchTicket { rx }
+    }
+
+    /// Submits and waits: synchronous batch answering with
+    /// [`ShardedViewCache::answer_batch`] semantics.
+    pub fn answer_batch(&self, tenant: &str, queries: &[Pattern]) -> Vec<CacheAnswer> {
+        self.submit(tenant, queries.to_vec()).wait()
+    }
+
+    /// This tenant's lifetime counters (`None` before its first batch).
+    pub fn tenant_stats(&self, tenant: &str) -> Option<TenantStats> {
+        self.shared.tenants.lock().expect("tenant stats poisoned").get(tenant).copied()
+    }
+
+    /// All tenants with their counters, sorted by tenant id.
+    pub fn tenants(&self) -> Vec<(String, TenantStats)> {
+        let mut all: Vec<(String, TenantStats)> = self
+            .shared
+            .tenants
+            .lock()
+            .expect("tenant stats poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect();
+        all.sort_by(|a, b| a.0.cmp(&b.0));
+        all
+    }
+}
+
+impl Drop for CacheServer {
+    fn drop(&mut self) {
+        self.shared.shutting_down.store(true, Ordering::Relaxed);
+        self.shared.job_ready.notify_all();
+        self.shared.slot_ready.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("admission queue poisoned");
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    shared.slot_ready.notify_one();
+                    break job;
+                }
+                if shared.shutting_down.load(Ordering::Relaxed) {
+                    return;
+                }
+                queue = shared.job_ready.wait(queue).expect("admission queue poisoned");
+            }
+        };
+        let answers = shared.cache.answer_batch(&job.queries);
+        {
+            let mut tenants = shared.tenants.lock().expect("tenant stats poisoned");
+            let stats = tenants.entry(job.tenant).or_default();
+            stats.batches += 1;
+            stats.queries += answers.len() as u64;
+            for a in &answers {
+                match a.route {
+                    Route::ViaView { .. } => stats.view_hits += 1,
+                    Route::Direct => stats.direct += 1,
+                }
+            }
+        }
+        // A dropped ticket (caller gave up) is fine; the work is done.
+        let _ = job.reply.send(answers);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xpv_model::{Tree, TreeBuilder};
+    use xpv_pattern::parse_xpath;
+
+    fn pat(s: &str) -> Pattern {
+        parse_xpath(s).expect("pattern parses")
+    }
+
+    fn doc() -> Tree {
+        TreeBuilder::root("site", |b| {
+            for _ in 0..3 {
+                b.child("region", |b| {
+                    b.child("item", |b| {
+                        b.leaf("name");
+                    });
+                });
+            }
+        })
+    }
+
+    fn server(workers: usize) -> CacheServer {
+        let cache = ShardedViewCache::new(doc()).with_shards(4);
+        cache.add_view("items", pat("site/region/item"));
+        CacheServer::start(Arc::new(cache), workers)
+    }
+
+    #[test]
+    fn batches_resolve_in_input_order() {
+        let server = server(3);
+        let qs = vec![pat("site/region/item/name"), pat("site/region"), pat("site//name")];
+        let answers = server.answer_batch("t1", &qs);
+        assert_eq!(answers.len(), 3);
+        for (q, a) in qs.iter().zip(&answers) {
+            assert_eq!(a.nodes, server.cache().answer_direct(q), "order broken for {q}");
+        }
+    }
+
+    #[test]
+    fn concurrent_submissions_from_many_tenants() {
+        let server = Arc::new(server(4));
+        let qs = vec![pat("site/region/item/name"), pat("site/region/item")];
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let server = Arc::clone(&server);
+                let qs = qs.clone();
+                scope.spawn(move || {
+                    let tenant = format!("tenant-{t}");
+                    for _ in 0..5 {
+                        let answers = server.answer_batch(&tenant, &qs);
+                        assert_eq!(answers.len(), qs.len());
+                    }
+                });
+            }
+        });
+        let tenants = server.tenants();
+        assert_eq!(tenants.len(), 4);
+        for (name, stats) in tenants {
+            assert_eq!(stats.batches, 5, "{name}");
+            assert_eq!(stats.queries, 10, "{name}");
+            assert_eq!(stats.view_hits + stats.direct, stats.queries, "{name}");
+        }
+        assert_eq!(server.cache().stats().queries, 40);
+    }
+
+    #[test]
+    fn tickets_allow_pipelined_submission() {
+        let server = server(2);
+        let q = pat("site/region/item/name");
+        let tickets: Vec<BatchTicket> =
+            (0..8).map(|_| server.submit("pipeline", vec![q.clone()])).collect();
+        for ticket in tickets {
+            let answers = ticket.wait();
+            assert_eq!(answers[0].nodes, server.cache().answer_direct(&q));
+        }
+        assert_eq!(server.tenant_stats("pipeline").unwrap().batches, 8);
+    }
+
+    #[test]
+    fn drop_completes_pending_work() {
+        let server = server(1);
+        let q = pat("site/region/item/name");
+        let tickets: Vec<BatchTicket> =
+            (0..4).map(|_| server.submit("t", vec![q.clone()])).collect();
+        drop(server);
+        // Workers drain every admitted job before exiting.
+        for ticket in tickets {
+            assert_eq!(ticket.wait().len(), 1);
+        }
+    }
+
+    #[test]
+    fn tenant_stats_display() {
+        let server = server(1);
+        let _ = server.answer_batch("acme", &[pat("site/region/item/name")]);
+        let line = server.tenant_stats("acme").unwrap().to_string();
+        assert!(line.contains("1 queries in 1 batches"), "got: {line}");
+    }
+}

@@ -1,0 +1,832 @@
+//! The sharded, concurrent core of the view cache.
+//!
+//! [`ShardedViewCache`] is the shared-state engine behind both the
+//! single-threaded [`ViewCache`](crate::ViewCache) wrapper (one shard) and
+//! the [`CacheServer`](crate::CacheServer) worker pool (many threads over
+//! one cache). Every serving method takes **`&self`**:
+//!
+//! * the **view pool** is a copy-on-write snapshot
+//!   (`RwLock<Arc<Vec<MaterializedView>>>`): answering threads clone the
+//!   `Arc` and never block behind [`ShardedViewCache::add_view`], and plan
+//!   routes index into an append-only pool so memoized routes stay valid;
+//! * the **plan memo** is partitioned into `N` lock shards keyed by the
+//!   query's structural fingerprint; a repeated query takes a shared read
+//!   lock on its shard, bumps an atomic recency tick, and clones its route
+//!   out — no write lock on the hot path;
+//! * all counters are atomics, aggregated into a [`CacheStats`] snapshot on
+//!   demand;
+//! * planning flows through one shared [`PlanningSession`] (the
+//!   concurrency-safe containment oracle underneath), so every containment
+//!   verdict is pooled across all threads and all shards.
+//!
+//! ## Memo lifecycle
+//!
+//! The memo is **bounded** (per-shard LRU over a configurable total entry
+//! cap, [`ShardedViewCache::with_memo_cap`]) and **selectively
+//! invalidated**: each entry records which prefix of the view pool its plan
+//! examined ([`PlanDep`]), and [`ShardedViewCache::add_view`] only drops
+//! entries whose plan actually depends on the grown pool — a `Direct` route
+//! (which asserted "no registered view rewrites this query") or any route
+//! chosen by a whole-pool scan ([`ChoicePolicy::SmallestView`]). Routes
+//! found by [`ChoicePolicy::FirstMatch`] stopped at the first usable view;
+//! appending a view cannot change them, so they survive registration — the
+//! wholesale memo clear of the pre-sharding cache is gone.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::{Duration, Instant};
+
+use xpv_core::{contained_rewriting_in, PlanningSession, RewriteAnswer, RewritePlanner};
+use xpv_model::{NodeId, Tree};
+use xpv_pattern::{Pattern, PatternKey};
+use xpv_semantics::evaluate;
+
+use crate::view::MaterializedView;
+
+/// Default number of plan-memo lock shards.
+pub const DEFAULT_CACHE_SHARDS: usize = 16;
+
+/// How the cache picks among several usable views.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ChoicePolicy {
+    /// The first registered view that admits a rewriting (lowest planning
+    /// cost: planning stops at the first hit).
+    #[default]
+    FirstMatch,
+    /// Among all views admitting a rewriting, the one with the smallest
+    /// materialized result (lowest evaluation cost; plans against every
+    /// view).
+    SmallestView,
+}
+
+/// How a query was answered.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Route {
+    /// Answered from the named view through the given rewriting.
+    ViaView {
+        /// Name of the view used.
+        view: String,
+        /// The rewriting `R` that was applied to the view result.
+        rewriting: String,
+    },
+    /// Answered by evaluating the query directly on the document.
+    Direct,
+}
+
+/// A cache answer: the output nodes plus provenance.
+#[derive(Clone, Debug)]
+pub struct CacheAnswer {
+    /// Output nodes in the cached document.
+    pub nodes: Vec<NodeId>,
+    /// How the answer was produced.
+    pub route: Route,
+    /// Time spent deciding rewritability (planning only; zero for answers
+    /// fanned out by batch deduplication).
+    pub planning: Duration,
+    /// Time spent evaluating (view-based or direct; zero for fanned-out
+    /// duplicates).
+    pub evaluation: Duration,
+}
+
+/// Aggregate statistics over the cache's lifetime.
+///
+/// `queries == plan_memo_hits + plan_memo_misses` holds across
+/// [`ShardedViewCache::answer`], [`ShardedViewCache::answer_batch`] and
+/// [`ShardedViewCache::answer_partial`]; duplicates deduplicated inside one
+/// batch count as `plan_memo_hits` (their route was served without a
+/// planner call) and additionally as `batch_dedup_hits`. Partial answers
+/// served through a *contained* (non-equivalent) rewriting count toward
+/// `queries` but toward neither `view_hits` nor `direct`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CacheStats {
+    /// Queries answered (full and partial).
+    pub queries: u64,
+    /// Queries answered from a view through an equivalent rewriting.
+    pub view_hits: u64,
+    /// Queries answered by direct evaluation.
+    pub direct: u64,
+    /// Queries whose route came straight from the plan memo (no planner
+    /// call, zero containment tests). Includes batch-deduplicated repeats.
+    pub plan_memo_hits: u64,
+    /// Queries that had to be planned.
+    pub plan_memo_misses: u64,
+    /// Repeats answered by fan-out inside a single `answer_batch` call
+    /// (also counted in `plan_memo_hits`).
+    pub batch_dedup_hits: u64,
+    /// Plan-memo entries evicted by the LRU bound.
+    pub plan_memo_evictions: u64,
+    /// Plan-memo entries dropped by selective `add_view` / policy
+    /// invalidation.
+    pub plan_memo_invalidations: u64,
+    /// Containment verdicts the session oracle served from its memo.
+    pub oracle_memo_hits: u64,
+    /// Canonical-model loops (coNP containment work) run so far. Flat
+    /// between two answers ⇔ the second answer did zero canonical-model
+    /// containment work.
+    pub oracle_canonical_runs: u64,
+    /// Canonical models enumerated inside those loops.
+    pub oracle_models_checked: u64,
+}
+
+impl std::fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} queries ({} via views, {} direct), plan memo {} hits / {} misses \
+             ({} batch-dedup, {} evicted, {} invalidated), oracle {} memo hits / \
+             {} canonical runs / {} models",
+            self.queries,
+            self.view_hits,
+            self.direct,
+            self.plan_memo_hits,
+            self.plan_memo_misses,
+            self.batch_dedup_hits,
+            self.plan_memo_evictions,
+            self.plan_memo_invalidations,
+            self.oracle_memo_hits,
+            self.oracle_canonical_runs,
+            self.oracle_models_checked
+        )
+    }
+}
+
+/// A memoized routing decision for one query key.
+#[derive(Clone, Debug)]
+pub(crate) enum PlannedRoute {
+    /// Serve from `views[index]` through `rewriting`.
+    ViaView { index: usize, rewriting: Pattern },
+    /// No registered view admits an equivalent rewriting.
+    Direct,
+}
+
+/// What part of the view pool a memoized plan depends on (the invalidation
+/// granularity of [`ShardedViewCache::add_view`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum PlanDep {
+    /// The plan examined only `views[0..n]` and committed to one of them
+    /// (a [`ChoicePolicy::FirstMatch`] hit): views appended later cannot
+    /// change it.
+    Prefix(usize),
+    /// The plan's validity rests on the *entire* pool — a `Direct` route
+    /// ("no view rewrites this") or a [`ChoicePolicy::SmallestView`] scan.
+    AllViews,
+}
+
+/// One plan-memo entry.
+#[derive(Debug)]
+struct MemoEntry {
+    route: PlannedRoute,
+    dep: PlanDep,
+    /// Recency tick for LRU eviction; atomic so read-locked memo hits can
+    /// refresh it.
+    last_used: AtomicU64,
+}
+
+/// Per-shard atomic counters (aggregated into [`CacheStats`]).
+#[derive(Debug, Default)]
+struct ShardStats {
+    queries: AtomicU64,
+    view_hits: AtomicU64,
+    direct: AtomicU64,
+    plan_memo_hits: AtomicU64,
+    plan_memo_misses: AtomicU64,
+    batch_dedup_hits: AtomicU64,
+    plan_memo_evictions: AtomicU64,
+    plan_memo_invalidations: AtomicU64,
+}
+
+#[derive(Debug, Default)]
+struct CacheShard {
+    memo: RwLock<HashMap<PatternKey, MemoEntry>>,
+    stats: ShardStats,
+}
+
+#[inline]
+fn bump(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+/// A set of materialized views over a single document with **concurrent**
+/// rewriting-based query answering: the serving methods take `&self`, so
+/// any number of worker threads can answer through one shared cache (see
+/// the module docs for the sharding and invalidation design).
+///
+/// Results are deterministic: a multi-threaded cache returns exactly the
+/// nodes and routes the single-threaded [`ViewCache`](crate::ViewCache)
+/// returns for the same document, views, and queries.
+#[derive(Debug)]
+pub struct ShardedViewCache {
+    doc: Tree,
+    views: RwLock<Arc<Vec<MaterializedView>>>,
+    session: PlanningSession,
+    policy: ChoicePolicy,
+    memo_enabled: AtomicBool,
+    shards: Box<[CacheShard]>,
+    /// Total memo entry bound (`usize::MAX` = unbounded).
+    memo_cap: usize,
+    /// Live total of memo entries across shards; every map mutation updates
+    /// it under the owning shard's write lock, so the [`memo_cap`] bound is
+    /// enforced globally, not per shard.
+    memo_entries: AtomicU64,
+    /// Bumped by every `add_view` (after the pool swap, before the
+    /// invalidation sweep); guards in-flight plans from memoizing a route
+    /// computed against the previous pool after the sweep already ran.
+    views_version: AtomicU64,
+    /// Global recency clock for LRU eviction.
+    tick: AtomicU64,
+}
+
+impl ShardedViewCache {
+    /// Creates an empty cache over `doc` with the default planner, the
+    /// default shard count, and an unbounded memo.
+    pub fn new(doc: Tree) -> ShardedViewCache {
+        Self::with_planner(doc, RewritePlanner::default())
+    }
+
+    /// Creates an empty cache with a custom planner configuration.
+    pub fn with_planner(doc: Tree, planner: RewritePlanner) -> ShardedViewCache {
+        ShardedViewCache {
+            doc,
+            views: RwLock::new(Arc::new(Vec::new())),
+            session: PlanningSession::new(planner),
+            policy: ChoicePolicy::default(),
+            memo_enabled: AtomicBool::new(true),
+            shards: (0..DEFAULT_CACHE_SHARDS).map(|_| CacheShard::default()).collect(),
+            memo_cap: usize::MAX,
+            memo_entries: AtomicU64::new(0),
+            views_version: AtomicU64::new(0),
+            tick: AtomicU64::new(0),
+        }
+    }
+
+    /// Sets the plan-memo shard count (builder style, rounded up to a power
+    /// of two, minimum 1). Call before sharing the cache across threads.
+    pub fn with_shards(mut self, shards: usize) -> ShardedViewCache {
+        let n = shards.max(1).next_power_of_two();
+        self.shards = (0..n).map(|_| CacheShard::default()).collect();
+        self
+    }
+
+    /// Bounds the plan memo to at most `cap` entries in total (builder
+    /// style; `0` means unbounded). The bound is **global** across shards
+    /// — a live atomic entry count gates every insert — with
+    /// least-recently-used eviction inside the inserting shard, so a
+    /// long-running cache serving an unbounded query universe keeps a
+    /// working set instead of growing forever. A full memo whose inserting
+    /// shard happens to be empty skips memoizing that route rather than
+    /// exceed the bound.
+    pub fn with_memo_cap(mut self, cap: usize) -> ShardedViewCache {
+        self.memo_cap = if cap == 0 { usize::MAX } else { cap };
+        self
+    }
+
+    /// Sets the view-selection policy. Invalidates the whole plan memo:
+    /// routes chosen under the previous policy are stale.
+    pub fn set_policy(&mut self, policy: ChoicePolicy) {
+        self.policy = policy;
+        for shard in self.shards.iter() {
+            let mut memo = shard.memo.write().expect("plan memo poisoned");
+            self.memo_entries.fetch_sub(memo.len() as u64, Ordering::Relaxed);
+            memo.clear();
+        }
+    }
+
+    /// The view-selection policy in effect.
+    pub fn policy(&self) -> ChoicePolicy {
+        self.policy
+    }
+
+    /// Number of plan-memo shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total plan-memo entries currently held across all shards.
+    pub fn plan_memo_len(&self) -> usize {
+        self.shards.iter().map(|s| s.memo.read().expect("plan memo poisoned").len()).sum()
+    }
+
+    /// The total memo entry bound (`usize::MAX` when unbounded).
+    pub fn memo_cap(&self) -> usize {
+        self.memo_cap
+    }
+
+    /// Enables or disables **all** memoization — the plan memo and the
+    /// session oracle's verdict/homomorphism memos. This is the ablation
+    /// knob the throughput bench flips to measure what sharing buys;
+    /// disabling clears every memo so a re-enable starts cold.
+    pub fn set_memo_enabled(&self, enabled: bool) {
+        self.memo_enabled.store(enabled, Ordering::Relaxed);
+        if !enabled {
+            for shard in self.shards.iter() {
+                let mut memo = shard.memo.write().expect("plan memo poisoned");
+                self.memo_entries.fetch_sub(memo.len() as u64, Ordering::Relaxed);
+                memo.clear();
+            }
+        }
+        self.session.oracle().set_memo_enabled(enabled);
+    }
+
+    /// Whether memoization is active.
+    pub fn memo_enabled(&self) -> bool {
+        self.memo_enabled.load(Ordering::Relaxed)
+    }
+
+    /// The cached document.
+    pub fn document(&self) -> &Tree {
+        &self.doc
+    }
+
+    /// The shared planning session (oracle stats, interner size).
+    pub fn session(&self) -> &PlanningSession {
+        &self.session
+    }
+
+    /// A snapshot of the registered views (copy-on-write: cheap `Arc`
+    /// clone, never blocks answering threads).
+    pub fn views_snapshot(&self) -> Arc<Vec<MaterializedView>> {
+        Arc::clone(&self.views.read().expect("view pool poisoned"))
+    }
+
+    /// Materializes `def` over the document and registers it under `name`.
+    /// Returns the number of answers materialized.
+    ///
+    /// Selectively invalidates the plan memo: only entries whose plan
+    /// depends on the grown pool — `Direct` routes and whole-pool-scan
+    /// routes — are dropped; `FirstMatch` view routes survive (see the
+    /// module docs). The oracle's containment verdicts are always kept
+    /// (they depend only on the pattern pair).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a view with the same name is already registered.
+    pub fn add_view(&self, name: &str, def: Pattern) -> usize {
+        let view = MaterializedView::materialize(name, def, &self.doc);
+        let n = view.len();
+        {
+            let mut views = self.views.write().expect("view pool poisoned");
+            assert!(views.iter().all(|v| v.name() != name), "duplicate view name {name:?}");
+            // Copy-on-write append: in-flight answers keep their snapshot.
+            let mut grown = Vec::with_capacity(views.len() + 1);
+            grown.extend(views.iter().cloned());
+            grown.push(view);
+            *views = Arc::new(grown);
+        }
+        // Version bump strictly before the sweep: an in-flight plan either
+        // sees the bump (and skips memoizing) or inserts before the sweep
+        // (and is caught by it) — stale routes never outlive this call.
+        self.views_version.fetch_add(1, Ordering::Release);
+        for shard in self.shards.iter() {
+            let mut memo = shard.memo.write().expect("plan memo poisoned");
+            let before = memo.len();
+            memo.retain(|_, entry| entry.dep != PlanDep::AllViews);
+            let dropped = (before - memo.len()) as u64;
+            self.memo_entries.fetch_sub(dropped, Ordering::Relaxed);
+            shard.stats.plan_memo_invalidations.fetch_add(dropped, Ordering::Relaxed);
+        }
+        n
+    }
+
+    /// Lifetime statistics, aggregated across shards (the oracle counters
+    /// are folded in live).
+    pub fn stats(&self) -> CacheStats {
+        let mut s = CacheStats::default();
+        for shard in self.shards.iter() {
+            s.queries += shard.stats.queries.load(Ordering::Relaxed);
+            s.view_hits += shard.stats.view_hits.load(Ordering::Relaxed);
+            s.direct += shard.stats.direct.load(Ordering::Relaxed);
+            s.plan_memo_hits += shard.stats.plan_memo_hits.load(Ordering::Relaxed);
+            s.plan_memo_misses += shard.stats.plan_memo_misses.load(Ordering::Relaxed);
+            s.batch_dedup_hits += shard.stats.batch_dedup_hits.load(Ordering::Relaxed);
+            s.plan_memo_evictions += shard.stats.plan_memo_evictions.load(Ordering::Relaxed);
+            s.plan_memo_invalidations +=
+                shard.stats.plan_memo_invalidations.load(Ordering::Relaxed);
+        }
+        let oracle = self.session.oracle().stats();
+        s.oracle_memo_hits = oracle.verdict_memo_hits;
+        s.oracle_canonical_runs = oracle.canonical_runs;
+        s.oracle_models_checked = oracle.models_checked;
+        s
+    }
+
+    #[inline]
+    fn shard_for(&self, fingerprint: u64) -> &CacheShard {
+        &self.shards[(fingerprint as usize) & (self.shards.len() - 1)]
+    }
+
+    /// Picks the route for `query` (already interned to `key` / `fp`),
+    /// consulting (and feeding) this shard's plan memo. Returns the route
+    /// plus the shard that accounted the lookup.
+    fn route_for(&self, query: &Pattern, key: PatternKey, fp: u64) -> (PlannedRoute, &CacheShard) {
+        let shard = self.shard_for(fp);
+        let memo = self.memo_enabled();
+        if memo {
+            let map = shard.memo.read().expect("plan memo poisoned");
+            if let Some(entry) = map.get(&key) {
+                entry.last_used.store(self.tick.fetch_add(1, Ordering::Relaxed), Ordering::Relaxed);
+                bump(&shard.stats.plan_memo_hits);
+                return (entry.route.clone(), shard);
+            }
+        }
+        bump(&shard.stats.plan_memo_misses);
+        // Snapshot the pool version *before* planning: if `add_view` lands
+        // between our plan and our insert, the insert is skipped below —
+        // otherwise a route planned against the old pool would be memoized
+        // after the invalidation sweep and survive it.
+        let planned_at = self.views_version.load(Ordering::Acquire);
+        let (route, dep) = self.plan(query);
+        if memo {
+            let mut map = shard.memo.write().expect("plan memo poisoned");
+            if self.views_version.load(Ordering::Acquire) == planned_at && !map.contains_key(&key) {
+                // Reserve a slot against the global bound; on overflow,
+                // evict this shard's LRU entry instead (net zero), or skip
+                // memoizing when the shard is empty — the total entry count
+                // never exceeds `memo_cap`.
+                let has_slot = {
+                    let reserved = self.memo_entries.fetch_add(1, Ordering::Relaxed);
+                    if (reserved as usize) < self.memo_cap {
+                        true
+                    } else {
+                        self.memo_entries.fetch_sub(1, Ordering::Relaxed);
+                        // LRU eviction: drop the stalest entry. Linear scan
+                        // — capped memos are small, and this path only runs
+                        // on misses against a saturated memo.
+                        let stale = map
+                            .iter()
+                            .min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed))
+                            .map(|(&k, _)| k);
+                        // Evict-and-replace is net zero entries, so the
+                        // counter stays untouched.
+                        match stale {
+                            Some(stale) => {
+                                map.remove(&stale);
+                                bump(&shard.stats.plan_memo_evictions);
+                                true
+                            }
+                            None => false,
+                        }
+                    }
+                };
+                if has_slot {
+                    map.insert(
+                        key,
+                        MemoEntry {
+                            route: route.clone(),
+                            dep,
+                            last_used: AtomicU64::new(self.tick.fetch_add(1, Ordering::Relaxed)),
+                        },
+                    );
+                }
+            }
+        }
+        (route, shard)
+    }
+
+    /// Plans `query` against the current view pool (no memo involvement).
+    fn plan(&self, query: &Pattern) -> (PlannedRoute, PlanDep) {
+        let views = self.views_snapshot();
+        let mut chosen: Option<(usize, Pattern)> = None;
+        let mut examined = 0usize;
+        for (i, view) in views.iter().enumerate() {
+            examined = i + 1;
+            if let RewriteAnswer::Rewriting(rw) = self.session.decide(query, view.definition()) {
+                let better = match (&chosen, self.policy) {
+                    (None, _) => true,
+                    (Some(_), ChoicePolicy::FirstMatch) => false,
+                    (Some((j, _)), ChoicePolicy::SmallestView) => view.len() < views[*j].len(),
+                };
+                if better {
+                    chosen = Some((i, rw.pattern().clone()));
+                }
+                if self.policy == ChoicePolicy::FirstMatch {
+                    break;
+                }
+            }
+        }
+        match chosen {
+            Some((index, rewriting)) => {
+                let dep = match self.policy {
+                    ChoicePolicy::FirstMatch => PlanDep::Prefix(examined),
+                    ChoicePolicy::SmallestView => PlanDep::AllViews,
+                };
+                (PlannedRoute::ViaView { index, rewriting }, dep)
+            }
+            None => (PlannedRoute::Direct, PlanDep::AllViews),
+        }
+    }
+
+    /// Executes a planned route, producing the answer nodes and provenance.
+    fn execute(
+        &self,
+        query: &Pattern,
+        route: PlannedRoute,
+        shard: &CacheShard,
+    ) -> (Vec<NodeId>, Route) {
+        match route {
+            PlannedRoute::ViaView { index, rewriting } => {
+                bump(&shard.stats.view_hits);
+                let views = self.views_snapshot();
+                let view = &views[index];
+                let nodes = view.apply_virtual(&rewriting, &self.doc);
+                (
+                    nodes,
+                    Route::ViaView {
+                        view: view.name().to_string(),
+                        rewriting: rewriting.to_string(),
+                    },
+                )
+            }
+            PlannedRoute::Direct => {
+                bump(&shard.stats.direct);
+                (evaluate(query, &self.doc), Route::Direct)
+            }
+        }
+    }
+
+    /// Answers `query`, preferring an equivalent rewriting over any
+    /// registered view and falling back to direct evaluation. Which view
+    /// wins when several apply is governed by the [`ChoicePolicy`].
+    ///
+    /// From its second occurrence on, a query's route is served from the
+    /// plan memo under a shared read lock: no planner call and **zero**
+    /// canonical-model containment calls
+    /// ([`CacheStats::plan_memo_hits`] counts these).
+    pub fn answer(&self, query: &Pattern) -> CacheAnswer {
+        let (key, fp) = self.session.oracle().intern_fingerprinted(query);
+        self.answer_keyed(query, key, fp)
+    }
+
+    /// [`ShardedViewCache::answer`] with the interning already done (batch
+    /// callers intern once for dedup and routing).
+    fn answer_keyed(&self, query: &Pattern, key: PatternKey, fp: u64) -> CacheAnswer {
+        let plan_start = Instant::now();
+        let (route, shard) = self.route_for(query, key, fp);
+        bump(&shard.stats.queries);
+        let planning = plan_start.elapsed();
+
+        let eval_start = Instant::now();
+        let (nodes, route) = self.execute(query, route, shard);
+        let evaluation = eval_start.elapsed();
+        CacheAnswer { nodes, route, planning, evaluation }
+    }
+
+    /// Answers a whole workload slice in one pass; answers come back in
+    /// input order.
+    ///
+    /// While memoization is enabled, queries repeated **within the batch**
+    /// (including sibling-reordered isomorphs) are answered once and fanned
+    /// out: the repeat positions receive a clone of the first occurrence's
+    /// `CacheAnswer` (with zeroed timings) without re-running even the
+    /// plan-memo lookup. Fan-outs count as [`CacheStats::plan_memo_hits`]
+    /// and [`CacheStats::batch_dedup_hits`]. With the memo disabled
+    /// ([`ShardedViewCache::set_memo_enabled`]) every position replans, so
+    /// the ablation baseline measures genuinely unshared work.
+    pub fn answer_batch(&self, queries: &[Pattern]) -> Vec<CacheAnswer> {
+        if !self.memo_enabled() {
+            return queries.iter().map(|q| self.answer(q)).collect();
+        }
+        let mut answers: Vec<CacheAnswer> = Vec::with_capacity(queries.len());
+        let mut first_seen: HashMap<PatternKey, usize> = HashMap::new();
+        for (i, query) in queries.iter().enumerate() {
+            let (key, fp) = self.session.oracle().intern_fingerprinted(query);
+            match first_seen.get(&key) {
+                Some(&j) => {
+                    let original = &answers[j];
+                    let fanned = CacheAnswer {
+                        nodes: original.nodes.clone(),
+                        route: original.route.clone(),
+                        planning: Duration::ZERO,
+                        evaluation: Duration::ZERO,
+                    };
+                    let shard = self.shard_for(fp);
+                    bump(&shard.stats.queries);
+                    bump(&shard.stats.plan_memo_hits);
+                    bump(&shard.stats.batch_dedup_hits);
+                    match fanned.route {
+                        Route::ViaView { .. } => bump(&shard.stats.view_hits),
+                        Route::Direct => bump(&shard.stats.direct),
+                    }
+                    answers.push(fanned);
+                }
+                None => {
+                    first_seen.insert(key, i);
+                    answers.push(self.answer_keyed(query, key, fp));
+                }
+            }
+        }
+        answers
+    }
+
+    /// Answers `query` by direct evaluation only (baseline for benchmarks).
+    pub fn answer_direct(&self, query: &Pattern) -> Vec<NodeId> {
+        evaluate(query, &self.doc)
+    }
+
+    /// A **partial** answer from the views when no equivalent rewriting
+    /// exists: uses a *contained* rewriting (`R ∘ V ⊑ P`, the sound half of
+    /// the paper's open problem 3), so every returned node is a genuine
+    /// answer of `query`, but some answers may be missing. Returns `None`
+    /// when no view yields even a contained rewriting.
+    ///
+    /// The `complete` flag is `true` only when the rewriting is equivalent
+    /// (in which case this behaves like [`ShardedViewCache::answer`]).
+    pub fn answer_partial(&self, query: &Pattern) -> Option<(Vec<NodeId>, bool)> {
+        // Equivalent rewriting first (shares the plan memo with `answer`).
+        let (key, fp) = self.session.oracle().intern_fingerprinted(query);
+        let (route, shard) = self.route_for(query, key, fp);
+        bump(&shard.stats.queries);
+        if let PlannedRoute::ViaView { index, rewriting } = route {
+            bump(&shard.stats.view_hits);
+            let views = self.views_snapshot();
+            return Some((views[index].apply_virtual(&rewriting, &self.doc), true));
+        }
+        // Contained rewriting: pick the view yielding the most answers.
+        let views = self.views_snapshot();
+        let mut best: Option<Vec<NodeId>> = None;
+        for view in views.iter() {
+            if let Some(r) = contained_rewriting_in(self.session.oracle(), query, view.definition())
+            {
+                let nodes = view.apply_virtual(&r, &self.doc);
+                if best.as_ref().is_none_or(|b| nodes.len() > b.len()) {
+                    best = Some(nodes);
+                }
+            }
+        }
+        best.map(|nodes| (nodes, false))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xpv_model::TreeBuilder;
+    use xpv_pattern::parse_xpath;
+
+    fn pat(s: &str) -> Pattern {
+        parse_xpath(s).expect("pattern parses")
+    }
+
+    fn doc() -> Tree {
+        TreeBuilder::root("site", |b| {
+            for _ in 0..3 {
+                b.child("region", |b| {
+                    b.child("item", |b| {
+                        b.leaf("name");
+                        b.child("desc", |b| {
+                            b.leaf("keyword");
+                        });
+                    });
+                    b.child("item", |b| {
+                        b.leaf("name");
+                    });
+                });
+            }
+        })
+    }
+
+    #[test]
+    fn concurrent_answers_match_serial_answers() {
+        let cache = ShardedViewCache::new(doc()).with_shards(4);
+        cache.add_view("items", pat("site/region/item"));
+        cache.add_view("names", pat("site/region/item/name"));
+        let queries: Vec<Pattern> = [
+            "site/region/item/name",
+            "site//keyword",
+            "site/region/item[desc]/name",
+            "site/region/item",
+        ]
+        .iter()
+        .map(|s| pat(s))
+        .collect();
+        let expected: Vec<Vec<NodeId>> = queries.iter().map(|q| cache.answer_direct(q)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..5 {
+                        for (q, want) in queries.iter().zip(&expected) {
+                            assert_eq!(&cache.answer(q).nodes, want, "wrong answer for {q}");
+                        }
+                    }
+                });
+            }
+        });
+        let s = cache.stats();
+        assert_eq!(s.queries, 4 * 5 * queries.len() as u64);
+        assert_eq!(s.queries, s.plan_memo_hits + s.plan_memo_misses);
+        assert!(s.plan_memo_hits > 0);
+    }
+
+    #[test]
+    fn add_view_keeps_first_match_routes() {
+        let cache = ShardedViewCache::new(doc());
+        cache.add_view("names", pat("site/region/item/name"));
+        let via_view = pat("site/region/item/name");
+        let direct = pat("site/region/item");
+        assert!(matches!(cache.answer(&via_view).route, Route::ViaView { .. }));
+        assert_eq!(cache.answer(&direct).route, Route::Direct);
+        assert_eq!(cache.plan_memo_len(), 2);
+
+        let runs_before = cache.stats().oracle_canonical_runs;
+        cache.add_view("items", pat("site/region/item"));
+
+        // Only the Direct entry was invalidated.
+        assert_eq!(cache.plan_memo_len(), 1);
+        assert_eq!(cache.stats().plan_memo_invalidations, 1);
+
+        // The surviving ViaView route serves from the memo: zero coNP work.
+        assert!(matches!(cache.answer(&via_view).route, Route::ViaView { .. }));
+        assert_eq!(cache.stats().oracle_canonical_runs, runs_before);
+        // The Direct query replans and picks up the new view.
+        match cache.answer(&direct).route {
+            Route::ViaView { view, .. } => assert_eq!(view, "items"),
+            other => panic!("expected the fresh view to serve, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn memo_cap_bounds_entries_and_evicts_lru() {
+        let cache = ShardedViewCache::new(doc()).with_shards(1).with_memo_cap(2);
+        cache.add_view("items", pat("site/region/item"));
+        let queries = ["site/region/item/name", "site//keyword", "site/region/item", "site//name"];
+        for q in queries {
+            let _ = cache.answer(&pat(q));
+            assert!(cache.plan_memo_len() <= 2, "cap must hold after every insert");
+        }
+        let s = cache.stats();
+        assert_eq!(s.plan_memo_evictions, 2);
+        assert_eq!(s.plan_memo_misses, 4);
+        // The memo still answers correctly after evictions.
+        let q = pat("site/region/item/name");
+        assert_eq!(cache.answer(&q).nodes, cache.answer_direct(&q));
+    }
+
+    #[test]
+    fn smallest_view_routes_invalidate_on_add_view() {
+        // set_policy needs exclusive access — configure before sharing.
+        let mut cache = ShardedViewCache::new(doc());
+        cache.set_policy(ChoicePolicy::SmallestView);
+        cache.add_view("items", pat("site/region/item"));
+        let q = pat("site/region/item/name");
+        assert!(matches!(cache.answer(&q).route, Route::ViaView { .. }));
+        assert_eq!(cache.plan_memo_len(), 1);
+        // A whole-pool scan depends on every view: the entry must drop.
+        cache.add_view("regions", pat("site/region"));
+        assert_eq!(cache.plan_memo_len(), 0);
+        match cache.answer(&q).route {
+            Route::ViaView { view, .. } => {
+                assert_eq!(view, "regions", "regions is the smaller view")
+            }
+            other => panic!("expected view hit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_dedup_fans_out_identical_queries() {
+        let cache = ShardedViewCache::new(doc());
+        cache.add_view("items", pat("site/region/item"));
+        let q = pat("site/region/item/name");
+        let batch = vec![q.clone(), q.clone(), q.clone()];
+        let answers = cache.answer_batch(&batch);
+        assert_eq!(answers.len(), 3);
+        for a in &answers {
+            assert_eq!(a.nodes, answers[0].nodes);
+            assert_eq!(a.route, answers[0].route);
+        }
+        let s = cache.stats();
+        assert_eq!(s.queries, 3);
+        assert_eq!(s.plan_memo_misses, 1, "planned exactly once");
+        assert_eq!(s.batch_dedup_hits, 2);
+        assert_eq!(s.plan_memo_hits, 2);
+        assert_eq!(s.view_hits, 3, "every position counts toward its route");
+    }
+
+    #[test]
+    fn memo_disabled_batches_do_not_dedupe() {
+        // The ablation baseline must measure unshared work: with the memo
+        // off, in-batch repeats replan instead of fanning out.
+        let cache = ShardedViewCache::new(doc());
+        cache.set_memo_enabled(false);
+        cache.add_view("items", pat("site/region/item"));
+        let q = pat("site/region/item/name");
+        let answers = cache.answer_batch(&[q.clone(), q.clone(), q.clone()]);
+        assert_eq!(answers.len(), 3);
+        for a in &answers {
+            assert_eq!(a.nodes, answers[0].nodes);
+        }
+        let s = cache.stats();
+        assert_eq!(s.batch_dedup_hits, 0);
+        assert_eq!(s.plan_memo_hits, 0);
+        assert_eq!(s.plan_memo_misses, 3, "every repeat must replan without the memo");
+    }
+
+    #[test]
+    fn stats_display_is_one_line() {
+        let cache = ShardedViewCache::new(doc());
+        cache.add_view("items", pat("site/region/item"));
+        let _ = cache.answer(&pat("site/region/item/name"));
+        let line = cache.stats().to_string();
+        assert!(line.contains("queries"), "got: {line}");
+        assert!(!line.contains('\n'));
+    }
+}

@@ -120,8 +120,25 @@ impl PatternInterner {
     /// The first pattern of a class is cloned into the arena as the
     /// representative.
     pub fn intern(&mut self, p: &Pattern) -> PatternKey {
-        let fp = p.fingerprint();
-        let bucket = self.lookup.entry(fp).or_default();
+        self.intern_prehashed(p.fingerprint(), p)
+    }
+
+    /// Read-only lookup of `p`'s key given its precomputed fingerprint.
+    ///
+    /// Returns `None` when `p` has not been interned yet. Unlike
+    /// [`PatternInterner::intern`] this takes `&self`, so a concurrent
+    /// wrapper (the containment oracle's `RwLock`-guarded interner) can
+    /// serve the hot repeated-query path under a shared read lock and only
+    /// upgrade to a write lock on genuinely new patterns.
+    pub fn lookup_prehashed(&self, fingerprint: u64, p: &Pattern) -> Option<PatternKey> {
+        let bucket = self.lookup.get(&fingerprint)?;
+        bucket.iter().copied().find(|key| self.arena[key.index()].structurally_eq(p))
+    }
+
+    /// [`PatternInterner::intern`] with the fingerprint computed by the
+    /// caller (so a lookup-then-intern sequence hashes the pattern once).
+    pub fn intern_prehashed(&mut self, fingerprint: u64, p: &Pattern) -> PatternKey {
+        let bucket = self.lookup.entry(fingerprint).or_default();
         for &key in bucket.iter() {
             if self.arena[key.index()].structurally_eq(p) {
                 self.hits += 1;
@@ -194,6 +211,19 @@ mod tests {
         assert_eq!(i.len(), 2);
         assert_eq!(i.hits(), 1);
         assert!(i.resolve(k1).structurally_eq(&pat("a[b][c]/d")));
+    }
+
+    #[test]
+    fn prehashed_lookup_agrees_with_intern() {
+        let mut i = PatternInterner::new();
+        let p = pat("a[b][c]/d");
+        let fp = p.fingerprint();
+        assert_eq!(i.lookup_prehashed(fp, &p), None);
+        let k = i.intern_prehashed(fp, &p);
+        assert_eq!(i.lookup_prehashed(fp, &p), Some(k));
+        // A sibling-reordered isomorph shares fingerprint and key.
+        let iso = pat("a[c][b]/d");
+        assert_eq!(i.lookup_prehashed(iso.fingerprint(), &iso), Some(k));
     }
 
     #[test]

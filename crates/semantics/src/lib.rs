@@ -40,5 +40,5 @@ pub use embed::{
     Embedding,
 };
 pub use hom::{check_homomorphism, find_homomorphism, homomorphism_exists, HomMode};
-pub use oracle::{ContainmentOracle, OracleStats};
+pub use oracle::{ContainmentOracle, OracleStats, DEFAULT_ORACLE_SHARDS};
 pub use reduce::{is_non_redundant, redundant_branches, remove_redundant_branches};

@@ -1,4 +1,4 @@
-//! The memoizing containment oracle.
+//! The memoizing, concurrency-safe containment oracle.
 //!
 //! Every layer of the rewriting pipeline — candidate tests, completeness
 //! certificates, the brute-force search, multi-view ranking, the `ViewCache`
@@ -17,6 +17,21 @@
 //! 2. **full verdicts** — the containment answer after the canonical-model
 //!    loop, keyed by `(p1, p2, weak)`; a hit skips the coNP test entirely.
 //!
+//! ## Concurrency
+//!
+//! The oracle is split into an **immutable decision core** (the containment
+//! options plus the staged decision procedure, which is pure) and a **sharded
+//! memo store**: both memo levels are partitioned into `N` lock shards keyed
+//! by a mix of the interned pattern keys, the interner sits behind a
+//! `RwLock` with a read-locked fast path for already-seen patterns, and every
+//! counter in [`OracleStats`] is an atomic. As a result `contained`,
+//! `hom_exists` and friends take **`&self`**: any number of worker threads
+//! can decide through one shared oracle, memo hits proceed under shared read
+//! locks, and only a genuinely new verdict briefly write-locks its shard.
+//! Verdicts are deterministic, so racing threads that compute the same entry
+//! insert the same value — the memo never changes an answer, it only skips
+//! work.
+//!
 //! The free functions [`contained`](crate::contained) /
 //! [`equivalent`](crate::equivalent) / the weak variants are thin wrappers
 //! that run a fresh oracle per call, so existing call sites keep their exact
@@ -29,12 +44,19 @@
 //! bench quantifies what memoization buys.
 
 use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::RwLock;
 
 use xpv_pattern::{Pattern, PatternInterner, PatternKey};
 
 use crate::canonical::expansion_bound;
 use crate::contain::{canonical_loop, ContainmentOptions, ContainmentOutcome};
 use crate::hom::{homomorphism_exists, HomMode};
+
+/// Default number of memo lock shards (a power of two; see
+/// [`ContainmentOracle::with_options_sharded`]).
+pub const DEFAULT_ORACLE_SHARDS: usize = 16;
 
 /// Counters describing the oracle's lifetime work (all monotone).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -60,21 +82,113 @@ pub struct OracleStats {
 impl OracleStats {
     /// Component-wise difference (`self - earlier`); all counters are
     /// monotone, so this measures the work between two snapshots.
+    ///
+    /// Uses saturating subtraction: snapshots taken while *other* threads
+    /// are mid-decision (or across a [`ContainmentOracle::reset_stats`]) can
+    /// observe counters out of lock-step, and a delta must never panic in
+    /// that case — it degrades to a floor of zero per counter.
     pub fn since(&self, earlier: &OracleStats) -> OracleStats {
         OracleStats {
-            queries: self.queries - earlier.queries,
-            verdict_memo_hits: self.verdict_memo_hits - earlier.verdict_memo_hits,
-            verdict_memo_misses: self.verdict_memo_misses - earlier.verdict_memo_misses,
-            hom_queries: self.hom_queries - earlier.hom_queries,
-            hom_memo_hits: self.hom_memo_hits - earlier.hom_memo_hits,
-            hom_fast_path_hits: self.hom_fast_path_hits - earlier.hom_fast_path_hits,
-            canonical_runs: self.canonical_runs - earlier.canonical_runs,
-            models_checked: self.models_checked - earlier.models_checked,
+            queries: self.queries.saturating_sub(earlier.queries),
+            verdict_memo_hits: self.verdict_memo_hits.saturating_sub(earlier.verdict_memo_hits),
+            verdict_memo_misses: self
+                .verdict_memo_misses
+                .saturating_sub(earlier.verdict_memo_misses),
+            hom_queries: self.hom_queries.saturating_sub(earlier.hom_queries),
+            hom_memo_hits: self.hom_memo_hits.saturating_sub(earlier.hom_memo_hits),
+            hom_fast_path_hits: self.hom_fast_path_hits.saturating_sub(earlier.hom_fast_path_hits),
+            canonical_runs: self.canonical_runs.saturating_sub(earlier.canonical_runs),
+            models_checked: self.models_checked.saturating_sub(earlier.models_checked),
         }
     }
 }
 
-/// A memoizing decision service for containment and equivalence.
+impl fmt::Display for OracleStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} containment queries ({} memo hits, {} misses), \
+             {} hom queries ({} memo hits, {} fast-path), \
+             {} canonical runs / {} models",
+            self.queries,
+            self.verdict_memo_hits,
+            self.verdict_memo_misses,
+            self.hom_queries,
+            self.hom_memo_hits,
+            self.hom_fast_path_hits,
+            self.canonical_runs,
+            self.models_checked
+        )
+    }
+}
+
+/// The atomic backing store for [`OracleStats`] (one counter per field).
+#[derive(Debug, Default)]
+struct AtomicOracleStats {
+    queries: AtomicU64,
+    verdict_memo_hits: AtomicU64,
+    verdict_memo_misses: AtomicU64,
+    hom_queries: AtomicU64,
+    hom_memo_hits: AtomicU64,
+    hom_fast_path_hits: AtomicU64,
+    canonical_runs: AtomicU64,
+    models_checked: AtomicU64,
+}
+
+impl AtomicOracleStats {
+    fn snapshot(&self) -> OracleStats {
+        OracleStats {
+            queries: self.queries.load(Ordering::Relaxed),
+            verdict_memo_hits: self.verdict_memo_hits.load(Ordering::Relaxed),
+            verdict_memo_misses: self.verdict_memo_misses.load(Ordering::Relaxed),
+            hom_queries: self.hom_queries.load(Ordering::Relaxed),
+            hom_memo_hits: self.hom_memo_hits.load(Ordering::Relaxed),
+            hom_fast_path_hits: self.hom_fast_path_hits.load(Ordering::Relaxed),
+            canonical_runs: self.canonical_runs.load(Ordering::Relaxed),
+            models_checked: self.models_checked.load(Ordering::Relaxed),
+        }
+    }
+
+    fn reset(&self) {
+        self.queries.store(0, Ordering::Relaxed);
+        self.verdict_memo_hits.store(0, Ordering::Relaxed);
+        self.verdict_memo_misses.store(0, Ordering::Relaxed);
+        self.hom_queries.store(0, Ordering::Relaxed);
+        self.hom_memo_hits.store(0, Ordering::Relaxed);
+        self.hom_fast_path_hits.store(0, Ordering::Relaxed);
+        self.canonical_runs.store(0, Ordering::Relaxed);
+        self.models_checked.store(0, Ordering::Relaxed);
+    }
+}
+
+#[inline]
+fn bump(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+/// One lock shard of the two-level memo.
+#[derive(Debug, Default)]
+struct MemoShard {
+    /// Level-1 memo: homomorphism existence, keyed `(q, p, mode)`.
+    hom: RwLock<HashMap<(PatternKey, PatternKey, HomMode), bool>>,
+    /// Level-2 memo: full containment verdicts, keyed `(p1, p2, weak)`.
+    verdict: RwLock<HashMap<(PatternKey, PatternKey, bool), bool>>,
+}
+
+/// Mixes a pair of interned keys into a shard index (splitmix64 avalanche,
+/// same mixer as `Pattern::fingerprint`).
+#[inline]
+fn shard_of(k1: PatternKey, k2: PatternKey, nshards: usize) -> usize {
+    let mut h = ((k1.index() as u64) << 32) ^ (k2.index() as u64) ^ 0x9E37_79B9_7F4A_7C15;
+    h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+    (h ^ (h >> 33)) as usize & (nshards - 1)
+}
+
+/// A memoizing decision service for containment and equivalence, shareable
+/// across threads (`&self` throughout — see the module docs for the
+/// core/shard split).
 ///
 /// ```
 /// use xpv_pattern::parse_xpath;
@@ -82,21 +196,24 @@ impl OracleStats {
 ///
 /// let p = parse_xpath("a/b/c").unwrap();
 /// let q = parse_xpath("a//c").unwrap();
-/// let mut oracle = ContainmentOracle::new();
+/// let oracle = ContainmentOracle::new();
 /// assert!(oracle.contained(&p, &q));
 /// assert!(oracle.contained(&p, &q)); // memo hit: no recomputation
 /// assert_eq!(oracle.stats().verdict_memo_hits, 1);
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ContainmentOracle {
-    interner: PatternInterner,
+    interner: RwLock<PatternInterner>,
     opts: ContainmentOptions,
-    memo_enabled: bool,
-    /// Level-1 memo: homomorphism existence, keyed `(q, p, mode)`.
-    hom_memo: HashMap<(PatternKey, PatternKey, HomMode), bool>,
-    /// Level-2 memo: full containment verdicts, keyed `(p1, p2, weak)`.
-    verdict_memo: HashMap<(PatternKey, PatternKey, bool), bool>,
-    stats: OracleStats,
+    memo_enabled: AtomicBool,
+    shards: Box<[MemoShard]>,
+    stats: AtomicOracleStats,
+}
+
+impl Default for ContainmentOracle {
+    fn default() -> ContainmentOracle {
+        ContainmentOracle::new()
+    }
 }
 
 impl ContainmentOracle {
@@ -105,31 +222,47 @@ impl ContainmentOracle {
         Self::with_options(ContainmentOptions::default())
     }
 
-    /// An oracle with custom containment options.
+    /// An oracle with custom containment options and the default shard
+    /// count.
     pub fn with_options(opts: ContainmentOptions) -> ContainmentOracle {
+        Self::with_options_sharded(opts, DEFAULT_ORACLE_SHARDS)
+    }
+
+    /// An oracle with custom options and an explicit memo shard count
+    /// (rounded up to a power of two, minimum 1). More shards lower write
+    /// contention when many threads insert fresh verdicts concurrently;
+    /// single-threaded callers can use 1.
+    pub fn with_options_sharded(opts: ContainmentOptions, shards: usize) -> ContainmentOracle {
+        let n = shards.max(1).next_power_of_two();
         ContainmentOracle {
-            interner: PatternInterner::new(),
+            interner: RwLock::new(PatternInterner::new()),
             opts,
-            memo_enabled: true,
-            hom_memo: HashMap::new(),
-            verdict_memo: HashMap::new(),
-            stats: OracleStats::default(),
+            memo_enabled: AtomicBool::new(true),
+            shards: (0..n).map(|_| MemoShard::default()).collect(),
+            stats: AtomicOracleStats::default(),
         }
+    }
+
+    /// Number of memo lock shards.
+    pub fn memo_shards(&self) -> usize {
+        self.shards.len()
     }
 
     /// Enables or disables the memo (ablation knob). Disabling also clears
     /// both levels so a later re-enable starts cold.
-    pub fn set_memo_enabled(&mut self, enabled: bool) {
-        self.memo_enabled = enabled;
+    pub fn set_memo_enabled(&self, enabled: bool) {
+        self.memo_enabled.store(enabled, Ordering::Relaxed);
         if !enabled {
-            self.hom_memo.clear();
-            self.verdict_memo.clear();
+            for shard in self.shards.iter() {
+                shard.hom.write().expect("oracle memo poisoned").clear();
+                shard.verdict.write().expect("oracle memo poisoned").clear();
+            }
         }
     }
 
     /// Whether memoization is active.
     pub fn memo_enabled(&self) -> bool {
-        self.memo_enabled
+        self.memo_enabled.load(Ordering::Relaxed)
     }
 
     /// The options threaded into every test.
@@ -137,114 +270,143 @@ impl ContainmentOracle {
         &self.opts
     }
 
-    /// Lifetime counters.
+    /// Lifetime counters (a relaxed snapshot; exact when no other thread is
+    /// mid-decision).
     pub fn stats(&self) -> OracleStats {
-        self.stats
+        self.stats.snapshot()
     }
 
     /// Resets the counters (the memo tables are kept).
-    pub fn reset_stats(&mut self) {
-        self.stats = OracleStats::default();
+    pub fn reset_stats(&self) {
+        self.stats.reset();
     }
 
     /// Number of distinct patterns interned so far.
     pub fn interned_patterns(&self) -> usize {
-        self.interner.len()
+        self.interner.read().expect("oracle interner poisoned").len()
     }
 
     /// Interns `p`, returning its structural key.
-    pub fn intern(&mut self, p: &Pattern) -> PatternKey {
-        self.interner.intern(p)
+    pub fn intern(&self, p: &Pattern) -> PatternKey {
+        self.intern_fingerprinted(p).0
     }
 
-    /// The representative pattern of an interned key.
-    pub fn resolve(&self, key: PatternKey) -> &Pattern {
-        self.interner.resolve(key)
+    /// Interns `p`, returning its structural key together with the 64-bit
+    /// structural fingerprint (callers that shard by query — the
+    /// `ShardedViewCache` — reuse the hash instead of recomputing it).
+    pub fn intern_fingerprinted(&self, p: &Pattern) -> (PatternKey, u64) {
+        let fp = p.fingerprint();
+        // Fast path: already interned (shared read lock).
+        if let Some(key) =
+            self.interner.read().expect("oracle interner poisoned").lookup_prehashed(fp, p)
+        {
+            return (key, fp);
+        }
+        let key = self.interner.write().expect("oracle interner poisoned").intern_prehashed(fp, p);
+        (key, fp)
+    }
+
+    /// A clone of the representative pattern of an interned key. (Returns an
+    /// owned pattern rather than a reference because the interner lives
+    /// behind the concurrency lock.)
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` comes from a different oracle.
+    pub fn resolve(&self, key: PatternKey) -> Pattern {
+        self.interner.read().expect("oracle interner poisoned").resolve(key).clone()
     }
 
     /// Memoized homomorphism existence `q → p` under `mode`.
-    pub fn hom_exists(&mut self, q: &Pattern, p: &Pattern, mode: HomMode) -> bool {
+    pub fn hom_exists(&self, q: &Pattern, p: &Pattern, mode: HomMode) -> bool {
         let kq = self.intern(q);
         let kp = self.intern(p);
         self.hom_exists_inner(kq, kp, mode, q, p)
     }
 
     fn hom_exists_inner(
-        &mut self,
+        &self,
         kq: PatternKey,
         kp: PatternKey,
         mode: HomMode,
         q: &Pattern,
         p: &Pattern,
     ) -> bool {
-        self.stats.hom_queries += 1;
-        if self.memo_enabled {
-            if let Some(&hit) = self.hom_memo.get(&(kq, kp, mode)) {
-                self.stats.hom_memo_hits += 1;
+        bump(&self.stats.hom_queries);
+        let memo = self.memo_enabled();
+        let shard = &self.shards[shard_of(kq, kp, self.shards.len())];
+        if memo {
+            if let Some(&hit) = shard.hom.read().expect("oracle memo poisoned").get(&(kq, kp, mode))
+            {
+                bump(&self.stats.hom_memo_hits);
                 return hit;
             }
         }
         let holds = homomorphism_exists(q, p, mode);
-        if self.memo_enabled {
-            self.hom_memo.insert((kq, kp, mode), holds);
+        if memo {
+            shard.hom.write().expect("oracle memo poisoned").insert((kq, kp, mode), holds);
         }
         holds
     }
 
     /// Memoized `p1 ⊑ p2`.
-    pub fn contained(&mut self, p1: &Pattern, p2: &Pattern) -> bool {
+    pub fn contained(&self, p1: &Pattern, p2: &Pattern) -> bool {
         self.decide(p1, p2, false)
     }
 
     /// Memoized weak containment `p1 ⊑w p2`.
-    pub fn weakly_contained(&mut self, p1: &Pattern, p2: &Pattern) -> bool {
+    pub fn weakly_contained(&self, p1: &Pattern, p2: &Pattern) -> bool {
         self.decide(p1, p2, true)
     }
 
     /// Memoized equivalence (two-sided containment; each side memoizes
     /// independently, so `equivalent(p, q)` after `contained(p, q)` only
     /// pays for the missing direction).
-    pub fn equivalent(&mut self, p1: &Pattern, p2: &Pattern) -> bool {
+    pub fn equivalent(&self, p1: &Pattern, p2: &Pattern) -> bool {
         self.contained(p1, p2) && self.contained(p2, p1)
     }
 
     /// Memoized weak equivalence.
-    pub fn weakly_equivalent(&mut self, p1: &Pattern, p2: &Pattern) -> bool {
+    pub fn weakly_equivalent(&self, p1: &Pattern, p2: &Pattern) -> bool {
         self.weakly_contained(p1, p2) && self.weakly_contained(p2, p1)
     }
 
-    fn decide(&mut self, p1: &Pattern, p2: &Pattern, weak: bool) -> bool {
+    fn decide(&self, p1: &Pattern, p2: &Pattern, weak: bool) -> bool {
         let k1 = self.intern(p1);
         let k2 = self.intern(p2);
         self.decide_keys(k1, k2, p1, p2, weak)
     }
 
     fn decide_keys(
-        &mut self,
+        &self,
         k1: PatternKey,
         k2: PatternKey,
         p1: &Pattern,
         p2: &Pattern,
         weak: bool,
     ) -> bool {
-        self.stats.queries += 1;
-        if self.memo_enabled {
-            if let Some(&verdict) = self.verdict_memo.get(&(k1, k2, weak)) {
-                self.stats.verdict_memo_hits += 1;
+        bump(&self.stats.queries);
+        let memo = self.memo_enabled();
+        let shard = &self.shards[shard_of(k1, k2, self.shards.len())];
+        if memo {
+            if let Some(&verdict) =
+                shard.verdict.read().expect("oracle memo poisoned").get(&(k1, k2, weak))
+            {
+                bump(&self.stats.verdict_memo_hits);
                 return verdict;
             }
         }
-        self.stats.verdict_memo_misses += 1;
+        bump(&self.stats.verdict_memo_misses);
 
         // Stage 1: the PTIME homomorphism witness (sound for the full
         // fragment), itself memoized at level 1.
         let mode = if weak { HomMode::Free } else { HomMode::RootAnchored };
         let holds = if self.opts.hom_fast_path && self.hom_exists_inner(k2, k1, mode, p2, p1) {
-            self.stats.hom_fast_path_hits += 1;
+            bump(&self.stats.hom_fast_path_hits);
             true
         } else {
             // Stage 2: the complete canonical-model loop (Section 2.2).
-            self.stats.canonical_runs += 1;
+            bump(&self.stats.canonical_runs);
             let bound = self.opts.bound_override.unwrap_or_else(|| expansion_bound(p2));
             let mut outcome = ContainmentOutcome {
                 holds: false,
@@ -253,12 +415,12 @@ impl ContainmentOracle {
                 counter_model: None,
             };
             let holds = canonical_loop(p1, p2, bound, weak, &mut outcome);
-            self.stats.models_checked += outcome.models_checked;
+            self.stats.models_checked.fetch_add(outcome.models_checked, Ordering::Relaxed);
             holds
         };
 
-        if self.memo_enabled {
-            self.verdict_memo.insert((k1, k2, weak), holds);
+        if memo {
+            shard.verdict.write().expect("oracle memo poisoned").insert((k1, k2, weak), holds);
         }
         holds
     }
@@ -282,7 +444,7 @@ mod tests {
             ("a/*//e", "a//*/e"),
             ("a[b]/*/e[d]", "a[b]//*/e[d]"),
         ];
-        let mut oracle = ContainmentOracle::new();
+        let oracle = ContainmentOracle::new();
         for (l, r) in pairs {
             let (p, q) = (pat(l), pat(r));
             assert_eq!(oracle.contained(&p, &q), crate::contain::contained(&p, &q), "{l} vs {r}");
@@ -296,7 +458,7 @@ mod tests {
 
     #[test]
     fn repeated_queries_hit_the_memo() {
-        let mut oracle = ContainmentOracle::new();
+        let oracle = ContainmentOracle::new();
         let p = pat("a//c");
         let q = pat("a/b/c");
         assert!(!oracle.contained(&p, &q));
@@ -312,7 +474,7 @@ mod tests {
 
     #[test]
     fn sibling_reordered_patterns_share_memo_entries() {
-        let mut oracle = ContainmentOracle::new();
+        let oracle = ContainmentOracle::new();
         assert!(oracle.contained(&pat("a[b][c]/d"), &pat("a[b]/d")));
         let misses = oracle.stats().verdict_memo_misses;
         // The reordered isomorph interns to the same key → memo hit.
@@ -323,7 +485,7 @@ mod tests {
 
     #[test]
     fn disabled_memo_recomputes() {
-        let mut oracle = ContainmentOracle::new();
+        let oracle = ContainmentOracle::new();
         oracle.set_memo_enabled(false);
         let p = pat("a//c");
         let q = pat("a/b/c");
@@ -336,7 +498,7 @@ mod tests {
 
     #[test]
     fn equivalence_reuses_directional_verdicts() {
-        let mut oracle = ContainmentOracle::new();
+        let oracle = ContainmentOracle::new();
         let p = pat("a[b][b/c]/d");
         let q = pat("a[b/c]/d");
         assert!(oracle.contained(&p, &q));
@@ -347,11 +509,71 @@ mod tests {
 
     #[test]
     fn stats_since_is_a_delta() {
-        let mut oracle = ContainmentOracle::new();
+        let oracle = ContainmentOracle::new();
         let before = oracle.stats();
         assert!(oracle.contained(&pat("a/b"), &pat("a/*")));
         let delta = oracle.stats().since(&before);
         assert_eq!(delta.queries, 1);
         assert_eq!(delta.verdict_memo_misses, 1);
+    }
+
+    #[test]
+    fn stats_since_saturates_instead_of_panicking() {
+        let oracle = ContainmentOracle::new();
+        assert!(oracle.contained(&pat("a/b"), &pat("a/*")));
+        let later = oracle.stats();
+        oracle.reset_stats();
+        // `earlier` was taken before the reset: the delta floors at zero.
+        let delta = oracle.stats().since(&later);
+        assert_eq!(delta.queries, 0);
+        assert_eq!(delta.canonical_runs, 0);
+    }
+
+    #[test]
+    fn stats_display_mentions_every_headline_counter() {
+        let oracle = ContainmentOracle::new();
+        assert!(oracle.contained(&pat("a/b/c"), &pat("a//c")));
+        let s = oracle.stats().to_string();
+        assert!(s.contains("containment queries"), "got: {s}");
+        assert!(s.contains("canonical runs"), "got: {s}");
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        let oracle = ContainmentOracle::with_options_sharded(ContainmentOptions::default(), 5);
+        assert_eq!(oracle.memo_shards(), 8);
+        let one = ContainmentOracle::with_options_sharded(ContainmentOptions::default(), 0);
+        assert_eq!(one.memo_shards(), 1);
+        assert!(one.contained(&pat("a/b/c"), &pat("a//c")));
+    }
+
+    #[test]
+    fn concurrent_threads_share_one_oracle() {
+        let oracle = ContainmentOracle::new();
+        let pairs = [
+            ("a/b/c", "a//c"),
+            ("a//c", "a/b/c"),
+            ("a[b][c]/d", "a[b]/d"),
+            ("a/*//e", "a//*/e"),
+            ("a[b]/*/e[d]", "a[b]//*/e[d]"),
+            ("a/b", "a/*"),
+        ];
+        let expected: Vec<bool> =
+            pairs.iter().map(|(l, r)| crate::contain::contained(&pat(l), &pat(r))).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for ((l, r), want) in pairs.iter().zip(&expected) {
+                        for _ in 0..10 {
+                            assert_eq!(oracle.contained(&pat(l), &pat(r)), *want, "{l} vs {r}");
+                        }
+                    }
+                });
+            }
+        });
+        let s = oracle.stats();
+        assert_eq!(s.queries, 4 * 10 * pairs.len() as u64);
+        assert!(s.verdict_memo_hits >= s.queries - (pairs.len() as u64 * 4));
+        assert_eq!(oracle.interned_patterns(), 10, "six pairs over ten distinct patterns");
     }
 }

@@ -7,14 +7,18 @@
 //! * [`TreeGen`] — random documents for falsification and scaling;
 //! * [`site_doc`] / [`bib_doc`] — XMark/DBLP-shaped synthetic documents with
 //!   query/view catalogs ([`site_catalog`], [`bib_catalog`]);
-//! * [`adversarial`] — hom-gap, coNP-stress and certificate-free families.
+//! * [`adversarial`] — hom-gap, coNP-stress and certificate-free families;
+//! * [`zipf`] — Zipf-skewed query streams over the catalogs (the regime the
+//!   throughput benches and the serving front-end measure).
 
 pub mod adversarial;
 pub mod patterns;
 pub mod scenarios;
 pub mod trees;
+pub mod zipf;
 
 pub use adversarial::{conp_stress_instance, hom_gap_instance, no_condition_instance};
 pub use patterns::{workload_labels, Fragment, PatternGen, PatternGenConfig};
 pub use scenarios::{bib_catalog, bib_doc, site_catalog, site_doc, Catalog};
 pub use trees::{TreeGen, TreeGenConfig};
+pub use zipf::{catalog_zipf_stream, zipf_indices, zipf_stream};

@@ -34,16 +34,13 @@ fn main() {
     }
 
     let s = cache.stats();
-    println!(
-        "\nstats: {} queries, planned {} (memo hits {}), coNP loops run: {}",
-        s.queries, s.plan_memo_misses, s.plan_memo_hits, s.oracle_canonical_runs
-    );
+    println!("\nstats: {s}");
     assert_eq!(s.plan_memo_misses, 2, "two distinct queries planned once each");
     assert_eq!(s.plan_memo_hits, 4, "four repeats served from the plan memo");
 
     // The same sharing, one level down: a PlanningSession memoizes the
     // containment oracle across decide() calls.
-    let mut session = RewritePlanner::default().session();
+    let session = RewritePlanner::default().session();
     let p = parse_xpath("a[b]//*/e[d]").unwrap();
     let v = parse_xpath("a[b]/*").unwrap();
     let (_, first) = session.decide_with_stats(&p, &v);

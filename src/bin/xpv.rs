@@ -6,22 +6,31 @@
 //! xpv eval     <QUERY> <FILE.xml>    evaluate a query over a document ('-' = stdin)
 //! xpv reduce   <PATTERN>             remove redundant branches
 //! xpv figures                        verify the paper's figures
+//! xpv serve-bench [--threads N] [--shards S] [--memo-cap M]
+//!                 [--queries Q] [--tenants T]
+//!                                    drive the worker-pool front-end with a
+//!                                    Zipf workload and print throughput
 //! ```
 //!
 //! Patterns use the fragment's XPath syntax: `a[b]//c[.//d]/e`.
 
 use std::io::Read;
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
 
+use xpath_views::engine::{CacheServer, ShardedViewCache};
 use xpath_views::prelude::*;
 use xpath_views::rewrite::{figure1, figure2, figure3, figure4, NoRewriteReason};
 use xpath_views::semantics::remove_redundant_branches;
+use xpath_views::workload::{catalog_zipf_stream, site_catalog, site_doc};
 
 fn fail(msg: &str) -> ExitCode {
     eprintln!("error: {msg}");
     eprintln!(
         "usage:\n  xpv rewrite <QUERY> <VIEW>\n  xpv contain <P1> <P2>\n  \
-         xpv eval <QUERY> <FILE.xml|->\n  xpv reduce <PATTERN>\n  xpv figures"
+         xpv eval <QUERY> <FILE.xml|->\n  xpv reduce <PATTERN>\n  xpv figures\n  \
+         xpv serve-bench [--threads N] [--shards S] [--memo-cap M] [--queries Q] [--tenants T]"
     );
     ExitCode::FAILURE
 }
@@ -144,6 +153,90 @@ fn cmd_figures() -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// Ablation knobs for `serve-bench`, parsed from `--flag value` pairs.
+struct ServeBenchOpts {
+    threads: usize,
+    shards: usize,
+    memo_cap: usize,
+    queries: usize,
+    tenants: usize,
+}
+
+impl ServeBenchOpts {
+    fn parse(args: &[String]) -> Result<ServeBenchOpts, String> {
+        let mut opts = ServeBenchOpts {
+            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            shards: 16,
+            memo_cap: 0,
+            queries: 2000,
+            tenants: 4,
+        };
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let value = it
+                .next()
+                .ok_or_else(|| format!("{flag}: missing value"))?
+                .parse::<usize>()
+                .map_err(|e| format!("{flag}: {e}"))?;
+            match flag.as_str() {
+                "--threads" => opts.threads = value.max(1),
+                "--shards" => opts.shards = value.max(1),
+                "--memo-cap" => opts.memo_cap = value,
+                "--queries" => opts.queries = value.max(1),
+                "--tenants" => opts.tenants = value.max(1),
+                other => return Err(format!("unknown serve-bench flag {other}")),
+            }
+        }
+        Ok(opts)
+    }
+}
+
+/// Drives the worker-pool front-end with the site-catalog Zipf workload —
+/// the ablation entry point for thread/shard/memo-cap sweeps without
+/// touching bench code.
+fn cmd_serve_bench(args: &[String]) -> Result<ExitCode, String> {
+    let opts = ServeBenchOpts::parse(args)?;
+    let catalog = site_catalog();
+    let cache = ShardedViewCache::new(site_doc(12, 12, 7))
+        .with_shards(opts.shards)
+        .with_memo_cap(opts.memo_cap);
+    for (name, def) in catalog.views.iter() {
+        cache.add_view(name, def.clone());
+    }
+    let cache = Arc::new(cache);
+    let server = CacheServer::start(Arc::clone(&cache), opts.threads);
+
+    let stream = catalog_zipf_stream(&catalog, opts.queries, 0x21F);
+    let batch_size = (stream.len() / (opts.tenants * 8)).max(1);
+    let start = Instant::now();
+    let tickets: Vec<_> = stream
+        .chunks(batch_size)
+        .enumerate()
+        .map(|(i, chunk)| server.submit(&format!("tenant-{}", i % opts.tenants), chunk.to_vec()))
+        .collect();
+    let mut answered = 0usize;
+    for ticket in tickets {
+        answered += ticket.wait().len();
+    }
+    let elapsed = start.elapsed();
+
+    let qps = answered as f64 / elapsed.as_secs_f64();
+    println!(
+        "served {answered} queries on {} workers / {} shards (memo cap {}) in {:.1} ms — {qps:.0} q/s",
+        server.workers(),
+        cache.shard_count(),
+        if cache.memo_cap() == usize::MAX { "∞".to_string() } else { cache.memo_cap().to_string() },
+        elapsed.as_secs_f64() * 1e3,
+    );
+    println!("cache:  {}", cache.stats());
+    println!("oracle: {}", cache.session().oracle().stats());
+    println!("plan memo entries: {}", cache.plan_memo_len());
+    for (tenant, stats) in server.tenants() {
+        println!("{tenant}: {stats}");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.as_slice() {
@@ -152,6 +245,7 @@ fn main() -> ExitCode {
         [cmd, q, f] if cmd == "eval" => cmd_eval(q, f),
         [cmd, p] if cmd == "reduce" => cmd_reduce(p),
         [cmd] if cmd == "figures" => cmd_figures(),
+        [cmd, rest @ ..] if cmd == "serve-bench" => cmd_serve_bench(rest),
         _ => return fail("expected a subcommand"),
     };
     match result {

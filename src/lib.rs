@@ -37,8 +37,21 @@
 //!   a per-query **plan memo**: the second arrival of a query skips planning
 //!   entirely — zero containment calls — and
 //!   [`ViewCache::answer_batch`](engine::ViewCache::answer_batch) answers a
-//!   workload slice in one pass. `CacheStats` / `PlannerStats` expose the
-//!   memo-hit counters; `set_memo_enabled(false)` is the ablation knob.
+//!   workload slice in one pass, planning in-batch duplicates once.
+//!   `CacheStats` / `PlannerStats` expose the memo-hit counters;
+//!   `set_memo_enabled(false)` is the ablation knob.
+//!
+//! ## Concurrent serving
+//!
+//! The whole decision path takes `&self`: the oracle shards its memos by
+//! interned-pattern fingerprint, and
+//! [`ShardedViewCache`](engine::ShardedViewCache) shards the plan memo the
+//! same way over a copy-on-write view pool (LRU-bounded, with per-view
+//! dependency invalidation on `add_view`). Worker threads answer
+//! concurrently through one cache — byte-identical to the single-threaded
+//! `ViewCache` — and [`CacheServer`](engine::CacheServer) fronts it with an
+//! admission queue, a `std::thread` worker pool, and per-tenant stats
+//! (`xpv serve-bench` drives it from the command line).
 //!
 //! ```
 //! use xpath_views::prelude::*;
@@ -85,7 +98,9 @@ pub mod prelude {
         BruteForceConfig, Condition, PlannerStats, PlanningSession, RewriteAnswer, RewritePlanner,
         Rewriting,
     };
-    pub use xpv_engine::{CacheStats, MaterializedView, ViewCache};
+    pub use xpv_engine::{
+        CacheServer, CacheStats, MaterializedView, ShardedViewCache, TenantStats, ViewCache,
+    };
     pub use xpv_model::{parse_xml, to_xml, Label, NodeId, Tree, TreeBuilder};
     pub use xpv_pattern::{
         compose, parse_xpath, to_xpath, Axis, NodeTest, PatId, Pattern, PatternBuilder,

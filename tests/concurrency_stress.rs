@@ -1,0 +1,199 @@
+//! Concurrency correctness of the sharded serving path.
+//!
+//! The contract of `ShardedViewCache` (and the `CacheServer` pool above it)
+//! is that concurrency is *invisible* in the answers: the same Zipf
+//! workload produces exactly the nodes and routing verdicts of the
+//! single-threaded `ViewCache`, on any thread schedule. These tests run the
+//! workload on 8 threads against the serial reference, plus regression
+//! coverage for the selective plan-memo invalidation and the LRU bound
+//! under concurrent load.
+
+use std::sync::Arc;
+
+use xpath_views::engine::{CacheServer, Route, ShardedViewCache};
+use xpath_views::prelude::*;
+use xpath_views::workload::{catalog_zipf_stream, site_catalog, site_doc};
+
+const THREADS: usize = 8;
+
+fn serial_cache() -> ViewCache {
+    let mut cache = ViewCache::new(site_doc(8, 10, 7));
+    for (name, def) in site_catalog().views {
+        cache.add_view(name, def);
+    }
+    cache
+}
+
+fn sharded_cache() -> ShardedViewCache {
+    let cache = ShardedViewCache::new(site_doc(8, 10, 7)).with_shards(8);
+    for (name, def) in site_catalog().views {
+        cache.add_view(name, def);
+    }
+    cache
+}
+
+/// The reference verdicts: nodes plus route (the definitive-rewriting
+/// decision) per stream position, from the single-threaded cache.
+fn reference(stream: &[Pattern]) -> Vec<(Vec<NodeId>, Route)> {
+    let mut serial = serial_cache();
+    stream
+        .iter()
+        .map(|q| {
+            let a = serial.answer(q);
+            (a.nodes, a.route)
+        })
+        .collect()
+}
+
+#[test]
+fn eight_threads_match_single_threaded_answers_and_verdicts() {
+    let stream = catalog_zipf_stream(&site_catalog(), 400, 0x5EED);
+    let want = reference(&stream);
+
+    let cache = sharded_cache();
+    // Each worker answers an interleaved slice concurrently; results are
+    // collected per position.
+    let results: Vec<(usize, Vec<NodeId>, Route)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let cache = &cache;
+                let stream = &stream;
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    for (i, q) in stream.iter().enumerate().skip(t).step_by(THREADS) {
+                        let a = cache.answer(q);
+                        out.push((i, a.nodes, a.route));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("worker panicked")).collect()
+    });
+
+    assert_eq!(results.len(), stream.len());
+    for (i, nodes, route) in results {
+        assert_eq!(nodes, want[i].0, "nodes diverged at position {i} ({})", stream[i]);
+        assert_eq!(route, want[i].1, "verdict diverged at position {i} ({})", stream[i]);
+    }
+    let s = cache.stats();
+    assert_eq!(s.queries, stream.len() as u64);
+    assert_eq!(s.queries, s.plan_memo_hits + s.plan_memo_misses);
+}
+
+#[test]
+fn worker_pool_batches_match_single_threaded_answers() {
+    let stream = catalog_zipf_stream(&site_catalog(), 320, 0xBEE);
+    let want = reference(&stream);
+
+    let server = CacheServer::start(Arc::new(sharded_cache()), THREADS);
+    let tickets: Vec<_> = stream
+        .chunks(20)
+        .enumerate()
+        .map(|(i, chunk)| server.submit(&format!("tenant-{}", i % 3), chunk.to_vec()))
+        .collect();
+    let mut pos = 0usize;
+    for ticket in tickets {
+        for a in ticket.wait() {
+            assert_eq!(a.nodes, want[pos].0, "nodes diverged at position {pos}");
+            assert_eq!(a.route, want[pos].1, "verdict diverged at position {pos}");
+            pos += 1;
+        }
+    }
+    assert_eq!(pos, stream.len());
+
+    let total: u64 = server.tenants().iter().map(|(_, s)| s.queries).sum();
+    assert_eq!(total, stream.len() as u64);
+}
+
+/// Regression: `add_view` only drops plan-memo entries whose plan depends
+/// on the grown view pool. Memoized `FirstMatch` view routes survive and
+/// keep serving with zero coNP work; `Direct` routes are re-planned and can
+/// adopt the new view.
+#[test]
+fn add_view_invalidates_only_dependent_memo_entries() {
+    let cache = ShardedViewCache::new(site_doc(4, 4, 7)).with_shards(4);
+    cache.add_view("item_names", parse_xpath("site/region/item/name").unwrap());
+
+    // Two memoized ViaView routes, two memoized Direct routes.
+    let via = [
+        parse_xpath("site/region/item/name").unwrap(),
+        parse_xpath("site/region[item]/item/name").unwrap(),
+    ];
+    let direct = [
+        parse_xpath("site/region/item").unwrap(),
+        parse_xpath("site/region/item/description").unwrap(),
+    ];
+    for q in via.iter() {
+        assert!(matches!(cache.answer(q).route, Route::ViaView { .. }), "{q} must hit the view");
+    }
+    for q in direct.iter() {
+        assert_eq!(cache.answer(q).route, Route::Direct, "{q} must route direct");
+    }
+    assert_eq!(cache.plan_memo_len(), 4);
+
+    let runs_before_add = cache.stats().oracle_canonical_runs;
+    cache.add_view("items", parse_xpath("site/region/item").unwrap());
+
+    // Exactly the two Direct entries were dropped.
+    assert_eq!(cache.plan_memo_len(), 2, "view routes must survive add_view");
+    assert_eq!(cache.stats().plan_memo_invalidations, 2);
+
+    // Surviving routes serve from the memo: no replanning, zero coNP work.
+    for q in via.iter() {
+        assert!(matches!(cache.answer(q).route, Route::ViaView { .. }));
+    }
+    assert_eq!(
+        cache.stats().oracle_canonical_runs,
+        runs_before_add,
+        "memoized view routes must not be re-planned"
+    );
+
+    // Dropped routes re-plan and pick up the fresh view.
+    for q in direct.iter() {
+        match cache.answer(q).route {
+            Route::ViaView { ref view, .. } => assert_eq!(view, "items", "for {q}"),
+            other => panic!("expected the fresh view to serve {q}, got {other:?}"),
+        }
+    }
+}
+
+/// The configured memo bound holds under concurrent load (the per-shard LRU
+/// enforces it inside the insert lock), and evicted entries are re-planned
+/// correctly on their next arrival.
+#[test]
+fn memo_cap_holds_under_concurrent_load() {
+    let cap = 4usize;
+    let cache = ShardedViewCache::new(site_doc(6, 6, 7)).with_shards(4).with_memo_cap(cap);
+    for (name, def) in site_catalog().views {
+        cache.add_view(name, def);
+    }
+    let stream = catalog_zipf_stream(&site_catalog(), 240, 0xCAFE);
+    let want = reference_small(&cache, &stream);
+
+    std::thread::scope(|scope| {
+        for t in 0..4 {
+            let cache = &cache;
+            let stream = &stream;
+            let want = &want;
+            scope.spawn(move || {
+                for (i, q) in stream.iter().enumerate().skip(t).step_by(4) {
+                    assert_eq!(cache.answer(q).nodes, want[i], "capped cache wrong for {q}");
+                }
+            });
+        }
+    });
+    assert!(
+        cache.plan_memo_len() <= cap,
+        "memo holds {} entries, cap is {cap}",
+        cache.plan_memo_len()
+    );
+    let s = cache.stats();
+    assert!(s.plan_memo_evictions > 0, "six distinct queries must overflow a cap of {cap}");
+    assert_eq!(s.queries, s.plan_memo_hits + s.plan_memo_misses);
+}
+
+/// Direct-evaluation reference against the same document as `cache`.
+fn reference_small(cache: &ShardedViewCache, stream: &[Pattern]) -> Vec<Vec<NodeId>> {
+    stream.iter().map(|q| cache.answer_direct(q)).collect()
+}

@@ -44,7 +44,7 @@ fn pattern_pairs() -> Vec<(Pattern, Pattern)> {
 #[test]
 fn memoized_verdicts_equal_fresh_oracle_verdicts() {
     let pairs = pattern_pairs();
-    let mut shared = ContainmentOracle::new();
+    let shared = ContainmentOracle::new();
 
     // Round 1: populate the shared oracle; every verdict must match a fresh
     // oracle (== the free functions).
@@ -85,7 +85,7 @@ fn memoized_verdicts_equal_fresh_oracle_verdicts() {
 fn memo_disabled_oracle_also_matches() {
     // The ablation path (memo off) must compute the same verdicts too.
     let pairs = pattern_pairs();
-    let mut no_memo = ContainmentOracle::new();
+    let no_memo = ContainmentOracle::new();
     no_memo.set_memo_enabled(false);
     for (p, q) in pairs.iter().take(80) {
         assert_eq!(no_memo.contained(p, q), contained(p, q), "{p} ⊑ {q}");
@@ -98,7 +98,7 @@ fn session_planner_agrees_with_one_shot_planner_on_generated_instances() {
     let cfg = PatternGenConfig { depth: (1, 3), max_branch_size: 2, ..PatternGenConfig::default() };
     let mut g = PatternGen::new(cfg, 0xBEEFCAFE);
     let planner = RewritePlanner::without_fallback();
-    let mut session = planner.session();
+    let session = planner.session();
     for _ in 0..60 {
         let (p, v) = g.instance();
         let one_shot = planner.decide(&p, &v);
