@@ -11,19 +11,28 @@
 //!   (`ViewCache::set_memo_enabled` is kept exactly for this comparison);
 //! * **direct** — no views at all, every query evaluated on the document.
 //!
+//! A second pass drives the **overlapping-view** catalog, whose hot queries
+//! no single view can answer, with intersection routes on vs. off
+//! (`ViewCache::set_intersect_enabled`) — the multi-view ablation. At this
+//! document scale direct evaluation is cheap, so the headline there is the
+//! route counters (how much traffic moves off the document and onto the
+//! views), not the latency delta; on documents where direct evaluation is
+//! the expensive path, the hit counters are the capacity win.
+//!
 //! Besides the criterion timings, the bench writes a machine-readable
 //! summary to `BENCH_throughput.json` at the repository root: mean
-//! per-query latency for each configuration, the amortized speedup, and the
+//! per-query latency for each configuration, the amortized speedup, the
 //! memo-hit counters that prove repeated queries run zero canonical-model
-//! containment calls.
+//! containment calls, and the intersect-route counters showing how often
+//! multi-view routes fired.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::time::Instant;
 
-use xpv_engine::ViewCache;
+use xpv_engine::{CacheStats, ViewCache};
 use xpv_pattern::Pattern;
-use xpv_workload::{catalog_zipf_stream, site_catalog, site_doc};
+use xpv_workload::{catalog_zipf_stream, site_catalog, site_doc, site_intersect_catalog};
 
 /// The workload: a Zipf-repeated stream over the site catalog's queries
 /// (shared with the parallel bench and the CLI via `xpv_workload::zipf`).
@@ -43,6 +52,18 @@ fn fresh_cache(memo: bool) -> ViewCache {
     cache
 }
 
+/// A cache over the overlapping-view catalog (whose hot queries only
+/// multi-view intersections can serve), with intersect routes on or off.
+fn intersect_cache(intersect: bool) -> ViewCache {
+    let doc = site_doc(12, 12, 7);
+    let mut cache = ViewCache::new(doc);
+    cache.set_intersect_enabled(intersect);
+    for (name, def) in site_intersect_catalog().views {
+        cache.add_view(name, def);
+    }
+    cache
+}
+
 /// One timed pass over the stream; mean µs per query.
 fn run_stream(cache: &mut ViewCache, stream: &[Pattern]) -> f64 {
     let start = Instant::now();
@@ -52,15 +73,20 @@ fn run_stream(cache: &mut ViewCache, stream: &[Pattern]) -> f64 {
     elapsed.as_secs_f64() * 1e6 / stream.len() as f64
 }
 
+#[allow(clippy::too_many_arguments)]
 fn write_summary_json(
     stream_len: usize,
     mean_on_us: f64,
     mean_off_us: f64,
     mean_direct_us: f64,
     cache_on: &ViewCache,
+    mean_ix_on_us: f64,
+    mean_ix_off_us: f64,
+    ix_stats: &CacheStats,
 ) {
     let s = cache_on.stats();
     let speedup = if mean_on_us > 0.0 { mean_off_us / mean_on_us } else { 0.0 };
+    let ix_speedup = if mean_ix_on_us > 0.0 { mean_ix_off_us / mean_ix_on_us } else { 0.0 };
     let json = format!(
         concat!(
             "{{\n",
@@ -75,7 +101,18 @@ fn write_summary_json(
             "  \"oracle_memo_hits\": {},\n",
             "  \"oracle_canonical_runs\": {},\n",
             "  \"view_hits\": {},\n",
-            "  \"direct\": {}\n",
+            "  \"direct\": {},\n",
+            "  \"intersect\": {{\n",
+            "    \"mean_us_per_query_intersect_on\": {:.3},\n",
+            "    \"mean_us_per_query_intersect_off\": {:.3},\n",
+            "    \"speedup_intersect_on_vs_off\": {:.3},\n",
+            "    \"intersect_hits\": {},\n",
+            "    \"intersect_routes\": {},\n",
+            "    \"intersect_candidates_tried\": {},\n",
+            "    \"intersect_participants\": {},\n",
+            "    \"view_hits\": {},\n",
+            "    \"direct\": {}\n",
+            "  }}\n",
             "}}\n"
         ),
         stream_len,
@@ -89,6 +126,15 @@ fn write_summary_json(
         s.oracle_canonical_runs,
         s.view_hits,
         s.direct,
+        mean_ix_on_us,
+        mean_ix_off_us,
+        ix_speedup,
+        ix_stats.intersect_hits,
+        ix_stats.intersect_routes,
+        ix_stats.intersect_candidates_tried,
+        ix_stats.intersect_participants,
+        ix_stats.view_hits,
+        ix_stats.direct,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_throughput.json");
     if let Err(e) = std::fs::write(path, &json) {
@@ -126,7 +172,40 @@ fn throughput(c: &mut Criterion) {
         black_box(direct_cache.answer_direct(q));
     }
     let mean_direct_us = direct_start.elapsed().as_secs_f64() * 1e6 / stream.len() as f64;
-    write_summary_json(stream.len(), mean_on_us, mean_off_us, mean_direct_us, &cache_on);
+
+    // Intersect-route ablation over the overlapping-view catalog: the hot
+    // queries are only answerable jointly, so intersect-off degrades them
+    // to direct evaluation.
+    let ix_stream = catalog_zipf_stream(&site_intersect_catalog(), 300, 0x21F);
+    let mut ix_on = intersect_cache(true);
+    let mean_ix_on_us = run_stream(&mut ix_on, &ix_stream);
+    let ix_stats = ix_on.stats();
+    assert!(ix_stats.intersect_hits > 0, "the overlapping catalog must fire intersect routes");
+    {
+        // Correctness anchor: intersection answers equal direct evaluation.
+        let mut check = intersect_cache(true);
+        for q in ix_stream.iter().take(40) {
+            assert_eq!(
+                check.answer(q).nodes,
+                check.answer_direct(q),
+                "intersection answer wrong for {q}"
+            );
+        }
+    }
+    let mut ix_off = intersect_cache(false);
+    let mean_ix_off_us = run_stream(&mut ix_off, &ix_stream);
+    assert_eq!(ix_off.stats().intersect_hits, 0, "ablation must disable intersect routes");
+
+    write_summary_json(
+        stream.len(),
+        mean_on_us,
+        mean_off_us,
+        mean_direct_us,
+        &cache_on,
+        mean_ix_on_us,
+        mean_ix_off_us,
+        &ix_stats,
+    );
     assert_eq!(
         cache_on.stats().plan_memo_hits + cache_on.stats().plan_memo_misses,
         stream.len() as u64

@@ -40,7 +40,8 @@ pub use conditions::{find_condition, Condition};
 pub use figures::{figure1, figure2, figure3, figure4, Figure1, Figure2, Figure3, Figure4};
 pub use multiview::{
     contained_rewriting, contained_rewriting_in, rewritable_views, rewritable_views_in,
-    rewrite_using_chain, rewrite_using_chain_in, ChainAnswer, ViewChoice,
+    rewrite_using_chain, rewrite_using_chain_in, rewrite_using_intersection,
+    rewrite_using_intersection_in, ChainAnswer, IntersectionAnswer, ViewChoice,
 };
 pub use planner::{
     Method, NoRewriteReason, PlannerStats, PlanningSession, RewriteAnswer, RewritePlanner,

@@ -5,9 +5,13 @@
 //! XPath views. [`ViewCache`] is the complete counterpart: for each incoming
 //! query it consults the [`xpv_core::RewritePlanner`]; whenever an
 //! *equivalent* rewriting over some cached view exists, the answer is
-//! computed from the view (virtually — no subtree copies), and otherwise the
-//! query runs directly against the document. Soundness is inherited from the
-//! planner: a rewriting is only used after `R ◦ V ≡ P` has been verified.
+//! computed from the view (virtually — no subtree copies). When no single
+//! view suffices, the **intersection planner** (`xpv-intersect`) looks for
+//! a small view subset whose node-set intersection serves the query jointly
+//! ([`Route::Intersect`]); only then does the query run directly against
+//! the document. Soundness is inherited from the planner: a rewriting is
+//! only used after `R ◦ V ≡ P` (or `R ◦ M ≡ P` over the intersection
+//! pattern `M`) has been verified.
 //!
 //! Since the serving path was sharded, `ViewCache` is a **thin
 //! single-threaded wrapper over one shard** of the concurrent
@@ -40,6 +44,7 @@
 use std::sync::Arc;
 
 use xpv_core::RewritePlanner;
+use xpv_intersect::IntersectConfig;
 use xpv_model::{NodeId, Tree};
 use xpv_pattern::Pattern;
 
@@ -76,6 +81,24 @@ impl ViewCache {
     pub fn with_policy(mut self, policy: ChoicePolicy) -> ViewCache {
         self.inner.set_policy(policy);
         self
+    }
+
+    /// Sets the intersection-planner budget (builder style).
+    pub fn with_intersect_config(mut self, cfg: IntersectConfig) -> ViewCache {
+        self.inner = self.inner.with_intersect_config(cfg);
+        self
+    }
+
+    /// Enables or disables multi-view **intersection routes** (the
+    /// `--no-intersect` ablation knob); see
+    /// [`ShardedViewCache::set_intersect_enabled`] for the memo effects.
+    pub fn set_intersect_enabled(&mut self, enabled: bool) {
+        self.inner.set_intersect_enabled(enabled);
+    }
+
+    /// Whether intersection routes are planned.
+    pub fn intersect_enabled(&self) -> bool {
+        self.inner.intersect_enabled()
     }
 
     /// Enables or disables **all** memoization — the plan memo and the
@@ -115,6 +138,32 @@ impl ViewCache {
     /// Panics if a view with the same name is already registered.
     pub fn add_view(&mut self, name: &str, def: Pattern) -> usize {
         let n = self.inner.add_view(name, def);
+        self.views_mirror = self.inner.views_snapshot();
+        n
+    }
+
+    /// Deregisters the view named `name` (returns `false` when absent).
+    /// `Direct` routes survive; routes whose participants are touched by
+    /// the removal are selectively invalidated (see
+    /// [`ShardedViewCache::remove_view`]).
+    pub fn remove_view(&mut self, name: &str) -> bool {
+        let removed = self.inner.remove_view(name);
+        if removed {
+            self.views_mirror = self.inner.views_snapshot();
+        }
+        removed
+    }
+
+    /// Replaces the view named `name` with a fresh materialization of
+    /// `def`, invalidating every memoized route that depended on the old
+    /// view (single-view *and* intersection routes). Returns the number of
+    /// answers materialized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no view named `name` is registered.
+    pub fn replace_view(&mut self, name: &str, def: Pattern) -> usize {
+        let n = self.inner.replace_view(name, def);
         self.views_mirror = self.inner.views_snapshot();
         n
     }
@@ -446,5 +495,51 @@ mod tests {
         cache.add_view("names", pat("site/region/item/name"));
         let names: Vec<&str> = cache.views().iter().map(|v| v.name()).collect();
         assert_eq!(names, vec!["items", "names"]);
+        // Removal and replacement keep the mirror in sync.
+        assert!(cache.remove_view("items"));
+        assert!(!cache.remove_view("items"));
+        cache.replace_view("names", pat("site//name"));
+        let names: Vec<&str> = cache.views().iter().map(|v| v.name()).collect();
+        assert_eq!(names, vec!["names"]);
+    }
+
+    #[test]
+    fn intersection_route_through_the_single_threaded_wrapper() {
+        // Items carry incomparable optional branches (bids / shipping), so
+        // neither view subsumes the other and only their intersection
+        // serves the joint query.
+        let t = TreeBuilder::root("site", |b| {
+            b.child("region", |b| {
+                b.child("item", |b| {
+                    b.leaf("name");
+                    b.leaf("bids");
+                });
+                b.child("item", |b| {
+                    b.leaf("name");
+                    b.leaf("shipping");
+                });
+                b.child("item", |b| {
+                    b.leaf("name");
+                    b.leaf("bids");
+                    b.leaf("shipping");
+                });
+            });
+        });
+        let mut cache = ViewCache::new(t);
+        cache.add_view("bid_names", pat("site/region/item[bids]/name"));
+        cache.add_view("ship_names", pat("site/region/item[shipping]/name"));
+        let q = pat("site/region/item[bids][shipping]/name");
+        let ans = cache.answer(&q);
+        assert!(
+            matches!(ans.route, Route::Intersect { .. }),
+            "expected an intersection route, got {:?}",
+            ans.route
+        );
+        assert_eq!(ans.nodes, cache.answer_direct(&q));
+        assert!(cache.intersect_enabled());
+        assert_eq!(cache.stats().intersect_hits, 1);
+        // The ablation knob flows through the wrapper.
+        cache.set_intersect_enabled(false);
+        assert_eq!(cache.answer(&q).route, Route::Direct);
     }
 }

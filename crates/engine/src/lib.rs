@@ -17,10 +17,15 @@
 //!   lock shards by query fingerprint; every serving method takes `&self`.
 //!   Planning flows through one shared [`xpv_core::PlanningSession`] whose
 //!   containment oracle is itself sharded and `&self`-safe, so all threads
-//!   pool all coNP work. The memo is LRU-bounded
-//!   ([`ShardedViewCache::with_memo_cap`]) and `add_view` invalidates only
-//!   the entries whose plan depends on the grown pool — answers are
-//!   byte-identical to the single-threaded cache on any schedule.
+//!   pool all coNP work. Queries no single view can answer are routed
+//!   through **multi-view intersections** (`xpv-intersect`,
+//!   [`Route::Intersect`]): a small view subset whose node-set intersection
+//!   supports a verified compensation serves them jointly. The memo is
+//!   LRU-bounded ([`ShardedViewCache::with_memo_cap`]); `add_view`
+//!   invalidates only the entries whose plan depends on the grown pool, and
+//!   `remove_view` / `replace_view` only those whose participants the
+//!   removal touches — answers are byte-identical to the single-threaded
+//!   cache on any schedule.
 //! * [`ViewCache`] (**[`cache`]**) — the familiar single-threaded API, now
 //!   a thin wrapper over one shard: same planning, memo, stats, and
 //!   answers, with `&mut self` ergonomics and no cross-thread traffic.
@@ -46,3 +51,6 @@ pub use shard::{
     CacheAnswer, CacheStats, ChoicePolicy, Route, ShardedViewCache, DEFAULT_CACHE_SHARDS,
 };
 pub use view::{answer_value_set, MaterializedView};
+// Re-exported so embedders can tune the intersection planner without a
+// direct `xpv-intersect` dependency.
+pub use xpv_intersect::IntersectConfig;

@@ -42,6 +42,8 @@ pub struct TenantStats {
     pub queries: u64,
     /// Queries answered from a view through an equivalent rewriting.
     pub view_hits: u64,
+    /// Queries answered from a multi-view intersection.
+    pub intersect_hits: u64,
     /// Queries answered by direct evaluation.
     pub direct: u64,
 }
@@ -50,8 +52,8 @@ impl std::fmt::Display for TenantStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} queries in {} batches ({} via views, {} direct)",
-            self.queries, self.batches, self.view_hits, self.direct
+            "{} queries in {} batches ({} via views, {} via intersections, {} direct)",
+            self.queries, self.batches, self.view_hits, self.intersect_hits, self.direct
         )
     }
 }
@@ -240,6 +242,7 @@ fn worker_loop(shared: &Shared) {
             for a in &answers {
                 match a.route {
                     Route::ViaView { .. } => stats.view_hits += 1,
+                    Route::Intersect { .. } => stats.intersect_hits += 1,
                     Route::Direct => stats.direct += 1,
                 }
             }

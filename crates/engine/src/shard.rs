@@ -19,18 +19,35 @@
 //!   concurrency-safe containment oracle underneath), so every containment
 //!   verdict is pooled across all threads and all shards.
 //!
+//! ## Multi-view intersection routes
+//!
+//! When no single view rewrites a query, the planner falls through to the
+//! **intersection planner** (`xpv-intersect`): a small subset of views whose
+//! node-set intersection supports a verified compensation serves the query
+//! jointly ([`Route::Intersect`]). The route evaluates the compensation
+//! anchored on the `NodeId` intersection of the participants' virtual
+//! results — byte-identical to direct evaluation, since only *equivalent*
+//! compensations are routed. [`ShardedViewCache::set_intersect_enabled`] is
+//! the ablation knob.
+//!
 //! ## Memo lifecycle
 //!
 //! The memo is **bounded** (per-shard LRU over a configurable total entry
 //! cap, [`ShardedViewCache::with_memo_cap`]) and **selectively
-//! invalidated**: each entry records which prefix of the view pool its plan
-//! examined ([`PlanDep`]), and [`ShardedViewCache::add_view`] only drops
+//! invalidated**: each entry records what part of the view pool its plan
+//! depends on ([`PlanDep`]), and [`ShardedViewCache::add_view`] only drops
 //! entries whose plan actually depends on the grown pool — a `Direct` route
-//! (which asserted "no registered view rewrites this query") or any route
-//! chosen by a whole-pool scan ([`ChoicePolicy::SmallestView`]). Routes
-//! found by [`ChoicePolicy::FirstMatch`] stopped at the first usable view;
-//! appending a view cannot change them, so they survive registration — the
-//! wholesale memo clear of the pre-sharding cache is gone.
+//! (which asserted "no registered view rewrites this query"), an
+//! `Intersect` route (chosen only after that same failed whole-pool scan),
+//! or any route chosen by a whole-pool scan
+//! ([`ChoicePolicy::SmallestView`]). Routes found by
+//! [`ChoicePolicy::FirstMatch`] stopped at the first usable view; appending
+//! a view cannot change them, so they survive registration.
+//! [`ShardedViewCache::remove_view`] is the mirror image: `Direct` routes
+//! survive (shrinking the pool cannot create a rewriting), while any route
+//! whose participant set is touched by the removal — the removed view
+//! itself, or an index shifted by it — is dropped, so replacing a
+//! participant of an `Intersect` route always invalidates that route.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -38,6 +55,10 @@ use std::sync::{Arc, RwLock};
 use std::time::{Duration, Instant};
 
 use xpv_core::{contained_rewriting_in, PlanningSession, RewriteAnswer, RewritePlanner};
+use xpv_intersect::{
+    answer_intersection_virtual, plan_intersection_contained_in, plan_intersection_in,
+    IntersectConfig,
+};
 use xpv_model::{NodeId, Tree};
 use xpv_pattern::{Pattern, PatternKey};
 use xpv_semantics::evaluate;
@@ -70,6 +91,14 @@ pub enum Route {
         /// The rewriting `R` that was applied to the view result.
         rewriting: String,
     },
+    /// Answered from the node-set **intersection** of several views through
+    /// a compensation pattern (no single view sufficed).
+    Intersect {
+        /// Names of the participating views, in pool order.
+        views: Vec<String>,
+        /// The compensation applied to the intersection.
+        compensation: String,
+    },
     /// Answered by evaluating the query directly on the document.
     Direct,
 }
@@ -95,17 +124,29 @@ pub struct CacheAnswer {
 /// [`ShardedViewCache::answer`], [`ShardedViewCache::answer_batch`] and
 /// [`ShardedViewCache::answer_partial`]; duplicates deduplicated inside one
 /// batch count as `plan_memo_hits` (their route was served without a
-/// planner call) and additionally as `batch_dedup_hits`. Partial answers
+/// planner call) and additionally as `batch_dedup_hits`. Fully-answered
+/// queries split as `view_hits + intersect_hits + direct`; partial answers
 /// served through a *contained* (non-equivalent) rewriting count toward
-/// `queries` but toward neither `view_hits` nor `direct`.
+/// `queries` but toward none of the three.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct CacheStats {
     /// Queries answered (full and partial).
     pub queries: u64,
     /// Queries answered from a view through an equivalent rewriting.
     pub view_hits: u64,
+    /// Queries answered from a multi-view intersection through an
+    /// equivalent compensation.
+    pub intersect_hits: u64,
     /// Queries answered by direct evaluation.
     pub direct: u64,
+    /// Plans that produced an intersection route (each memoized route
+    /// counts once; `intersect_hits / intersect_routes` is the fan-out).
+    pub intersect_routes: u64,
+    /// View subsets the intersection planner examined across all plans.
+    pub intersect_candidates_tried: u64,
+    /// Total participants across planned intersection routes
+    /// (`/ intersect_routes` = average arity).
+    pub intersect_participants: u64,
     /// Queries whose route came straight from the plan memo (no planner
     /// call, zero containment tests). Includes batch-deduplicated repeats.
     pub plan_memo_hits: u64,
@@ -133,17 +174,22 @@ impl std::fmt::Display for CacheStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} queries ({} via views, {} direct), plan memo {} hits / {} misses \
-             ({} batch-dedup, {} evicted, {} invalidated), oracle {} memo hits / \
+            "{} queries ({} via views, {} via intersections, {} direct), plan memo {} hits / \
+             {} misses ({} batch-dedup, {} evicted, {} invalidated), intersect {} routes / \
+             {} candidates tried / {} participants, oracle {} memo hits / \
              {} canonical runs / {} models",
             self.queries,
             self.view_hits,
+            self.intersect_hits,
             self.direct,
             self.plan_memo_hits,
             self.plan_memo_misses,
             self.batch_dedup_hits,
             self.plan_memo_evictions,
             self.plan_memo_invalidations,
+            self.intersect_routes,
+            self.intersect_candidates_tried,
+            self.intersect_participants,
             self.oracle_memo_hits,
             self.oracle_canonical_runs,
             self.oracle_models_checked
@@ -156,21 +202,35 @@ impl std::fmt::Display for CacheStats {
 pub(crate) enum PlannedRoute {
     /// Serve from `views[index]` through `rewriting`.
     ViaView { index: usize, rewriting: Pattern },
-    /// No registered view admits an equivalent rewriting.
+    /// Serve from the node-set intersection of `views[indices]` through
+    /// `compensation` (indices ascending).
+    Intersect { indices: Vec<usize>, compensation: Pattern },
+    /// No registered view (or view intersection) admits an equivalent
+    /// rewriting.
     Direct,
 }
 
 /// What part of the view pool a memoized plan depends on (the invalidation
-/// granularity of [`ShardedViewCache::add_view`]).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// granularity of [`ShardedViewCache::add_view`] and
+/// [`ShardedViewCache::remove_view`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
 enum PlanDep {
     /// The plan examined only `views[0..n]` and committed to one of them
     /// (a [`ChoicePolicy::FirstMatch`] hit): views appended later cannot
-    /// change it.
+    /// change it; removing a view at an index `< n` shifts or deletes it.
     Prefix(usize),
-    /// The plan's validity rests on the *entire* pool — a `Direct` route
-    /// ("no view rewrites this") or a [`ChoicePolicy::SmallestView`] scan.
-    AllViews,
+    /// The plan committed to a route only a *whole-pool scan* justifies
+    /// (a [`ChoicePolicy::SmallestView`] choice): any pool change —
+    /// append or removal — invalidates it.
+    WholePool,
+    /// The plan asserted "no view rewrites this query" (a `Direct` route):
+    /// a new view can break the assertion, but a removal never can.
+    NoUsableView,
+    /// The plan intersects exactly these views (ascending), *after* a
+    /// failed whole-pool single-view scan: any append invalidates it (a
+    /// single-view route may become available), as does removing any view
+    /// at an index ≤ the last participant (participant deleted or shifted).
+    Intersect(Vec<usize>),
 }
 
 /// One plan-memo entry.
@@ -188,12 +248,16 @@ struct MemoEntry {
 struct ShardStats {
     queries: AtomicU64,
     view_hits: AtomicU64,
+    intersect_hits: AtomicU64,
     direct: AtomicU64,
     plan_memo_hits: AtomicU64,
     plan_memo_misses: AtomicU64,
     batch_dedup_hits: AtomicU64,
     plan_memo_evictions: AtomicU64,
     plan_memo_invalidations: AtomicU64,
+    intersect_routes: AtomicU64,
+    intersect_candidates_tried: AtomicU64,
+    intersect_participants: AtomicU64,
 }
 
 #[derive(Debug, Default)]
@@ -222,6 +286,10 @@ pub struct ShardedViewCache {
     session: PlanningSession,
     policy: ChoicePolicy,
     memo_enabled: AtomicBool,
+    /// Whether multi-view intersection routes are planned (ablation knob).
+    intersect_enabled: AtomicBool,
+    /// Budget knobs handed to the intersection planner.
+    intersect_cfg: IntersectConfig,
     shards: Box<[CacheShard]>,
     /// Total memo entry bound (`usize::MAX` = unbounded).
     memo_cap: usize,
@@ -252,6 +320,8 @@ impl ShardedViewCache {
             session: PlanningSession::new(planner),
             policy: ChoicePolicy::default(),
             memo_enabled: AtomicBool::new(true),
+            intersect_enabled: AtomicBool::new(true),
+            intersect_cfg: IntersectConfig::default(),
             shards: (0..DEFAULT_CACHE_SHARDS).map(|_| CacheShard::default()).collect(),
             memo_cap: usize::MAX,
             memo_entries: AtomicU64::new(0),
@@ -333,6 +403,52 @@ impl ShardedViewCache {
         self.memo_enabled.load(Ordering::Relaxed)
     }
 
+    /// Sets the intersection-planner budget (builder style): largest subset
+    /// size and subsets examined per query.
+    pub fn with_intersect_config(mut self, cfg: IntersectConfig) -> ShardedViewCache {
+        self.intersect_cfg = cfg;
+        self
+    }
+
+    /// Enables or disables **multi-view intersection routes** — the
+    /// ablation knob behind `xpv serve-bench --no-intersect`. Memoized
+    /// routes that the flip invalidates are dropped: disabling removes
+    /// `Intersect` routes, enabling removes `Direct` routes (which asserted
+    /// "nothing serves this query" while intersections were off).
+    pub fn set_intersect_enabled(&self, enabled: bool) {
+        let was = self.intersect_enabled.swap(enabled, Ordering::Relaxed);
+        if was == enabled {
+            return;
+        }
+        self.views_version.fetch_add(1, Ordering::Release);
+        // Single-view routes (Prefix and WholePool) are unaffected either
+        // way: the single-view scan runs *before* intersection planning, so
+        // the toggle can never change a route a single view justified.
+        self.sweep_memo(|dep| match dep {
+            PlanDep::Intersect(_) => !enabled,
+            PlanDep::NoUsableView => enabled,
+            PlanDep::Prefix(_) | PlanDep::WholePool => false,
+        });
+    }
+
+    /// Whether intersection routes are planned.
+    pub fn intersect_enabled(&self) -> bool {
+        self.intersect_enabled.load(Ordering::Relaxed)
+    }
+
+    /// Drops every memo entry whose [`PlanDep`] matches `stale`, updating
+    /// the live entry count and the invalidation counters.
+    fn sweep_memo(&self, stale: impl Fn(&PlanDep) -> bool) {
+        for shard in self.shards.iter() {
+            let mut memo = shard.memo.write().expect("plan memo poisoned");
+            let before = memo.len();
+            memo.retain(|_, entry| !stale(&entry.dep));
+            let dropped = (before - memo.len()) as u64;
+            self.memo_entries.fetch_sub(dropped, Ordering::Relaxed);
+            shard.stats.plan_memo_invalidations.fetch_add(dropped, Ordering::Relaxed);
+        }
+    }
+
     /// The cached document.
     pub fn document(&self) -> &Tree {
         &self.doc
@@ -377,15 +493,60 @@ impl ShardedViewCache {
         // sees the bump (and skips memoizing) or inserts before the sweep
         // (and is caught by it) — stale routes never outlive this call.
         self.views_version.fetch_add(1, Ordering::Release);
-        for shard in self.shards.iter() {
-            let mut memo = shard.memo.write().expect("plan memo poisoned");
-            let before = memo.len();
-            memo.retain(|_, entry| entry.dep != PlanDep::AllViews);
-            let dropped = (before - memo.len()) as u64;
-            self.memo_entries.fetch_sub(dropped, Ordering::Relaxed);
-            shard.stats.plan_memo_invalidations.fetch_add(dropped, Ordering::Relaxed);
-        }
+        self.sweep_memo(|dep| {
+            matches!(dep, PlanDep::WholePool | PlanDep::NoUsableView | PlanDep::Intersect(_))
+        });
         n
+    }
+
+    /// Deregisters the view named `name`, returning `false` when no such
+    /// view exists. Takes `&mut self`: unlike [`ShardedViewCache::add_view`]
+    /// (which only appends, so in-flight routes stay index-valid), removal
+    /// shifts pool indices and must be exclusive with answering.
+    ///
+    /// Selectively invalidates the plan memo: `Direct` routes survive
+    /// (shrinking the pool cannot create a rewriting), while any memoized
+    /// route whose participant set is touched — the removed view itself, or
+    /// any view whose index the removal shifts — is dropped and will
+    /// re-plan on its next arrival.
+    pub fn remove_view(&mut self, name: &str) -> bool {
+        let removed = {
+            let mut views = self.views.write().expect("view pool poisoned");
+            let Some(idx) = views.iter().position(|v| v.name() == name) else {
+                return false;
+            };
+            let mut shrunk: Vec<MaterializedView> = views.iter().cloned().collect();
+            shrunk.remove(idx);
+            *views = Arc::new(shrunk);
+            idx
+        };
+        self.views_version.fetch_add(1, Ordering::Release);
+        self.sweep_memo(|dep| match dep {
+            // The committed prefix is intact only when the removal happened
+            // strictly after it.
+            PlanDep::Prefix(n) => removed < *n,
+            PlanDep::WholePool => true,
+            PlanDep::NoUsableView => false,
+            // Participants are ascending: the route survives only when the
+            // removal cannot have deleted or shifted any of them.
+            PlanDep::Intersect(parts) => parts.last().is_none_or(|&last| removed <= last),
+        });
+        true
+    }
+
+    /// Replaces the view named `name` with a fresh materialization of
+    /// `def` — the cache-maintenance form of "the upstream view changed".
+    /// Equivalent to [`ShardedViewCache::remove_view`] followed by
+    /// [`ShardedViewCache::add_view`] (the replacement lands at the end of
+    /// the pool), so every route depending on the old view is invalidated.
+    /// Returns the number of answers materialized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no view named `name` is registered.
+    pub fn replace_view(&mut self, name: &str, def: Pattern) -> usize {
+        assert!(self.remove_view(name), "replace_view: no view named {name:?}");
+        self.add_view(name, def)
     }
 
     /// Lifetime statistics, aggregated across shards (the oracle counters
@@ -395,6 +556,7 @@ impl ShardedViewCache {
         for shard in self.shards.iter() {
             s.queries += shard.stats.queries.load(Ordering::Relaxed);
             s.view_hits += shard.stats.view_hits.load(Ordering::Relaxed);
+            s.intersect_hits += shard.stats.intersect_hits.load(Ordering::Relaxed);
             s.direct += shard.stats.direct.load(Ordering::Relaxed);
             s.plan_memo_hits += shard.stats.plan_memo_hits.load(Ordering::Relaxed);
             s.plan_memo_misses += shard.stats.plan_memo_misses.load(Ordering::Relaxed);
@@ -402,6 +564,10 @@ impl ShardedViewCache {
             s.plan_memo_evictions += shard.stats.plan_memo_evictions.load(Ordering::Relaxed);
             s.plan_memo_invalidations +=
                 shard.stats.plan_memo_invalidations.load(Ordering::Relaxed);
+            s.intersect_routes += shard.stats.intersect_routes.load(Ordering::Relaxed);
+            s.intersect_candidates_tried +=
+                shard.stats.intersect_candidates_tried.load(Ordering::Relaxed);
+            s.intersect_participants += shard.stats.intersect_participants.load(Ordering::Relaxed);
         }
         let oracle = self.session.oracle().stats();
         s.oracle_memo_hits = oracle.verdict_memo_hits;
@@ -435,7 +601,7 @@ impl ShardedViewCache {
         // otherwise a route planned against the old pool would be memoized
         // after the invalidation sweep and survive it.
         let planned_at = self.views_version.load(Ordering::Acquire);
-        let (route, dep) = self.plan(query);
+        let (route, dep) = self.plan(query, shard);
         if memo {
             let mut map = shard.memo.write().expect("plan memo poisoned");
             if self.views_version.load(Ordering::Acquire) == planned_at && !map.contains_key(&key) {
@@ -483,8 +649,10 @@ impl ShardedViewCache {
         (route, shard)
     }
 
-    /// Plans `query` against the current view pool (no memo involvement).
-    fn plan(&self, query: &Pattern) -> (PlannedRoute, PlanDep) {
+    /// Plans `query` against the current view pool (no memo involvement):
+    /// the single-view scan first, then — when no view suffices and
+    /// intersections are enabled — the multi-view intersection planner.
+    fn plan(&self, query: &Pattern, shard: &CacheShard) -> (PlannedRoute, PlanDep) {
         let views = self.views_snapshot();
         let mut chosen: Option<(usize, Pattern)> = None;
         let mut examined = 0usize;
@@ -504,16 +672,40 @@ impl ShardedViewCache {
                 }
             }
         }
-        match chosen {
-            Some((index, rewriting)) => {
-                let dep = match self.policy {
-                    ChoicePolicy::FirstMatch => PlanDep::Prefix(examined),
-                    ChoicePolicy::SmallestView => PlanDep::AllViews,
-                };
-                (PlannedRoute::ViaView { index, rewriting }, dep)
-            }
-            None => (PlannedRoute::Direct, PlanDep::AllViews),
+        if let Some((index, rewriting)) = chosen {
+            let dep = match self.policy {
+                ChoicePolicy::FirstMatch => PlanDep::Prefix(examined),
+                ChoicePolicy::SmallestView => PlanDep::WholePool,
+            };
+            return (PlannedRoute::ViaView { index, rewriting }, dep);
         }
+        // No single view rewrites the query: try a multi-view intersection.
+        if self.intersect_enabled() && views.len() >= 2 {
+            let pool: Vec<&Pattern> = views.iter().map(|v| v.definition()).collect();
+            let (answer, istats) =
+                plan_intersection_in(&self.session, query, &pool, &self.intersect_cfg);
+            shard
+                .stats
+                .intersect_candidates_tried
+                .fetch_add(istats.candidates_tried, Ordering::Relaxed);
+            if let Some(answer) = answer {
+                debug_assert!(answer.equivalent, "only equivalent compensations are routed");
+                bump(&shard.stats.intersect_routes);
+                shard
+                    .stats
+                    .intersect_participants
+                    .fetch_add(answer.views.len() as u64, Ordering::Relaxed);
+                let dep = PlanDep::Intersect(answer.views.clone());
+                return (
+                    PlannedRoute::Intersect {
+                        indices: answer.views,
+                        compensation: answer.compensation,
+                    },
+                    dep,
+                );
+            }
+        }
+        (PlannedRoute::Direct, PlanDep::NoUsableView)
     }
 
     /// Executes a planned route, producing the answer nodes and provenance.
@@ -534,6 +726,19 @@ impl ShardedViewCache {
                     Route::ViaView {
                         view: view.name().to_string(),
                         rewriting: rewriting.to_string(),
+                    },
+                )
+            }
+            PlannedRoute::Intersect { indices, compensation } => {
+                bump(&shard.stats.intersect_hits);
+                let views = self.views_snapshot();
+                let sets: Vec<&[NodeId]> = indices.iter().map(|&i| views[i].nodes()).collect();
+                let nodes = answer_intersection_virtual(&self.doc, &sets, &compensation);
+                (
+                    nodes,
+                    Route::Intersect {
+                        views: indices.iter().map(|&i| views[i].name().to_string()).collect(),
+                        compensation: compensation.to_string(),
                     },
                 )
             }
@@ -605,6 +810,7 @@ impl ShardedViewCache {
                     bump(&shard.stats.batch_dedup_hits);
                     match fanned.route {
                         Route::ViaView { .. } => bump(&shard.stats.view_hits),
+                        Route::Intersect { .. } => bump(&shard.stats.intersect_hits),
                         Route::Direct => bump(&shard.stats.direct),
                     }
                     answers.push(fanned);
@@ -636,18 +842,45 @@ impl ShardedViewCache {
         let (key, fp) = self.session.oracle().intern_fingerprinted(query);
         let (route, shard) = self.route_for(query, key, fp);
         bump(&shard.stats.queries);
-        if let PlannedRoute::ViaView { index, rewriting } = route {
-            bump(&shard.stats.view_hits);
-            let views = self.views_snapshot();
-            return Some((views[index].apply_virtual(&rewriting, &self.doc), true));
+        let views = self.views_snapshot();
+        match route {
+            PlannedRoute::ViaView { index, rewriting } => {
+                bump(&shard.stats.view_hits);
+                return Some((views[index].apply_virtual(&rewriting, &self.doc), true));
+            }
+            PlannedRoute::Intersect { indices, compensation } => {
+                bump(&shard.stats.intersect_hits);
+                let sets: Vec<&[NodeId]> = indices.iter().map(|&i| views[i].nodes()).collect();
+                return Some((answer_intersection_virtual(&self.doc, &sets, &compensation), true));
+            }
+            PlannedRoute::Direct => {}
         }
         // Contained rewriting: pick the view yielding the most answers.
-        let views = self.views_snapshot();
         let mut best: Option<Vec<NodeId>> = None;
         for view in views.iter() {
             if let Some(r) = contained_rewriting_in(self.session.oracle(), query, view.definition())
             {
                 let nodes = view.apply_virtual(&r, &self.doc);
+                if best.as_ref().is_none_or(|b| nodes.len() > b.len()) {
+                    best = Some(nodes);
+                }
+            }
+        }
+        // A contained *intersection* can recover more answers than any
+        // single view's contained rewriting (it imposes fewer spurious
+        // constraints): take it when it wins on size.
+        if self.intersect_enabled() && views.len() >= 2 {
+            let pool: Vec<&Pattern> = views.iter().map(|v| v.definition()).collect();
+            let (answer, _) =
+                plan_intersection_contained_in(&self.session, query, &pool, &self.intersect_cfg);
+            if let Some(answer) = answer {
+                let sets: Vec<&[NodeId]> = answer.views.iter().map(|&i| views[i].nodes()).collect();
+                let nodes = answer_intersection_virtual(&self.doc, &sets, &answer.compensation);
+                if answer.equivalent {
+                    // Possible only when the route memo predates the pool or
+                    // ablation state; the answer is complete regardless.
+                    return Some((nodes, true));
+                }
                 if best.as_ref().is_none_or(|b| nodes.len() > b.len()) {
                     best = Some(nodes);
                 }
@@ -827,6 +1060,191 @@ mod tests {
         let _ = cache.answer(&pat("site/region/item/name"));
         let line = cache.stats().to_string();
         assert!(line.contains("queries"), "got: {line}");
+        assert!(line.contains("intersect"), "got: {line}");
         assert!(!line.contains('\n'));
+    }
+
+    /// A document where bids-only, shipping-only and bids+shipping items
+    /// coexist, so the intersection is a strict subset of each view.
+    fn overlap_doc() -> Tree {
+        TreeBuilder::root("site", |b| {
+            b.child("region", |b| {
+                b.child("item", |b| {
+                    b.leaf("name");
+                    b.leaf("bids");
+                });
+                b.child("item", |b| {
+                    b.leaf("name");
+                    b.leaf("shipping");
+                });
+                b.child("item", |b| {
+                    b.leaf("name");
+                    b.leaf("bids");
+                    b.leaf("shipping");
+                });
+            });
+        })
+    }
+
+    fn overlap_cache() -> ShardedViewCache {
+        let cache = ShardedViewCache::new(overlap_doc()).with_shards(4);
+        cache.add_view("bid_names", pat("site/region/item[bids]/name"));
+        cache.add_view("ship_names", pat("site/region/item[shipping]/name"));
+        cache
+    }
+
+    #[test]
+    fn jointly_sufficient_views_serve_via_intersection() {
+        let cache = overlap_cache();
+        let q = pat("site/region/item[bids][shipping]/name");
+        let ans = cache.answer(&q);
+        match &ans.route {
+            Route::Intersect { views, compensation } => {
+                assert_eq!(views, &["bid_names", "ship_names"]);
+                assert_eq!(compensation, "name");
+            }
+            other => panic!("expected an intersection route, got {other:?}"),
+        }
+        assert_eq!(ans.nodes, cache.answer_direct(&q), "intersection answer must be exact");
+        assert_eq!(ans.nodes.len(), 1);
+        let s = cache.stats();
+        assert_eq!(s.intersect_hits, 1);
+        assert_eq!(s.intersect_routes, 1);
+        assert_eq!(s.intersect_participants, 2);
+        assert!(s.intersect_candidates_tried >= 1);
+    }
+
+    #[test]
+    fn intersection_routes_are_memoized_with_zero_conp_work() {
+        let cache = overlap_cache();
+        let q = pat("site/region/item[bids][shipping]/name");
+        let first = cache.answer(&q);
+        let runs = cache.stats().oracle_canonical_runs;
+        let second = cache.answer(&q);
+        assert_eq!(second.nodes, first.nodes);
+        assert_eq!(second.route, first.route);
+        let s = cache.stats();
+        assert_eq!(s.plan_memo_hits, 1, "second ask must come from the plan memo");
+        assert_eq!(
+            s.oracle_canonical_runs, runs,
+            "second ask must run zero canonical-model containment calls"
+        );
+        assert_eq!(s.intersect_routes, 1, "the route was planned exactly once");
+    }
+
+    #[test]
+    fn disabling_intersections_falls_back_to_direct() {
+        let cache = overlap_cache();
+        cache.set_intersect_enabled(false);
+        let q = pat("site/region/item[bids][shipping]/name");
+        let ans = cache.answer(&q);
+        assert_eq!(ans.route, Route::Direct);
+        assert_eq!(ans.nodes, cache.answer_direct(&q));
+        assert_eq!(cache.stats().intersect_routes, 0);
+        // Re-enabling drops the memoized Direct route and finds the
+        // intersection again.
+        cache.set_intersect_enabled(true);
+        assert!(matches!(cache.answer(&q).route, Route::Intersect { .. }));
+    }
+
+    #[test]
+    fn intersect_toggle_leaves_single_view_routes_alone() {
+        // A WholePool (SmallestView) route is justified by the single-view
+        // scan, which runs before intersection planning: flipping the
+        // intersect knob must not drop it.
+        let mut cache = ShardedViewCache::new(doc());
+        cache.set_policy(ChoicePolicy::SmallestView);
+        cache.add_view("items", pat("site/region/item"));
+        let q = pat("site/region/item/name");
+        assert!(matches!(cache.answer(&q).route, Route::ViaView { .. }));
+        let runs = cache.stats().oracle_canonical_runs;
+        cache.set_intersect_enabled(false);
+        cache.set_intersect_enabled(true);
+        assert!(matches!(cache.answer(&q).route, Route::ViaView { .. }));
+        assert_eq!(cache.stats().oracle_canonical_runs, runs, "route must serve from the memo");
+        assert_eq!(cache.stats().plan_memo_invalidations, 0);
+    }
+
+    #[test]
+    fn replacing_a_participant_invalidates_the_intersection_route() {
+        let mut cache = overlap_cache();
+        let q = pat("site/region/item[bids][shipping]/name");
+        assert!(matches!(cache.answer(&q).route, Route::Intersect { .. }));
+        let invalidations_before = cache.stats().plan_memo_invalidations;
+
+        // Replace one participant with a view that no longer covers the
+        // query: the memoized route must not survive.
+        cache.replace_view("ship_names", pat("site/region/item[shipping]/bids"));
+        assert!(
+            cache.stats().plan_memo_invalidations > invalidations_before,
+            "the intersection route must be dropped"
+        );
+        let ans = cache.answer(&q);
+        assert_eq!(ans.nodes, cache.answer_direct(&q), "re-planned answer stays correct");
+        assert_eq!(ans.route, Route::Direct, "the replaced view no longer supports the route");
+
+        // Replacing it back restores the intersection route.
+        cache.replace_view("ship_names", pat("site/region/item[shipping]/name"));
+        assert!(matches!(cache.answer(&q).route, Route::Intersect { .. }));
+    }
+
+    #[test]
+    fn remove_view_keeps_direct_and_untouched_routes() {
+        let mut cache = ShardedViewCache::new(doc());
+        cache.add_view("items", pat("site/region/item"));
+        cache.add_view("names", pat("site/region/item/name"));
+        let via_first = pat("site/region/item[desc]/name"); // FirstMatch hit on "items"
+                                                            // Output above every view's output: no rewriting can exist.
+        let direct = pat("site/region[item]");
+        assert!(matches!(cache.answer(&via_first).route, Route::ViaView { .. }));
+        assert_eq!(cache.answer(&direct).route, Route::Direct);
+        let runs = cache.stats().oracle_canonical_runs;
+
+        // Removing the *later* view touches neither memoized route.
+        assert!(cache.remove_view("names"));
+        assert!(matches!(cache.answer(&via_first).route, Route::ViaView { .. }));
+        assert_eq!(cache.answer(&direct).route, Route::Direct);
+        assert_eq!(cache.stats().oracle_canonical_runs, runs, "both served from the memo");
+
+        // Removing the committed view drops its route; Direct still
+        // survives (a smaller pool cannot create a rewriting).
+        assert!(cache.remove_view("items"));
+        assert_eq!(cache.answer(&via_first).route, Route::Direct);
+        assert_eq!(cache.answer(&direct).route, Route::Direct);
+        assert!(!cache.remove_view("items"), "double removal reports false");
+    }
+
+    #[test]
+    fn partial_answers_can_use_contained_intersections() {
+        // Both views impose [bids] on the *region*: the intersection is
+        // contained in the query's answers but not equivalent.
+        let t = TreeBuilder::root("site", |b| {
+            b.child("region", |b| {
+                b.leaf("bids");
+                b.child("item", |b| {
+                    b.leaf("name");
+                    b.leaf("x");
+                    b.leaf("y");
+                });
+            });
+            b.child("region", |b| {
+                b.child("item", |b| {
+                    b.leaf("name");
+                    b.leaf("x");
+                    b.leaf("y");
+                });
+            });
+        });
+        let cache = ShardedViewCache::new(t);
+        cache.add_view("vx", pat("site/region[bids]/item[x]/name"));
+        cache.add_view("vy", pat("site/region[bids]/item[y]/name"));
+        let q = pat("site/region/item[x][y]/name");
+        assert_eq!(cache.answer(&q).route, Route::Direct, "no equivalent route exists");
+        let (partial, complete) = cache.answer_partial(&q).expect("contained intersection");
+        assert!(!complete);
+        let full = cache.answer_direct(&q);
+        assert!(partial.iter().all(|n| full.contains(n)), "partial answers must be sound");
+        assert_eq!(partial.len(), 1, "only the bids-region item is recovered");
+        assert_eq!(full.len(), 2);
     }
 }

@@ -1,0 +1,80 @@
+//! # xpv-intersect — rewriting queries over view **intersections**
+//!
+//! The source paper's open problem 5 asks for rewritings that combine
+//! *several* views. Following Cautis, Deutsch, Ileana & Onose (*Rewriting
+//! XPath Queries using View Intersections: Tractability versus
+//! Completeness*), this crate answers a query from the **node-set
+//! intersection** of a small subset of materialized views: a pool in which
+//! no single view suffices can still serve the query jointly.
+//!
+//! The pipeline:
+//!
+//! 1. **Subset selection** ([`plan_intersection_in`]): enumerate
+//!    merge-compatible pairs/triples of pool views (equal selection depth,
+//!    child-only spines below the root edge), cheapest subsets first, under
+//!    a configurable budget ([`IntersectConfig`]).
+//! 2. **Anchor construction**: each subset's views are merged into the
+//!    *exact intersection pattern* `M` ([`xpv_pattern::intersect_patterns`])
+//!    with `M(t) = ∩ Vi(t)` on every document — `M` is the anchor the
+//!    rewriting is planned against. Subsets whose anchor collapses onto a
+//!    single participant (`Vi ⊑ M`, decided by the shared
+//!    [`xpv_semantics::ContainmentOracle`], hence memoized) are skipped as
+//!    redundant: the single-view planner already covers them.
+//! 3. **Compensation planning**: the single-view decision procedure
+//!    ([`xpv_core::PlanningSession::decide`]) plans `p` against `M`. A
+//!    verified rewriting becomes the [`IntersectAnswer::compensation`].
+//! 4. **Evaluation**: the compensation is evaluated **anchored on the
+//!    node-set intersection** of the participants — virtually via
+//!    [`xpv_model::BitSet`] intersection of `NodeId` sets
+//!    ([`answer_intersection_virtual`]), or on materialized subtree copies
+//!    via canonical-key intersection
+//!    ([`answer_intersection_materialized`]).
+//!
+//! ## Soundness / completeness contract
+//!
+//! * **Soundness is unconditional**: an [`IntersectAnswer`] with
+//!   `equivalent = true` satisfies `R ◦ M ≡ P` where `M(t) = ∩ Vi(t)`, so
+//!   the anchored evaluation returns **exactly** `P(t)` — never a wrong
+//!   node, never a missing one. With `equivalent = false` (the contained
+//!   variant used for partial answers) `R ◦ M ⊑ P`, so every returned node
+//!   is a genuine answer but some may be missing.
+//! * **Completeness is bounded** (the Cautis et al. tractability trade-off):
+//!   only tree-expressible intersections are attempted — participants must
+//!   share a forced selection spine; DAG-shaped intersections (differing
+//!   view depths, descendant edges below the root of the spine — the
+//!   "interleavings" of the full algorithm) are out of scope — and the
+//!   subset enumeration is budgeted. A `None` from the planner therefore
+//!   does **not** prove that no multi-view rewriting exists.
+//!
+//! ```
+//! use xpv_core::RewritePlanner;
+//! use xpv_intersect::{plan_intersection_in, IntersectConfig};
+//! use xpv_pattern::parse_xpath;
+//!
+//! let v1 = parse_xpath("site/region/item[bids]/name").unwrap();
+//! let v2 = parse_xpath("site/region/item[shipping]/name").unwrap();
+//! let p = parse_xpath("site/region/item[bids][shipping]/name").unwrap();
+//! let session = RewritePlanner::default().session();
+//! // No single view rewrites p...
+//! assert!(session.decide(&p, &v1).rewriting().is_none());
+//! assert!(session.decide(&p, &v2).rewriting().is_none());
+//! // ...but the pair does, jointly.
+//! let (answer, stats) = plan_intersection_in(
+//!     &session, &p, &[&v1, &v2], &IntersectConfig::default());
+//! let answer = answer.expect("the pair serves the query");
+//! assert_eq!(answer.views, vec![0, 1]);
+//! assert!(answer.equivalent);
+//! assert!(stats.candidates_tried >= 1);
+//! ```
+
+pub mod eval;
+pub mod plan;
+
+pub use eval::{
+    answer_intersection_materialized, answer_intersection_virtual, intersect_node_sets,
+    intersect_trees_by_key,
+};
+pub use plan::{
+    plan_intersection, plan_intersection_contained_in, plan_intersection_in, IntersectAnswer,
+    IntersectConfig, IntersectStats,
+};

@@ -12,6 +12,10 @@
 //!   root relaxation ([`Pattern::relax_root_edges`]), `l`-extension
 //!   ([`Pattern::extend`]), output lifting ([`Pattern::lift_output`]) and the
 //!   `l//Q` prefix ([`Pattern::prefix_descendant`]);
+//! * the **exact intersection pattern** ([`intersect_patterns`]): a single
+//!   pattern whose answer set equals the node-set intersection of several
+//!   patterns' answers, in the tree-expressible case (the algebraic core of
+//!   the `xpv-intersect` multi-view rewriter);
 //! * a parser ([`parse_xpath`]) and printer ([`to_xpath`]) for the fragment's
 //!   XPath syntax `q ::= q/q | q//q | q[q] | l | *`;
 //! * structural hashing and interning ([`Pattern::fingerprint`],
@@ -37,7 +41,7 @@ pub use classify::{
     FragmentFlags, GnfCase, StabilityWitness,
 };
 pub use intern::{PatternInterner, PatternKey};
-pub use ops::{compose, compose_chain};
+pub use ops::{compose, compose_chain, intersect_patterns};
 pub use parse::{parse_xpath, ParseError};
 pub use pattern::{Axis, NodeTest, PatId, Pattern, PatternBuilder};
 pub use print::to_xpath;

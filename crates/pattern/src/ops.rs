@@ -239,6 +239,94 @@ pub fn compose_chain(r: &Pattern, views: &[&Pattern]) -> Option<Pattern> {
     Some(acc)
 }
 
+/// The **exact intersection pattern** of several patterns: a single pattern
+/// `M` with `M(t) = P1(t) ∩ … ∩ Pn(t)` (as output-*node* sets) on **every**
+/// document `t`, when one exists in the fragment.
+///
+/// In general the intersection of tree-pattern answer sets is only
+/// expressible as a DAG pattern (Cautis, Deutsch, Ileana & Onose,
+/// *Rewriting XPath Queries using View Intersections*). This function
+/// handles the tree-expressible case, where the selection paths of all
+/// participants are forced to map onto the *same* document nodes for any
+/// shared output node:
+///
+/// * all patterns have the same selection depth `k`;
+/// * in every pattern, each selection edge **below the root edge** is a
+///   child edge (the root edge may be `/` or `//` per pattern — the root is
+///   pinned to the document root, and child edges pin every deeper
+///   selection node to a fixed ancestor of the output node);
+/// * the node tests along the selection paths are glb-compatible.
+///
+/// Under those conditions `M` is the node-wise glb of the selection paths —
+/// the root edge is `/` if *any* participant uses `/`, else `//` — carrying
+/// every predicate branch of every participant at the corresponding
+/// selection node (duplicates removed). An embedding of `M` restricts to an
+/// embedding of each `Pi` (so `M(t) ⊆ ∩ Pi(t)`), and conversely any output
+/// node in every `Pi(t)` satisfies all of `M`'s constraints on the forced
+/// selection mapping (so `∩ Pi(t) ⊆ M(t)`).
+///
+/// Returns `None` when the patterns do not meet the shape conditions *or*
+/// when a glb clash makes the intersection empty on every document (the
+/// empty pattern `Υ` is not a value of [`Pattern`]); callers that need to
+/// distinguish the two cases can test the clash separately via
+/// [`NodeTest::glb`].
+pub fn intersect_patterns(patterns: &[&Pattern]) -> Option<Pattern> {
+    let (first, rest) = patterns.split_first()?;
+    if rest.is_empty() {
+        return Some((*first).clone());
+    }
+    let k = first.depth();
+    for p in patterns {
+        if p.depth() != k {
+            return None;
+        }
+        // Every selection edge below the root edge must be a child edge,
+        // otherwise the selection mapping is not forced by the output node.
+        if p.selection_axes().iter().skip(1).any(|&a| a != Axis::Child) {
+            return None;
+        }
+    }
+
+    // glb-merge the selection spines.
+    let mut tests: Vec<NodeTest> = first.selection_path().iter().map(|&n| first.test(n)).collect();
+    for p in rest {
+        for (j, &n) in p.selection_path().iter().enumerate() {
+            tests[j] = NodeTest::glb(tests[j], p.test(n))?;
+        }
+    }
+    let root_axis =
+        if patterns.iter().any(|p| k >= 1 && p.axis(p.selection_path()[1]) == Axis::Child) {
+            Axis::Child
+        } else {
+            Axis::Descendant
+        };
+
+    // Build the spine, then hang every participant's predicate branches at
+    // the corresponding spine node.
+    let mut out = Pattern::single(tests[0]);
+    let mut spine = vec![out.root()];
+    for (j, &test) in tests.iter().enumerate().skip(1) {
+        let axis = if j == 1 { root_axis } else { Axis::Child };
+        let prev = spine[j - 1];
+        spine.push(out.add_child(prev, axis, test));
+    }
+    out.set_output(spine[k]);
+    for p in patterns {
+        let path = p.selection_path();
+        for (j, &sel) in path.iter().enumerate() {
+            for &c in p.children(sel) {
+                if j + 1 < path.len() && c == path[j + 1] {
+                    continue; // the selection child is the spine itself
+                }
+                let mut map = Vec::new();
+                p.copy_subtree_into(c, &mut out, spine[j], p.axis(c), &mut map);
+            }
+        }
+    }
+    // Identical branches contributed by different participants collapse.
+    Some(out.dedup_sibling_branches())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -444,6 +532,62 @@ mod tests {
         assert_eq!(d.depth(), 1);
         // The branch b and the selection b are NOT twins (output marker).
         assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn intersect_patterns_merges_spines_and_predicates() {
+        let v1 = pat("site/region/item[bids]/name");
+        let v2 = pat("site/region/item[shipping]/name");
+        let m = intersect_patterns(&[&v1, &v2]).expect("merges");
+        assert_eq!(m.to_string(), "site/region/item[bids][shipping]/name");
+        assert_eq!(m.depth(), 3);
+        // Identical predicate branches collapse.
+        let m2 = intersect_patterns(&[&v1, &v1]).expect("merges");
+        assert!(m2.structurally_eq(&v1));
+    }
+
+    #[test]
+    fn intersect_patterns_glbs_tests_and_root_axis() {
+        // Wildcards resolve to the concrete label; a `/` root edge wins
+        // over `//`.
+        let v1 = pat("a//*[x]/c");
+        let v2 = pat("a/b[y]/c");
+        let m = intersect_patterns(&[&v1, &v2]).expect("merges");
+        assert_eq!(m.to_string(), "a/b[x][y]/c");
+        // All-descendant root edges stay descendant.
+        let m2 = intersect_patterns(&[&pat("a//b[x]/c"), &pat("a//b[y]/c")]).expect("merges");
+        assert_eq!(m2.to_string(), "a//b[x][y]/c");
+    }
+
+    #[test]
+    fn intersect_patterns_rejects_unforced_shapes() {
+        // Depth mismatch.
+        assert!(intersect_patterns(&[&pat("a/b/c"), &pat("a/c")]).is_none());
+        // A descendant edge below the root edge leaves the selection mapping
+        // unforced.
+        assert!(intersect_patterns(&[&pat("a/b//c"), &pat("a/b/c")]).is_none());
+        // glb clash on a spine node: the intersection is empty on every
+        // document.
+        assert!(intersect_patterns(&[&pat("a/b/c"), &pat("a/d/c")]).is_none());
+        // Empty input.
+        assert!(intersect_patterns(&[]).is_none());
+    }
+
+    #[test]
+    fn intersect_patterns_singleton_and_depth_zero() {
+        let v = pat("a[b]//c");
+        assert!(intersect_patterns(&[&v]).expect("singleton").structurally_eq(&v));
+        let m = intersect_patterns(&[&pat("a[x]"), &pat("a[y]")]).expect("depth-0 merge");
+        assert_eq!(m.to_string(), "a[x][y]");
+        assert_eq!(m.depth(), 0);
+    }
+
+    #[test]
+    fn intersect_patterns_keeps_predicates_below_output() {
+        let v1 = pat("a/b[c/d]");
+        let v2 = pat("a/b[e]");
+        let m = intersect_patterns(&[&v1, &v2]).expect("merges");
+        assert_eq!(m.to_string(), "a/b[c/d][e]");
     }
 
     #[test]

@@ -306,8 +306,11 @@ impl Pattern {
 
     /// Copies the subtree of `self` rooted at `n` into `dst` under
     /// `dst_parent` via `axis`. Returns the id in `dst` of the copy of `n`
-    /// and records the full old→new id correspondence in `map`.
-    pub(crate) fn copy_subtree_into(
+    /// and records the full old→new id correspondence in `map` (pass a
+    /// scratch vector when the mapping is not needed). The single
+    /// subtree-copier behind every structural op in [`crate::ops`] and the
+    /// external pattern builders (e.g. the workload's view splitter).
+    pub fn copy_subtree_into(
         &self,
         n: PatId,
         dst: &mut Pattern,

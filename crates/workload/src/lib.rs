@@ -6,7 +6,10 @@
 //!   ([`Fragment`]) and correlated (query, view) instances;
 //! * [`TreeGen`] — random documents for falsification and scaling;
 //! * [`site_doc`] / [`bib_doc`] — XMark/DBLP-shaped synthetic documents with
-//!   query/view catalogs ([`site_catalog`], [`bib_catalog`]);
+//!   query/view catalogs ([`site_catalog`], [`bib_catalog`], and the
+//!   overlapping-view [`site_intersect_catalog`] whose joint queries only
+//!   multi-view intersections can serve; [`split_into_overlapping_views`]
+//!   generates such pools from any query);
 //! * [`adversarial`] — hom-gap, coNP-stress and certificate-free families;
 //! * [`zipf`] — Zipf-skewed query streams over the catalogs (the regime the
 //!   throughput benches and the serving front-end measure).
@@ -19,6 +22,9 @@ pub mod zipf;
 
 pub use adversarial::{conp_stress_instance, hom_gap_instance, no_condition_instance};
 pub use patterns::{workload_labels, Fragment, PatternGen, PatternGenConfig};
-pub use scenarios::{bib_catalog, bib_doc, site_catalog, site_doc, Catalog};
+pub use scenarios::{
+    bib_catalog, bib_doc, site_catalog, site_doc, site_intersect_catalog,
+    split_into_overlapping_views, Catalog,
+};
 pub use trees::{TreeGen, TreeGenConfig};
 pub use zipf::{catalog_zipf_stream, zipf_indices, zipf_stream};

@@ -15,7 +15,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use xpv_model::{Label, Tree};
-use xpv_pattern::{parse_xpath, Pattern};
+use xpv_pattern::{parse_xpath, Axis, PatId, Pattern};
 
 fn l(name: &str) -> Label {
     Label::new(name)
@@ -122,6 +122,92 @@ pub fn site_catalog() -> Catalog {
     }
 }
 
+/// An **overlapping-view** workload over the auction site: the views pin
+/// *different* predicate branches on the item node (above their shared
+/// `name` output), so no single view can rewrite the joint queries — only
+/// pairs or triples, through their node-set **intersection**, can. The
+/// catalog mixes intersection-only queries with single-view hits and
+/// direct-only queries, so Zipf streams over it exercise every route kind
+/// (`ViaView`, `Intersect`, `Direct`).
+pub fn site_intersect_catalog() -> Catalog {
+    Catalog {
+        name: "site_intersect",
+        views: vec![
+            ("bid_names", pat("site/region/item[bids]/name")),
+            ("ship_names", pat("site/region/item[shipping]/name")),
+            ("desc_names", pat("site/region/item[description]/name")),
+        ],
+        queries: vec![
+            // Hot rank: servable only by the {bids, shipping} pair.
+            ("bid_ship_names", pat("site/region/item[bids][shipping]/name")),
+            // Single-view hit on `bid_names`.
+            ("bid_names_only", pat("site/region/item[bids]/name")),
+            // Needs all three views (no pair covers three predicates).
+            ("triple_names", pat("site/region/item[bids][shipping][description]/name")),
+            // Another pair, deeper compensation work.
+            ("ship_desc_names", pat("site/region/item[shipping][description]/name")),
+            // No view and no intersection applies: direct evaluation.
+            ("shipping_costs", pat("site/region/item/shipping/cost")),
+            ("all_item_names", pat("site/region/item/name")),
+        ],
+    }
+}
+
+/// Splits a query into `parts` **overlapping views**: each view keeps the
+/// full selection spine of `p` but only a share of its predicate branches,
+/// assigned round-robin from a seeded shuffle. The union of the shares is
+/// the whole branch set, so the views' exact intersection pattern is
+/// equivalent to `p` — a pool that answers `p` jointly even though each
+/// member is individually weaker.
+///
+/// Returns `None` when `p` cannot participate in exact intersections
+/// (a descendant edge below the root edge of the selection path), when it
+/// has no predicate branches to distribute, or when `parts < 2`.
+pub fn split_into_overlapping_views(p: &Pattern, parts: usize, seed: u64) -> Option<Vec<Pattern>> {
+    if parts < 2 {
+        return None;
+    }
+    let path = p.selection_path();
+    if path[1..].iter().skip(1).any(|&n| p.axis(n) != Axis::Child) {
+        return None;
+    }
+    // Branch roots per selection position.
+    let mut branches: Vec<(usize, PatId)> = Vec::new();
+    for (j, &sel) in path.iter().enumerate() {
+        for &c in p.children(sel) {
+            if path.get(j + 1) != Some(&c) {
+                branches.push((j, c));
+            }
+        }
+    }
+    if branches.is_empty() {
+        return None;
+    }
+    // Seeded shuffle, then round-robin assignment.
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in (1..branches.len()).rev() {
+        branches.swap(i, rng.gen_range(0..=i));
+    }
+    let mut views = Vec::with_capacity(parts);
+    for part in 0..parts {
+        let mut v = Pattern::single(p.test(path[0]));
+        let mut spine = vec![v.root()];
+        for &n in &path[1..] {
+            let prev = *spine.last().expect("spine nonempty");
+            spine.push(v.add_child(prev, p.axis(n), p.test(n)));
+        }
+        v.set_output(spine[path.len() - 1]);
+        let mut scratch: Vec<(PatId, PatId)> = Vec::new();
+        for (i, &(j, branch)) in branches.iter().enumerate() {
+            if i % parts == part {
+                p.copy_subtree_into(branch, &mut v, spine[j], p.axis(branch), &mut scratch);
+            }
+        }
+        views.push(v);
+    }
+    Some(views)
+}
+
 /// The bibliography workload.
 pub fn bib_catalog() -> Catalog {
     Catalog {
@@ -162,6 +248,58 @@ mod tests {
         for &p in t.children(t.root()) {
             assert!(t.children(p).iter().any(|&c| t.label(c).name() == "title"));
         }
+    }
+
+    #[test]
+    fn intersect_catalog_views_overlap_but_differ() {
+        let cat = site_intersect_catalog();
+        assert_eq!(cat.views.len(), 3);
+        // Pairwise structurally distinct, same selection depth (the
+        // precondition for exact intersections).
+        for (i, (_, a)) in cat.views.iter().enumerate() {
+            assert_eq!(a.depth(), 3);
+            for (_, b) in &cat.views[i + 1..] {
+                assert!(!a.structurally_eq(b));
+            }
+        }
+        // The joint queries really are nonempty on the scenario document.
+        let doc = site_doc(6, 8, 11);
+        let joint = &cat.queries[0].1;
+        assert!(!xpv_semantics::evaluate(joint, &doc).is_empty());
+    }
+
+    #[test]
+    fn split_views_jointly_reconstruct_the_query() {
+        let p = pat("site/region[item]/item[bids][shipping]/name");
+        let views = split_into_overlapping_views(&p, 2, 7).expect("splits");
+        assert_eq!(views.len(), 2);
+        let doc = site_doc(6, 10, 3);
+        // Each view is weaker (or equal), and their node-set intersection
+        // equals the query's answers.
+        let direct = xpv_semantics::evaluate(&p, &doc);
+        assert!(!direct.is_empty(), "the scenario document must answer the joint query");
+        let mut joint: Option<Vec<xpv_model::NodeId>> = None;
+        for v in &views {
+            let nodes = xpv_semantics::evaluate(v, &doc);
+            assert!(direct.iter().all(|n| nodes.contains(n)), "view must cover the query");
+            joint = Some(match joint {
+                None => nodes,
+                Some(j) => j.into_iter().filter(|n| nodes.contains(n)).collect(),
+            });
+        }
+        assert_eq!(joint.expect("two views"), direct);
+    }
+
+    #[test]
+    fn split_views_reject_unsuitable_shapes() {
+        assert!(split_into_overlapping_views(&pat("a[b][c]/d"), 1, 0).is_none());
+        assert!(split_into_overlapping_views(&pat("a/b/c"), 2, 0).is_none(), "no branches");
+        assert!(
+            split_into_overlapping_views(&pat("a/b[x]//c[y]"), 2, 0).is_none(),
+            "descendant edge below the root edge"
+        );
+        // The root edge itself may be descendant.
+        assert!(split_into_overlapping_views(&pat("a//b[x][y]"), 2, 0).is_some());
     }
 
     #[test]

@@ -30,6 +30,9 @@ fn main() {
         assert_eq!(answer.nodes, cache.answer_direct(query), "cache soundness for {name}");
         let (route, rw) = match &answer.route {
             Route::ViaView { view, rewriting } => (format!("view:{view}"), rewriting.clone()),
+            Route::Intersect { views, compensation } => {
+                (format!("∩{views:?}"), compensation.clone())
+            }
             Route::Direct => ("direct".to_string(), String::new()),
         };
         println!("{name:<22} {:>8} {route:<12} {rw}", answer.nodes.len());

@@ -2,14 +2,18 @@
 //!
 //! ```text
 //! xpv rewrite  <QUERY> <VIEW>        decide rewritability, print R + certificate
+//! xpv intersect <QUERY> <VIEW> <VIEW>...
+//!                                    rewrite the query over a multi-view
+//!                                    intersection from the given pool
 //! xpv contain  <P1> <P2>             decide P1 ⊑ P2 (and the reverse)
 //! xpv eval     <QUERY> <FILE.xml>    evaluate a query over a document ('-' = stdin)
 //! xpv reduce   <PATTERN>             remove redundant branches
 //! xpv figures                        verify the paper's figures
 //! xpv serve-bench [--threads N] [--shards S] [--memo-cap M]
-//!                 [--queries Q] [--tenants T]
+//!                 [--queries Q] [--tenants T] [--no-intersect]
 //!                                    drive the worker-pool front-end with a
-//!                                    Zipf workload and print throughput
+//!                                    Zipf workload (overlapping-view
+//!                                    catalog) and print throughput
 //! ```
 //!
 //! Patterns use the fragment's XPath syntax: `a[b]//c[.//d]/e`.
@@ -20,17 +24,20 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use xpath_views::engine::{CacheServer, ShardedViewCache};
+use xpath_views::intersect::plan_intersection_in;
 use xpath_views::prelude::*;
 use xpath_views::rewrite::{figure1, figure2, figure3, figure4, NoRewriteReason};
 use xpath_views::semantics::remove_redundant_branches;
-use xpath_views::workload::{catalog_zipf_stream, site_catalog, site_doc};
+use xpath_views::workload::{catalog_zipf_stream, site_doc, site_intersect_catalog};
 
 fn fail(msg: &str) -> ExitCode {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage:\n  xpv rewrite <QUERY> <VIEW>\n  xpv contain <P1> <P2>\n  \
+        "usage:\n  xpv rewrite <QUERY> <VIEW>\n  xpv intersect <QUERY> <VIEW> <VIEW>...\n  \
+         xpv contain <P1> <P2>\n  \
          xpv eval <QUERY> <FILE.xml|->\n  xpv reduce <PATTERN>\n  xpv figures\n  \
-         xpv serve-bench [--threads N] [--shards S] [--memo-cap M] [--queries Q] [--tenants T]"
+         xpv serve-bench [--threads N] [--shards S] [--memo-cap M] [--queries Q] [--tenants T] \
+         [--no-intersect]"
     );
     ExitCode::FAILURE
 }
@@ -80,6 +87,50 @@ fn cmd_rewrite(query: &str, view: &str) -> Result<ExitCode, String> {
                 }
             );
             Ok(ExitCode::from(3))
+        }
+    }
+}
+
+/// Plans `query` over the intersection of a view pool: picks a small view
+/// subset whose node-set intersection supports a verified compensation.
+fn cmd_intersect(query: &str, views: &[String]) -> Result<ExitCode, String> {
+    let p = parse("query", query)?;
+    let pool: Vec<Pattern> = views.iter().map(|v| parse("view", v)).collect::<Result<_, _>>()?;
+    let refs: Vec<&Pattern> = pool.iter().collect();
+    let session = RewritePlanner::default().session();
+
+    // Report single-view coverage first, so the intersection's added value
+    // is visible.
+    let singles: Vec<usize> =
+        (0..refs.len()).filter(|&i| session.decide(&p, refs[i]).rewriting().is_some()).collect();
+    if !singles.is_empty() {
+        println!(
+            "note: view(s) {:?} already rewrite the query individually",
+            singles.iter().map(|&i| views[i].as_str()).collect::<Vec<_>>()
+        );
+    }
+
+    let (answer, stats) = plan_intersection_in(&session, &p, &refs, &IntersectConfig::default());
+    println!("search:       {stats}");
+    match answer {
+        Some(ans) => {
+            let names: Vec<&str> = ans.views.iter().map(|&i| views[i].as_str()).collect();
+            println!("participants: {names:?}");
+            println!("intersection: {}", ans.intersection);
+            println!("compensation: {}", ans.compensation);
+            let rm = compose(&ans.compensation, &ans.intersection)
+                .expect("verified compensation composes");
+            println!("check:        R∘M = {rm} ≡ P");
+            Ok(ExitCode::SUCCESS)
+        }
+        None => {
+            println!(
+                "no intersection rewriting found (tree-expressible subsets up to arity {}, \
+                 budget {})",
+                IntersectConfig::default().max_arity,
+                IntersectConfig::default().max_candidates
+            );
+            Ok(ExitCode::from(2))
         }
     }
 }
@@ -153,13 +204,15 @@ fn cmd_figures() -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
-/// Ablation knobs for `serve-bench`, parsed from `--flag value` pairs.
+/// Ablation knobs for `serve-bench`, parsed from `--flag value` pairs plus
+/// the boolean `--no-intersect`.
 struct ServeBenchOpts {
     threads: usize,
     shards: usize,
     memo_cap: usize,
     queries: usize,
     tenants: usize,
+    intersect: bool,
 }
 
 impl ServeBenchOpts {
@@ -170,9 +223,14 @@ impl ServeBenchOpts {
             memo_cap: 0,
             queries: 2000,
             tenants: 4,
+            intersect: true,
         };
         let mut it = args.iter();
         while let Some(flag) = it.next() {
+            if flag == "--no-intersect" {
+                opts.intersect = false;
+                continue;
+            }
             let value = it
                 .next()
                 .ok_or_else(|| format!("{flag}: missing value"))?
@@ -191,15 +249,17 @@ impl ServeBenchOpts {
     }
 }
 
-/// Drives the worker-pool front-end with the site-catalog Zipf workload —
-/// the ablation entry point for thread/shard/memo-cap sweeps without
-/// touching bench code.
+/// Drives the worker-pool front-end with the overlapping-view Zipf
+/// workload (single-view hits, multi-view intersection routes, and direct
+/// queries) — the ablation entry point for thread/shard/memo-cap/intersect
+/// sweeps without touching bench code.
 fn cmd_serve_bench(args: &[String]) -> Result<ExitCode, String> {
     let opts = ServeBenchOpts::parse(args)?;
-    let catalog = site_catalog();
+    let catalog = site_intersect_catalog();
     let cache = ShardedViewCache::new(site_doc(12, 12, 7))
         .with_shards(opts.shards)
         .with_memo_cap(opts.memo_cap);
+    cache.set_intersect_enabled(opts.intersect);
     for (name, def) in catalog.views.iter() {
         cache.add_view(name, def.clone());
     }
@@ -222,10 +282,16 @@ fn cmd_serve_bench(args: &[String]) -> Result<ExitCode, String> {
 
     let qps = answered as f64 / elapsed.as_secs_f64();
     println!(
-        "served {answered} queries on {} workers / {} shards (memo cap {}) in {:.1} ms — {qps:.0} q/s",
+        "served {answered} queries on {} workers / {} shards (memo cap {}, intersect {}) \
+         in {:.1} ms — {qps:.0} q/s",
         server.workers(),
         cache.shard_count(),
-        if cache.memo_cap() == usize::MAX { "∞".to_string() } else { cache.memo_cap().to_string() },
+        if cache.memo_cap() == usize::MAX {
+            "∞".to_string()
+        } else {
+            cache.memo_cap().to_string()
+        },
+        if cache.intersect_enabled() { "on" } else { "off" },
         elapsed.as_secs_f64() * 1e3,
     );
     println!("cache:  {}", cache.stats());
@@ -241,6 +307,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.as_slice() {
         [cmd, q, v] if cmd == "rewrite" => cmd_rewrite(q, v),
+        [cmd, q, views @ ..] if cmd == "intersect" && views.len() >= 2 => cmd_intersect(q, views),
         [cmd, a, b] if cmd == "contain" => cmd_contain(a, b),
         [cmd, q, f] if cmd == "eval" => cmd_eval(q, f),
         [cmd, p] if cmd == "reduce" => cmd_reduce(p),

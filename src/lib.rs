@@ -13,6 +13,10 @@
 //!   containment/equivalence decision procedures ([`xpv_semantics`]);
 //! * [`rewrite`] — natural rewriting candidates, completeness conditions,
 //!   the planner, and the brute-force decision procedure ([`xpv_core`]);
+//! * [`intersect`] — multi-view **intersection** rewriting: subset
+//!   selection over a view pool, exact intersection patterns, and node-set
+//!   evaluation ([`xpv_intersect`] — the sound part of the paper's open
+//!   problem 5, after Cautis et al.);
 //! * [`engine`] — materialized views and answering queries using views
 //!   ([`xpv_engine`]);
 //! * [`workload`] — generators for patterns, documents and rewriting
@@ -87,6 +91,7 @@
 
 pub use xpv_core as rewrite;
 pub use xpv_engine as engine;
+pub use xpv_intersect as intersect;
 pub use xpv_model as model;
 pub use xpv_pattern as pattern;
 pub use xpv_semantics as semantics;
@@ -99,8 +104,9 @@ pub mod prelude {
         Rewriting,
     };
     pub use xpv_engine::{
-        CacheServer, CacheStats, MaterializedView, ShardedViewCache, TenantStats, ViewCache,
+        CacheServer, CacheStats, MaterializedView, Route, ShardedViewCache, TenantStats, ViewCache,
     };
+    pub use xpv_intersect::{IntersectAnswer, IntersectConfig};
     pub use xpv_model::{parse_xml, to_xml, Label, NodeId, Tree, TreeBuilder};
     pub use xpv_pattern::{
         compose, parse_xpath, to_xpath, Axis, NodeTest, PatId, Pattern, PatternBuilder,

@@ -12,7 +12,7 @@ use std::sync::Arc;
 
 use xpath_views::engine::{CacheServer, Route, ShardedViewCache};
 use xpath_views::prelude::*;
-use xpath_views::workload::{catalog_zipf_stream, site_catalog, site_doc};
+use xpath_views::workload::{catalog_zipf_stream, site_catalog, site_doc, site_intersect_catalog};
 
 const THREADS: usize = 8;
 
@@ -196,4 +196,79 @@ fn memo_cap_holds_under_concurrent_load() {
 /// Direct-evaluation reference against the same document as `cache`.
 fn reference_small(cache: &ShardedViewCache, stream: &[Pattern]) -> Vec<Vec<NodeId>> {
     stream.iter().map(|q| cache.answer_direct(q)).collect()
+}
+
+/// Sharded-vs-serial byte-identity on a workload whose hot queries are
+/// served by **multi-view intersection routes**: 8 threads over the
+/// overlapping-view catalog must reproduce the single-threaded cache's
+/// nodes *and* routes (including `Route::Intersect` participant lists), and
+/// replacing a participant under the sharded cache must invalidate every
+/// route that depended on it.
+#[test]
+fn intersect_routes_are_schedule_invariant_and_invalidate_on_replacement() {
+    let catalog = site_intersect_catalog();
+    let stream = catalog_zipf_stream(&catalog, 400, 0x1D5EC7);
+
+    // Serial reference: the single-threaded wrapper over the same document
+    // and pool.
+    let mut serial = ViewCache::new(site_doc(8, 10, 7));
+    for (name, def) in catalog.views.clone() {
+        serial.add_view(name, def);
+    }
+    let want: Vec<(Vec<NodeId>, Route)> = stream
+        .iter()
+        .map(|q| {
+            let a = serial.answer(q);
+            (a.nodes, a.route)
+        })
+        .collect();
+    assert!(
+        want.iter().any(|(_, r)| matches!(r, Route::Intersect { .. })),
+        "the overlapping catalog must exercise intersection routes"
+    );
+
+    let mut cache = ShardedViewCache::new(site_doc(8, 10, 7)).with_shards(8);
+    for (name, def) in catalog.views.clone() {
+        cache.add_view(name, def);
+    }
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let cache = &cache;
+            let stream = &stream;
+            let want = &want;
+            scope.spawn(move || {
+                for (i, q) in stream.iter().enumerate().skip(t).step_by(THREADS) {
+                    let a = cache.answer(q);
+                    assert_eq!(a.nodes, want[i].0, "nodes diverged at {i} ({q})");
+                    assert_eq!(a.route, want[i].1, "route diverged at {i} ({q})");
+                }
+            });
+        }
+    });
+    let s = cache.stats();
+    assert_eq!(s.queries, stream.len() as u64);
+    assert!(s.intersect_hits > 0, "intersection routes must have served traffic");
+    assert!(s.intersect_routes >= 1);
+
+    // Multi-view invalidation: replacing one participant drops every route
+    // that intersected through it; answers stay equal to direct evaluation.
+    let direct = reference_small(&cache, &stream);
+    cache.replace_view("ship_names", parse_xpath("site/region/item[shipping]/cost").unwrap());
+    for (i, q) in stream.iter().enumerate() {
+        assert_eq!(cache.answer(q).nodes, direct[i], "wrong answer after replacement for {q}");
+    }
+    // The replaced pool no longer supports bids∧shipping intersections on
+    // `name` outputs: those queries must have re-planned away from the old
+    // participants.
+    let joint = parse_xpath("site/region/item[bids][shipping]/name").unwrap();
+    match cache.answer(&joint).route {
+        Route::Intersect { ref views, .. } => {
+            assert!(
+                !views.contains(&"ship_names".to_string()),
+                "stale participant must not survive replacement"
+            );
+        }
+        Route::Direct => {}
+        Route::ViaView { .. } => panic!("no single view can serve the joint query"),
+    }
 }

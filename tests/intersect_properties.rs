@@ -1,0 +1,211 @@
+//! Property tests for intersection-aware multi-view rewriting.
+//!
+//! The contracts under test, per the `xpv-intersect` crate docs:
+//!
+//! * **exactness** — the merged intersection pattern answers exactly the
+//!   node-set intersection of its participants, on every document;
+//! * **soundness** — an intersection answer is always a subset of direct
+//!   evaluation, and exactly equal when the planner reports an equivalent
+//!   compensation;
+//! * **serving** — a query no single view can answer is served through
+//!   `ShardedViewCache` byte-identically to direct evaluation, survives
+//!   memoization (second ask = zero containment calls), and is invalidated
+//!   when a participant view is replaced.
+
+mod common;
+
+use proptest::prelude::*;
+use xpath_views::engine::{Route, ShardedViewCache};
+use xpath_views::intersect::{
+    answer_intersection_materialized, answer_intersection_virtual, intersect_node_sets,
+    plan_intersection_contained_in, plan_intersection_in,
+};
+use xpath_views::pattern::intersect_patterns;
+use xpath_views::prelude::*;
+use xpath_views::workload::{site_doc, split_into_overlapping_views, Fragment};
+
+use common::{pattern_from_seed, tree_from_seed};
+
+/// A seeded overlapping pool: a query split into 2–3 views that only cover
+/// it jointly (`None` when the seeded query has no splittable shape).
+fn overlapping_pool(seed: u64, parts: usize) -> Option<(Pattern, Vec<Pattern>)> {
+    let p = pattern_from_seed(seed, Fragment::Full);
+    let views = split_into_overlapping_views(&p, parts, seed ^ 0xA5A5)?;
+    Some((p, views))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The exact intersection pattern is exact: `M(t) = ∩ Vi(t)` for every
+    /// document, and for split pools it recovers the original query.
+    #[test]
+    fn merge_is_exact_on_documents(seed in any::<u64>(), tseed in any::<u64>()) {
+        let parts = 2 + (seed % 2) as usize; // pairs and triples
+        if let Some((p, views)) = overlapping_pool(seed, parts) {
+            let refs: Vec<&Pattern> = views.iter().collect();
+            let m = intersect_patterns(&refs).expect("split views always merge");
+            let t = tree_from_seed(tseed, 40);
+            let sets: Vec<Vec<NodeId>> = views.iter().map(|v| evaluate(v, &t)).collect();
+            let set_refs: Vec<&[NodeId]> = sets.iter().map(|s| s.as_slice()).collect();
+            let joint = intersect_node_sets(t.len(), &set_refs);
+            prop_assert_eq!(&joint, &evaluate(&m, &t), "M(t) != ∩Vi(t) for M={}", m);
+            prop_assert_eq!(&joint, &evaluate(&p, &t), "split pool must reconstruct {}", p);
+        }
+    }
+
+    /// Intersection answers are sound: a subset of direct evaluation always,
+    /// exactly equal when the planner reports an equivalent compensation.
+    #[test]
+    fn intersection_answers_are_sound(seed in any::<u64>(), tseed in any::<u64>()) {
+        if let Some((p, views)) = overlapping_pool(seed, 2) {
+            let refs: Vec<&Pattern> = views.iter().collect();
+            let session = RewritePlanner::default().session();
+            let cfg = IntersectConfig::default();
+            let t = tree_from_seed(tseed, 40);
+            let direct = evaluate(&p, &t);
+            let sets: Vec<Vec<NodeId>> = views.iter().map(|v| evaluate(v, &t)).collect();
+            let set_refs: Vec<&[NodeId]> = sets.iter().map(|s| s.as_slice()).collect();
+
+            if let (Some(ans), _) = plan_intersection_in(&session, &p, &refs, &cfg) {
+                let got = answer_intersection_virtual(
+                    &t,
+                    &ans.views.iter().map(|&i| set_refs[i]).collect::<Vec<_>>(),
+                    &ans.compensation,
+                );
+                prop_assert!(ans.equivalent);
+                prop_assert_eq!(got, direct.clone(), "equivalent answer must be byte-identical");
+            }
+            if let (Some(ans), _) = plan_intersection_contained_in(&session, &p, &refs, &cfg) {
+                let got = answer_intersection_virtual(
+                    &t,
+                    &ans.views.iter().map(|&i| set_refs[i]).collect::<Vec<_>>(),
+                    &ans.compensation,
+                );
+                prop_assert!(
+                    got.iter().all(|n| direct.contains(n)),
+                    "contained answer must be a subset for P={}", p
+                );
+                if ans.equivalent {
+                    prop_assert_eq!(got, direct, "equivalent flag must mean exact");
+                }
+            }
+        }
+    }
+
+    /// The materialized (by-value) intersection path agrees with the
+    /// virtual (node-identity) path up to value normalization.
+    #[test]
+    fn materialized_intersection_agrees_by_value(seed in any::<u64>(), tseed in any::<u64>()) {
+        if let Some((p, views)) = overlapping_pool(seed, 2) {
+            let refs: Vec<&Pattern> = views.iter().collect();
+            let session = RewritePlanner::default().session();
+            if let (Some(ans), _) =
+                plan_intersection_in(&session, &p, &refs, &IntersectConfig::default())
+            {
+                let t = tree_from_seed(tseed, 40);
+                let node_sets: Vec<Vec<NodeId>> =
+                    ans.views.iter().map(|&i| evaluate(&views[i], &t)).collect();
+                let node_refs: Vec<&[NodeId]> = node_sets.iter().map(|s| s.as_slice()).collect();
+                let virt = answer_intersection_virtual(&t, &node_refs, &ans.compensation);
+
+                let tree_sets: Vec<Vec<xpath_views::model::Tree>> = node_sets
+                    .iter()
+                    .map(|set| set.iter().map(|&n| t.subtree(n).0).collect())
+                    .collect();
+                let tree_refs: Vec<&[xpath_views::model::Tree]> =
+                    tree_sets.iter().map(|s| s.as_slice()).collect();
+                let mat = answer_intersection_materialized(&tree_refs, &ans.compensation);
+
+                let mut virt_keys: Vec<String> =
+                    virt.iter().map(|&n| t.canonical_key_at(n)).collect();
+                virt_keys.sort();
+                virt_keys.dedup();
+                let mut mat_keys: Vec<String> =
+                    mat.iter().map(|u| u.canonical_key()).collect();
+                mat_keys.sort();
+                prop_assert_eq!(virt_keys, mat_keys, "value mismatch for P={}", p);
+            }
+        }
+    }
+
+    /// End-to-end through the cache: whatever route the sharded cache
+    /// picks (view, intersection, or direct), answers equal direct
+    /// evaluation on the seeded document.
+    #[test]
+    fn cache_with_overlapping_pool_stays_exact(seed in any::<u64>()) {
+        if let Some((p, views)) = overlapping_pool(seed, 2) {
+            let t = tree_from_seed(seed ^ 0x7777, 48);
+            let cache = ShardedViewCache::new(t);
+            for (i, v) in views.iter().enumerate() {
+                cache.add_view(&format!("v{i}"), v.clone());
+            }
+            let ans = cache.answer(&p);
+            prop_assert_eq!(&ans.nodes, &cache.answer_direct(&p), "route {:?}", ans.route);
+        }
+    }
+}
+
+/// The headline acceptance scenario: a query answerable by **no single
+/// view** in the pool is served from a 2-view intersection through
+/// `ShardedViewCache` — byte-identical to direct evaluation, memoized
+/// (second ask runs zero containment calls), and correctly invalidated
+/// when either participant is replaced.
+#[test]
+fn acceptance_two_view_intersection_through_the_sharded_cache() {
+    let doc = site_doc(8, 10, 7);
+    let mut cache = ShardedViewCache::new(doc).with_shards(4);
+    cache.add_view("bid_names", parse_xpath("site/region/item[bids]/name").unwrap());
+    cache.add_view("ship_names", parse_xpath("site/region/item[shipping]/name").unwrap());
+    let q = parse_xpath("site/region/item[bids][shipping]/name").unwrap();
+
+    // No single view in the pool rewrites the query.
+    let session = RewritePlanner::default().session();
+    for v in cache.views_snapshot().iter() {
+        assert!(
+            session.decide(&q, v.definition()).rewriting().is_none(),
+            "view {} must not answer the query alone",
+            v.name()
+        );
+    }
+
+    // Served through the intersection, byte-identical to direct evaluation.
+    let direct = cache.answer_direct(&q);
+    assert!(!direct.is_empty(), "the scenario document answers the query");
+    let first = cache.answer(&q);
+    assert_eq!(first.nodes, direct);
+    match &first.route {
+        Route::Intersect { views, .. } => {
+            assert_eq!(views, &["bid_names", "ship_names"]);
+        }
+        other => panic!("expected an intersection route, got {other:?}"),
+    }
+
+    // Second ask: plan-memo hit, zero containment calls.
+    let runs_before = cache.stats().oracle_canonical_runs;
+    let queries_before = cache.session().oracle().stats().queries;
+    let second = cache.answer(&q);
+    assert_eq!(second.nodes, direct);
+    assert_eq!(second.route, first.route);
+    let oracle_after = cache.session().oracle().stats();
+    assert_eq!(
+        oracle_after.queries, queries_before,
+        "second ask must issue zero containment queries"
+    );
+    assert_eq!(cache.stats().oracle_canonical_runs, runs_before);
+    assert_eq!(cache.stats().plan_memo_hits, 1);
+
+    // Replacing either participant invalidates the route.
+    let invalidations = cache.stats().plan_memo_invalidations;
+    cache.replace_view("bid_names", parse_xpath("site/region/item[bids]/shipping").unwrap());
+    assert!(cache.stats().plan_memo_invalidations > invalidations, "route must be dropped");
+    let after = cache.answer(&q);
+    assert_eq!(after.nodes, direct, "answers stay correct after the replacement");
+    assert_eq!(after.route, Route::Direct, "the degraded pool no longer supports the route");
+
+    // Restoring the participant restores the intersection route.
+    cache.replace_view("bid_names", parse_xpath("site/region/item[bids]/name").unwrap());
+    let restored = cache.answer(&q);
+    assert_eq!(restored.nodes, direct);
+    assert!(matches!(restored.route, Route::Intersect { .. }));
+}

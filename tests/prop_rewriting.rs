@@ -105,7 +105,8 @@ proptest! {
         // Use P's suffix as the stacked view so the chain is meaningful.
         let v2 = outer.sub_pattern_geq(v1.depth());
         let planner = RewritePlanner::without_fallback();
-        let chain = rewrite_using_chain(&planner, &outer, &[&v1, &v2]);
+        let chain =
+            rewrite_using_chain(&planner, &outer, &[&v1, &v2]).expect("nonempty chain plans");
         if let Some(eff) = &chain.effective_view {
             let t = tree_from_seed(tseed, 32);
             // Stage-wise evaluation equals effective-view evaluation.
