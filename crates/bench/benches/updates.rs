@@ -1,0 +1,74 @@
+//! Document-update maintenance: incremental affected-region refresh vs
+//! full re-materialization.
+//!
+//! The cache serves a Zipf query workload while a Zipf-skewed edit stream
+//! (inserts/deletes/relabels, `xpv_workload::edits`) churns the document.
+//! Two maintenance modes are timed end to end:
+//!
+//! * **incremental** — `apply_edits` patches each view from the edit's
+//!   affected region (ancestor spine + touched subtree, `xpv-maintain`);
+//! * **full** — every view is re-materialized over the whole document per
+//!   batch (the rebuild-the-world baseline).
+//!
+//! Answers are asserted byte-identical between the modes (and against
+//! direct evaluation) before anything is timed. The machine-readable
+//! summary with the same ablation lives in `BENCH_updates.json`, written by
+//! `xpv update-bench` (the CLI twin of this bench).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use xpv_engine::{Edit, ShardedViewCache};
+use xpv_workload::{edit_batches, edit_stream, site_doc, site_intersect_catalog, EditMix};
+
+fn fresh_cache(incremental: bool) -> ShardedViewCache {
+    let cache = ShardedViewCache::new(site_doc(12, 12, 7));
+    cache.set_incremental_maintenance(incremental);
+    for (name, def) in site_intersect_catalog().views {
+        cache.add_view(name, def);
+    }
+    cache
+}
+
+fn batches() -> Vec<Vec<Edit>> {
+    let doc = site_doc(12, 12, 7);
+    edit_batches(&edit_stream(&doc, 200, EditMix::default(), 0xED17), 10)
+}
+
+fn updates(c: &mut Criterion) {
+    let batches = batches();
+
+    // Correctness anchor: both maintenance modes converge to identical
+    // answers after the whole stream.
+    {
+        let incremental = fresh_cache(true);
+        let full = fresh_cache(false);
+        for batch in &batches {
+            incremental.apply_edits(batch).expect("valid batch");
+            full.apply_edits(batch).expect("valid batch");
+        }
+        for (_, q) in site_intersect_catalog().queries {
+            let a = incremental.answer(&q);
+            let b = full.answer(&q);
+            assert_eq!(a.nodes, b.nodes, "maintenance modes diverged on {q}");
+            assert_eq!(a.nodes, incremental.answer_direct(&q), "wrong answer for {q}");
+        }
+    }
+
+    let mut group = c.benchmark_group("update_maintenance");
+    for (label, incremental) in [("incremental", true), ("full_recompute", false)] {
+        group.bench_with_input(BenchmarkId::new("apply_edits", label), &batches, |b, batches| {
+            b.iter(|| {
+                let cache = fresh_cache(incremental);
+                for batch in batches {
+                    black_box(cache.apply_edits(batch).expect("valid batch"));
+                }
+                cache
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, updates);
+criterion_main!(benches);

@@ -45,11 +45,12 @@ use std::sync::Arc;
 
 use xpv_core::RewritePlanner;
 use xpv_intersect::IntersectConfig;
+use xpv_maintain::{Edit, EditError};
 use xpv_model::{NodeId, Tree};
 use xpv_pattern::Pattern;
 
-use crate::shard::ShardedViewCache;
 pub use crate::shard::{CacheAnswer, CacheStats, ChoicePolicy, Route};
+use crate::shard::{ShardedViewCache, UpdateReport};
 use crate::view::MaterializedView;
 
 /// A set of materialized views over a single document, with rewriting-based
@@ -61,6 +62,9 @@ pub struct ViewCache {
     /// Mirror of the inner view pool so [`ViewCache::views`] can hand out a
     /// plain slice (the concurrent pool lives behind a lock).
     views_mirror: Arc<Vec<MaterializedView>>,
+    /// Mirror of the inner document so [`ViewCache::document`] can hand out
+    /// a plain reference (refreshed after every `apply_edits`).
+    doc_mirror: Arc<Tree>,
 }
 
 impl ViewCache {
@@ -73,7 +77,8 @@ impl ViewCache {
     pub fn with_planner(doc: Tree, planner: RewritePlanner) -> ViewCache {
         let inner = ShardedViewCache::with_planner(doc, planner).with_shards(1);
         let views_mirror = inner.views_snapshot();
-        ViewCache { inner, views_mirror }
+        let doc_mirror = inner.document();
+        ViewCache { inner, views_mirror, doc_mirror }
     }
 
     /// Sets the view-selection policy (builder style). Invalidates the plan
@@ -114,9 +119,38 @@ impl ViewCache {
         self.inner.memo_enabled()
     }
 
-    /// The cached document.
+    /// The cached document (current state; refreshed by
+    /// [`ViewCache::apply_edits`]).
     pub fn document(&self) -> &Tree {
-        self.inner.document()
+        &self.doc_mirror
+    }
+
+    /// Applies a transactional batch of document edits, incrementally
+    /// refreshing every registered view and invalidating only the plan-memo
+    /// routes whose participants' answers actually changed — see
+    /// [`ShardedViewCache::apply_edits`]. On error the cache is unchanged.
+    pub fn apply_edits(&mut self, edits: &[Edit]) -> Result<UpdateReport, EditError> {
+        let report = self.inner.apply_edits(edits)?;
+        self.views_mirror = self.inner.views_snapshot();
+        self.doc_mirror = self.inner.document();
+        Ok(report)
+    }
+
+    /// The number of successful [`ViewCache::apply_edits`] batches so far.
+    pub fn doc_version(&self) -> u64 {
+        self.inner.doc_version()
+    }
+
+    /// Enables or disables incremental maintenance under
+    /// [`ViewCache::apply_edits`] (disabled = full re-materialization, the
+    /// update-bench baseline).
+    pub fn set_incremental_maintenance(&mut self, enabled: bool) {
+        self.inner.set_incremental_maintenance(enabled);
+    }
+
+    /// Whether `apply_edits` maintains views incrementally.
+    pub fn incremental_maintenance(&self) -> bool {
+        self.inner.incremental_maintenance()
     }
 
     /// The concurrent cache this wrapper drives (one shard). Useful for

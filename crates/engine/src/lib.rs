@@ -48,9 +48,13 @@ pub mod view;
 pub use cache::ViewCache;
 pub use serve::{BatchTicket, CacheServer, TenantStats, DEFAULT_MAX_PENDING};
 pub use shard::{
-    CacheAnswer, CacheStats, ChoicePolicy, Route, ShardedViewCache, DEFAULT_CACHE_SHARDS,
+    CacheAnswer, CacheStats, ChoicePolicy, Route, ShardedViewCache, UpdateReport, ViewId,
+    DEFAULT_CACHE_SHARDS,
 };
-pub use view::{answer_value_set, MaterializedView};
+pub use view::{answer_value_set, MaterializedDelta, MaterializedView};
 // Re-exported so embedders can tune the intersection planner without a
 // direct `xpv-intersect` dependency.
 pub use xpv_intersect::IntersectConfig;
+// Re-exported so embedders can drive document updates without a direct
+// `xpv-maintain` dependency.
+pub use xpv_maintain::{Edit, EditError, MaintainStats};

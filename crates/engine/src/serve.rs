@@ -10,10 +10,23 @@
 //!
 //! Every batch is submitted on behalf of a **tenant** (any string id);
 //! per-tenant counters ([`TenantStats`]) accumulate across batches for
-//! accounting and capacity planning. Backpressure is explicit: when the
+//! accounting and capacity planning. The counters are **sharded and
+//! atomic**: tenants hash onto `RwLock<HashMap>` shards whose values are
+//! `Arc`s of plain atomic counters, so the steady-state account path is a
+//! shared read lock plus relaxed atomic adds — no serialization point
+//! across workers (the old single `Mutex<HashMap>` was the scaling
+//! bottleneck the ROADMAP called out). Backpressure is explicit: when the
 //! admission queue is full, [`CacheServer::submit`] blocks until a worker
 //! drains a slot, so a misbehaving client slows itself down rather than
 //! growing the queue without bound.
+//!
+//! The server is also the front door for **document updates**:
+//! [`CacheServer::apply_edits`] applies an edit batch through the shared
+//! cache (incremental view maintenance, participant-aware route
+//! invalidation) and accounts it to the submitting tenant. Updates
+//! serialize on the cache's writer gate and do their maintenance work on
+//! clones off-lock; queries keep answering from the previous copy-on-write
+//! snapshot while an update is in flight.
 //!
 //! The pool shuts down cleanly on drop: pending batches are completed,
 //! workers are joined, and outstanding [`BatchTicket`]s resolve.
@@ -21,19 +34,26 @@
 //! This is the synchronous precursor of the ROADMAP's async front-end: the
 //! admission queue is the seam where an async reactor would slot in.
 
+use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 
+use xpv_maintain::{Edit, EditError};
 use xpv_pattern::Pattern;
 
-use crate::shard::{CacheAnswer, Route, ShardedViewCache};
+use crate::shard::{CacheAnswer, Route, ShardedViewCache, UpdateReport};
 
 /// Default bound on queued (admitted but not yet started) batches.
 pub const DEFAULT_MAX_PENDING: usize = 1024;
 
-/// Per-tenant serving counters.
+/// Number of tenant-stats lock shards.
+const TENANT_SHARDS: usize = 16;
+
+/// Per-tenant serving counters (a point-in-time snapshot; the live
+/// counters are sharded atomics).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct TenantStats {
     /// Batches answered for this tenant.
@@ -46,15 +66,55 @@ pub struct TenantStats {
     pub intersect_hits: u64,
     /// Queries answered by direct evaluation.
     pub direct: u64,
+    /// Document edits this tenant applied through
+    /// [`CacheServer::apply_edits`].
+    pub updates_applied: u64,
+    /// Views incrementally refreshed on behalf of this tenant's updates.
+    pub views_refreshed_incrementally: u64,
 }
 
 impl std::fmt::Display for TenantStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} queries in {} batches ({} via views, {} via intersections, {} direct)",
-            self.queries, self.batches, self.view_hits, self.intersect_hits, self.direct
+            "{} queries in {} batches ({} via views, {} via intersections, {} direct), \
+             {} edits applied / {} views refreshed incrementally",
+            self.queries,
+            self.batches,
+            self.view_hits,
+            self.intersect_hits,
+            self.direct,
+            self.updates_applied,
+            self.views_refreshed_incrementally
         )
+    }
+}
+
+/// The live, lock-free per-tenant counters behind [`TenantStats`].
+#[derive(Debug, Default)]
+struct TenantCounters {
+    batches: AtomicU64,
+    queries: AtomicU64,
+    view_hits: AtomicU64,
+    intersect_hits: AtomicU64,
+    direct: AtomicU64,
+    updates_applied: AtomicU64,
+    views_refreshed_incrementally: AtomicU64,
+}
+
+impl TenantCounters {
+    fn snapshot(&self) -> TenantStats {
+        TenantStats {
+            batches: self.batches.load(Ordering::Relaxed),
+            queries: self.queries.load(Ordering::Relaxed),
+            view_hits: self.view_hits.load(Ordering::Relaxed),
+            intersect_hits: self.intersect_hits.load(Ordering::Relaxed),
+            direct: self.direct.load(Ordering::Relaxed),
+            updates_applied: self.updates_applied.load(Ordering::Relaxed),
+            views_refreshed_incrementally: self
+                .views_refreshed_incrementally
+                .load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -76,7 +136,27 @@ struct Shared {
     slot_ready: Condvar,
     max_pending: usize,
     shutting_down: AtomicBool,
-    tenants: Mutex<HashMap<String, TenantStats>>,
+    /// Tenant counters, lock-sharded by tenant-id hash; the common path is
+    /// a shared read lock + relaxed atomic adds (a write lock is taken only
+    /// on a tenant's first appearance).
+    tenants: Box<[TenantShard]>,
+}
+
+/// One lock shard of the tenant-counter map.
+type TenantShard = RwLock<HashMap<String, Arc<TenantCounters>>>;
+
+impl Shared {
+    /// The live counters for `tenant`, creating them on first sight.
+    fn tenant_counters(&self, tenant: &str) -> Arc<TenantCounters> {
+        let mut hasher = DefaultHasher::new();
+        tenant.hash(&mut hasher);
+        let shard = &self.tenants[(hasher.finish() as usize) % self.tenants.len()];
+        if let Some(counters) = shard.read().expect("tenant stats poisoned").get(tenant) {
+            return Arc::clone(counters);
+        }
+        let mut map = shard.write().expect("tenant stats poisoned");
+        Arc::clone(map.entry(tenant.to_string()).or_default())
+    }
 }
 
 /// A pending batch: resolve it with [`BatchTicket::wait`].
@@ -142,7 +222,7 @@ impl CacheServer {
             slot_ready: Condvar::new(),
             max_pending: max_pending.max(1),
             shutting_down: AtomicBool::new(false),
-            tenants: Mutex::new(HashMap::new()),
+            tenants: (0..TENANT_SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
         });
         let workers = (0..workers.max(1))
             .map(|i| {
@@ -187,21 +267,38 @@ impl CacheServer {
         self.submit(tenant, queries.to_vec()).wait()
     }
 
+    /// Applies a document edit batch through the shared cache on behalf of
+    /// `tenant`: views are refreshed incrementally and only plan-memo
+    /// routes whose participants' answers changed are dropped (see
+    /// [`ShardedViewCache::apply_edits`]). Queries already admitted keep
+    /// answering from the pre-update snapshot; the edit is accounted to the
+    /// tenant's [`TenantStats`].
+    pub fn apply_edits(&self, tenant: &str, edits: &[Edit]) -> Result<UpdateReport, EditError> {
+        let report = self.shared.cache.apply_edits(edits)?;
+        let counters = self.shared.tenant_counters(tenant);
+        counters.updates_applied.fetch_add(report.edits_applied as u64, Ordering::Relaxed);
+        counters
+            .views_refreshed_incrementally
+            .fetch_add(report.views_refreshed as u64, Ordering::Relaxed);
+        Ok(report)
+    }
+
     /// This tenant's lifetime counters (`None` before its first batch).
     pub fn tenant_stats(&self, tenant: &str) -> Option<TenantStats> {
-        self.shared.tenants.lock().expect("tenant stats poisoned").get(tenant).copied()
+        let mut hasher = DefaultHasher::new();
+        tenant.hash(&mut hasher);
+        let shard = &self.shared.tenants[(hasher.finish() as usize) % self.shared.tenants.len()];
+        let map = shard.read().expect("tenant stats poisoned");
+        map.get(tenant).map(|c| c.snapshot())
     }
 
     /// All tenants with their counters, sorted by tenant id.
     pub fn tenants(&self) -> Vec<(String, TenantStats)> {
-        let mut all: Vec<(String, TenantStats)> = self
-            .shared
-            .tenants
-            .lock()
-            .expect("tenant stats poisoned")
-            .iter()
-            .map(|(k, v)| (k.clone(), *v))
-            .collect();
+        let mut all: Vec<(String, TenantStats)> = Vec::new();
+        for shard in self.shared.tenants.iter() {
+            let map = shard.read().expect("tenant stats poisoned");
+            all.extend(map.iter().map(|(k, v)| (k.clone(), v.snapshot())));
+        }
         all.sort_by(|a, b| a.0.cmp(&b.0));
         all
     }
@@ -235,16 +332,19 @@ fn worker_loop(shared: &Shared) {
         };
         let answers = shared.cache.answer_batch(&job.queries);
         {
-            let mut tenants = shared.tenants.lock().expect("tenant stats poisoned");
-            let stats = tenants.entry(job.tenant).or_default();
-            stats.batches += 1;
-            stats.queries += answers.len() as u64;
+            // Sharded read-mostly accounting: no cross-worker serialization
+            // once the tenant exists.
+            let counters = shared.tenant_counters(&job.tenant);
+            counters.batches.fetch_add(1, Ordering::Relaxed);
+            counters.queries.fetch_add(answers.len() as u64, Ordering::Relaxed);
             for a in &answers {
                 match a.route {
-                    Route::ViaView { .. } => stats.view_hits += 1,
-                    Route::Intersect { .. } => stats.intersect_hits += 1,
-                    Route::Direct => stats.direct += 1,
-                }
+                    Route::ViaView { .. } => counters.view_hits.fetch_add(1, Ordering::Relaxed),
+                    Route::Intersect { .. } => {
+                        counters.intersect_hits.fetch_add(1, Ordering::Relaxed)
+                    }
+                    Route::Direct => counters.direct.fetch_add(1, Ordering::Relaxed),
+                };
             }
         }
         // A dropped ticket (caller gave up) is fine; the work is done.
@@ -350,5 +450,32 @@ mod tests {
         let _ = server.answer_batch("acme", &[pat("site/region/item/name")]);
         let line = server.tenant_stats("acme").unwrap().to_string();
         assert!(line.contains("1 queries in 1 batches"), "got: {line}");
+        assert!(line.contains("edits applied"), "got: {line}");
+    }
+
+    #[test]
+    fn updates_flow_through_the_server_and_are_accounted() {
+        use xpv_maintain::Edit;
+        use xpv_model::TreeBuilder;
+
+        let server = server(2);
+        let q = pat("site/region/item/name");
+        let before = server.answer_batch("writer", std::slice::from_ref(&q));
+        let doc = server.cache().document();
+        let region = doc.children(doc.root())[0];
+        let graft = TreeBuilder::root("item", |b| {
+            b.leaf("name");
+        });
+        let report = server
+            .apply_edits("writer", &[Edit::InsertSubtree { parent: region, subtree: graft }])
+            .expect("valid edit");
+        assert_eq!(report.edits_applied, 1);
+        let after = server.answer_batch("writer", std::slice::from_ref(&q));
+        assert_eq!(after[0].nodes.len(), before[0].nodes.len() + 1);
+        assert_eq!(after[0].nodes, server.cache().answer_direct(&q));
+        let stats = server.tenant_stats("writer").expect("accounted");
+        assert_eq!(stats.updates_applied, 1);
+        assert_eq!(stats.views_refreshed_incrementally, 1);
+        assert_eq!(stats.batches, 2);
     }
 }

@@ -30,11 +30,23 @@
 //! compensations are routed. [`ShardedViewCache::set_intersect_enabled`] is
 //! the ablation knob.
 //!
+//! ## Document updates
+//!
+//! The cache is not a read-only snapshot: [`ShardedViewCache::apply_edits`]
+//! applies a transactional batch of tree edits (`xpv_maintain::Edit`),
+//! bumps the document version, and **incrementally refreshes** every
+//! registered view from the edits' affected regions (ancestor spine +
+//! touched subtree) instead of re-materializing the world — see the
+//! `xpv-maintain` crate for the correctness argument. The document and the
+//! view pool live in one copy-on-write [`StateSnapshot`] behind a single
+//! lock, so answering threads always see a *consistent* (document, views)
+//! pair, never an edited document with stale views or vice versa.
+//!
 //! ## Memo lifecycle
 //!
 //! The memo is **bounded** (per-shard LRU over a configurable total entry
 //! cap, [`ShardedViewCache::with_memo_cap`]) and **selectively
-//! invalidated**: each entry records what part of the view pool its plan
+//! invalidated**: each entry records the stable [`ViewId`]s its plan
 //! depends on ([`PlanDep`]), and [`ShardedViewCache::add_view`] only drops
 //! entries whose plan actually depends on the grown pool — a `Direct` route
 //! (which asserted "no registered view rewrites this query"), an
@@ -43,11 +55,15 @@
 //! ([`ChoicePolicy::SmallestView`]). Routes found by
 //! [`ChoicePolicy::FirstMatch`] stopped at the first usable view; appending
 //! a view cannot change them, so they survive registration.
-//! [`ShardedViewCache::remove_view`] is the mirror image: `Direct` routes
-//! survive (shrinking the pool cannot create a rewriting), while any route
-//! whose participant set is touched by the removal — the removed view
-//! itself, or an index shifted by it — is dropped, so replacing a
-//! participant of an `Intersect` route always invalidates that route.
+//! [`ShardedViewCache::remove_view`] (now `&self`, like `add_view`, thanks
+//! to the stable ids) is the mirror image: `Direct` routes survive
+//! (shrinking the pool cannot create a rewriting), and only routes whose
+//! participant set contains the removed id — plus whole-pool-scan choices —
+//! are dropped, so replacing a participant of an `Intersect` route always
+//! invalidates that route. [`ShardedViewCache::apply_edits`] is
+//! **participant-aware** in the same way: it drops exactly the routes whose
+//! participants' answer sets the batch changed; `Direct` routes and
+//! untouched view/intersection routes survive document edits outright.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -59,6 +75,7 @@ use xpv_intersect::{
     answer_intersection_virtual, plan_intersection_contained_in, plan_intersection_in,
     IntersectConfig,
 };
+use xpv_maintain::{maintain_views, Edit, EditError, MaintainMode, MaintainStats};
 use xpv_model::{NodeId, Tree};
 use xpv_pattern::{Pattern, PatternKey};
 use xpv_semantics::evaluate;
@@ -67,6 +84,44 @@ use crate::view::MaterializedView;
 
 /// Default number of plan-memo lock shards.
 pub const DEFAULT_CACHE_SHARDS: usize = 16;
+
+/// A **stable** view identity: survives pool growth and shrinkage (unlike a
+/// pool index), which is what lets plan-memo routes name their participants
+/// and lets `remove_view`/`replace_view` take `&self`. Ids are never
+/// reused within one cache.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct ViewId(u64);
+
+impl ViewId {
+    /// The raw id value (diagnostic display only).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// One **consistent** document + view-pool state. Readers clone the three
+/// `Arc`s under a brief read lock and then work lock-free; writers swap in
+/// a new snapshot (copy-on-write), so an answering thread can never observe
+/// a document from one version paired with views from another — the
+/// torn-read hazard `apply_edits` would otherwise introduce.
+#[derive(Clone, Debug)]
+struct StateSnapshot {
+    doc: Arc<Tree>,
+    views: Arc<Vec<MaterializedView>>,
+    /// Stable id of each pool entry, parallel to `views`.
+    ids: Arc<Vec<ViewId>>,
+}
+
+impl StateSnapshot {
+    /// Resolves a stable id to its current pool index, trying the memoized
+    /// `hint` first (O(1) while the pool is unchanged).
+    fn resolve(&self, id: ViewId, hint: usize) -> Option<usize> {
+        if self.ids.get(hint) == Some(&id) {
+            return Some(hint);
+        }
+        self.ids.iter().position(|&x| x == id)
+    }
+}
 
 /// How the cache picks among several usable views.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -101,6 +156,25 @@ pub enum Route {
     },
     /// Answered by evaluating the query directly on the document.
     Direct,
+}
+
+/// What one [`ShardedViewCache::apply_edits`] batch did.
+#[derive(Clone, Debug)]
+pub struct UpdateReport {
+    /// Edits applied by this batch.
+    pub edits_applied: usize,
+    /// The document version after the batch.
+    pub doc_version: u64,
+    /// Views whose stored state was touched at all (answer sets or
+    /// materialized subtree contents).
+    pub views_refreshed: usize,
+    /// Views whose answer **sets** changed (the routes depending on these
+    /// were invalidated).
+    pub views_changed: usize,
+    /// Plan-memo routes dropped by the participant-aware sweep.
+    pub routes_dropped: u64,
+    /// Counters from the maintainer (regions scanned, label skips, …).
+    pub maintain: MaintainStats,
 }
 
 /// A cache answer: the output nodes plus provenance.
@@ -168,6 +242,12 @@ pub struct CacheStats {
     pub oracle_canonical_runs: u64,
     /// Canonical models enumerated inside those loops.
     pub oracle_models_checked: u64,
+    /// Document edits applied through `apply_edits` over the cache's
+    /// lifetime.
+    pub updates_applied: u64,
+    /// Views whose answers were refreshed **incrementally** (affected-region
+    /// maintenance, not full re-materialization) across all updates.
+    pub views_refreshed_incrementally: u64,
 }
 
 impl std::fmt::Display for CacheStats {
@@ -177,7 +257,7 @@ impl std::fmt::Display for CacheStats {
             "{} queries ({} via views, {} via intersections, {} direct), plan memo {} hits / \
              {} misses ({} batch-dedup, {} evicted, {} invalidated), intersect {} routes / \
              {} candidates tried / {} participants, oracle {} memo hits / \
-             {} canonical runs / {} models",
+             {} canonical runs / {} models, {} edits applied / {} views refreshed incrementally",
             self.queries,
             self.view_hits,
             self.intersect_hits,
@@ -192,45 +272,54 @@ impl std::fmt::Display for CacheStats {
             self.intersect_participants,
             self.oracle_memo_hits,
             self.oracle_canonical_runs,
-            self.oracle_models_checked
+            self.oracle_models_checked,
+            self.updates_applied,
+            self.views_refreshed_incrementally
         )
     }
 }
 
-/// A memoized routing decision for one query key.
+/// A memoized routing decision for one query key. Routes reference views by
+/// **stable id** (plus a pool-index hint for O(1) resolution), so they stay
+/// meaningful while the pool grows, shrinks, or is refreshed in place; a
+/// route whose id no longer resolves degrades soundly to direct evaluation.
 #[derive(Clone, Debug)]
 pub(crate) enum PlannedRoute {
-    /// Serve from `views[index]` through `rewriting`.
-    ViaView { index: usize, rewriting: Pattern },
-    /// Serve from the node-set intersection of `views[indices]` through
-    /// `compensation` (indices ascending).
-    Intersect { indices: Vec<usize>, compensation: Pattern },
+    /// Serve from the view with stable id `id` through `rewriting`.
+    ViaView { id: ViewId, hint: usize, rewriting: Pattern },
+    /// Serve from the node-set intersection of the views with these stable
+    /// ids (pool order) through `compensation`.
+    Intersect { ids: Vec<ViewId>, hints: Vec<usize>, compensation: Pattern },
     /// No registered view (or view intersection) admits an equivalent
     /// rewriting.
     Direct,
 }
 
-/// What part of the view pool a memoized plan depends on (the invalidation
-/// granularity of [`ShardedViewCache::add_view`] and
-/// [`ShardedViewCache::remove_view`]).
+/// What a memoized plan depends on — the invalidation granularity of
+/// [`ShardedViewCache::add_view`], [`ShardedViewCache::remove_view`], and
+/// [`ShardedViewCache::apply_edits`]. Participants are stable
+/// [`ViewId`]s, so unrelated pool changes never touch a route.
 #[derive(Clone, Debug, PartialEq, Eq)]
 enum PlanDep {
-    /// The plan examined only `views[0..n]` and committed to one of them
-    /// (a [`ChoicePolicy::FirstMatch`] hit): views appended later cannot
-    /// change it; removing a view at an index `< n` shifts or deletes it.
-    Prefix(usize),
-    /// The plan committed to a route only a *whole-pool scan* justifies
-    /// (a [`ChoicePolicy::SmallestView`] choice): any pool change —
-    /// append or removal — invalidates it.
+    /// A [`ChoicePolicy::FirstMatch`] commitment to one view: views before
+    /// it failed for pattern-level (data-independent) reasons and views
+    /// appended later cannot become "first", so only removing the chosen
+    /// view itself — or changing its *answers* under document edits —
+    /// invalidates the route.
+    Chosen(ViewId),
+    /// A route only a *whole-pool scan* justifies (a
+    /// [`ChoicePolicy::SmallestView`] choice ranks views by answer count):
+    /// any append, removal, or answer-set change invalidates it.
     WholePool,
     /// The plan asserted "no view rewrites this query" (a `Direct` route):
-    /// a new view can break the assertion, but a removal never can.
+    /// a new view can break the assertion; removals and document edits
+    /// never can (rewritability is decided on patterns, not data).
     NoUsableView,
-    /// The plan intersects exactly these views (ascending), *after* a
-    /// failed whole-pool single-view scan: any append invalidates it (a
-    /// single-view route may become available), as does removing any view
-    /// at an index ≤ the last participant (participant deleted or shifted).
-    Intersect(Vec<usize>),
+    /// The plan intersects exactly these views, *after* a failed whole-pool
+    /// single-view scan: any append invalidates it (a single-view route may
+    /// become available), as does removing — or editing the answers of —
+    /// any participant.
+    Intersect(Vec<ViewId>),
 }
 
 /// One plan-memo entry.
@@ -281,8 +370,15 @@ fn bump(counter: &AtomicU64) {
 /// returns for the same document, views, and queries.
 #[derive(Debug)]
 pub struct ShardedViewCache {
-    doc: Tree,
-    views: RwLock<Arc<Vec<MaterializedView>>>,
+    /// The consistent document + view-pool state (see [`StateSnapshot`]).
+    state: RwLock<StateSnapshot>,
+    /// Serializes state **writers** (`add_view`, `remove_view`,
+    /// `apply_edits`): the gate holder is the only mutator, so it can
+    /// snapshot, do expensive work (materialization, incremental
+    /// maintenance) on clones off-lock, and take the state write lock only
+    /// for the pointer swap — readers block for the swap, never for the
+    /// work.
+    write_gate: std::sync::Mutex<()>,
     session: PlanningSession,
     policy: ChoicePolicy,
     memo_enabled: AtomicBool,
@@ -297,12 +393,24 @@ pub struct ShardedViewCache {
     /// it under the owning shard's write lock, so the [`memo_cap`] bound is
     /// enforced globally, not per shard.
     memo_entries: AtomicU64,
-    /// Bumped by every `add_view` (after the pool swap, before the
-    /// invalidation sweep); guards in-flight plans from memoizing a route
-    /// computed against the previous pool after the sweep already ran.
+    /// Bumped by every pool or document mutation (after the state swap,
+    /// before the invalidation sweep); guards in-flight plans from
+    /// memoizing a route computed against the previous state after the
+    /// sweep already ran.
     views_version: AtomicU64,
     /// Global recency clock for LRU eviction.
     tick: AtomicU64,
+    /// Allocator for stable [`ViewId`]s (never reused).
+    next_view_id: AtomicU64,
+    /// Bumped by every successful [`ShardedViewCache::apply_edits`] batch.
+    doc_version: AtomicU64,
+    /// Whether `apply_edits` maintains views incrementally (the
+    /// `xpv update-bench` ablation knob; `false` = full re-materialization).
+    incremental_maintenance: AtomicBool,
+    /// Lifetime total of edits applied.
+    updates_applied: AtomicU64,
+    /// Lifetime total of views refreshed via the incremental path.
+    views_refreshed_incrementally: AtomicU64,
 }
 
 impl ShardedViewCache {
@@ -315,8 +423,12 @@ impl ShardedViewCache {
     /// Creates an empty cache with a custom planner configuration.
     pub fn with_planner(doc: Tree, planner: RewritePlanner) -> ShardedViewCache {
         ShardedViewCache {
-            doc,
-            views: RwLock::new(Arc::new(Vec::new())),
+            state: RwLock::new(StateSnapshot {
+                doc: Arc::new(doc),
+                views: Arc::new(Vec::new()),
+                ids: Arc::new(Vec::new()),
+            }),
+            write_gate: std::sync::Mutex::new(()),
             session: PlanningSession::new(planner),
             policy: ChoicePolicy::default(),
             memo_enabled: AtomicBool::new(true),
@@ -327,6 +439,11 @@ impl ShardedViewCache {
             memo_entries: AtomicU64::new(0),
             views_version: AtomicU64::new(0),
             tick: AtomicU64::new(0),
+            next_view_id: AtomicU64::new(0),
+            doc_version: AtomicU64::new(0),
+            incremental_maintenance: AtomicBool::new(true),
+            updates_applied: AtomicU64::new(0),
+            views_refreshed_incrementally: AtomicU64::new(0),
         }
     }
 
@@ -421,13 +538,13 @@ impl ShardedViewCache {
             return;
         }
         self.views_version.fetch_add(1, Ordering::Release);
-        // Single-view routes (Prefix and WholePool) are unaffected either
+        // Single-view routes (Chosen and WholePool) are unaffected either
         // way: the single-view scan runs *before* intersection planning, so
         // the toggle can never change a route a single view justified.
         self.sweep_memo(|dep| match dep {
             PlanDep::Intersect(_) => !enabled,
             PlanDep::NoUsableView => enabled,
-            PlanDep::Prefix(_) | PlanDep::WholePool => false,
+            PlanDep::Chosen(_) | PlanDep::WholePool => false,
         });
     }
 
@@ -437,8 +554,10 @@ impl ShardedViewCache {
     }
 
     /// Drops every memo entry whose [`PlanDep`] matches `stale`, updating
-    /// the live entry count and the invalidation counters.
-    fn sweep_memo(&self, stale: impl Fn(&PlanDep) -> bool) {
+    /// the live entry count and the invalidation counters. Returns the
+    /// number of routes dropped.
+    fn sweep_memo(&self, stale: impl Fn(&PlanDep) -> bool) -> u64 {
+        let mut total = 0u64;
         for shard in self.shards.iter() {
             let mut memo = shard.memo.write().expect("plan memo poisoned");
             let before = memo.len();
@@ -446,12 +565,22 @@ impl ShardedViewCache {
             let dropped = (before - memo.len()) as u64;
             self.memo_entries.fetch_sub(dropped, Ordering::Relaxed);
             shard.stats.plan_memo_invalidations.fetch_add(dropped, Ordering::Relaxed);
+            total += dropped;
         }
+        total
     }
 
-    /// The cached document.
-    pub fn document(&self) -> &Tree {
-        &self.doc
+    /// A snapshot of the cached document (copy-on-write: cheap `Arc` clone;
+    /// [`ShardedViewCache::apply_edits`] swaps in edited documents, so
+    /// holders see a stable state rather than a live reference).
+    pub fn document(&self) -> Arc<Tree> {
+        Arc::clone(&self.state.read().expect("cache state poisoned").doc)
+    }
+
+    /// The number of successful [`ShardedViewCache::apply_edits`] batches
+    /// applied so far.
+    pub fn doc_version(&self) -> u64 {
+        self.doc_version.load(Ordering::Relaxed)
     }
 
     /// The shared planning session (oracle stats, interner size).
@@ -459,10 +588,16 @@ impl ShardedViewCache {
         &self.session
     }
 
+    /// One consistent document + views snapshot (cheap `Arc` clones, never
+    /// blocks answering threads for long).
+    fn snapshot(&self) -> StateSnapshot {
+        self.state.read().expect("cache state poisoned").clone()
+    }
+
     /// A snapshot of the registered views (copy-on-write: cheap `Arc`
     /// clone, never blocks answering threads).
     pub fn views_snapshot(&self) -> Arc<Vec<MaterializedView>> {
-        Arc::clone(&self.views.read().expect("view pool poisoned"))
+        Arc::clone(&self.state.read().expect("cache state poisoned").views)
     }
 
     /// Materializes `def` over the document and registers it under `name`.
@@ -478,16 +613,23 @@ impl ShardedViewCache {
     ///
     /// Panics if a view with the same name is already registered.
     pub fn add_view(&self, name: &str, def: Pattern) -> usize {
-        let view = MaterializedView::materialize(name, def, &self.doc);
+        let _gate = self.write_gate.lock().expect("write gate poisoned");
+        // Materialize against a snapshot off-lock (the gate keeps the state
+        // from moving beneath us); readers only wait for the swap.
+        let snap = self.snapshot();
+        assert!(snap.views.iter().all(|v| v.name() != name), "duplicate view name {name:?}");
+        let view = MaterializedView::materialize(name, def, &snap.doc);
         let n = view.len();
+        let mut grown = Vec::with_capacity(snap.views.len() + 1);
+        grown.extend(snap.views.iter().cloned());
+        grown.push(view);
+        let mut ids = Vec::with_capacity(snap.ids.len() + 1);
+        ids.extend(snap.ids.iter().copied());
+        ids.push(ViewId(self.next_view_id.fetch_add(1, Ordering::Relaxed)));
         {
-            let mut views = self.views.write().expect("view pool poisoned");
-            assert!(views.iter().all(|v| v.name() != name), "duplicate view name {name:?}");
-            // Copy-on-write append: in-flight answers keep their snapshot.
-            let mut grown = Vec::with_capacity(views.len() + 1);
-            grown.extend(views.iter().cloned());
-            grown.push(view);
-            *views = Arc::new(grown);
+            let mut state = self.state.write().expect("cache state poisoned");
+            state.views = Arc::new(grown);
+            state.ids = Arc::new(ids);
         }
         // Version bump strictly before the sweep: an in-flight plan either
         // sees the bump (and skips memoizing) or inserts before the sweep
@@ -500,53 +642,173 @@ impl ShardedViewCache {
     }
 
     /// Deregisters the view named `name`, returning `false` when no such
-    /// view exists. Takes `&mut self`: unlike [`ShardedViewCache::add_view`]
-    /// (which only appends, so in-flight routes stay index-valid), removal
-    /// shifts pool indices and must be exclusive with answering.
+    /// view exists. Takes **`&self`**, like [`ShardedViewCache::add_view`]:
+    /// memoized routes reference views by stable [`ViewId`], so removal
+    /// shifts no meaning — in-flight answers finish on their snapshot, and
+    /// a route whose id stops resolving degrades to direct evaluation
+    /// (sound, since routed answers equal direct answers by construction).
     ///
     /// Selectively invalidates the plan memo: `Direct` routes survive
-    /// (shrinking the pool cannot create a rewriting), while any memoized
-    /// route whose participant set is touched — the removed view itself, or
-    /// any view whose index the removal shifts — is dropped and will
-    /// re-plan on its next arrival.
-    pub fn remove_view(&mut self, name: &str) -> bool {
-        let removed = {
-            let mut views = self.views.write().expect("view pool poisoned");
-            let Some(idx) = views.iter().position(|v| v.name() == name) else {
-                return false;
-            };
-            let mut shrunk: Vec<MaterializedView> = views.iter().cloned().collect();
-            shrunk.remove(idx);
-            *views = Arc::new(shrunk);
-            idx
+    /// (shrinking the pool cannot create a rewriting), as does every route
+    /// whose participants don't include the removed view; only routes that
+    /// committed to the removed view — plus whole-pool-scan choices, which
+    /// ranked it against the others — are dropped and re-plan on their next
+    /// arrival.
+    pub fn remove_view(&self, name: &str) -> bool {
+        let _gate = self.write_gate.lock().expect("write gate poisoned");
+        let snap = self.snapshot();
+        let Some(idx) = snap.views.iter().position(|v| v.name() == name) else {
+            return false;
         };
+        let mut shrunk: Vec<MaterializedView> = snap.views.iter().cloned().collect();
+        shrunk.remove(idx);
+        let mut ids: Vec<ViewId> = snap.ids.iter().copied().collect();
+        let removed_id = ids.remove(idx);
+        {
+            let mut state = self.state.write().expect("cache state poisoned");
+            state.views = Arc::new(shrunk);
+            state.ids = Arc::new(ids);
+        }
         self.views_version.fetch_add(1, Ordering::Release);
         self.sweep_memo(|dep| match dep {
-            // The committed prefix is intact only when the removal happened
-            // strictly after it.
-            PlanDep::Prefix(n) => removed < *n,
+            PlanDep::Chosen(id) => *id == removed_id,
             PlanDep::WholePool => true,
             PlanDep::NoUsableView => false,
-            // Participants are ascending: the route survives only when the
-            // removal cannot have deleted or shifted any of them.
-            PlanDep::Intersect(parts) => parts.last().is_none_or(|&last| removed <= last),
+            PlanDep::Intersect(parts) => parts.contains(&removed_id),
         });
         true
     }
 
     /// Replaces the view named `name` with a fresh materialization of
-    /// `def` — the cache-maintenance form of "the upstream view changed".
-    /// Equivalent to [`ShardedViewCache::remove_view`] followed by
-    /// [`ShardedViewCache::add_view`] (the replacement lands at the end of
-    /// the pool), so every route depending on the old view is invalidated.
-    /// Returns the number of answers materialized.
+    /// `def` — the cache-maintenance form of "the upstream view definition
+    /// changed". Equivalent to [`ShardedViewCache::remove_view`] followed
+    /// by [`ShardedViewCache::add_view`] (the replacement lands at the end
+    /// of the pool under a **fresh** id), so every route depending on the
+    /// old view is invalidated. Returns the number of answers materialized.
+    /// For document-driven refreshes that keep definitions intact, use
+    /// [`ShardedViewCache::apply_edits`] instead — it patches answers
+    /// incrementally and preserves untouched routes.
     ///
     /// # Panics
     ///
     /// Panics if no view named `name` is registered.
-    pub fn replace_view(&mut self, name: &str, def: Pattern) -> usize {
+    pub fn replace_view(&self, name: &str, def: Pattern) -> usize {
         assert!(self.remove_view(name), "replace_view: no view named {name:?}");
         self.add_view(name, def)
+    }
+
+    /// Applies a batch of document edits **transactionally** and keeps every
+    /// registered view's materialization exact: per edit, each view is
+    /// re-evaluated only against the edit's affected region (the ancestor
+    /// spine plus the touched subtree — see `xpv_maintain`) and its answer
+    /// sets are patched in place (bitset diff for the virtual form,
+    /// canonical-key diff for the subtree copies).
+    ///
+    /// Readers are never blocked behind the refresh: the whole maintenance
+    /// run — edit application, region re-evaluation, view patching — works
+    /// on clones **outside** the state lock (writers serialize on a
+    /// dedicated gate), and the state lock is taken only to swap the new
+    /// `(document, views)` pair in whole. Queries arriving mid-update keep
+    /// answering from the previous copy-on-write snapshot, and no query
+    /// ever observes a document from one version paired with views from
+    /// another.
+    ///
+    /// Plan-memo invalidation is **participant-aware**: only routes whose
+    /// participating views' answer sets actually changed are dropped
+    /// (plus whole-pool-scan routes, whose size ranking any change can
+    /// reorder). `Direct` routes and untouched `ViaView`/`Intersect` routes
+    /// survive and keep serving with zero re-planning — rewritability is
+    /// decided on patterns, not data, so surviving routes stay exact over
+    /// the refreshed views.
+    ///
+    /// With incremental maintenance disabled
+    /// ([`ShardedViewCache::set_incremental_maintenance`]) every view is
+    /// fully re-materialized instead — the `xpv update-bench` baseline.
+    ///
+    /// On error (an edit targeting a dead node, or deleting the root) the
+    /// shared document and every view are left exactly as they were.
+    pub fn apply_edits(&self, edits: &[Edit]) -> Result<UpdateReport, EditError> {
+        let incremental = self.incremental_maintenance.load(Ordering::Relaxed);
+        let mode =
+            if incremental { MaintainMode::Incremental } else { MaintainMode::FullRecompute };
+        // Serialize writers on the gate; the gate holder is the only
+        // mutator, so the snapshot below cannot go stale beneath us while
+        // we maintain clones of it off-lock.
+        let _gate = self.write_gate.lock().expect("write gate poisoned");
+        let snap = self.snapshot();
+
+        let mut doc = (*snap.doc).clone();
+        let defs: Vec<&Pattern> = snap.views.iter().map(|v| v.definition()).collect();
+        let mut answers: Vec<Vec<NodeId>> = snap.views.iter().map(|v| v.nodes().to_vec()).collect();
+        let (deltas, maintain) = maintain_views(&mut doc, &defs, &mut answers, edits, mode)?;
+        drop(defs);
+
+        let mut changed: Vec<ViewId> = Vec::new();
+        let mut refreshed = 0usize;
+        let new_views = if deltas.iter().any(|d| !d.is_empty()) {
+            let mut views: Vec<MaterializedView> = (*snap.views).clone();
+            for (i, delta) in deltas.iter().enumerate() {
+                if delta.is_empty() {
+                    continue;
+                }
+                refreshed += 1;
+                views[i].apply_delta(&doc, &answers[i], delta);
+                if delta.answers_changed() {
+                    changed.push(snap.ids[i]);
+                }
+            }
+            Arc::new(views)
+        } else {
+            Arc::clone(&snap.views)
+        };
+        let new_doc = Arc::new(doc);
+        {
+            // The only work under the state lock is the pointer swap:
+            // readers block for two `Arc` stores, never for maintenance.
+            let mut state = self.state.write().expect("cache state poisoned");
+            state.doc = new_doc;
+            state.views = new_views;
+        }
+        let doc_version = self.doc_version.fetch_add(1, Ordering::Relaxed) + 1;
+        self.updates_applied.fetch_add(edits.len() as u64, Ordering::Relaxed);
+        if incremental {
+            self.views_refreshed_incrementally.fetch_add(refreshed as u64, Ordering::Relaxed);
+        }
+        // State swapped; now invalidate. Version bump strictly before the
+        // sweep, mirroring `add_view`: in-flight plans from the old state
+        // either skip memoizing or are caught by the sweep.
+        self.views_version.fetch_add(1, Ordering::Release);
+        let routes_dropped = if changed.is_empty() {
+            0
+        } else {
+            self.sweep_memo(|dep| match dep {
+                PlanDep::Chosen(id) => changed.contains(id),
+                PlanDep::WholePool => true,
+                PlanDep::NoUsableView => false,
+                PlanDep::Intersect(parts) => parts.iter().any(|p| changed.contains(p)),
+            })
+        };
+        Ok(UpdateReport {
+            edits_applied: edits.len(),
+            doc_version,
+            views_refreshed: refreshed,
+            views_changed: changed.len(),
+            routes_dropped,
+            maintain,
+        })
+    }
+
+    /// Enables or disables **incremental maintenance** under
+    /// [`ShardedViewCache::apply_edits`] — the `xpv update-bench` ablation
+    /// knob. Disabled, every update fully re-materializes every view (the
+    /// rebuild-the-world baseline); answers are identical either way.
+    pub fn set_incremental_maintenance(&self, enabled: bool) {
+        self.incremental_maintenance.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether `apply_edits` maintains views incrementally.
+    pub fn incremental_maintenance(&self) -> bool {
+        self.incremental_maintenance.load(Ordering::Relaxed)
     }
 
     /// Lifetime statistics, aggregated across shards (the oracle counters
@@ -573,6 +835,9 @@ impl ShardedViewCache {
         s.oracle_memo_hits = oracle.verdict_memo_hits;
         s.oracle_canonical_runs = oracle.canonical_runs;
         s.oracle_models_checked = oracle.models_checked;
+        s.updates_applied = self.updates_applied.load(Ordering::Relaxed);
+        s.views_refreshed_incrementally =
+            self.views_refreshed_incrementally.load(Ordering::Relaxed);
         s
     }
 
@@ -596,12 +861,16 @@ impl ShardedViewCache {
             }
         }
         bump(&shard.stats.plan_memo_misses);
-        // Snapshot the pool version *before* planning: if `add_view` lands
-        // between our plan and our insert, the insert is skipped below —
-        // otherwise a route planned against the old pool would be memoized
-        // after the invalidation sweep and survive it.
+        // Load the version strictly *before* taking the snapshot we plan
+        // against: any mutation (add/remove/apply_edits) completing after
+        // this load bumps the version, so the memo insert below is skipped
+        // — a route planned against a pre-mutation snapshot can never be
+        // memoized after the invalidation sweep and survive it. (Planning
+        // deliberately takes its own snapshot rather than reusing the
+        // caller's, which may predate the version load.)
         let planned_at = self.views_version.load(Ordering::Acquire);
-        let (route, dep) = self.plan(query, shard);
+        let plan_snap = self.snapshot();
+        let (route, dep) = self.plan(query, shard, &plan_snap);
         if memo {
             let mut map = shard.memo.write().expect("plan memo poisoned");
             if self.views_version.load(Ordering::Acquire) == planned_at && !map.contains_key(&key) {
@@ -649,15 +918,19 @@ impl ShardedViewCache {
         (route, shard)
     }
 
-    /// Plans `query` against the current view pool (no memo involvement):
-    /// the single-view scan first, then — when no view suffices and
-    /// intersections are enabled — the multi-view intersection planner.
-    fn plan(&self, query: &Pattern, shard: &CacheShard) -> (PlannedRoute, PlanDep) {
-        let views = self.views_snapshot();
+    /// Plans `query` against the snapshot's view pool (no memo
+    /// involvement): the single-view scan first, then — when no view
+    /// suffices and intersections are enabled — the multi-view intersection
+    /// planner.
+    fn plan(
+        &self,
+        query: &Pattern,
+        shard: &CacheShard,
+        snap: &StateSnapshot,
+    ) -> (PlannedRoute, PlanDep) {
+        let views = &snap.views;
         let mut chosen: Option<(usize, Pattern)> = None;
-        let mut examined = 0usize;
         for (i, view) in views.iter().enumerate() {
-            examined = i + 1;
             if let RewriteAnswer::Rewriting(rw) = self.session.decide(query, view.definition()) {
                 let better = match (&chosen, self.policy) {
                     (None, _) => true,
@@ -674,10 +947,13 @@ impl ShardedViewCache {
         }
         if let Some((index, rewriting)) = chosen {
             let dep = match self.policy {
-                ChoicePolicy::FirstMatch => PlanDep::Prefix(examined),
+                // Earlier views failed for pattern-level reasons and later
+                // appends cannot become "first": the route depends on the
+                // chosen view alone.
+                ChoicePolicy::FirstMatch => PlanDep::Chosen(snap.ids[index]),
                 ChoicePolicy::SmallestView => PlanDep::WholePool,
             };
-            return (PlannedRoute::ViaView { index, rewriting }, dep);
+            return (PlannedRoute::ViaView { id: snap.ids[index], hint: index, rewriting }, dep);
         }
         // No single view rewrites the query: try a multi-view intersection.
         if self.intersect_enabled() && views.len() >= 2 {
@@ -695,10 +971,12 @@ impl ShardedViewCache {
                     .stats
                     .intersect_participants
                     .fetch_add(answer.views.len() as u64, Ordering::Relaxed);
-                let dep = PlanDep::Intersect(answer.views.clone());
+                let ids: Vec<ViewId> = answer.views.iter().map(|&i| snap.ids[i]).collect();
+                let dep = PlanDep::Intersect(ids.clone());
                 return (
                     PlannedRoute::Intersect {
-                        indices: answer.views,
+                        ids,
+                        hints: answer.views,
                         compensation: answer.compensation,
                     },
                     dep,
@@ -708,43 +986,60 @@ impl ShardedViewCache {
         (PlannedRoute::Direct, PlanDep::NoUsableView)
     }
 
-    /// Executes a planned route, producing the answer nodes and provenance.
+    /// Executes a planned route against the snapshot, producing the answer
+    /// nodes and provenance. A route whose stable ids no longer resolve in
+    /// the snapshot (its views were removed after the route was fetched)
+    /// degrades to direct evaluation — always sound, since routed answers
+    /// equal direct answers by construction.
     fn execute(
         &self,
         query: &Pattern,
         route: PlannedRoute,
         shard: &CacheShard,
+        snap: &StateSnapshot,
     ) -> (Vec<NodeId>, Route) {
         match route {
-            PlannedRoute::ViaView { index, rewriting } => {
-                bump(&shard.stats.view_hits);
-                let views = self.views_snapshot();
-                let view = &views[index];
-                let nodes = view.apply_virtual(&rewriting, &self.doc);
-                (
-                    nodes,
-                    Route::ViaView {
-                        view: view.name().to_string(),
-                        rewriting: rewriting.to_string(),
-                    },
-                )
+            PlannedRoute::ViaView { id, hint, rewriting } => {
+                if let Some(index) = snap.resolve(id, hint) {
+                    bump(&shard.stats.view_hits);
+                    let view = &snap.views[index];
+                    let nodes = view.apply_virtual(&rewriting, &snap.doc);
+                    return (
+                        nodes,
+                        Route::ViaView {
+                            view: view.name().to_string(),
+                            rewriting: rewriting.to_string(),
+                        },
+                    );
+                }
+                bump(&shard.stats.direct);
+                (evaluate(query, &snap.doc), Route::Direct)
             }
-            PlannedRoute::Intersect { indices, compensation } => {
-                bump(&shard.stats.intersect_hits);
-                let views = self.views_snapshot();
-                let sets: Vec<&[NodeId]> = indices.iter().map(|&i| views[i].nodes()).collect();
-                let nodes = answer_intersection_virtual(&self.doc, &sets, &compensation);
-                (
-                    nodes,
-                    Route::Intersect {
-                        views: indices.iter().map(|&i| views[i].name().to_string()).collect(),
-                        compensation: compensation.to_string(),
-                    },
-                )
+            PlannedRoute::Intersect { ids, hints, compensation } => {
+                let indices: Option<Vec<usize>> =
+                    ids.iter().zip(&hints).map(|(&id, &hint)| snap.resolve(id, hint)).collect();
+                if let Some(indices) = indices {
+                    bump(&shard.stats.intersect_hits);
+                    let sets: Vec<&[NodeId]> =
+                        indices.iter().map(|&i| snap.views[i].nodes()).collect();
+                    let nodes = answer_intersection_virtual(&snap.doc, &sets, &compensation);
+                    return (
+                        nodes,
+                        Route::Intersect {
+                            views: indices
+                                .iter()
+                                .map(|&i| snap.views[i].name().to_string())
+                                .collect(),
+                            compensation: compensation.to_string(),
+                        },
+                    );
+                }
+                bump(&shard.stats.direct);
+                (evaluate(query, &snap.doc), Route::Direct)
             }
             PlannedRoute::Direct => {
                 bump(&shard.stats.direct);
-                (evaluate(query, &self.doc), Route::Direct)
+                (evaluate(query, &snap.doc), Route::Direct)
             }
         }
     }
@@ -763,15 +1058,17 @@ impl ShardedViewCache {
     }
 
     /// [`ShardedViewCache::answer`] with the interning already done (batch
-    /// callers intern once for dedup and routing).
+    /// callers intern once for dedup and routing). One consistent
+    /// document+views snapshot serves both planning and evaluation.
     fn answer_keyed(&self, query: &Pattern, key: PatternKey, fp: u64) -> CacheAnswer {
+        let snap = self.snapshot();
         let plan_start = Instant::now();
         let (route, shard) = self.route_for(query, key, fp);
         bump(&shard.stats.queries);
         let planning = plan_start.elapsed();
 
         let eval_start = Instant::now();
-        let (nodes, route) = self.execute(query, route, shard);
+        let (nodes, route) = self.execute(query, route, shard, &snap);
         let evaluation = eval_start.elapsed();
         CacheAnswer { nodes, route, planning, evaluation }
     }
@@ -826,7 +1123,7 @@ impl ShardedViewCache {
 
     /// Answers `query` by direct evaluation only (baseline for benchmarks).
     pub fn answer_direct(&self, query: &Pattern) -> Vec<NodeId> {
-        evaluate(query, &self.doc)
+        evaluate(query, &self.document())
     }
 
     /// A **partial** answer from the views when no equivalent rewriting
@@ -839,19 +1136,29 @@ impl ShardedViewCache {
     /// (in which case this behaves like [`ShardedViewCache::answer`]).
     pub fn answer_partial(&self, query: &Pattern) -> Option<(Vec<NodeId>, bool)> {
         // Equivalent rewriting first (shares the plan memo with `answer`).
+        let snap = self.snapshot();
         let (key, fp) = self.session.oracle().intern_fingerprinted(query);
         let (route, shard) = self.route_for(query, key, fp);
         bump(&shard.stats.queries);
-        let views = self.views_snapshot();
+        let views = &snap.views;
         match route {
-            PlannedRoute::ViaView { index, rewriting } => {
-                bump(&shard.stats.view_hits);
-                return Some((views[index].apply_virtual(&rewriting, &self.doc), true));
+            PlannedRoute::ViaView { id, hint, rewriting } => {
+                if let Some(index) = snap.resolve(id, hint) {
+                    bump(&shard.stats.view_hits);
+                    return Some((views[index].apply_virtual(&rewriting, &snap.doc), true));
+                }
             }
-            PlannedRoute::Intersect { indices, compensation } => {
-                bump(&shard.stats.intersect_hits);
-                let sets: Vec<&[NodeId]> = indices.iter().map(|&i| views[i].nodes()).collect();
-                return Some((answer_intersection_virtual(&self.doc, &sets, &compensation), true));
+            PlannedRoute::Intersect { ids, hints, compensation } => {
+                let indices: Option<Vec<usize>> =
+                    ids.iter().zip(&hints).map(|(&id, &hint)| snap.resolve(id, hint)).collect();
+                if let Some(indices) = indices {
+                    bump(&shard.stats.intersect_hits);
+                    let sets: Vec<&[NodeId]> = indices.iter().map(|&i| views[i].nodes()).collect();
+                    return Some((
+                        answer_intersection_virtual(&snap.doc, &sets, &compensation),
+                        true,
+                    ));
+                }
             }
             PlannedRoute::Direct => {}
         }
@@ -860,7 +1167,7 @@ impl ShardedViewCache {
         for view in views.iter() {
             if let Some(r) = contained_rewriting_in(self.session.oracle(), query, view.definition())
             {
-                let nodes = view.apply_virtual(&r, &self.doc);
+                let nodes = view.apply_virtual(&r, &snap.doc);
                 if best.as_ref().is_none_or(|b| nodes.len() > b.len()) {
                     best = Some(nodes);
                 }
@@ -875,7 +1182,7 @@ impl ShardedViewCache {
                 plan_intersection_contained_in(&self.session, query, &pool, &self.intersect_cfg);
             if let Some(answer) = answer {
                 let sets: Vec<&[NodeId]> = answer.views.iter().map(|&i| views[i].nodes()).collect();
-                let nodes = answer_intersection_virtual(&self.doc, &sets, &answer.compensation);
+                let nodes = answer_intersection_virtual(&snap.doc, &sets, &answer.compensation);
                 if answer.equivalent {
                     // Possible only when the route memo predates the pool or
                     // ablation state; the answer is complete regardless.
@@ -1167,7 +1474,7 @@ mod tests {
 
     #[test]
     fn replacing_a_participant_invalidates_the_intersection_route() {
-        let mut cache = overlap_cache();
+        let cache = overlap_cache();
         let q = pat("site/region/item[bids][shipping]/name");
         assert!(matches!(cache.answer(&q).route, Route::Intersect { .. }));
         let invalidations_before = cache.stats().plan_memo_invalidations;
@@ -1190,7 +1497,7 @@ mod tests {
 
     #[test]
     fn remove_view_keeps_direct_and_untouched_routes() {
-        let mut cache = ShardedViewCache::new(doc());
+        let cache = ShardedViewCache::new(doc());
         cache.add_view("items", pat("site/region/item"));
         cache.add_view("names", pat("site/region/item/name"));
         let via_first = pat("site/region/item[desc]/name"); // FirstMatch hit on "items"
@@ -1212,6 +1519,100 @@ mod tests {
         assert_eq!(cache.answer(&via_first).route, Route::Direct);
         assert_eq!(cache.answer(&direct).route, Route::Direct);
         assert!(!cache.remove_view("items"), "double removal reports false");
+    }
+
+    #[test]
+    fn apply_edits_refreshes_views_and_keeps_untouched_routes() {
+        use xpv_maintain::Edit;
+        use xpv_model::TreeBuilder as TB;
+
+        let cache = ShardedViewCache::new(doc());
+        cache.add_view("items", pat("site/region/item"));
+        cache.add_view("keywords", pat("site//keyword"));
+        let via_items = pat("site/region/item/name");
+        let via_keywords = pat("site//keyword");
+        let direct = pat("site/region[item]");
+        assert!(matches!(cache.answer(&via_items).route, Route::ViaView { .. }));
+        assert!(matches!(cache.answer(&via_keywords).route, Route::ViaView { .. }));
+        assert_eq!(cache.answer(&direct).route, Route::Direct);
+        let runs = cache.stats().oracle_canonical_runs;
+
+        // Graft one more item (with a name) into the first region: only the
+        // `items` view's answers change.
+        let snap = cache.document();
+        let region = snap.children(snap.root())[0];
+        let graft = TB::root("item", |b| {
+            b.leaf("name");
+        });
+        let report = cache
+            .apply_edits(&[Edit::InsertSubtree { parent: region, subtree: graft }])
+            .expect("valid edit");
+        assert_eq!(report.edits_applied, 1);
+        assert_eq!(report.doc_version, 1);
+        assert_eq!(report.views_changed, 1, "only `items` gained answers");
+        assert!(report.routes_dropped >= 1, "the items route must drop");
+
+        // Both queries still answer exactly; the keyword route survived the
+        // update (zero coNP work), the items route re-planned.
+        let ans = cache.answer(&via_items);
+        assert_eq!(ans.nodes, cache.answer_direct(&via_items));
+        assert!(matches!(ans.route, Route::ViaView { .. }));
+        let ans = cache.answer(&via_keywords);
+        assert_eq!(ans.nodes, cache.answer_direct(&via_keywords));
+        assert_eq!(cache.stats().oracle_canonical_runs, runs, "survivors replan nothing");
+        assert_eq!(cache.answer(&direct).route, Route::Direct, "Direct routes survive edits");
+
+        let s = cache.stats();
+        assert_eq!(s.updates_applied, 1);
+        assert_eq!(s.views_refreshed_incrementally, 1);
+    }
+
+    #[test]
+    fn apply_edits_full_recompute_matches_incremental() {
+        use xpv_maintain::Edit;
+
+        let incremental = ShardedViewCache::new(doc());
+        let full = ShardedViewCache::new(doc());
+        full.set_incremental_maintenance(false);
+        assert!(!full.incremental_maintenance());
+        for c in [&incremental, &full] {
+            c.add_view("items", pat("site/region/item"));
+            c.add_view("names", pat("site/region/item/name"));
+        }
+        let snap = incremental.document();
+        let region = snap.children(snap.root())[1];
+        let victim = snap.children(region)[0];
+        let edits = vec![
+            Edit::DeleteSubtree { node: victim },
+            Edit::Relabel { node: region, label: xpv_model::Label::new("region") },
+        ];
+        incremental.apply_edits(&edits).expect("valid");
+        full.apply_edits(&edits).expect("valid");
+        assert_eq!(full.stats().views_refreshed_incrementally, 0, "baseline never counts");
+        for q in ["site/region/item/name", "site//keyword", "site/region/item"] {
+            let q = pat(q);
+            let a = incremental.answer(&q);
+            let b = full.answer(&q);
+            assert_eq!(a.nodes, b.nodes, "modes disagree on {q}");
+            assert_eq!(a.nodes, incremental.answer_direct(&q));
+        }
+    }
+
+    #[test]
+    fn invalid_edit_batches_leave_the_cache_untouched() {
+        use xpv_maintain::Edit;
+
+        let cache = ShardedViewCache::new(doc());
+        cache.add_view("items", pat("site/region/item"));
+        let q = pat("site/region/item/name");
+        let before = cache.answer(&q).nodes;
+        let key = cache.document().canonical_key();
+        let err = cache.apply_edits(&[Edit::DeleteSubtree { node: NodeId(u32::MAX) }]).unwrap_err();
+        assert!(matches!(err, xpv_maintain::EditError::NotLive { .. }));
+        assert_eq!(cache.document().canonical_key(), key);
+        assert_eq!(cache.doc_version(), 0);
+        assert_eq!(cache.answer(&q).nodes, before);
+        assert_eq!(cache.stats().updates_applied, 0);
     }
 
     #[test]

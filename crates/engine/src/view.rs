@@ -14,9 +14,27 @@
 //! Both paths are tested to agree with direct evaluation whenever the planner
 //! hands us an equivalent rewriting.
 
+use xpv_maintain::ViewDelta;
 use xpv_model::{NodeId, Tree};
 use xpv_pattern::Pattern;
 use xpv_semantics::{evaluate, evaluate_anchored};
+
+/// The value-level (canonical-key) description of how a maintenance delta
+/// changed a view's **materialized** representation: subtree copies have no
+/// node identity, so their diff is by value. Produced by
+/// [`MaterializedView::apply_delta`].
+#[derive(Clone, Debug, Default)]
+pub struct MaterializedDelta {
+    /// Canonical keys of subtree copies that disappeared (removed answers,
+    /// plus the pre-edit contents of refreshed copies).
+    pub removed_keys: Vec<String>,
+    /// Canonical keys of subtree copies that appeared (added answers, plus
+    /// the post-edit contents of refreshed copies).
+    pub added_keys: Vec<String>,
+    /// Copies rebuilt in place because the edit landed inside them
+    /// (membership unchanged, content changed).
+    pub refreshed: usize,
+}
 
 /// The precomputed result of a view over one document.
 #[derive(Clone, Debug)]
@@ -63,6 +81,56 @@ impl MaterializedView {
     /// `true` when the view result is empty.
     pub fn is_empty(&self) -> bool {
         self.nodes.is_empty()
+    }
+
+    /// Applies an incremental-maintenance delta: replaces the answer node
+    /// set with `new_nodes` (the maintainer's patched, ascending set) and
+    /// patches the subtree copies by diff — copies of surviving untouched
+    /// answers are **reused**, only added and retagged (content-changed)
+    /// answers are re-copied from the edited document. Returns the
+    /// canonical-key diff of the materialized representation.
+    pub fn apply_delta(
+        &mut self,
+        doc: &Tree,
+        new_nodes: &[NodeId],
+        delta: &ViewDelta,
+    ) -> MaterializedDelta {
+        let mut out = MaterializedDelta::default();
+        let mut old: std::collections::HashMap<NodeId, Tree> =
+            self.nodes.drain(..).zip(self.trees.drain(..)).collect();
+        for &gone in &delta.removed {
+            if let Some(tree) = old.remove(&gone) {
+                out.removed_keys.push(tree.canonical_key());
+            }
+        }
+        let retag: std::collections::HashSet<NodeId> = delta.retagged.iter().copied().collect();
+        self.nodes = new_nodes.to_vec();
+        self.trees = new_nodes
+            .iter()
+            .map(|&n| match old.remove(&n) {
+                Some(tree) if !retag.contains(&n) => tree,
+                Some(stale) => {
+                    // The edit landed inside this answer's subtree: rebuild
+                    // the copy and record the value transition.
+                    let fresh = doc.subtree(n).0;
+                    let (old_key, new_key) = (stale.canonical_key(), fresh.canonical_key());
+                    if old_key != new_key {
+                        out.removed_keys.push(old_key);
+                        out.added_keys.push(new_key);
+                    }
+                    out.refreshed += 1;
+                    fresh
+                }
+                None => {
+                    let fresh = doc.subtree(n).0;
+                    out.added_keys.push(fresh.canonical_key());
+                    fresh
+                }
+            })
+            .collect();
+        out.removed_keys.sort();
+        out.added_keys.sort();
+        out
     }
 
     /// Applies a rewriting to the view **virtually**: `R(V(t))` as output
@@ -169,6 +237,45 @@ mod tests {
         assert!(v.is_empty());
         assert!(v.apply_virtual(&pat("book/title"), &d).is_empty());
         assert!(v.apply_materialized(&pat("book/title")).is_empty());
+    }
+
+    #[test]
+    fn apply_delta_reuses_untouched_copies_and_refreshes_retagged() {
+        let mut d = doc();
+        let mut v = MaterializedView::materialize("books", pat("lib//book"), &d);
+        assert_eq!(v.len(), 3);
+        let old_first = v.nodes()[0];
+
+        // Simulate a maintainer outcome: a new book appended under the
+        // first shelf, and the first book's content edited in place.
+        let shelf = d.children(d.root())[0];
+        let extra = TreeBuilder::root("book", |b| {
+            b.leaf("title");
+        });
+        let new_book = d.attach_tree(shelf, &extra);
+        d.add_child(old_first, xpv_model::Label::new("isbn"));
+        let mut new_nodes: Vec<NodeId> = v.nodes().to_vec();
+        new_nodes.push(new_book);
+        new_nodes.sort();
+        let delta = xpv_maintain::ViewDelta {
+            removed: vec![],
+            added: vec![new_book],
+            retagged: vec![old_first],
+        };
+        let mat = v.apply_delta(&d, &new_nodes, &delta);
+        assert_eq!(v.len(), 4);
+        assert_eq!(mat.refreshed, 1);
+        assert_eq!(mat.added_keys.len(), 2, "one genuinely new copy + one refreshed content");
+        assert_eq!(mat.removed_keys.len(), 1, "the refreshed copy's old content");
+        // Every stored copy now matches a fresh materialization by value.
+        let fresh = MaterializedView::materialize("books", pat("lib//book"), &d);
+        let keys = |mv: &MaterializedView| {
+            let mut ks: Vec<String> = mv.trees().iter().map(Tree::canonical_key).collect();
+            ks.sort();
+            ks
+        };
+        assert_eq!(keys(&v), keys(&fresh));
+        assert_eq!(v.nodes(), fresh.nodes());
     }
 
     #[test]

@@ -48,7 +48,9 @@ pub fn answer_intersection_virtual(
     sets: &[&[NodeId]],
     compensation: &Pattern,
 ) -> Vec<NodeId> {
-    let anchors = intersect_node_sets(doc.len(), sets);
+    // Capacity is the raw arena bound: edited documents keep tombstoned
+    // slots, so `arena_len` ≥ every stored `NodeId` index.
+    let anchors = intersect_node_sets(doc.arena_len(), sets);
     evaluate_anchored(compensation, doc, &anchors)
 }
 

@@ -1,0 +1,62 @@
+//! # xpv-maintain — incremental view maintenance under document updates
+//!
+//! The `xpath-views` caches materialize view answers once and serve queries
+//! from them; this crate is what lets the cached document **change** without
+//! rebuilding the world. It provides:
+//!
+//! * the **edit log** ([`Edit`], [`apply_edits`]) — insert-subtree /
+//!   delete-subtree / relabel mutations applied transactionally to
+//!   `xpv_model::Tree`, with `NodeId`s stable across unrelated edits
+//!   (removal tombstones arena slots, insertion appends);
+//! * the **incremental maintainer** ([`maintain_views`]) — per edit it
+//!   re-evaluates each view only against the edit's *affected region* and
+//!   patches the stored answer set, provably matching a from-scratch
+//!   re-materialization;
+//! * the [`MaintainMode::FullRecompute`] baseline — the ablation arm of
+//!   `xpv update-bench`.
+//!
+//! ## Why the affected region suffices
+//!
+//! Decompose a view pattern into its selection spine `u_0 … u_k` and, per
+//! spine node, a predicate `B_i(v)` ("`v` matches `u_i`'s test and all of
+//! `u_i`'s branches match below `v`"). Membership factors through the spine:
+//! `n ∈ P(t)` iff some axis-respecting chain `root = v_0, …, v_k = n` has
+//! `B_i(v_i)` for all `i`. Each `B_i(v)` reads only `label(v)` and
+//! `subtree(v)`.
+//!
+//! An edit anchored at `e` (the deepest surviving node whose subtree
+//! content changed) leaves `subtree(v)` untouched for every `v` that is
+//! neither an ancestor of `e` nor inside the edited subtree. For a
+//! candidate `n` **outside** the edited subtree, the ancestors of `n`
+//! whose `B` values could have changed are exactly the common ancestors of
+//! `n` and `e` — nodes on the spine `root → e`. Hence:
+//!
+//! * if no spine node's `B`-vector changed, only the edited subtree needs
+//!   re-evaluation;
+//! * otherwise the subtree of the **highest** changed spine node (which
+//!   contains the edited subtree) is re-evaluated — in the worst case the
+//!   whole document, exactly when a predicate visible from the root
+//!   flipped and the whole answer set may genuinely move.
+//!
+//! The restricted evaluation ([`region_answers`]) runs the same
+//! spine-reachability dynamic program a full evaluation would, but only
+//! down one subtree, with branch matching memoized. Answers outside the
+//! region are kept verbatim (minus tombstoned nodes); answers inside are
+//! replaced by the fresh region results — a bitset diff. Materialized
+//! (subtree-copy) representations additionally refresh the copies of
+//! surviving answers that lie on the edit's ancestor spine (their *content*
+//! changed even though their membership did not) — a canonical-key diff
+//! handled by the engine's `MaterializedView::apply_delta`.
+//!
+//! The property suite (`tests/maintain_properties.rs`) checks incremental ≡
+//! full re-materialization on randomized documents, view pools, and edit
+//! streams, and the engine's update path is stress-tested against serial
+//! replay.
+
+pub mod edit;
+pub mod refresh;
+pub mod region;
+
+pub use edit::{apply_edit, apply_edits, validate_edit, AppliedEdit, Edit, EditError};
+pub use refresh::{maintain_views, MaintainMode, MaintainStats, ViewDelta};
+pub use region::{region_answers, spine_to, SpineInfo, SubMatcher, MAX_TRACKED_DEPTH};

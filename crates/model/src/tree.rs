@@ -7,6 +7,27 @@
 //! (Definition 2.1) never inspect sibling order, so structural equality is
 //! unordered-tree isomorphism, exposed via [`Tree::canonical_key`] and
 //! [`Tree::structurally_eq`].
+//!
+//! ## Edits and NodeId stability
+//!
+//! Documents are no longer immutable: [`Tree::remove_subtree`] detaches a
+//! subtree and **tombstones** its slots instead of compacting the arena, so
+//! every surviving [`NodeId`] keeps meaning the same node across unrelated
+//! edits — the property the incremental view maintainer (`xpv-maintain`)
+//! and the engine's materialized answer sets rely on. Consequently:
+//!
+//! * [`Tree::len`] counts **live** nodes (the semantic node count), while
+//!   [`Tree::arena_len`] is the exclusive upper bound on raw `NodeId`
+//!   indices — size bitsets and lookup tables by `arena_len`, count nodes
+//!   with `len`;
+//! * [`Tree::node_ids`] yields live nodes only; dead slots are unreachable
+//!   from the root and excluded from every traversal that starts there;
+//! * tombstoned slots are never reused, so an id observed once never
+//!   silently re-binds to a different node;
+//! * [`Tree::restore_subtree`] is the exact inverse of
+//!   [`Tree::remove_subtree`] (the detached subtree keeps its internal
+//!   structure), which is what makes transactional edit application
+//!   (apply-then-roll-back-on-error) cheap.
 
 use std::fmt;
 
@@ -35,30 +56,55 @@ struct TreeNode {
     label: Label,
     parent: Option<NodeId>,
     children: Vec<NodeId>,
+    alive: bool,
 }
 
 /// A rooted labeled tree (an XML document in the paper's data model).
 #[derive(Clone)]
 pub struct Tree {
     nodes: Vec<TreeNode>,
+    /// Number of live (non-tombstoned) nodes.
+    live: usize,
 }
 
 impl Tree {
     /// Creates a tree consisting of a single root labeled `root_label`.
     pub fn new(root_label: Label) -> Tree {
-        Tree { nodes: vec![TreeNode { label: root_label, parent: None, children: Vec::new() }] }
+        Tree {
+            nodes: vec![TreeNode {
+                label: root_label,
+                parent: None,
+                children: Vec::new(),
+                alive: true,
+            }],
+            live: 1,
+        }
     }
 
-    /// The root node (always id 0).
+    /// The root node (always id 0). The root is never tombstoned.
     #[inline]
     pub fn root(&self) -> NodeId {
         NodeId(0)
     }
 
-    /// Number of nodes.
+    /// Number of **live** nodes (the semantic size of the document).
     #[inline]
     pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Exclusive upper bound on raw [`NodeId`] indices, tombstones included.
+    /// Bitsets and per-node tables over a possibly-edited tree must be sized
+    /// by this, not by [`Tree::len`].
+    #[inline]
+    pub fn arena_len(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Whether `n` is a live node (in bounds and not tombstoned).
+    #[inline]
+    pub fn is_alive(&self, n: NodeId) -> bool {
+        self.nodes.get(n.index()).is_some_and(|node| node.alive)
     }
 
     /// Trees always contain at least the root; provided for API completeness.
@@ -69,11 +115,67 @@ impl Tree {
 
     /// Appends a new leaf labeled `label` under `parent`, returning its id.
     pub fn add_child(&mut self, parent: NodeId, label: Label) -> NodeId {
-        assert!(parent.index() < self.nodes.len(), "parent out of bounds");
+        assert!(self.is_alive(parent), "parent out of bounds or removed");
         let id = NodeId(u32::try_from(self.nodes.len()).expect("tree too large"));
-        self.nodes.push(TreeNode { label, parent: Some(parent), children: Vec::new() });
+        self.nodes.push(TreeNode {
+            label,
+            parent: Some(parent),
+            children: Vec::new(),
+            alive: true,
+        });
         self.nodes[parent.index()].children.push(id);
+        self.live += 1;
         id
+    }
+
+    /// Detaches the subtree rooted at `n` and tombstones its slots: the
+    /// nodes disappear from every root-based traversal, but their arena
+    /// slots are never reused, so all *other* ids stay stable. Returns the
+    /// removed ids in pre-order (`n` first).
+    ///
+    /// The detached subtree keeps its internal structure (labels, children),
+    /// which is what lets [`Tree::restore_subtree`] undo the removal
+    /// exactly — the transactional seam used by `xpv-maintain`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is the root or not a live node.
+    pub fn remove_subtree(&mut self, n: NodeId) -> Vec<NodeId> {
+        assert!(self.is_alive(n), "cannot remove: node is out of bounds or already removed");
+        let parent = self.parent(n).expect("cannot remove the root");
+        let kids = &mut self.nodes[parent.index()].children;
+        let pos = kids.iter().position(|&c| c == n).expect("child link consistent");
+        kids.remove(pos);
+        let removed = self.descendants_inclusive(n);
+        for &d in &removed {
+            self.nodes[d.index()].alive = false;
+        }
+        self.live -= removed.len();
+        removed
+    }
+
+    /// Restores a subtree previously detached by [`Tree::remove_subtree`]:
+    /// re-attaches `n` to its (still live) parent and revives every node of
+    /// the detached subtree. The exact inverse of the removal as long as no
+    /// node *inside* the subtree was edited in between.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a tombstoned node or its recorded parent is not
+    /// live.
+    pub fn restore_subtree(&mut self, n: NodeId) {
+        assert!(
+            n.index() < self.nodes.len() && !self.nodes[n.index()].alive,
+            "restore_subtree: node is not a tombstone"
+        );
+        let parent = self.nodes[n.index()].parent.expect("removed subtrees have a parent");
+        assert!(self.is_alive(parent), "restore_subtree: parent is not live");
+        let revived = self.descendants_inclusive(n);
+        for &d in &revived {
+            self.nodes[d.index()].alive = true;
+        }
+        self.live += revived.len();
+        self.nodes[parent.index()].children.push(n);
     }
 
     /// The label of `n`.
@@ -82,8 +184,10 @@ impl Tree {
         self.nodes[n.index()].label
     }
 
-    /// Relabels node `n` (used by canonical-model construction).
+    /// Relabels node `n` (used by canonical-model construction and the
+    /// `Relabel` document edit).
     pub fn set_label(&mut self, n: NodeId, label: Label) {
+        assert!(self.is_alive(n), "cannot relabel: node is out of bounds or removed");
         self.nodes[n.index()].label = label;
     }
 
@@ -105,9 +209,10 @@ impl Tree {
         self.nodes[n.index()].children.is_empty()
     }
 
-    /// All node ids in arena order (a pre-order for trees built top-down).
+    /// All **live** node ids in arena order (a pre-order for trees built
+    /// top-down; ascending, but not contiguous once subtrees were removed).
     pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..self.nodes.len() as u32).map(NodeId)
+        (0..self.nodes.len() as u32).map(NodeId).filter(|&n| self.nodes[n.index()].alive)
     }
 
     /// Depth of `n`: number of edges from the root (root has depth 0).
@@ -394,5 +499,64 @@ mod tests {
         let mut t = abc_tree();
         t.set_label(t.root(), Label::bottom());
         assert!(t.label(t.root()).is_bottom());
+    }
+
+    #[test]
+    fn remove_subtree_tombstones_without_shifting_ids() {
+        let mut t = abc_tree(); // a(b, c(d))
+        let b = t.children(t.root())[0];
+        let c = t.children(t.root())[1];
+        let d = t.children(c)[0];
+        let removed = t.remove_subtree(c);
+        assert_eq!(removed, vec![c, d]);
+        assert_eq!(t.len(), 2, "live count shrinks");
+        assert_eq!(t.arena_len(), 4, "arena keeps the slots");
+        assert!(t.is_alive(b) && !t.is_alive(c) && !t.is_alive(d));
+        // Unrelated ids are untouched and traversals skip the tombstones.
+        assert_eq!(t.children(t.root()), &[b]);
+        assert_eq!(t.node_ids().collect::<Vec<_>>(), vec![t.root(), b]);
+        assert_eq!(t.canonical_key(), "(a(b))");
+        // New nodes never reuse tombstoned slots.
+        let e = t.add_child(b, Label::new("e"));
+        assert_eq!(e.index(), 4);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn restore_subtree_is_the_exact_inverse() {
+        let mut t = abc_tree();
+        let key = t.canonical_key();
+        let c = t.children(t.root())[1];
+        t.remove_subtree(c);
+        assert_ne!(t.canonical_key(), key);
+        t.restore_subtree(c);
+        assert_eq!(t.canonical_key(), key);
+        assert_eq!(t.len(), 4);
+        assert!(t.is_alive(c));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot remove the root")]
+    fn removing_the_root_is_rejected() {
+        let mut t = abc_tree();
+        t.remove_subtree(t.root());
+    }
+
+    #[test]
+    #[should_panic(expected = "already removed")]
+    fn double_removal_is_rejected() {
+        let mut t = abc_tree();
+        let c = t.children(t.root())[1];
+        t.remove_subtree(c);
+        t.remove_subtree(c);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds or removed")]
+    fn adding_under_a_tombstone_is_rejected() {
+        let mut t = abc_tree();
+        let c = t.children(t.root())[1];
+        t.remove_subtree(c);
+        t.add_child(c, Label::new("x"));
     }
 }

@@ -30,7 +30,11 @@ pub type Embedding = Vec<NodeId>;
 /// `pin` optionally restricts a single pattern node to a single tree node —
 /// used to pin `out(P)` onto a designated node during containment tests.
 pub fn sub_match_sets(p: &Pattern, t: &Tree, pin: Option<(PatId, NodeId)>) -> Vec<BitSet> {
-    let nt = t.len();
+    // Bitsets are indexed by raw arena ids: edited trees keep tombstoned
+    // slots, so the capacity is `arena_len`, not the live count. Tombstones
+    // are detached from every live parent, so their bits (set only by the
+    // raw reverse sweep below) never propagate into live results.
+    let nt = t.arena_len();
     let mut sub: Vec<BitSet> = vec![BitSet::new(nt); p.len()];
 
     // Pattern arenas are built parent-first, so reverse arena order is a
@@ -96,7 +100,7 @@ fn propagate_selection(p: &Pattern, t: &Tree, sub: &[BitSet], roots: BitSet) -> 
     let mut current = roots;
     current.intersect_with(&sub[path[0].index()]);
     for &next in &path[1..] {
-        let mut reach = BitSet::new(t.len());
+        let mut reach = BitSet::new(t.arena_len());
         match p.axis(next) {
             Axis::Child => {
                 for n in current.iter() {
@@ -128,7 +132,7 @@ fn propagate_selection(p: &Pattern, t: &Tree, sub: &[BitSet], roots: BitSet) -> 
 /// Evaluates `P(t)`: the set of output nodes over all embeddings.
 pub fn evaluate(p: &Pattern, t: &Tree) -> Vec<NodeId> {
     let sub = sub_match_sets(p, t, None);
-    let mut roots = BitSet::new(t.len());
+    let mut roots = BitSet::new(t.arena_len());
     roots.insert(t.root().index());
     propagate_selection(p, t, &sub, roots).iter().map(|i| NodeId(i as u32)).collect()
 }
@@ -149,9 +153,13 @@ pub fn evaluate_weak(p: &Pattern, t: &Tree) -> Vec<NodeId> {
 /// anchors.
 pub fn evaluate_anchored(p: &Pattern, t: &Tree, anchors: &[NodeId]) -> Vec<NodeId> {
     let sub = sub_match_sets(p, t, None);
-    let mut roots = BitSet::new(t.len());
+    let mut roots = BitSet::new(t.arena_len());
     for &n in anchors {
-        roots.insert(n.index());
+        // Tombstoned anchors (an answer set maintained across edits may
+        // briefly carry them) contribute nothing.
+        if t.is_alive(n) {
+            roots.insert(n.index());
+        }
     }
     propagate_selection(p, t, &sub, roots).iter().map(|i| NodeId(i as u32)).collect()
 }
@@ -159,7 +167,7 @@ pub fn evaluate_anchored(p: &Pattern, t: &Tree, anchors: &[NodeId]) -> Vec<NodeI
 /// Does some embedding of `p` into `t` produce output `o`?
 pub fn embeds_with_output(p: &Pattern, t: &Tree, o: NodeId) -> bool {
     let sub = sub_match_sets(p, t, Some((p.output(), o)));
-    let mut roots = BitSet::new(t.len());
+    let mut roots = BitSet::new(t.arena_len());
     roots.insert(t.root().index());
     !propagate_selection(p, t, &sub, roots).is_empty()
 }
@@ -225,7 +233,7 @@ pub fn check_embedding(p: &Pattern, t: &Tree, e: &Embedding, require_root: bool)
     }
     for q in p.node_ids() {
         let n = e[q.index()];
-        if n.index() >= t.len() || !p.test(q).matches(t.label(n)) {
+        if !t.is_alive(n) || !p.test(q).matches(t.label(n)) {
             return false;
         }
         if let Some(parent) = p.parent(q) {

@@ -12,15 +12,19 @@
 //!   generates such pools from any query);
 //! * [`adversarial`] — hom-gap, coNP-stress and certificate-free families;
 //! * [`zipf`] — Zipf-skewed query streams over the catalogs (the regime the
-//!   throughput benches and the serving front-end measure).
+//!   throughput benches and the serving front-end measure);
+//! * [`edits`] — Zipf-skewed, replayable document **edit streams** over a
+//!   configurable insert/delete/relabel mix (the update-bench workload).
 
 pub mod adversarial;
+pub mod edits;
 pub mod patterns;
 pub mod scenarios;
 pub mod trees;
 pub mod zipf;
 
 pub use adversarial::{conp_stress_instance, hom_gap_instance, no_condition_instance};
+pub use edits::{edit_batches, edit_stream, EditMix};
 pub use patterns::{workload_labels, Fragment, PatternGen, PatternGenConfig};
 pub use scenarios::{
     bib_catalog, bib_doc, site_catalog, site_doc, site_intersect_catalog,

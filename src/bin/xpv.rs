@@ -14,6 +14,11 @@
 //!                                    drive the worker-pool front-end with a
 //!                                    Zipf workload (overlapping-view
 //!                                    catalog) and print throughput
+//! xpv update-bench [--edits N] [--edit-mix I:D:R] [--batches B]
+//!                  [--queries Q] [--seed S]
+//!                                    ablate incremental vs full-recompute
+//!                                    view maintenance under a Zipf-skewed
+//!                                    edit stream; writes BENCH_updates.json
 //! ```
 //!
 //! Patterns use the fragment's XPath syntax: `a[b]//c[.//d]/e`.
@@ -28,7 +33,9 @@ use xpath_views::intersect::plan_intersection_in;
 use xpath_views::prelude::*;
 use xpath_views::rewrite::{figure1, figure2, figure3, figure4, NoRewriteReason};
 use xpath_views::semantics::remove_redundant_branches;
-use xpath_views::workload::{catalog_zipf_stream, site_doc, site_intersect_catalog};
+use xpath_views::workload::{
+    catalog_zipf_stream, edit_batches, edit_stream, site_doc, site_intersect_catalog, EditMix,
+};
 
 fn fail(msg: &str) -> ExitCode {
     eprintln!("error: {msg}");
@@ -37,7 +44,8 @@ fn fail(msg: &str) -> ExitCode {
          xpv contain <P1> <P2>\n  \
          xpv eval <QUERY> <FILE.xml|->\n  xpv reduce <PATTERN>\n  xpv figures\n  \
          xpv serve-bench [--threads N] [--shards S] [--memo-cap M] [--queries Q] [--tenants T] \
-         [--no-intersect]"
+         [--no-intersect]\n  \
+         xpv update-bench [--edits N] [--edit-mix I:D:R] [--batches B] [--queries Q] [--seed S]"
     );
     ExitCode::FAILURE
 }
@@ -303,6 +311,173 @@ fn cmd_serve_bench(args: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// Knobs for `update-bench`, parsed from `--flag value` pairs.
+struct UpdateBenchOpts {
+    edits: usize,
+    mix: EditMix,
+    batches: usize,
+    queries: usize,
+    seed: u64,
+}
+
+impl UpdateBenchOpts {
+    fn parse(args: &[String]) -> Result<UpdateBenchOpts, String> {
+        let mut opts = UpdateBenchOpts {
+            edits: 400,
+            mix: EditMix::default(),
+            batches: 20,
+            queries: 600,
+            seed: 0x21F,
+        };
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let value = it.next().ok_or_else(|| format!("{flag}: missing value"))?;
+            match flag.as_str() {
+                "--edits" => opts.edits = parse_num(flag, value)?.max(1),
+                "--batches" => opts.batches = parse_num(flag, value)?.max(1),
+                "--queries" => opts.queries = parse_num(flag, value)?.max(1),
+                "--seed" => opts.seed = parse_num(flag, value)? as u64,
+                "--edit-mix" => opts.mix = value.parse::<EditMix>()?,
+                other => return Err(format!("unknown update-bench flag {other}")),
+            }
+        }
+        Ok(opts)
+    }
+}
+
+fn parse_num(flag: &str, value: &str) -> Result<usize, String> {
+    value.parse::<usize>().map_err(|e| format!("{flag}: {e}"))
+}
+
+/// Ablates **incremental** view maintenance against full re-materialization
+/// under a Zipf-skewed edit stream, verifying byte-identical answers after
+/// every batch, and writes the machine-readable summary to
+/// `BENCH_updates.json` (archived by CI next to the throughput benches).
+fn cmd_update_bench(args: &[String]) -> Result<ExitCode, String> {
+    let opts = UpdateBenchOpts::parse(args)?;
+    let catalog = site_intersect_catalog();
+    let doc = site_doc(12, 12, 7);
+    let incremental = ShardedViewCache::new(doc.clone());
+    let full = ShardedViewCache::new(doc.clone());
+    full.set_incremental_maintenance(false);
+    for (name, def) in catalog.views.iter() {
+        incremental.add_view(name, def.clone());
+        full.add_view(name, def.clone());
+    }
+
+    // Phase A — warm both plan memos with the query workload.
+    let stream = catalog_zipf_stream(&catalog, opts.queries, opts.seed);
+    let _ = incremental.answer_batch(&stream);
+    let _ = full.answer_batch(&stream);
+    let warm_hits = incremental.stats().plan_memo_hits;
+
+    // Phase B — apply the edit stream batch by batch, probing answers
+    // between batches.
+    let edits = edit_stream(&doc, opts.edits, opts.mix, opts.seed ^ 0xED17);
+    let batches = edit_batches(&edits, opts.batches);
+    let probe: Vec<Pattern> = stream.iter().take(40).cloned().collect();
+    let mut incr_update = std::time::Duration::ZERO;
+    let mut full_update = std::time::Duration::ZERO;
+    let mut routes_dropped = 0u64;
+    let mut maintain = xpath_views::engine::MaintainStats::default();
+    for batch in &batches {
+        let t0 = Instant::now();
+        let report = incremental.apply_edits(batch).map_err(|e| e.to_string())?;
+        incr_update += t0.elapsed();
+        routes_dropped += report.routes_dropped;
+        maintain.add(&report.maintain);
+        let t1 = Instant::now();
+        full.apply_edits(batch).map_err(|e| e.to_string())?;
+        full_update += t1.elapsed();
+        for q in &probe {
+            let a = incremental.answer(q);
+            let b = full.answer(q);
+            let direct = incremental.answer_direct(q);
+            if a.nodes != b.nodes || a.nodes != direct {
+                return Err(format!("maintenance modes diverged on {q}"));
+            }
+        }
+    }
+    let post_stats = incremental.stats();
+    let probe_queries = (batches.len() * probe.len()) as u64;
+    let survived_hits = post_stats.plan_memo_hits - warm_hits;
+
+    let incr_ms = incr_update.as_secs_f64() * 1e3;
+    let full_ms = full_update.as_secs_f64() * 1e3;
+    let speedup = if incr_ms > 0.0 { full_ms / incr_ms } else { 0.0 };
+    println!(
+        "applied {} edits in {} batches over {} doc nodes / {} views",
+        opts.edits,
+        batches.len(),
+        doc.len(),
+        catalog.views.len(),
+    );
+    println!("incremental maintenance: {incr_ms:.2} ms  ({maintain})");
+    println!("full re-materialization: {full_ms:.2} ms  — speedup {speedup:.2}x");
+    println!(
+        "probe answers byte-identical across modes and vs direct; plan memo: {} of {} \
+         probe queries served from surviving routes, {} routes dropped",
+        survived_hits, probe_queries, routes_dropped
+    );
+    println!("cache: {post_stats}");
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"updates_zipf_site\",\n",
+            "  \"edits\": {},\n",
+            "  \"edit_mix\": \"{}\",\n",
+            "  \"batches\": {},\n",
+            "  \"doc_nodes\": {},\n",
+            "  \"views\": {},\n",
+            "  \"incremental_ms\": {:.3},\n",
+            "  \"full_recompute_ms\": {:.3},\n",
+            "  \"speedup_incremental_vs_full\": {:.3},\n",
+            "  \"maintain\": {{\n",
+            "    \"view_edit_checks\": {},\n",
+            "    \"label_skips\": {},\n",
+            "    \"spine_clean\": {},\n",
+            "    \"regions_scanned\": {},\n",
+            "    \"region_nodes\": {},\n",
+            "    \"full_recomputes\": {},\n",
+            "    \"answers_added\": {},\n",
+            "    \"answers_removed\": {}\n",
+            "  }},\n",
+            "  \"routes\": {{\n",
+            "    \"probe_queries\": {},\n",
+            "    \"served_from_surviving_routes\": {},\n",
+            "    \"routes_dropped\": {},\n",
+            "    \"views_refreshed_incrementally\": {}\n",
+            "  }},\n",
+            "  \"verified_identical\": true\n",
+            "}}\n"
+        ),
+        opts.edits,
+        opts.mix,
+        batches.len(),
+        doc.len(),
+        catalog.views.len(),
+        incr_ms,
+        full_ms,
+        speedup,
+        maintain.view_edit_checks,
+        maintain.label_skips,
+        maintain.spine_clean,
+        maintain.regions_scanned,
+        maintain.region_nodes,
+        maintain.full_recomputes,
+        maintain.answers_added,
+        maintain.answers_removed,
+        probe_queries,
+        survived_hits,
+        routes_dropped,
+        post_stats.views_refreshed_incrementally,
+    );
+    std::fs::write("BENCH_updates.json", &json).map_err(|e| format!("BENCH_updates.json: {e}"))?;
+    println!("wrote BENCH_updates.json");
+    Ok(ExitCode::SUCCESS)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.as_slice() {
@@ -313,6 +488,7 @@ fn main() -> ExitCode {
         [cmd, p] if cmd == "reduce" => cmd_reduce(p),
         [cmd] if cmd == "figures" => cmd_figures(),
         [cmd, rest @ ..] if cmd == "serve-bench" => cmd_serve_bench(rest),
+        [cmd, rest @ ..] if cmd == "update-bench" => cmd_update_bench(rest),
         _ => return fail("expected a subcommand"),
     };
     match result {

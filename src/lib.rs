@@ -17,10 +17,12 @@
 //!   selection over a view pool, exact intersection patterns, and node-set
 //!   evaluation ([`xpv_intersect`] — the sound part of the paper's open
 //!   problem 5, after Cautis et al.);
+//! * [`maintain`] — the document **edit log** and incremental view
+//!   maintenance under tree updates ([`xpv_maintain`]);
 //! * [`engine`] — materialized views and answering queries using views
 //!   ([`xpv_engine`]);
-//! * [`workload`] — generators for patterns, documents and rewriting
-//!   scenarios ([`xpv_workload`]).
+//! * [`workload`] — generators for patterns, documents, rewriting
+//!   scenarios, and document edit streams ([`xpv_workload`]).
 //!
 //! ## The containment oracle and planning sessions
 //!
@@ -57,6 +59,16 @@
 //! admission queue, a `std::thread` worker pool, and per-tenant stats
 //! (`xpv serve-bench` drives it from the command line).
 //!
+//! ## Document updates
+//!
+//! The cached document is not frozen:
+//! [`apply_edits`](engine::ShardedViewCache::apply_edits) applies a
+//! transactional batch of tree edits ([`maintain::Edit`]) and refreshes
+//! every registered view **incrementally** from the edits' affected
+//! regions, invalidating only the plan-memo routes whose participants'
+//! answers actually changed (`xpv update-bench` ablates incremental vs
+//! full-recompute maintenance from the command line).
+//!
 //! ```
 //! use xpath_views::prelude::*;
 //!
@@ -92,6 +104,7 @@
 pub use xpv_core as rewrite;
 pub use xpv_engine as engine;
 pub use xpv_intersect as intersect;
+pub use xpv_maintain as maintain;
 pub use xpv_model as model;
 pub use xpv_pattern as pattern;
 pub use xpv_semantics as semantics;

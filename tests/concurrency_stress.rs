@@ -227,7 +227,7 @@ fn intersect_routes_are_schedule_invariant_and_invalidate_on_replacement() {
         "the overlapping catalog must exercise intersection routes"
     );
 
-    let mut cache = ShardedViewCache::new(site_doc(8, 10, 7)).with_shards(8);
+    let cache = ShardedViewCache::new(site_doc(8, 10, 7)).with_shards(8);
     for (name, def) in catalog.views.clone() {
         cache.add_view(name, def);
     }

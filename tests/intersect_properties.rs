@@ -154,7 +154,7 @@ proptest! {
 #[test]
 fn acceptance_two_view_intersection_through_the_sharded_cache() {
     let doc = site_doc(8, 10, 7);
-    let mut cache = ShardedViewCache::new(doc).with_shards(4);
+    let cache = ShardedViewCache::new(doc).with_shards(4);
     cache.add_view("bid_names", parse_xpath("site/region/item[bids]/name").unwrap());
     cache.add_view("ship_names", parse_xpath("site/region/item[shipping]/name").unwrap());
     let q = parse_xpath("site/region/item[bids][shipping]/name").unwrap();
