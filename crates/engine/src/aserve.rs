@@ -1,0 +1,710 @@
+//! The asynchronous serving front-end: many connections, a fixed CPU pool.
+//!
+//! [`AsyncCacheServer`] replaces the blocking submit/wait seam of the old
+//! worker pool with the `xpv-net` runtime: every connection (TCP or
+//! Unix-domain, see [`AsyncCacheServer::listen_tcp`] /
+//! [`AsyncCacheServer::listen_unix`]) is one suspended task on an
+//! epoll-driven reactor, so **idle or slow connections hold no worker
+//! thread** — the fixed pool of `workers` threads is spent exclusively on
+//! batches that are actually executing. The wire protocol, framing, and
+//! credit semantics are specified in the `xpv-net` crate docs.
+//!
+//! ## Backpressure
+//!
+//! Admission control is **credit-based and per-connection**: the
+//! handshake grants each connection a window of `conn_window` in-flight
+//! request frames, and the connection's reader task holds a semaphore
+//! permit for every admitted frame — once the window is full it simply
+//! stops reading, letting the kernel socket buffer (and eventually the
+//! client's own send path) absorb the excess. A client can neither flood
+//! the admission queue nor starve other connections; it throttles itself,
+//! which is exactly the contract the old blocking [`CacheServer::submit`]
+//! gave in-process callers.
+//!
+//! The in-process transport keeps that legacy contract verbatim:
+//! [`AsyncCacheServer::submit`] blocks the submitting thread while
+//! `max_pending` batches are in flight (counting a
+//! [`TenantStats::admission_waits`] when it does) and returns a
+//! [`BatchTicket`] resolving to the answers. [`CacheServer`] is a thin
+//! wrapper over exactly this path.
+//!
+//! ## Graceful drain
+//!
+//! Shutdown ([`AsyncCacheServer::shutdown`], also run on drop) follows
+//! the drain sequence: stop admitting (new submissions are **rejected**,
+//! not dropped), fire the drain signal (listeners close; connection
+//! readers stop at the next frame boundary), let every admitted batch
+//! finish and flush its response, send each peer a `ServerBye`, and only
+//! then stop the worker pool and reactor. In-flight work is never
+//! abandoned: a ticket or connection observes either its answers or an
+//! explicit rejection.
+//!
+//! CPU-bound work (planning + evaluation, and `apply_edits` with its
+//! writer gate) runs directly on the worker that polls the task — the
+//! pool size bounds simultaneous cache work exactly like the old
+//! dedicated worker threads did.
+
+use std::io;
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+
+use xpv_maintain::Edit;
+use xpv_net::proto::{Msg, WireAnswer, WireRoute, WireTenantStats, WireUpdateReport, VERSION};
+use xpv_net::stream::Accepted;
+use xpv_net::{
+    read_frame, write_frame, AsyncStream, AsyncTcpListener, AsyncUnixListener, DrainSignal,
+    FrameEvent, NotifyQueue, Popped, Runtime, Semaphore,
+};
+use xpv_pattern::Pattern;
+
+use crate::shard::{CacheAnswer, Route, ShardedViewCache, UpdateReport};
+use crate::tenants::{TenantRegistry, TenantStats};
+
+/// Default bound on in-flight + queued in-process batches (the legacy
+/// admission-queue bound).
+pub const DEFAULT_MAX_PENDING: usize = 1024;
+
+/// Default per-connection credit window (max unacknowledged frames).
+pub const DEFAULT_CONN_WINDOW: u32 = 32;
+
+/// Why a submission was not served.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BatchRejected {
+    /// Human-readable reason (drain, shutdown).
+    pub reason: String,
+}
+
+impl std::fmt::Display for BatchRejected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "batch rejected: {}", self.reason)
+    }
+}
+
+impl std::error::Error for BatchRejected {}
+
+/// A pending batch: resolve it with [`BatchTicket::wait`] (panics on
+/// rejection, the legacy contract) or [`BatchTicket::wait_result`]
+/// (reports rejection, the drain-aware contract).
+#[must_use = "a submitted batch is only observable through its ticket"]
+pub struct BatchTicket {
+    rx: Option<mpsc::Receiver<Vec<CacheAnswer>>>,
+    rejected: Option<BatchRejected>,
+}
+
+impl BatchTicket {
+    fn rejected(reason: &str) -> BatchTicket {
+        BatchTicket { rx: None, rejected: Some(BatchRejected { reason: reason.to_string() }) }
+    }
+
+    /// Blocks until the batch is answered (answers in input order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch was rejected (server draining). Submissions
+    /// racing a shutdown should use [`BatchTicket::wait_result`].
+    pub fn wait(self) -> Vec<CacheAnswer> {
+        self.wait_result().expect("cache server dropped a pending batch")
+    }
+
+    /// Blocks until the batch is answered or reports its rejection.
+    pub fn wait_result(self) -> Result<Vec<CacheAnswer>, BatchRejected> {
+        if let Some(rejected) = self.rejected {
+            return Err(rejected);
+        }
+        self.rx
+            .expect("ticket has a channel when not rejected")
+            .recv()
+            .map_err(|_| BatchRejected { reason: "server dropped the batch".to_string() })
+    }
+}
+
+/// State shared by the submit path, the listeners, and every connection.
+struct ServerShared {
+    cache: Arc<ShardedViewCache>,
+    tenants: TenantRegistry,
+    /// Per-connection credit window granted at handshake.
+    conn_window: AtomicU32,
+    /// In-process admission bound (the legacy `max_pending`).
+    local_window: Semaphore,
+    /// Broadcast shutdown signal: listeners and connection readers race
+    /// their I/O against it.
+    drain: DrainSignal,
+    /// Set first during shutdown: new submissions reject immediately.
+    draining: AtomicBool,
+    /// Live socket connections (diagnostic; the idle-connection tests
+    /// assert hundreds of these coexist with a tiny worker pool).
+    connections: AtomicUsize,
+}
+
+/// An async cache server multiplexing any number of connections (plus the
+/// in-process transport) onto a fixed worker pool over one shared
+/// [`ShardedViewCache`].
+///
+/// ```
+/// use std::sync::Arc;
+/// use xpv_engine::{AsyncCacheServer, ShardedViewCache};
+/// use xpv_model::TreeBuilder;
+/// use xpv_pattern::parse_xpath;
+///
+/// let doc = TreeBuilder::root("a", |b| {
+///     b.leaf("b");
+/// });
+/// let cache = ShardedViewCache::new(doc);
+/// cache.add_view("bs", parse_xpath("a/b").unwrap());
+/// let server = AsyncCacheServer::start(Arc::new(cache), 2);
+/// let answers = server.submit("tenant-1", vec![parse_xpath("a/b").unwrap()]).wait();
+/// assert_eq!(answers.len(), 1);
+/// assert_eq!(server.tenant_stats("tenant-1").unwrap().queries, 1);
+/// ```
+pub struct AsyncCacheServer {
+    shared: Arc<ServerShared>,
+    runtime: Arc<Runtime>,
+    /// Unix socket paths to unlink if shutdown never runs (the listener
+    /// normally removes its own file on drop).
+    shut_down: AtomicBool,
+}
+
+impl AsyncCacheServer {
+    /// Starts `workers` pool threads (minimum 1) over `cache` with the
+    /// default in-process admission bound and connection window.
+    pub fn start(cache: Arc<ShardedViewCache>, workers: usize) -> AsyncCacheServer {
+        Self::start_bounded(cache, workers, DEFAULT_MAX_PENDING)
+    }
+
+    /// [`AsyncCacheServer::start`] with an explicit in-process admission
+    /// bound (minimum 1): [`AsyncCacheServer::submit`] blocks once
+    /// `max_pending` batches are in flight.
+    pub fn start_bounded(
+        cache: Arc<ShardedViewCache>,
+        workers: usize,
+        max_pending: usize,
+    ) -> AsyncCacheServer {
+        let runtime = Runtime::new(workers).expect("start async runtime");
+        AsyncCacheServer {
+            shared: Arc::new(ServerShared {
+                cache,
+                tenants: TenantRegistry::new(),
+                conn_window: AtomicU32::new(DEFAULT_CONN_WINDOW),
+                local_window: Semaphore::new(max_pending.max(1)),
+                drain: DrainSignal::new(),
+                draining: AtomicBool::new(false),
+                connections: AtomicUsize::new(0),
+            }),
+            runtime: Arc::new(runtime),
+            shut_down: AtomicBool::new(false),
+        }
+    }
+
+    /// Sets the credit window granted to connections accepted **after**
+    /// this call (minimum 1).
+    pub fn set_conn_window(&self, window: u32) {
+        self.shared.conn_window.store(window.max(1), Ordering::Relaxed);
+    }
+
+    /// The credit window new connections are granted.
+    pub fn conn_window(&self) -> u32 {
+        self.shared.conn_window.load(Ordering::Relaxed)
+    }
+
+    /// The shared cache the pool answers from.
+    pub fn cache(&self) -> &Arc<ShardedViewCache> {
+        &self.shared.cache
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.runtime.workers()
+    }
+
+    /// Live socket connections right now.
+    pub fn connections(&self) -> usize {
+        self.shared.connections.load(Ordering::Relaxed)
+    }
+
+    /// Starts accepting wire-protocol connections on a TCP address
+    /// (e.g. `"127.0.0.1:0"`). Returns the bound address.
+    pub fn listen_tcp(&self, addr: &str) -> io::Result<SocketAddr> {
+        let listener = AsyncTcpListener::bind(addr, self.runtime.reactor())?;
+        let local = listener.local_addr()?;
+        let shared = Arc::clone(&self.shared);
+        let runtime = Arc::clone(&self.runtime);
+        let accepted = self.runtime.spawn(async move {
+            let drain = shared.drain.listener();
+            loop {
+                match listener.accept(&drain).await {
+                    Ok(Accepted::Stream(stream)) => spawn_connection(&shared, &runtime, stream),
+                    Ok(Accepted::Drained) => return,
+                    Err(_) => continue,
+                }
+            }
+        });
+        if !accepted {
+            return Err(io::Error::new(io::ErrorKind::BrokenPipe, "server is shutting down"));
+        }
+        Ok(local)
+    }
+
+    /// Starts accepting wire-protocol connections on a Unix-domain socket
+    /// at `path` (created now, removed when the listener drains).
+    pub fn listen_unix(&self, path: &Path) -> io::Result<PathBuf> {
+        let listener = AsyncUnixListener::bind(path, self.runtime.reactor())?;
+        let shared = Arc::clone(&self.shared);
+        let runtime = Arc::clone(&self.runtime);
+        let accepted = self.runtime.spawn(async move {
+            let drain = shared.drain.listener();
+            loop {
+                match listener.accept(&drain).await {
+                    Ok(Accepted::Stream(stream)) => spawn_connection(&shared, &runtime, stream),
+                    Ok(Accepted::Drained) => return,
+                    Err(_) => continue,
+                }
+            }
+        });
+        if !accepted {
+            return Err(io::Error::new(io::ErrorKind::BrokenPipe, "server is shutting down"));
+        }
+        Ok(path.to_path_buf())
+    }
+
+    /// Admits a query batch for `tenant` over the **in-process
+    /// transport**, blocking while `max_pending` batches are in flight
+    /// (accounted as [`TenantStats::admission_waits`] when it happens).
+    /// Returns a ticket resolving to the answers (input order) — or to a
+    /// rejection if the server is draining.
+    pub fn submit(&self, tenant: &str, queries: impl Into<Vec<Pattern>>) -> BatchTicket {
+        let queries: Vec<Pattern> = queries.into();
+        if self.shared.draining.load(Ordering::Acquire) {
+            return BatchTicket::rejected("server is draining");
+        }
+        if self.shared.local_window.acquire_blocking() {
+            self.shared.tenants.counters(tenant).admission_waits.fetch_add(1, Ordering::Relaxed);
+        }
+        let (tx, rx) = mpsc::channel();
+        let shared = Arc::clone(&self.shared);
+        let tenant = tenant.to_string();
+        let spawned = self.runtime.spawn(async move {
+            let answers = shared.cache.answer_batch(&queries);
+            shared.tenants.account_batch(&tenant, &answers);
+            // A dropped ticket (caller gave up) is fine; the work is done.
+            let _ = tx.send(answers);
+            shared.local_window.release();
+        });
+        if !spawned {
+            self.shared.local_window.release();
+            return BatchTicket::rejected("server is shutting down");
+        }
+        BatchTicket { rx: Some(rx), rejected: None }
+    }
+
+    /// Submits and waits: synchronous batch answering with
+    /// [`ShardedViewCache::answer_batch`] semantics.
+    pub fn answer_batch(&self, tenant: &str, queries: impl Into<Vec<Pattern>>) -> Vec<CacheAnswer> {
+        self.submit(tenant, queries).wait()
+    }
+
+    /// Applies a document edit batch through the shared cache on behalf
+    /// of `tenant` (see [`ShardedViewCache::apply_edits`]); the edit is
+    /// accounted to the tenant's [`TenantStats`].
+    pub fn apply_edits(
+        &self,
+        tenant: &str,
+        edits: &[Edit],
+    ) -> Result<UpdateReport, xpv_maintain::EditError> {
+        let report = self.shared.cache.apply_edits(edits)?;
+        account_update(&self.shared, tenant, &report);
+        Ok(report)
+    }
+
+    /// This tenant's lifetime counters (`None` before its first batch).
+    pub fn tenant_stats(&self, tenant: &str) -> Option<TenantStats> {
+        self.shared.tenants.get(tenant)
+    }
+
+    /// All tenants with their counters, sorted by tenant id.
+    pub fn tenants(&self) -> Vec<(String, TenantStats)> {
+        self.shared.tenants.all()
+    }
+
+    /// Graceful drain (idempotent; also run on drop): reject new
+    /// submissions, close listeners, finish and flush every admitted
+    /// batch, send connected peers a `ServerBye`, then stop the pool.
+    pub fn shutdown(&self) {
+        if self.shut_down.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        self.shared.draining.store(true, Ordering::Release);
+        self.shared.drain.set();
+        self.runtime.wait_idle();
+        self.runtime.shutdown();
+    }
+}
+
+impl Drop for AsyncCacheServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn account_update(shared: &ServerShared, tenant: &str, report: &UpdateReport) {
+    let counters = shared.tenants.counters(tenant);
+    counters.updates_applied.fetch_add(report.edits_applied as u64, Ordering::Relaxed);
+    counters
+        .views_refreshed_incrementally
+        .fetch_add(report.views_refreshed as u64, Ordering::Relaxed);
+}
+
+/// One accepted connection's shared state.
+struct Conn {
+    stream: Arc<AsyncStream>,
+    /// Encoded response frames awaiting the writer task.
+    out: NotifyQueue<Vec<u8>>,
+    /// In-flight credit window: the reader holds one permit per admitted
+    /// frame; handlers return it after enqueuing their response.
+    window: Semaphore,
+    window_size: u32,
+}
+
+fn spawn_connection(shared: &Arc<ServerShared>, runtime: &Arc<Runtime>, stream: AsyncStream) {
+    let shared_for_task = Arc::clone(shared);
+    let runtime_for_conn = Arc::clone(runtime);
+    // The connection count is owned by the spawned task (incremented on
+    // entry, decremented on exit), so a spawn rejected by a racing
+    // shutdown — which drops the future unrun — cannot leak a count.
+    let _ = runtime.spawn(async move {
+        shared_for_task.connections.fetch_add(1, Ordering::Relaxed);
+        serve_connection(&shared_for_task, &runtime_for_conn, stream).await;
+        shared_for_task.connections.fetch_sub(1, Ordering::Relaxed);
+    });
+}
+
+/// The connection reader: handshake, then one admitted frame per credit.
+async fn serve_connection(shared: &Arc<ServerShared>, runtime: &Arc<Runtime>, stream: AsyncStream) {
+    let drain = shared.drain.listener();
+    // --- Handshake -------------------------------------------------------
+    let body = match read_frame(&stream, &drain).await {
+        Ok(FrameEvent::Frame(body)) => body,
+        _ => return,
+    };
+    match Msg::decode(&body) {
+        Ok(Msg::Hello { version }) if version == VERSION => {}
+        Ok(Msg::Hello { version }) => {
+            let msg = Msg::Error {
+                message: format!(
+                    "unsupported protocol version {version} (server speaks {VERSION})"
+                ),
+            };
+            let _ = write_frame(&stream, &msg.encode()).await;
+            return;
+        }
+        Ok(_) | Err(_) => {
+            let msg = Msg::Error { message: "expected Hello".to_string() };
+            let _ = write_frame(&stream, &msg.encode()).await;
+            return;
+        }
+    }
+    let window_size = shared.conn_window.load(Ordering::Relaxed).max(1);
+    let ack = Msg::HelloAck { version: VERSION, window: window_size };
+    if write_frame(&stream, &ack.encode()).await.is_err() {
+        return;
+    }
+
+    let conn = Arc::new(Conn {
+        stream: Arc::new(stream),
+        out: NotifyQueue::new(),
+        window: Semaphore::new(window_size as usize),
+        window_size,
+    });
+
+    // --- Writer task: flushes the outbox until it closes -----------------
+    {
+        let conn = Arc::clone(&conn);
+        runtime.spawn(async move {
+            loop {
+                match conn.out.pop().await {
+                    Popped::Item(body) => {
+                        if write_frame(&conn.stream, &body).await.is_err() {
+                            // Peer gone: drain silently so handlers'
+                            // pushes don't pile up.
+                            continue;
+                        }
+                    }
+                    Popped::Closed => return,
+                }
+            }
+        });
+    }
+
+    // --- Read loop: one frame per credit ---------------------------------
+    loop {
+        // Credit gate: in-flight handlers always finish, so this acquire
+        // always returns; a full window merely stops the socket read —
+        // kernel-buffer backpressure onto the client.
+        conn.window.acquire().await;
+        let event = read_frame(&conn.stream, &drain).await;
+        let body = match event {
+            Ok(FrameEvent::Frame(body)) => body,
+            Ok(FrameEvent::Eof) | Ok(FrameEvent::Drained) | Err(_) => {
+                conn.window.release();
+                break;
+            }
+        };
+        match Msg::decode(&body) {
+            Ok(Msg::QueryBatch { id, tenant, queries }) => {
+                let shared = Arc::clone(shared);
+                let conn_for_task = Arc::clone(&conn);
+                let spawned = runtime.spawn(async move {
+                    let answers = shared.cache.answer_batch(&queries);
+                    shared.tenants.account_batch(&tenant, &answers);
+                    let wire = answers.iter().map(wire_answer).collect();
+                    push_response(&conn_for_task, id, Msg::Answers { id, answers: wire });
+                    conn_for_task.window.release();
+                });
+                if !spawned {
+                    reject(&conn, id, "server is shutting down");
+                }
+            }
+            Ok(Msg::EditBatch { id, tenant, edits }) => {
+                let shared = Arc::clone(shared);
+                let conn_for_task = Arc::clone(&conn);
+                let spawned = runtime.spawn(async move {
+                    let msg = match shared.cache.apply_edits(&edits) {
+                        Ok(report) => {
+                            account_update(&shared, &tenant, &report);
+                            Msg::EditAck { id, report: wire_report(&report) }
+                        }
+                        Err(e) => Msg::Rejected { id, reason: e.to_string() },
+                    };
+                    push_response(&conn_for_task, id, msg);
+                    conn_for_task.window.release();
+                });
+                if !spawned {
+                    reject(&conn, id, "server is shutting down");
+                }
+            }
+            Ok(Msg::StatsReq { id, tenant }) => {
+                let stats = shared.tenants.get(&tenant);
+                let msg = Msg::StatsResp {
+                    id,
+                    found: stats.is_some(),
+                    stats: wire_tenant_stats(stats.unwrap_or_default()),
+                };
+                conn.out.push(msg.encode());
+                conn.window.release();
+            }
+            Ok(Msg::Goodbye) => {
+                conn.window.release();
+                break;
+            }
+            Ok(other) => {
+                conn.out
+                    .push(Msg::Error { message: format!("unexpected frame {other:?}") }.encode());
+                conn.window.release();
+                break;
+            }
+            Err(e) => {
+                conn.out.push(Msg::Error { message: e.to_string() }.encode());
+                conn.window.release();
+                break;
+            }
+        }
+    }
+
+    // --- Drain this connection ------------------------------------------
+    // Reclaim the whole window: every in-flight handler has then pushed
+    // its response. Handlers always terminate, so this cannot hang.
+    for _ in 0..conn.window_size {
+        conn.window.acquire().await;
+    }
+    conn.out.push(Msg::ServerBye.encode());
+    conn.out.close();
+}
+
+fn reject(conn: &Conn, id: u64, reason: &str) {
+    conn.out.push(Msg::Rejected { id, reason: reason.to_string() }.encode());
+    conn.window.release();
+}
+
+/// Enqueues a response, downgrading one whose encoding exceeds the frame
+/// cap to a `Rejected` — the connection (and its pipelined siblings)
+/// survive, and the client sees an explicit refusal instead of the
+/// protocol error an oversized frame would trigger.
+fn push_response(conn: &Conn, id: u64, msg: Msg) {
+    let body = msg.encode();
+    if body.len() <= xpv_net::MAX_FRAME {
+        conn.out.push(body);
+    } else {
+        let reason = format!(
+            "response of {} bytes exceeds the {}-byte frame limit; narrow the batch",
+            body.len(),
+            xpv_net::MAX_FRAME
+        );
+        conn.out.push(Msg::Rejected { id, reason }.encode());
+    }
+}
+
+fn wire_answer(a: &CacheAnswer) -> WireAnswer {
+    WireAnswer {
+        nodes: a.nodes.clone(),
+        route: match &a.route {
+            Route::Direct => WireRoute::Direct,
+            Route::ViaView { view, rewriting } => {
+                WireRoute::ViaView { view: view.clone(), rewriting: rewriting.clone() }
+            }
+            Route::Intersect { views, compensation } => {
+                WireRoute::Intersect { views: views.clone(), compensation: compensation.clone() }
+            }
+        },
+    }
+}
+
+fn wire_report(r: &UpdateReport) -> WireUpdateReport {
+    WireUpdateReport {
+        edits_applied: r.edits_applied as u64,
+        doc_version: r.doc_version,
+        views_refreshed: r.views_refreshed as u64,
+        views_changed: r.views_changed as u64,
+        routes_dropped: r.routes_dropped,
+    }
+}
+
+fn wire_tenant_stats(s: TenantStats) -> WireTenantStats {
+    WireTenantStats {
+        batches: s.batches,
+        queries: s.queries,
+        view_hits: s.view_hits,
+        intersect_hits: s.intersect_hits,
+        direct: s.direct,
+        updates_applied: s.updates_applied,
+        views_refreshed_incrementally: s.views_refreshed_incrementally,
+        admission_waits: s.admission_waits,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xpv_model::{Tree, TreeBuilder};
+    use xpv_net::WireClient;
+    use xpv_pattern::parse_xpath;
+
+    fn pat(s: &str) -> Pattern {
+        parse_xpath(s).expect("pattern parses")
+    }
+
+    fn doc() -> Tree {
+        TreeBuilder::root("site", |b| {
+            for _ in 0..3 {
+                b.child("region", |b| {
+                    b.child("item", |b| {
+                        b.leaf("name");
+                    });
+                });
+            }
+        })
+    }
+
+    fn server(workers: usize) -> AsyncCacheServer {
+        let cache = ShardedViewCache::new(doc()).with_shards(4);
+        cache.add_view("items", pat("site/region/item"));
+        AsyncCacheServer::start(Arc::new(cache), workers)
+    }
+
+    #[test]
+    fn in_process_submit_answers_match_direct() {
+        let server = server(2);
+        let qs = vec![pat("site/region/item/name"), pat("site/region"), pat("site//name")];
+        let answers = server.answer_batch("t1", qs.clone());
+        assert_eq!(answers.len(), 3);
+        for (q, a) in qs.iter().zip(&answers) {
+            assert_eq!(a.nodes, server.cache().answer_direct(q), "order broken for {q}");
+        }
+    }
+
+    #[test]
+    fn submissions_after_shutdown_are_rejected_not_hung() {
+        let server = server(1);
+        let q = pat("site/region/item");
+        assert!(server.submit("t", vec![q.clone()]).wait_result().is_ok());
+        server.shutdown();
+        let err = server.submit("t", vec![q]).wait_result().expect_err("draining rejects");
+        assert!(err.reason.contains("draining"), "got: {}", err.reason);
+    }
+
+    #[test]
+    fn admission_waits_are_counted_when_the_window_is_full() {
+        let server = AsyncCacheServer::start_bounded(
+            Arc::new(ShardedViewCache::new(doc())),
+            1,
+            1, // window of one: the second submit must wait
+        );
+        let q = pat("site/region/item/name");
+        let tickets: Vec<BatchTicket> =
+            (0..6).map(|_| server.submit("waiter", vec![q.clone()])).collect();
+        for t in tickets {
+            assert!(t.wait_result().is_ok());
+        }
+        let stats = server.tenant_stats("waiter").expect("accounted");
+        assert_eq!(stats.batches, 6);
+        assert!(stats.admission_waits > 0, "window of 1 with 6 submits must wait: {stats:?}");
+    }
+
+    #[test]
+    fn wire_round_trip_over_tcp() {
+        let server = server(2);
+        let addr = server.listen_tcp("127.0.0.1:0").expect("listen");
+        let mut client = WireClient::connect_tcp(&addr.to_string()).expect("connect");
+        assert_eq!(client.window(), DEFAULT_CONN_WINDOW);
+        let qs = vec![pat("site/region/item/name"), pat("site/region/item")];
+        let answers = client.answer_batch("wire-tenant", &qs).expect("answers");
+        assert_eq!(answers.len(), 2);
+        for (q, a) in qs.iter().zip(&answers) {
+            assert_eq!(a.nodes, server.cache().answer_direct(q), "wire answers differ for {q}");
+        }
+        let stats = client.tenant_stats("wire-tenant").expect("io").expect("tenant seen");
+        assert_eq!(stats.queries, 2);
+        assert!(client.tenant_stats("never-seen").expect("io").is_none());
+        let drained = client.goodbye().expect("clean close");
+        assert!(drained.is_empty());
+        assert_eq!(server.tenant_stats("wire-tenant").unwrap().queries, 2);
+    }
+
+    #[test]
+    fn wire_round_trip_over_unix_socket() {
+        let server = server(2);
+        let path = std::env::temp_dir().join(format!("xpv-test-{}.sock", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        server.listen_unix(&path).expect("listen");
+        let mut client = WireClient::connect_unix(&path).expect("connect");
+        let q = pat("site//name");
+        let answers = client.answer_batch("ux", std::slice::from_ref(&q)).expect("answers");
+        assert_eq!(answers[0].nodes, server.cache().answer_direct(&q));
+        drop(client);
+        server.shutdown();
+        assert!(!path.exists(), "drained listener removes its socket file");
+    }
+
+    #[test]
+    fn version_mismatch_is_refused() {
+        use std::io::{Read, Write};
+        let server = server(1);
+        let addr = server.listen_tcp("127.0.0.1:0").expect("listen");
+        let mut raw = std::net::TcpStream::connect(addr).expect("connect");
+        let body = Msg::Hello { version: 999 }.encode();
+        raw.write_all(&(body.len() as u32).to_le_bytes()).expect("len");
+        raw.write_all(&body).expect("body");
+        let mut len = [0u8; 4];
+        raw.read_exact(&mut len).expect("error frame length");
+        let mut resp = vec![0u8; u32::from_le_bytes(len) as usize];
+        raw.read_exact(&mut resp).expect("error frame body");
+        match Msg::decode(&resp).expect("decodes") {
+            Msg::Error { message } => {
+                assert!(message.contains("version"), "got: {message}")
+            }
+            other => panic!("expected Error, got {other:?}"),
+        }
+        // The server closes after the error frame.
+        assert_eq!(raw.read(&mut len).expect("eof"), 0);
+    }
+}

@@ -29,28 +29,40 @@
 //! * [`ViewCache`] (**[`cache`]**) — the familiar single-threaded API, now
 //!   a thin wrapper over one shard: same planning, memo, stats, and
 //!   answers, with `&mut self` ergonomics and no cross-thread traffic.
-//! * [`CacheServer`] (**[`serve`]**) — the service front-end: a
-//!   `std::thread` worker pool draining a bounded admission queue of
-//!   per-tenant query batches over one shared `ShardedViewCache`, with
-//!   per-tenant accounting ([`TenantStats`]) and clean shutdown. The
-//!   admission queue is the seam for the ROADMAP's async port.
+//! * [`AsyncCacheServer`] (**[`aserve`]**) — the service front-end: any
+//!   number of wire-protocol connections (TCP / Unix-domain, via the
+//!   `xpv-net` reactor) plus the in-process transport, multiplexed onto a
+//!   fixed CPU worker pool over one shared `ShardedViewCache`. Idle
+//!   connections are suspended tasks, not pinned threads; admission is
+//!   credit-based per connection (see the `xpv-net` crate docs for the
+//!   wire protocol and backpressure spec); per-tenant accounting
+//!   ([`TenantStats`]) and graceful drain are built in.
+//! * [`CacheServer`] (**[`serve`]**) — the synchronous façade kept for
+//!   in-process embedders: the old blocking-submit worker-pool API as a
+//!   thin wrapper over `AsyncCacheServer`'s in-process transport.
 //!
 //! Pick the innermost layer that fits: library callers embedding a cache in
 //! one thread use `ViewCache`; multi-threaded embedders share a
-//! `ShardedViewCache`; anything resembling a server fronts it with
-//! `CacheServer`.
+//! `ShardedViewCache`; in-process services front it with `CacheServer`;
+//! network services with `AsyncCacheServer`.
 
+pub mod aserve;
 pub mod cache;
 pub mod serve;
 pub mod shard;
+pub mod tenants;
 pub mod view;
 
+pub use aserve::{
+    AsyncCacheServer, BatchRejected, BatchTicket, DEFAULT_CONN_WINDOW, DEFAULT_MAX_PENDING,
+};
 pub use cache::ViewCache;
-pub use serve::{BatchTicket, CacheServer, TenantStats, DEFAULT_MAX_PENDING};
+pub use serve::CacheServer;
 pub use shard::{
     CacheAnswer, CacheStats, ChoicePolicy, Route, ShardedViewCache, UpdateReport, ViewId,
     DEFAULT_CACHE_SHARDS,
 };
+pub use tenants::TenantStats;
 pub use view::{answer_value_set, MaterializedDelta, MaterializedView};
 // Re-exported so embedders can tune the intersection planner without a
 // direct `xpv-intersect` dependency.

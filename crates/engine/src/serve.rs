@@ -1,184 +1,37 @@
-//! A worker-pool serving front-end over the sharded cache.
+//! The synchronous serving façade over the async front-end.
 //!
-//! [`CacheServer`] turns the [`ShardedViewCache`] library into a service: a
-//! fixed pool of `std::thread` workers drains a bounded **admission queue**
-//! of query batches, answers each batch through the shared cache (planning,
-//! plan memo, and containment verdicts pooled across all workers), and
-//! replies on a per-batch channel. Batch semantics are exactly those of
+//! [`CacheServer`] is the legacy worker-pool API — `submit` a tenant's
+//! query batch, block while the admission window is full, resolve a
+//! [`BatchTicket`] — kept **source-compatible** as a thin wrapper over
+//! [`AsyncCacheServer`](crate::AsyncCacheServer)'s in-process transport.
+//! What used to be a `std::thread` pool draining a `Mutex<VecDeque>` +
+//! two-`Condvar` admission queue is now the same fixed CPU pool that
+//! serves socket connections: each submitted batch becomes one task on
+//! the `xpv-net` executor, the `max_pending` bound becomes the in-process
+//! admission semaphore, and blocking-submit backpressure, per-tenant
+//! accounting ([`TenantStats`]), and drain-on-drop semantics are
+//! unchanged. Batch semantics are exactly those of
 //! [`ShardedViewCache::answer_batch`]: answers in input order, in-batch
 //! duplicates planned once and fanned out.
 //!
-//! Every batch is submitted on behalf of a **tenant** (any string id);
-//! per-tenant counters ([`TenantStats`]) accumulate across batches for
-//! accounting and capacity planning. The counters are **sharded and
-//! atomic**: tenants hash onto `RwLock<HashMap>` shards whose values are
-//! `Arc`s of plain atomic counters, so the steady-state account path is a
-//! shared read lock plus relaxed atomic adds — no serialization point
-//! across workers (the old single `Mutex<HashMap>` was the scaling
-//! bottleneck the ROADMAP called out). Backpressure is explicit: when the
-//! admission queue is full, [`CacheServer::submit`] blocks until a worker
-//! drains a slot, so a misbehaving client slows itself down rather than
-//! growing the queue without bound.
-//!
-//! The server is also the front door for **document updates**:
-//! [`CacheServer::apply_edits`] applies an edit batch through the shared
-//! cache (incremental view maintenance, participant-aware route
-//! invalidation) and accounts it to the submitting tenant. Updates
-//! serialize on the cache's writer gate and do their maintenance work on
-//! clones off-lock; queries keep answering from the previous copy-on-write
-//! snapshot while an update is in flight.
-//!
-//! The pool shuts down cleanly on drop: pending batches are completed,
-//! workers are joined, and outstanding [`BatchTicket`]s resolve.
-//!
-//! This is the synchronous precursor of the ROADMAP's async front-end: the
-//! admission queue is the seam where an async reactor would slot in.
+//! Embedders that talk to the cache from inside the process keep using
+//! this type; anything that serves *remote* traffic (sockets, the wire
+//! protocol, per-connection credit windows) uses
+//! [`AsyncCacheServer`](crate::AsyncCacheServer) directly.
 
-use std::collections::hash_map::DefaultHasher;
-use std::collections::{HashMap, VecDeque};
-use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex, RwLock};
-use std::thread::JoinHandle;
+use std::sync::Arc;
 
 use xpv_maintain::{Edit, EditError};
 use xpv_pattern::Pattern;
 
-use crate::shard::{CacheAnswer, Route, ShardedViewCache, UpdateReport};
-
-/// Default bound on queued (admitted but not yet started) batches.
-pub const DEFAULT_MAX_PENDING: usize = 1024;
-
-/// Number of tenant-stats lock shards.
-const TENANT_SHARDS: usize = 16;
-
-/// Per-tenant serving counters (a point-in-time snapshot; the live
-/// counters are sharded atomics).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct TenantStats {
-    /// Batches answered for this tenant.
-    pub batches: u64,
-    /// Individual queries answered (sum of batch lengths).
-    pub queries: u64,
-    /// Queries answered from a view through an equivalent rewriting.
-    pub view_hits: u64,
-    /// Queries answered from a multi-view intersection.
-    pub intersect_hits: u64,
-    /// Queries answered by direct evaluation.
-    pub direct: u64,
-    /// Document edits this tenant applied through
-    /// [`CacheServer::apply_edits`].
-    pub updates_applied: u64,
-    /// Views incrementally refreshed on behalf of this tenant's updates.
-    pub views_refreshed_incrementally: u64,
-}
-
-impl std::fmt::Display for TenantStats {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "{} queries in {} batches ({} via views, {} via intersections, {} direct), \
-             {} edits applied / {} views refreshed incrementally",
-            self.queries,
-            self.batches,
-            self.view_hits,
-            self.intersect_hits,
-            self.direct,
-            self.updates_applied,
-            self.views_refreshed_incrementally
-        )
-    }
-}
-
-/// The live, lock-free per-tenant counters behind [`TenantStats`].
-#[derive(Debug, Default)]
-struct TenantCounters {
-    batches: AtomicU64,
-    queries: AtomicU64,
-    view_hits: AtomicU64,
-    intersect_hits: AtomicU64,
-    direct: AtomicU64,
-    updates_applied: AtomicU64,
-    views_refreshed_incrementally: AtomicU64,
-}
-
-impl TenantCounters {
-    fn snapshot(&self) -> TenantStats {
-        TenantStats {
-            batches: self.batches.load(Ordering::Relaxed),
-            queries: self.queries.load(Ordering::Relaxed),
-            view_hits: self.view_hits.load(Ordering::Relaxed),
-            intersect_hits: self.intersect_hits.load(Ordering::Relaxed),
-            direct: self.direct.load(Ordering::Relaxed),
-            updates_applied: self.updates_applied.load(Ordering::Relaxed),
-            views_refreshed_incrementally: self
-                .views_refreshed_incrementally
-                .load(Ordering::Relaxed),
-        }
-    }
-}
-
-/// One admitted unit of work: a tenant's query batch plus its reply slot.
-struct Job {
-    tenant: String,
-    queries: Vec<Pattern>,
-    reply: mpsc::Sender<Vec<CacheAnswer>>,
-}
-
-/// State shared between submitters and workers.
-struct Shared {
-    cache: Arc<ShardedViewCache>,
-    queue: Mutex<VecDeque<Job>>,
-    /// Signalled when a job is pushed (workers wait on this).
-    job_ready: Condvar,
-    /// Signalled when a job is popped (submitters blocked on a full queue
-    /// wait on this).
-    slot_ready: Condvar,
-    max_pending: usize,
-    shutting_down: AtomicBool,
-    /// Tenant counters, lock-sharded by tenant-id hash; the common path is
-    /// a shared read lock + relaxed atomic adds (a write lock is taken only
-    /// on a tenant's first appearance).
-    tenants: Box<[TenantShard]>,
-}
-
-/// One lock shard of the tenant-counter map.
-type TenantShard = RwLock<HashMap<String, Arc<TenantCounters>>>;
-
-impl Shared {
-    /// The live counters for `tenant`, creating them on first sight.
-    fn tenant_counters(&self, tenant: &str) -> Arc<TenantCounters> {
-        let mut hasher = DefaultHasher::new();
-        tenant.hash(&mut hasher);
-        let shard = &self.tenants[(hasher.finish() as usize) % self.tenants.len()];
-        if let Some(counters) = shard.read().expect("tenant stats poisoned").get(tenant) {
-            return Arc::clone(counters);
-        }
-        let mut map = shard.write().expect("tenant stats poisoned");
-        Arc::clone(map.entry(tenant.to_string()).or_default())
-    }
-}
-
-/// A pending batch: resolve it with [`BatchTicket::wait`].
-#[must_use = "a submitted batch is only observable through its ticket"]
-pub struct BatchTicket {
-    rx: mpsc::Receiver<Vec<CacheAnswer>>,
-}
-
-impl BatchTicket {
-    /// Blocks until the batch is answered (answers in input order).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the server was dropped before answering this batch — a
-    /// programming error, since `Drop` drains the queue first.
-    pub fn wait(self) -> Vec<CacheAnswer> {
-        self.rx.recv().expect("cache server dropped a pending batch")
-    }
-}
+use crate::aserve::AsyncCacheServer;
+pub use crate::aserve::{BatchRejected, BatchTicket, DEFAULT_MAX_PENDING};
+use crate::shard::{CacheAnswer, ShardedViewCache, UpdateReport};
+pub use crate::tenants::TenantStats;
 
 /// A fixed worker pool answering query batches through one shared
-/// [`ShardedViewCache`].
+/// [`ShardedViewCache`] — the in-process compatibility face of
+/// [`AsyncCacheServer`].
 ///
 /// ```
 /// use std::sync::Arc;
@@ -197,74 +50,58 @@ impl BatchTicket {
 /// assert_eq!(server.tenant_stats("tenant-1").unwrap().queries, 1);
 /// ```
 pub struct CacheServer {
-    shared: Arc<Shared>,
-    workers: Vec<JoinHandle<()>>,
+    inner: AsyncCacheServer,
 }
 
 impl CacheServer {
-    /// Starts `workers` threads (minimum 1) over `cache` with the default
-    /// admission-queue bound.
+    /// Starts `workers` pool threads (minimum 1) over `cache` with the
+    /// default admission bound.
     pub fn start(cache: Arc<ShardedViewCache>, workers: usize) -> CacheServer {
         Self::start_bounded(cache, workers, DEFAULT_MAX_PENDING)
     }
 
-    /// [`CacheServer::start`] with an explicit admission-queue bound
-    /// (minimum 1): submitters block once `max_pending` batches are queued.
+    /// [`CacheServer::start`] with an explicit admission bound (minimum
+    /// 1): submitters block once `max_pending` batches are in flight.
     pub fn start_bounded(
         cache: Arc<ShardedViewCache>,
         workers: usize,
         max_pending: usize,
     ) -> CacheServer {
-        let shared = Arc::new(Shared {
-            cache,
-            queue: Mutex::new(VecDeque::new()),
-            job_ready: Condvar::new(),
-            slot_ready: Condvar::new(),
-            max_pending: max_pending.max(1),
-            shutting_down: AtomicBool::new(false),
-            tenants: (0..TENANT_SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
-        });
-        let workers = (0..workers.max(1))
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("xpv-serve-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("spawn cache server worker")
-            })
-            .collect();
-        CacheServer { shared, workers }
+        CacheServer { inner: AsyncCacheServer::start_bounded(cache, workers, max_pending) }
     }
 
     /// The shared cache the pool answers from.
     pub fn cache(&self) -> &Arc<ShardedViewCache> {
-        &self.shared.cache
+        self.inner.cache()
     }
 
     /// Number of worker threads.
     pub fn workers(&self) -> usize {
-        self.workers.len()
+        self.inner.workers()
     }
 
-    /// Admits a batch for `tenant`, blocking while the admission queue is
-    /// full. Returns a ticket resolving to the answers (input order).
-    pub fn submit(&self, tenant: &str, queries: Vec<Pattern>) -> BatchTicket {
-        let (tx, rx) = mpsc::channel();
-        let job = Job { tenant: tenant.to_string(), queries, reply: tx };
-        let mut queue = self.shared.queue.lock().expect("admission queue poisoned");
-        while queue.len() >= self.shared.max_pending {
-            queue = self.shared.slot_ready.wait(queue).expect("admission queue poisoned");
-        }
-        queue.push_back(job);
-        drop(queue);
-        self.shared.job_ready.notify_one();
-        BatchTicket { rx }
+    /// The async front-end underneath — for callers that start in-process
+    /// and want to open a socket listener on the same pool.
+    pub fn as_async(&self) -> &AsyncCacheServer {
+        &self.inner
+    }
+
+    /// Admits a batch for `tenant`, blocking while the admission window
+    /// is full (the wait is accounted as
+    /// [`TenantStats::admission_waits`]). Returns a ticket resolving to
+    /// the answers (input order). Accepts any `Into<Vec<Pattern>>`: pass
+    /// an owned `Vec` to hand the batch over without copying, or a slice
+    /// to clone as before.
+    pub fn submit(&self, tenant: &str, queries: impl Into<Vec<Pattern>>) -> BatchTicket {
+        self.inner.submit(tenant, queries)
     }
 
     /// Submits and waits: synchronous batch answering with
-    /// [`ShardedViewCache::answer_batch`] semantics.
-    pub fn answer_batch(&self, tenant: &str, queries: &[Pattern]) -> Vec<CacheAnswer> {
-        self.submit(tenant, queries.to_vec()).wait()
+    /// [`ShardedViewCache::answer_batch`] semantics. Like
+    /// [`CacheServer::submit`], takes `impl Into<Vec<Pattern>>` so owned
+    /// batches avoid the defensive copy on the hot path.
+    pub fn answer_batch(&self, tenant: &str, queries: impl Into<Vec<Pattern>>) -> Vec<CacheAnswer> {
+        self.submit(tenant, queries).wait()
     }
 
     /// Applies a document edit batch through the shared cache on behalf of
@@ -274,81 +111,17 @@ impl CacheServer {
     /// answering from the pre-update snapshot; the edit is accounted to the
     /// tenant's [`TenantStats`].
     pub fn apply_edits(&self, tenant: &str, edits: &[Edit]) -> Result<UpdateReport, EditError> {
-        let report = self.shared.cache.apply_edits(edits)?;
-        let counters = self.shared.tenant_counters(tenant);
-        counters.updates_applied.fetch_add(report.edits_applied as u64, Ordering::Relaxed);
-        counters
-            .views_refreshed_incrementally
-            .fetch_add(report.views_refreshed as u64, Ordering::Relaxed);
-        Ok(report)
+        self.inner.apply_edits(tenant, edits)
     }
 
     /// This tenant's lifetime counters (`None` before its first batch).
     pub fn tenant_stats(&self, tenant: &str) -> Option<TenantStats> {
-        let mut hasher = DefaultHasher::new();
-        tenant.hash(&mut hasher);
-        let shard = &self.shared.tenants[(hasher.finish() as usize) % self.shared.tenants.len()];
-        let map = shard.read().expect("tenant stats poisoned");
-        map.get(tenant).map(|c| c.snapshot())
+        self.inner.tenant_stats(tenant)
     }
 
     /// All tenants with their counters, sorted by tenant id.
     pub fn tenants(&self) -> Vec<(String, TenantStats)> {
-        let mut all: Vec<(String, TenantStats)> = Vec::new();
-        for shard in self.shared.tenants.iter() {
-            let map = shard.read().expect("tenant stats poisoned");
-            all.extend(map.iter().map(|(k, v)| (k.clone(), v.snapshot())));
-        }
-        all.sort_by(|a, b| a.0.cmp(&b.0));
-        all
-    }
-}
-
-impl Drop for CacheServer {
-    fn drop(&mut self) {
-        self.shared.shutting_down.store(true, Ordering::Relaxed);
-        self.shared.job_ready.notify_all();
-        self.shared.slot_ready.notify_all();
-        for handle in self.workers.drain(..) {
-            let _ = handle.join();
-        }
-    }
-}
-
-fn worker_loop(shared: &Shared) {
-    loop {
-        let job = {
-            let mut queue = shared.queue.lock().expect("admission queue poisoned");
-            loop {
-                if let Some(job) = queue.pop_front() {
-                    shared.slot_ready.notify_one();
-                    break job;
-                }
-                if shared.shutting_down.load(Ordering::Relaxed) {
-                    return;
-                }
-                queue = shared.job_ready.wait(queue).expect("admission queue poisoned");
-            }
-        };
-        let answers = shared.cache.answer_batch(&job.queries);
-        {
-            // Sharded read-mostly accounting: no cross-worker serialization
-            // once the tenant exists.
-            let counters = shared.tenant_counters(&job.tenant);
-            counters.batches.fetch_add(1, Ordering::Relaxed);
-            counters.queries.fetch_add(answers.len() as u64, Ordering::Relaxed);
-            for a in &answers {
-                match a.route {
-                    Route::ViaView { .. } => counters.view_hits.fetch_add(1, Ordering::Relaxed),
-                    Route::Intersect { .. } => {
-                        counters.intersect_hits.fetch_add(1, Ordering::Relaxed)
-                    }
-                    Route::Direct => counters.direct.fetch_add(1, Ordering::Relaxed),
-                };
-            }
-        }
-        // A dropped ticket (caller gave up) is fine; the work is done.
-        let _ = job.reply.send(answers);
+        self.inner.tenants()
     }
 }
 
@@ -384,7 +157,7 @@ mod tests {
     fn batches_resolve_in_input_order() {
         let server = server(3);
         let qs = vec![pat("site/region/item/name"), pat("site/region"), pat("site//name")];
-        let answers = server.answer_batch("t1", &qs);
+        let answers = server.answer_batch("t1", qs.clone());
         assert_eq!(answers.len(), 3);
         for (q, a) in qs.iter().zip(&answers) {
             assert_eq!(a.nodes, server.cache().answer_direct(q), "order broken for {q}");
@@ -402,7 +175,7 @@ mod tests {
                 scope.spawn(move || {
                     let tenant = format!("tenant-{t}");
                     for _ in 0..5 {
-                        let answers = server.answer_batch(&tenant, &qs);
+                        let answers = server.answer_batch(&tenant, qs.clone());
                         assert_eq!(answers.len(), qs.len());
                     }
                 });
@@ -438,10 +211,20 @@ mod tests {
         let tickets: Vec<BatchTicket> =
             (0..4).map(|_| server.submit("t", vec![q.clone()])).collect();
         drop(server);
-        // Workers drain every admitted job before exiting.
+        // The drain completes every admitted batch before stopping.
         for ticket in tickets {
             assert_eq!(ticket.wait().len(), 1);
         }
+    }
+
+    #[test]
+    fn slice_submissions_still_compile_and_serve() {
+        // The old `&[Pattern]` call shape keeps working through
+        // `impl Into<Vec<Pattern>>` (cloning, exactly as before).
+        let server = server(1);
+        let qs = [pat("site/region/item/name")];
+        let answers = server.answer_batch("compat", &qs[..]);
+        assert_eq!(answers.len(), 1);
     }
 
     #[test]
@@ -451,6 +234,7 @@ mod tests {
         let line = server.tenant_stats("acme").unwrap().to_string();
         assert!(line.contains("1 queries in 1 batches"), "got: {line}");
         assert!(line.contains("edits applied"), "got: {line}");
+        assert!(line.contains("admission waits"), "got: {line}");
     }
 
     #[test]

@@ -248,6 +248,11 @@ pub struct CacheStats {
     /// Views whose answers were refreshed **incrementally** (affected-region
     /// maintenance, not full re-materialization) across all updates.
     pub views_refreshed_incrementally: u64,
+    /// Snapshot reads that found the state `RwLock` held (by a writer's
+    /// pointer swap) and had to block. The ROADMAP names this lock as a
+    /// suspected bottleneck under write-heavy mixes; a rising stall count
+    /// under load is the signal it has become real.
+    pub snapshot_read_stalls: u64,
 }
 
 impl std::fmt::Display for CacheStats {
@@ -257,7 +262,8 @@ impl std::fmt::Display for CacheStats {
             "{} queries ({} via views, {} via intersections, {} direct), plan memo {} hits / \
              {} misses ({} batch-dedup, {} evicted, {} invalidated), intersect {} routes / \
              {} candidates tried / {} participants, oracle {} memo hits / \
-             {} canonical runs / {} models, {} edits applied / {} views refreshed incrementally",
+             {} canonical runs / {} models, {} edits applied / {} views refreshed incrementally, \
+             {} snapshot read stalls",
             self.queries,
             self.view_hits,
             self.intersect_hits,
@@ -274,7 +280,8 @@ impl std::fmt::Display for CacheStats {
             self.oracle_canonical_runs,
             self.oracle_models_checked,
             self.updates_applied,
-            self.views_refreshed_incrementally
+            self.views_refreshed_incrementally,
+            self.snapshot_read_stalls
         )
     }
 }
@@ -411,6 +418,10 @@ pub struct ShardedViewCache {
     updates_applied: AtomicU64,
     /// Lifetime total of views refreshed via the incremental path.
     views_refreshed_incrementally: AtomicU64,
+    /// Snapshot reads that could not take the state lock immediately (a
+    /// writer was swapping pointers) — see
+    /// [`CacheStats::snapshot_read_stalls`].
+    snapshot_read_stalls: AtomicU64,
 }
 
 impl ShardedViewCache {
@@ -444,6 +455,7 @@ impl ShardedViewCache {
             incremental_maintenance: AtomicBool::new(true),
             updates_applied: AtomicU64::new(0),
             views_refreshed_incrementally: AtomicU64::new(0),
+            snapshot_read_stalls: AtomicU64::new(0),
         }
     }
 
@@ -570,11 +582,25 @@ impl ShardedViewCache {
         total
     }
 
+    /// Takes the state read lock, counting a
+    /// [`CacheStats::snapshot_read_stalls`] when the uncontended fast path
+    /// fails (a writer holds the lock for its pointer swap).
+    fn read_state(&self) -> std::sync::RwLockReadGuard<'_, StateSnapshot> {
+        match self.state.try_read() {
+            Ok(guard) => guard,
+            Err(std::sync::TryLockError::WouldBlock) => {
+                self.snapshot_read_stalls.fetch_add(1, Ordering::Relaxed);
+                self.state.read().expect("cache state poisoned")
+            }
+            Err(std::sync::TryLockError::Poisoned(_)) => panic!("cache state poisoned"),
+        }
+    }
+
     /// A snapshot of the cached document (copy-on-write: cheap `Arc` clone;
     /// [`ShardedViewCache::apply_edits`] swaps in edited documents, so
     /// holders see a stable state rather than a live reference).
     pub fn document(&self) -> Arc<Tree> {
-        Arc::clone(&self.state.read().expect("cache state poisoned").doc)
+        Arc::clone(&self.read_state().doc)
     }
 
     /// The number of successful [`ShardedViewCache::apply_edits`] batches
@@ -591,13 +617,13 @@ impl ShardedViewCache {
     /// One consistent document + views snapshot (cheap `Arc` clones, never
     /// blocks answering threads for long).
     fn snapshot(&self) -> StateSnapshot {
-        self.state.read().expect("cache state poisoned").clone()
+        self.read_state().clone()
     }
 
     /// A snapshot of the registered views (copy-on-write: cheap `Arc`
     /// clone, never blocks answering threads).
     pub fn views_snapshot(&self) -> Arc<Vec<MaterializedView>> {
-        Arc::clone(&self.state.read().expect("cache state poisoned").views)
+        Arc::clone(&self.read_state().views)
     }
 
     /// Materializes `def` over the document and registers it under `name`.
@@ -838,6 +864,7 @@ impl ShardedViewCache {
         s.updates_applied = self.updates_applied.load(Ordering::Relaxed);
         s.views_refreshed_incrementally =
             self.views_refreshed_incrementally.load(Ordering::Relaxed);
+        s.snapshot_read_stalls = self.snapshot_read_stalls.load(Ordering::Relaxed);
         s
     }
 

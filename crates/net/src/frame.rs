@@ -1,0 +1,256 @@
+//! Length-prefixed framing plus the little-endian byte codec the protocol
+//! messages are built from.
+//!
+//! ```text
+//! frame := len:u32le  body:[u8; len]      (len ≤ MAX_FRAME, len ≥ 1)
+//! body  := type:u8  payload:…             (see crate::proto)
+//! ```
+//!
+//! Frames are the unit of both parsing and backpressure accounting: the
+//! server reads exactly one frame per admission credit. `MAX_FRAME` caps a
+//! single allocation a remote peer can force.
+
+use std::io;
+
+use crate::stream::{AsyncStream, ReadEvent};
+use crate::sync::DrainListener;
+
+/// Largest accepted frame body (16 MiB).
+pub const MAX_FRAME: usize = 16 << 20;
+
+/// How a frame read resolved.
+pub enum FrameEvent {
+    /// A complete frame body (type byte + payload).
+    Frame(Vec<u8>),
+    /// Clean EOF on a frame boundary.
+    Eof,
+    /// The drain signal fired before the next frame started.
+    Drained,
+}
+
+/// Reads one frame. EOF mid-frame is an error; EOF or drain on a frame
+/// boundary is clean. A drain that fires *mid-frame* finishes reading the
+/// frame (the client already sent it; serving it is part of the drain
+/// contract).
+pub async fn read_frame(stream: &AsyncStream, drain: &DrainListener<'_>) -> io::Result<FrameEvent> {
+    let mut len_buf = [0u8; 4];
+    match read_exact_or_eof(stream, &mut len_buf, drain, true).await? {
+        Progress::Done => {}
+        Progress::Eof => return Ok(FrameEvent::Eof),
+        Progress::Drained => return Ok(FrameEvent::Drained),
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len == 0 || len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} outside 1..={MAX_FRAME}"),
+        ));
+    }
+    let mut body = vec![0u8; len];
+    match read_exact_or_eof(stream, &mut body, drain, false).await? {
+        Progress::Done => Ok(FrameEvent::Frame(body)),
+        Progress::Eof => Err(io::Error::new(io::ErrorKind::UnexpectedEof, "peer closed mid-frame")),
+        Progress::Drained => unreachable!("drain is only observed before the first byte"),
+    }
+}
+
+/// Writes one frame (`body` must already start with its type byte).
+/// Refuses (with `InvalidData`, nothing written) a body outside
+/// `1..=MAX_FRAME` — the peer would kill the connection as a protocol
+/// error anyway, so the oversize must be handled by the caller (the
+/// server downgrades such responses to `Rejected`).
+pub async fn write_frame(stream: &AsyncStream, body: &[u8]) -> io::Result<()> {
+    if body.is_empty() || body.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame body of {} bytes outside 1..={MAX_FRAME}", body.len()),
+        ));
+    }
+    let mut frame = Vec::with_capacity(4 + body.len());
+    frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    frame.extend_from_slice(body);
+    stream.write_all(&frame).await
+}
+
+enum Progress {
+    Done,
+    Eof,
+    Drained,
+}
+
+/// Fills `buf` exactly. `Eof` only before the first byte; `Drained` only
+/// when `drainable` (i.e. between frames, not inside one — once a frame
+/// has started the read runs to completion regardless of drain).
+async fn read_exact_or_eof(
+    stream: &AsyncStream,
+    buf: &mut [u8],
+    drain: &DrainListener<'_>,
+    drainable: bool,
+) -> io::Result<Progress> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        // Drain preempts only before the first byte; once a frame has
+        // started, the read runs to completion.
+        let drain = (drainable && filled == 0).then_some(drain);
+        let event = stream.read_some(&mut buf[filled..], drain).await?;
+        match event {
+            ReadEvent::Data(n) => filled += n,
+            ReadEvent::Eof if filled == 0 => return Ok(Progress::Eof),
+            ReadEvent::Eof => {
+                return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "peer closed mid-frame"))
+            }
+            ReadEvent::Drained => return Ok(Progress::Drained),
+        }
+    }
+    Ok(Progress::Done)
+}
+
+/// Little-endian append-only encoder over a `Vec<u8>`.
+#[derive(Debug, Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    pub fn new() -> Encoder {
+        Encoder::default()
+    }
+
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.push(v);
+        self
+    }
+
+    pub fn u16(&mut self, v: u16) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Length-prefixed (u32) UTF-8 string.
+    pub fn str(&mut self, s: &str) -> &mut Self {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+        self
+    }
+
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// A decode failure (malformed or truncated payload).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError(pub String);
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "wire decode error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Cursor-style little-endian decoder over a received frame body.
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    pub fn new(buf: &'a [u8]) -> Decoder<'a> {
+        Decoder { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.buf.len() - self.pos < n {
+            return Err(DecodeError(format!(
+                "truncated payload: wanted {n} bytes at offset {}, have {}",
+                self.pos,
+                self.buf.len() - self.pos
+            )));
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    pub fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn u16(&mut self) -> Result<u16, DecodeError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+    }
+
+    pub fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    pub fn str(&mut self) -> Result<String, DecodeError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| DecodeError(format!("invalid UTF-8 string: {e}")))
+    }
+
+    /// Asserts the payload is fully consumed (catches version skew early).
+    pub fn finish(self) -> Result<(), DecodeError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(DecodeError(format!("{} trailing bytes after message", self.buf.len() - self.pos)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encoder_decoder_round_trip() {
+        let mut e = Encoder::new();
+        e.u8(7).u16(513).u32(70_000).u64(1 << 40).str("héllo");
+        let buf = e.finish();
+        let mut d = Decoder::new(&buf);
+        assert_eq!(d.u8().unwrap(), 7);
+        assert_eq!(d.u16().unwrap(), 513);
+        assert_eq!(d.u32().unwrap(), 70_000);
+        assert_eq!(d.u64().unwrap(), 1 << 40);
+        assert_eq!(d.str().unwrap(), "héllo");
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_is_a_decode_error() {
+        let mut e = Encoder::new();
+        e.u32(10); // claims a 10-byte string with no bytes behind it
+        let buf = e.finish();
+        let mut d = Decoder::new(&buf);
+        assert!(d.str().is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut e = Encoder::new();
+        e.u8(1).u8(2);
+        let buf = e.finish();
+        let mut d = Decoder::new(&buf);
+        d.u8().unwrap();
+        assert!(d.finish().is_err());
+    }
+}

@@ -1,0 +1,98 @@
+//! # xpv-net — a hand-rolled async runtime and the xpv wire protocol
+//!
+//! This crate gives the serving front-end its asynchronous substrate. The
+//! build environment has no registry access, so instead of tokio/mio it
+//! carries a small, self-contained implementation of each layer (the same
+//! offline discipline as `crates/shims/`):
+//!
+//! * [`reactor`] — an epoll-based readiness reactor over thin
+//!   `extern "C"` bindings ([`sys`]), one thread per runtime,
+//!   edge-triggered with cached per-direction readiness;
+//! * [`executor`] — a fixed pool of worker threads polling
+//!   `std::future::Future` tasks ([`Runtime`]): the CPU pool connections
+//!   are multiplexed onto;
+//! * [`stream`] — nonblocking TCP and Unix-domain sockets as
+//!   `&self`-polling async streams and listeners;
+//! * [`sync`] — the async-aware semaphore / drain signal / outbox queue
+//!   the server's credit and shutdown machinery is built from;
+//! * [`frame`] + [`proto`] — the framed wire protocol below;
+//! * [`client`] — a blocking, credit-tracking protocol client for load
+//!   generators, tests, and the `xpv client` CLI.
+//!
+//! ## Wire protocol (version 1)
+//!
+//! A connection is a byte stream (TCP or Unix-domain) carrying
+//! **length-prefixed frames** in each direction:
+//!
+//! ```text
+//! frame := len:u32le  body:[u8; len]        1 ≤ len ≤ 16 MiB
+//! body  := type:u8  payload:…               little-endian throughout
+//! strings are u32le-length-prefixed UTF-8; patterns travel as XPath
+//! text; edit subtrees travel as the model's XML serialization
+//! ```
+//!
+//! ### Handshake
+//!
+//! The client speaks first: `Hello { magic: u32 = "XPVW", version: u16 }`.
+//! The server answers `HelloAck { version, window }` (or `Error` + close
+//! on a magic/version it cannot serve). `window` is the connection's
+//! **credit allowance** — the maximum number of unacknowledged request
+//! frames. Versioning is strict equality for now; the `HelloAck.version`
+//! field is where a future server would negotiate downward.
+//!
+//! ### Requests and responses
+//!
+//! | client → server | server → client | carries |
+//! |---|---|---|
+//! | `QueryBatch { id, tenant, queries }` | `Answers { id, answers }` | query batch / per-query nodes + route |
+//! | `EditBatch { id, tenant, edits }` | `EditAck { id, report }` or `Rejected { id, reason }` | document updates / post-batch `doc_version` |
+//! | `StatsReq { id, tenant }` | `StatsResp { id, found, stats }` | tenant counters |
+//! | `Goodbye` | `ServerBye` | clean close |
+//! | — | `Error { message }` | fatal protocol error, then close |
+//!
+//! Request `id`s are chosen by the client (unique per connection);
+//! responses to **different** ids may arrive out of order, which is what
+//! makes pipelining useful. `EditAck.doc_version` is the server's document
+//! version after the batch — a client replaying edits can assert the
+//! versions it observes are exactly `1, 2, 3, …` (see the
+//! `version-checked` test in `tests/async_serving.rs`).
+//!
+//! ### Credit-based backpressure
+//!
+//! Every request frame (`QueryBatch`, `EditBatch`, `StatsReq`) **costs one
+//! credit**; every response (`Answers`, `EditAck`, `StatsResp`,
+//! `Rejected`) **returns it**. The handshake grants `window` credits. The
+//! server enforces the window mechanically: its connection reader owns a
+//! semaphore of `window` permits and does not read the next frame until a
+//! permit frees, so an over-eager client is throttled by the kernel
+//! socket buffer — exactly the "slow yourself down, not the server"
+//! contract the old blocking `submit` provided, now per connection and
+//! without pinning a thread. A conforming client (e.g. [`WireClient`])
+//! tracks credits and blocks on the reply stream before overdrawing.
+//!
+//! ### Drain
+//!
+//! On graceful shutdown the server stops reading new frames, finishes
+//! every batch already admitted, flushes the responses, sends
+//! `ServerBye`, and closes. A request that was queued locally but not yet
+//! admitted is answered with `Rejected` instead of silently dropped. The
+//! client-initiated mirror is `Goodbye`: the server drains that
+//! connection's in-flight work and answers `ServerBye` when nothing is
+//! left.
+
+pub mod client;
+pub mod executor;
+pub mod frame;
+pub mod proto;
+pub mod reactor;
+pub mod stream;
+pub mod sync;
+pub mod sys;
+
+pub use client::{Response, WireClient};
+pub use executor::Runtime;
+pub use frame::{read_frame, write_frame, DecodeError, FrameEvent, MAX_FRAME};
+pub use proto::{Msg, WireAnswer, WireRoute, WireTenantStats, WireUpdateReport, MAGIC, VERSION};
+pub use reactor::{Interest, Reactor, Source};
+pub use stream::{Accepted, AsyncStream, AsyncTcpListener, AsyncUnixListener, ReadEvent};
+pub use sync::{DrainSignal, NotifyQueue, Popped, Semaphore};

@@ -1,0 +1,488 @@
+//! The xpv wire protocol: message types and their binary codec.
+//!
+//! See the crate docs ([`crate`]) for the full protocol specification —
+//! handshake, frame grammar, credit semantics, and the drain sequence.
+//! This module is the mechanical part: [`Msg`] ⇄ frame-body bytes.
+//!
+//! Patterns travel as the fragment's XPath text (`parse_xpath ∘ to_xpath`
+//! is the identity on patterns — property-tested in `xpv-pattern`), and
+//! edit subtrees travel as the model's XML serialization, so the protocol
+//! has no bespoke tree encoding to keep in sync with the model crate.
+
+use xpv_maintain::Edit;
+use xpv_model::{parse_xml, to_xml, Label, NodeId};
+use xpv_pattern::{parse_xpath, Pattern};
+
+use crate::frame::{DecodeError, Decoder, Encoder};
+
+/// Handshake magic ("XPVW", little-endian).
+pub const MAGIC: u32 = 0x5756_5058;
+
+/// Protocol version this build speaks.
+pub const VERSION: u16 = 1;
+
+/// Frame type tags (first body byte).
+mod tag {
+    pub const HELLO: u8 = 0x01;
+    pub const HELLO_ACK: u8 = 0x02;
+    pub const QUERY_BATCH: u8 = 0x10;
+    pub const ANSWERS: u8 = 0x11;
+    pub const EDIT_BATCH: u8 = 0x20;
+    pub const EDIT_ACK: u8 = 0x21;
+    pub const STATS_REQ: u8 = 0x30;
+    pub const STATS_RESP: u8 = 0x31;
+    pub const REJECTED: u8 = 0x40;
+    pub const GOODBYE: u8 = 0x50;
+    pub const SERVER_BYE: u8 = 0x51;
+    pub const ERROR: u8 = 0x7F;
+}
+
+/// How one query in an [`Msg::Answers`] frame was served (the wire form of
+/// the engine's `Route`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireRoute {
+    /// Direct evaluation on the document.
+    Direct,
+    /// An equivalent rewriting over one view.
+    ViaView { view: String, rewriting: String },
+    /// A compensation over a multi-view intersection.
+    Intersect { views: Vec<String>, compensation: String },
+}
+
+/// One query's answer on the wire: output nodes (raw `NodeId` values in
+/// the server's document) plus provenance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireAnswer {
+    pub nodes: Vec<NodeId>,
+    pub route: WireRoute,
+}
+
+/// What an [`Msg::EditAck`] reports (the wire form of `UpdateReport`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WireUpdateReport {
+    pub edits_applied: u64,
+    /// Document version **after** the batch — the client's consistency
+    /// check: acks from one connection arrive with strictly increasing
+    /// versions, and version `v` means exactly `v` update batches precede
+    /// every answer computed at `v`.
+    pub doc_version: u64,
+    pub views_refreshed: u64,
+    pub views_changed: u64,
+    pub routes_dropped: u64,
+}
+
+/// Per-tenant counters on the wire (the engine's `TenantStats` without the
+/// engine dependency — `xpv-engine` converts).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WireTenantStats {
+    pub batches: u64,
+    pub queries: u64,
+    pub view_hits: u64,
+    pub intersect_hits: u64,
+    pub direct: u64,
+    pub updates_applied: u64,
+    pub views_refreshed_incrementally: u64,
+    pub admission_waits: u64,
+}
+
+/// One protocol message (a decoded frame body).
+#[derive(Clone, Debug)]
+pub enum Msg {
+    /// Client → server, first frame: magic + the highest version the
+    /// client speaks.
+    Hello { version: u16 },
+    /// Server → client: the agreed version plus this connection's credit
+    /// window (max unacknowledged batches).
+    HelloAck { version: u16, window: u32 },
+    /// Client → server: answer `queries` for `tenant`. Costs one credit.
+    QueryBatch { id: u64, tenant: String, queries: Vec<Pattern> },
+    /// Server → client: the answers for batch `id`, input order. Returns
+    /// the credit.
+    Answers { id: u64, answers: Vec<WireAnswer> },
+    /// Client → server: apply `edits` for `tenant`. Costs one credit.
+    EditBatch { id: u64, tenant: String, edits: Vec<Edit> },
+    /// Server → client: edit batch `id` applied. Returns the credit.
+    EditAck { id: u64, report: WireUpdateReport },
+    /// Client → server: request `tenant`'s counters. Costs one credit.
+    StatsReq { id: u64, tenant: String },
+    /// Server → client: the counters (`found == false` ⇒ zeroed stats for
+    /// a tenant the server has not seen). Returns the credit.
+    StatsResp { id: u64, found: bool, stats: WireTenantStats },
+    /// Server → client: request `id` was not served (drain, bad edit, …).
+    /// Returns the credit.
+    Rejected { id: u64, reason: String },
+    /// Client → server: clean half-close; the server answers everything
+    /// in flight, replies [`Msg::ServerBye`], and closes.
+    Goodbye,
+    /// Server → client: no more responses will follow.
+    ServerBye,
+    /// Fatal protocol error; the connection closes after this frame.
+    Error { message: String },
+}
+
+impl Msg {
+    /// Encodes into a frame body (type byte first).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        match self {
+            Msg::Hello { version } => {
+                e.u8(tag::HELLO).u32(MAGIC).u16(*version);
+            }
+            Msg::HelloAck { version, window } => {
+                e.u8(tag::HELLO_ACK).u16(*version).u32(*window);
+            }
+            Msg::QueryBatch { id, tenant, queries } => {
+                e.u8(tag::QUERY_BATCH).u64(*id).str(tenant).u32(queries.len() as u32);
+                for q in queries {
+                    e.str(&q.to_string());
+                }
+            }
+            Msg::Answers { id, answers } => {
+                e.u8(tag::ANSWERS).u64(*id).u32(answers.len() as u32);
+                for a in answers {
+                    encode_route(&mut e, &a.route);
+                    e.u32(a.nodes.len() as u32);
+                    for n in &a.nodes {
+                        e.u32(n.0);
+                    }
+                }
+            }
+            Msg::EditBatch { id, tenant, edits } => {
+                e.u8(tag::EDIT_BATCH).u64(*id).str(tenant).u32(edits.len() as u32);
+                for edit in edits {
+                    encode_edit(&mut e, edit);
+                }
+            }
+            Msg::EditAck { id, report } => {
+                e.u8(tag::EDIT_ACK)
+                    .u64(*id)
+                    .u64(report.edits_applied)
+                    .u64(report.doc_version)
+                    .u64(report.views_refreshed)
+                    .u64(report.views_changed)
+                    .u64(report.routes_dropped);
+            }
+            Msg::StatsReq { id, tenant } => {
+                e.u8(tag::STATS_REQ).u64(*id).str(tenant);
+            }
+            Msg::StatsResp { id, found, stats } => {
+                e.u8(tag::STATS_RESP)
+                    .u64(*id)
+                    .u8(u8::from(*found))
+                    .u64(stats.batches)
+                    .u64(stats.queries)
+                    .u64(stats.view_hits)
+                    .u64(stats.intersect_hits)
+                    .u64(stats.direct)
+                    .u64(stats.updates_applied)
+                    .u64(stats.views_refreshed_incrementally)
+                    .u64(stats.admission_waits);
+            }
+            Msg::Rejected { id, reason } => {
+                e.u8(tag::REJECTED).u64(*id).str(reason);
+            }
+            Msg::Goodbye => {
+                e.u8(tag::GOODBYE);
+            }
+            Msg::ServerBye => {
+                e.u8(tag::SERVER_BYE);
+            }
+            Msg::Error { message } => {
+                e.u8(tag::ERROR).str(message);
+            }
+        }
+        e.finish()
+    }
+
+    /// Decodes a frame body. Every byte must be consumed.
+    pub fn decode(body: &[u8]) -> Result<Msg, DecodeError> {
+        let mut d = Decoder::new(body);
+        let msg = match d.u8()? {
+            tag::HELLO => {
+                let magic = d.u32()?;
+                if magic != MAGIC {
+                    return Err(DecodeError(format!(
+                        "bad handshake magic {magic:#010x} (expected {MAGIC:#010x})"
+                    )));
+                }
+                Msg::Hello { version: d.u16()? }
+            }
+            tag::HELLO_ACK => Msg::HelloAck { version: d.u16()?, window: d.u32()? },
+            tag::QUERY_BATCH => {
+                let id = d.u64()?;
+                let tenant = d.str()?;
+                let n = d.u32()? as usize;
+                let mut queries = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    let text = d.str()?;
+                    queries.push(
+                        parse_xpath(&text)
+                            .map_err(|e| DecodeError(format!("query {text:?}: {e}")))?,
+                    );
+                }
+                Msg::QueryBatch { id, tenant, queries }
+            }
+            tag::ANSWERS => {
+                let id = d.u64()?;
+                let n = d.u32()? as usize;
+                let mut answers = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    let route = decode_route(&mut d)?;
+                    let count = d.u32()? as usize;
+                    let mut nodes = Vec::with_capacity(count.min(65536));
+                    for _ in 0..count {
+                        nodes.push(NodeId(d.u32()?));
+                    }
+                    answers.push(WireAnswer { nodes, route });
+                }
+                Msg::Answers { id, answers }
+            }
+            tag::EDIT_BATCH => {
+                let id = d.u64()?;
+                let tenant = d.str()?;
+                let n = d.u32()? as usize;
+                let mut edits = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    edits.push(decode_edit(&mut d)?);
+                }
+                Msg::EditBatch { id, tenant, edits }
+            }
+            tag::EDIT_ACK => Msg::EditAck {
+                id: d.u64()?,
+                report: WireUpdateReport {
+                    edits_applied: d.u64()?,
+                    doc_version: d.u64()?,
+                    views_refreshed: d.u64()?,
+                    views_changed: d.u64()?,
+                    routes_dropped: d.u64()?,
+                },
+            },
+            tag::STATS_REQ => Msg::StatsReq { id: d.u64()?, tenant: d.str()? },
+            tag::STATS_RESP => Msg::StatsResp {
+                id: d.u64()?,
+                found: d.u8()? != 0,
+                stats: WireTenantStats {
+                    batches: d.u64()?,
+                    queries: d.u64()?,
+                    view_hits: d.u64()?,
+                    intersect_hits: d.u64()?,
+                    direct: d.u64()?,
+                    updates_applied: d.u64()?,
+                    views_refreshed_incrementally: d.u64()?,
+                    admission_waits: d.u64()?,
+                },
+            },
+            tag::REJECTED => Msg::Rejected { id: d.u64()?, reason: d.str()? },
+            tag::GOODBYE => Msg::Goodbye,
+            tag::SERVER_BYE => Msg::ServerBye,
+            tag::ERROR => Msg::Error { message: d.str()? },
+            other => return Err(DecodeError(format!("unknown frame type {other:#04x}"))),
+        };
+        d.finish()?;
+        Ok(msg)
+    }
+}
+
+const ROUTE_DIRECT: u8 = 0;
+const ROUTE_VIA_VIEW: u8 = 1;
+const ROUTE_INTERSECT: u8 = 2;
+
+fn encode_route(e: &mut Encoder, route: &WireRoute) {
+    match route {
+        WireRoute::Direct => {
+            e.u8(ROUTE_DIRECT);
+        }
+        WireRoute::ViaView { view, rewriting } => {
+            e.u8(ROUTE_VIA_VIEW).str(view).str(rewriting);
+        }
+        WireRoute::Intersect { views, compensation } => {
+            e.u8(ROUTE_INTERSECT).u32(views.len() as u32);
+            for v in views {
+                e.str(v);
+            }
+            e.str(compensation);
+        }
+    }
+}
+
+fn decode_route(d: &mut Decoder<'_>) -> Result<WireRoute, DecodeError> {
+    Ok(match d.u8()? {
+        ROUTE_DIRECT => WireRoute::Direct,
+        ROUTE_VIA_VIEW => WireRoute::ViaView { view: d.str()?, rewriting: d.str()? },
+        ROUTE_INTERSECT => {
+            let n = d.u32()? as usize;
+            let mut views = Vec::with_capacity(n.min(256));
+            for _ in 0..n {
+                views.push(d.str()?);
+            }
+            WireRoute::Intersect { views, compensation: d.str()? }
+        }
+        other => return Err(DecodeError(format!("unknown route tag {other}"))),
+    })
+}
+
+const EDIT_INSERT: u8 = 0;
+const EDIT_DELETE: u8 = 1;
+const EDIT_RELABEL: u8 = 2;
+
+fn encode_edit(e: &mut Encoder, edit: &Edit) {
+    match edit {
+        Edit::InsertSubtree { parent, subtree } => {
+            e.u8(EDIT_INSERT).u32(parent.0).str(&to_xml(subtree));
+        }
+        Edit::DeleteSubtree { node } => {
+            e.u8(EDIT_DELETE).u32(node.0);
+        }
+        Edit::Relabel { node, label } => {
+            e.u8(EDIT_RELABEL).u32(node.0).str(label.name());
+        }
+    }
+}
+
+fn decode_edit(d: &mut Decoder<'_>) -> Result<Edit, DecodeError> {
+    Ok(match d.u8()? {
+        EDIT_INSERT => {
+            let parent = NodeId(d.u32()?);
+            let xml = d.str()?;
+            let subtree = parse_xml(&xml).map_err(|e| DecodeError(format!("edit subtree: {e}")))?;
+            Edit::InsertSubtree { parent, subtree }
+        }
+        EDIT_DELETE => Edit::DeleteSubtree { node: NodeId(d.u32()?) },
+        EDIT_RELABEL => {
+            let node = NodeId(d.u32()?);
+            let name = d.str()?;
+            if !Label::is_valid_name(&name) {
+                return Err(DecodeError(format!("invalid relabel target {name:?}")));
+            }
+            Edit::Relabel { node, label: Label::new(&name) }
+        }
+        other => return Err(DecodeError(format!("unknown edit tag {other}"))),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xpv_model::TreeBuilder;
+
+    fn pat(s: &str) -> Pattern {
+        parse_xpath(s).expect("pattern parses")
+    }
+
+    fn round_trip(msg: &Msg) -> Msg {
+        Msg::decode(&msg.encode()).expect("round trip decodes")
+    }
+
+    #[test]
+    fn handshake_round_trips() {
+        match round_trip(&Msg::Hello { version: 1 }) {
+            Msg::Hello { version } => assert_eq!(version, 1),
+            other => panic!("wrong decode: {other:?}"),
+        }
+        match round_trip(&Msg::HelloAck { version: 1, window: 32 }) {
+            Msg::HelloAck { version, window } => {
+                assert_eq!((version, window), (1, 32));
+            }
+            other => panic!("wrong decode: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn query_batches_round_trip_structurally() {
+        let queries = vec![pat("site/region/item[desc]/name"), pat("a//b[.//c]/d")];
+        let msg = Msg::QueryBatch { id: 9, tenant: "acme".into(), queries: queries.clone() };
+        match round_trip(&msg) {
+            Msg::QueryBatch { id, tenant, queries: decoded } => {
+                assert_eq!(id, 9);
+                assert_eq!(tenant, "acme");
+                assert_eq!(decoded.len(), queries.len());
+                for (a, b) in decoded.iter().zip(&queries) {
+                    assert!(a.structurally_eq(b), "{a} != {b}");
+                }
+            }
+            other => panic!("wrong decode: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn answers_and_routes_round_trip() {
+        let msg = Msg::Answers {
+            id: 3,
+            answers: vec![
+                WireAnswer { nodes: vec![NodeId(1), NodeId(7)], route: WireRoute::Direct },
+                WireAnswer {
+                    nodes: vec![],
+                    route: WireRoute::ViaView { view: "v".into(), rewriting: "a/b".into() },
+                },
+                WireAnswer {
+                    nodes: vec![NodeId(42)],
+                    route: WireRoute::Intersect {
+                        views: vec!["v1".into(), "v2".into()],
+                        compensation: "c".into(),
+                    },
+                },
+            ],
+        };
+        match round_trip(&msg) {
+            Msg::Answers { id, answers } => {
+                assert_eq!(id, 3);
+                assert_eq!(answers.len(), 3);
+                assert_eq!(answers[0].nodes, vec![NodeId(1), NodeId(7)]);
+                assert!(matches!(answers[2].route, WireRoute::Intersect { ref views, .. }
+                    if views.len() == 2));
+            }
+            other => panic!("wrong decode: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn edit_batches_round_trip() {
+        let graft = TreeBuilder::root("item", |b| {
+            b.leaf("name");
+        });
+        let msg = Msg::EditBatch {
+            id: 5,
+            tenant: "writer".into(),
+            edits: vec![
+                Edit::InsertSubtree { parent: NodeId(2), subtree: graft },
+                Edit::DeleteSubtree { node: NodeId(9) },
+                Edit::Relabel { node: NodeId(4), label: Label::new("renamed") },
+            ],
+        };
+        match round_trip(&msg) {
+            Msg::EditBatch { edits, .. } => {
+                assert_eq!(edits.len(), 3);
+                match &edits[0] {
+                    Edit::InsertSubtree { parent, subtree } => {
+                        assert_eq!(*parent, NodeId(2));
+                        assert_eq!(subtree.len(), 2);
+                    }
+                    other => panic!("wrong edit: {other:?}"),
+                }
+                assert!(matches!(edits[1], Edit::DeleteSubtree { node } if node == NodeId(9)));
+                assert!(
+                    matches!(edits[2], Edit::Relabel { label, .. } if label.name() == "renamed")
+                );
+            }
+            other => panic!("wrong decode: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_frames_are_rejected() {
+        assert!(Msg::decode(&[]).is_err(), "empty body");
+        assert!(Msg::decode(&[0xEE]).is_err(), "unknown tag");
+        // Hello with the wrong magic.
+        let mut e = Encoder::new();
+        e.u8(0x01).u32(0xDEAD_BEEF).u16(1);
+        assert!(Msg::decode(&e.finish()).is_err(), "bad magic");
+        // Trailing garbage after a valid Goodbye.
+        let mut body = Msg::Goodbye.encode();
+        body.push(0);
+        assert!(Msg::decode(&body).is_err(), "trailing bytes");
+        // A query that does not parse.
+        let mut e = Encoder::new();
+        e.u8(0x10).u64(1).str("t").u32(1).str("a[[[");
+        assert!(Msg::decode(&e.finish()).is_err(), "unparseable query");
+    }
+}

@@ -1,0 +1,194 @@
+//! The epoll reactor: one thread multiplexing readiness for every
+//! registered descriptor.
+//!
+//! Descriptors are registered **once**, edge-triggered, with both read and
+//! write interest ([`Reactor::register`]); per-direction readiness is
+//! cached in the returned [`Source`] and consumed by the I/O futures in
+//! [`crate::stream`]. The protocol is the classic try-first scheme:
+//!
+//! 1. attempt the nonblocking syscall;
+//! 2. on `WouldBlock`, clear the direction's cached readiness, park the
+//!    task's waker in the source, and re-check the flag (a reactor event
+//!    landing between 1 and the park would otherwise be lost);
+//! 3. the reactor thread sets the flag and wakes the parked waker when
+//!    epoll reports the edge.
+//!
+//! Because the syscall is always attempted before parking, edge-triggered
+//! notifications can never be missed (the "must drain until `WouldBlock`"
+//! rule is enforced structurally). An `eventfd` interrupts `epoll_wait`
+//! for shutdown.
+
+use std::collections::HashMap;
+use std::io;
+use std::os::unix::io::RawFd;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::task::Waker;
+
+use crate::sys;
+
+/// Token reserved for the shutdown eventfd.
+const WAKE_TOKEN: u64 = 0;
+
+/// One registered descriptor's cached readiness + parked wakers.
+#[derive(Debug)]
+pub struct Source {
+    fd: RawFd,
+    token: u64,
+    read: Direction,
+    write: Direction,
+}
+
+#[derive(Debug, Default)]
+struct Direction {
+    ready: AtomicBool,
+    waker: Mutex<Option<Waker>>,
+}
+
+impl Direction {
+    fn set_ready_and_wake(&self) {
+        self.ready.store(true, Ordering::Release);
+        if let Some(w) = self.waker.lock().expect("waker slot poisoned").take() {
+            w.wake();
+        }
+    }
+}
+
+/// Which direction an I/O future is waiting on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Interest {
+    Read,
+    Write,
+}
+
+impl Source {
+    fn direction(&self, interest: Interest) -> &Direction {
+        match interest {
+            Interest::Read => &self.read,
+            Interest::Write => &self.write,
+        }
+    }
+
+    /// Whether the direction's cached readiness is set.
+    pub fn is_ready(&self, interest: Interest) -> bool {
+        self.direction(interest).ready.load(Ordering::Acquire)
+    }
+
+    /// Clears cached readiness (the syscall just returned `WouldBlock`).
+    pub fn clear_ready(&self, interest: Interest) {
+        self.direction(interest).ready.store(false, Ordering::Release);
+    }
+
+    /// Parks `waker` to be woken on the next readiness edge.
+    pub fn set_waker(&self, interest: Interest, waker: &Waker) {
+        let mut slot = self.direction(interest).waker.lock().expect("waker slot poisoned");
+        match slot.as_ref() {
+            Some(existing) if existing.will_wake(waker) => {}
+            _ => *slot = Some(waker.clone()),
+        }
+    }
+}
+
+/// The shared epoll instance plus its registration table. One reactor
+/// serves one [`crate::executor::Runtime`]; its thread runs
+/// [`Reactor::run`] until [`Reactor::shutdown`].
+#[derive(Debug)]
+pub struct Reactor {
+    epfd: RawFd,
+    wakefd: RawFd,
+    sources: Mutex<HashMap<u64, Arc<Source>>>,
+    next_token: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+impl Reactor {
+    pub fn new() -> io::Result<Reactor> {
+        let epfd = sys::epoll_create()?;
+        let wakefd = sys::eventfd_create().inspect_err(|_| sys::close_fd(epfd))?;
+        if let Err(e) = sys::epoll_add(epfd, wakefd, WAKE_TOKEN, sys::EPOLLIN) {
+            sys::close_fd(wakefd);
+            sys::close_fd(epfd);
+            return Err(e);
+        }
+        Ok(Reactor {
+            epfd,
+            wakefd,
+            sources: Mutex::new(HashMap::new()),
+            next_token: AtomicU64::new(1),
+            shutdown: AtomicBool::new(false),
+        })
+    }
+
+    /// Registers `fd` edge-triggered for both directions. The descriptor
+    /// must already be nonblocking and must outlive the registration (the
+    /// owning stream deregisters on drop).
+    pub fn register(&self, fd: RawFd) -> io::Result<Arc<Source>> {
+        let token = self.next_token.fetch_add(1, Ordering::Relaxed);
+        let source = Arc::new(Source {
+            fd,
+            token,
+            // Optimistic: the first I/O attempt decides for real.
+            read: Direction { ready: AtomicBool::new(true), waker: Mutex::new(None) },
+            write: Direction { ready: AtomicBool::new(true), waker: Mutex::new(None) },
+        });
+        let interest = sys::EPOLLIN | sys::EPOLLOUT | sys::EPOLLRDHUP | sys::EPOLLET;
+        self.sources.lock().expect("reactor sources poisoned").insert(token, Arc::clone(&source));
+        if let Err(e) = sys::epoll_add(self.epfd, fd, token, interest) {
+            self.sources.lock().expect("reactor sources poisoned").remove(&token);
+            return Err(e);
+        }
+        Ok(source)
+    }
+
+    /// Removes `source` from the epoll set. Call before closing the fd.
+    pub fn deregister(&self, source: &Source) {
+        let _ = sys::epoll_del(self.epfd, source.fd);
+        self.sources.lock().expect("reactor sources poisoned").remove(&source.token);
+    }
+
+    /// The reactor thread body: dispatches readiness until shutdown.
+    pub fn run(&self) {
+        let mut events = [sys::EpollEvent { events: 0, data: 0 }; 64];
+        loop {
+            let n = match sys::epoll_wait_events(self.epfd, &mut events, -1) {
+                Ok(n) => n,
+                Err(_) => continue,
+            };
+            for ev in &events[..n] {
+                let (bits, token) = (ev.events, ev.data);
+                if token == WAKE_TOKEN {
+                    sys::eventfd_drain(self.wakefd);
+                    continue;
+                }
+                let source = {
+                    let map = self.sources.lock().expect("reactor sources poisoned");
+                    map.get(&token).cloned()
+                };
+                let Some(source) = source else { continue };
+                let hangup = bits & (sys::EPOLLERR | sys::EPOLLHUP | sys::EPOLLRDHUP) != 0;
+                if bits & sys::EPOLLIN != 0 || hangup {
+                    source.read.set_ready_and_wake();
+                }
+                if bits & sys::EPOLLOUT != 0 || hangup {
+                    source.write.set_ready_and_wake();
+                }
+            }
+            if self.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+        }
+    }
+
+    /// Asks the reactor thread to exit its next loop iteration.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        let _ = sys::eventfd_signal(self.wakefd);
+    }
+}
+
+impl Drop for Reactor {
+    fn drop(&mut self) {
+        sys::close_fd(self.wakefd);
+        sys::close_fd(self.epfd);
+    }
+}

@@ -1,0 +1,345 @@
+//! Small async-aware synchronization primitives shared by the serving
+//! front-end: a counting [`Semaphore`] (the credit window), a
+//! broadcast-once [`DrainSignal`], and a waker-backed [`NotifyQueue`]
+//! (per-connection outbox).
+//!
+//! All three are usable from both async tasks (via wakers) and plain
+//! threads (via condvars) — the in-process compatibility transport submits
+//! from synchronous threads into the async pool, so the window must block
+//! a thread just as happily as it parks a task.
+
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::{Condvar, Mutex};
+use std::task::{Context, Poll, Waker};
+
+/// A counting semaphore with both async (`acquire`) and blocking
+/// (`acquire_blocking`) acquisition. Permits are plain counts — dropping
+/// the semaphore while permits are out is fine; nothing is leaked.
+#[derive(Debug)]
+pub struct Semaphore {
+    state: Mutex<SemState>,
+    cv: Condvar,
+}
+
+#[derive(Debug)]
+struct SemState {
+    permits: usize,
+    waiters: VecDeque<Waker>,
+}
+
+impl Semaphore {
+    pub fn new(permits: usize) -> Semaphore {
+        Semaphore {
+            state: Mutex::new(SemState { permits, waiters: VecDeque::new() }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Takes one permit without waiting; `false` when none are free.
+    pub fn try_acquire(&self) -> bool {
+        let mut state = self.state.lock().expect("semaphore poisoned");
+        if state.permits > 0 {
+            state.permits -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Takes one permit, blocking the calling **thread** until one frees.
+    /// Returns `true` if the call had to wait (the contention signal the
+    /// `admission_waits` counter records).
+    pub fn acquire_blocking(&self) -> bool {
+        let mut state = self.state.lock().expect("semaphore poisoned");
+        let mut waited = false;
+        while state.permits == 0 {
+            waited = true;
+            state = self.cv.wait(state).expect("semaphore poisoned");
+        }
+        state.permits -= 1;
+        waited
+    }
+
+    /// Takes one permit, suspending the calling **task** until one frees.
+    pub fn acquire(&self) -> Acquire<'_> {
+        Acquire { sem: self }
+    }
+
+    /// Returns one permit, waking **all** parked tasks plus one blocked
+    /// thread candidate. Waking everyone (rather than one) is deliberate: a
+    /// parked waker whose future has since been dropped would otherwise
+    /// swallow the only wake and starve a live waiter. Losers re-check and
+    /// re-park; waiter sets are window-sized, so the herd is tiny.
+    pub fn release(&self) {
+        let wakers = {
+            let mut state = self.state.lock().expect("semaphore poisoned");
+            state.permits += 1;
+            std::mem::take(&mut state.waiters)
+        };
+        self.cv.notify_one();
+        for w in wakers {
+            w.wake();
+        }
+    }
+
+    /// Free permits right now (diagnostic).
+    pub fn available(&self) -> usize {
+        self.state.lock().expect("semaphore poisoned").permits
+    }
+}
+
+/// Future returned by [`Semaphore::acquire`].
+pub struct Acquire<'a> {
+    sem: &'a Semaphore,
+}
+
+impl Future for Acquire<'_> {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let mut state = self.sem.state.lock().expect("semaphore poisoned");
+        if state.permits > 0 {
+            state.permits -= 1;
+            Poll::Ready(())
+        } else {
+            // Duplicate wakers from re-polls are harmless: a spurious wake
+            // just re-runs this check.
+            state.waiters.push_back(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+/// A set-once broadcast flag: [`DrainSignal::set`] wakes every parked task
+/// and blocked thread, and every later wait completes immediately. The
+/// graceful-shutdown backbone — connection readers and acceptors race
+/// their I/O against `wait()`.
+#[derive(Debug, Default)]
+pub struct DrainSignal {
+    state: Mutex<DrainState>,
+    cv: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct DrainState {
+    set: bool,
+    next_id: u64,
+    waiters: std::collections::HashMap<u64, Waker>,
+}
+
+impl DrainSignal {
+    pub fn new() -> DrainSignal {
+        DrainSignal::default()
+    }
+
+    /// Fires the signal (idempotent).
+    pub fn set(&self) {
+        let waiters = {
+            let mut state = self.state.lock().expect("drain signal poisoned");
+            state.set = true;
+            std::mem::take(&mut state.waiters)
+        };
+        self.cv.notify_all();
+        for (_, w) in waiters {
+            w.wake();
+        }
+    }
+
+    pub fn is_set(&self) -> bool {
+        self.state.lock().expect("drain signal poisoned").set
+    }
+
+    /// Subscribes a new listener. Each connection/acceptor task holds one
+    /// for its lifetime: re-registration overwrites its keyed waker slot
+    /// in O(1), and dropping the listener removes the slot — a
+    /// long-running server never accumulates wakers of finished tasks.
+    pub fn listener(&self) -> DrainListener<'_> {
+        let id = {
+            let mut state = self.state.lock().expect("drain signal poisoned");
+            state.next_id += 1;
+            state.next_id
+        };
+        DrainListener { signal: self, id }
+    }
+}
+
+/// One task's subscription to a [`DrainSignal`]
+/// (see [`DrainSignal::listener`]).
+#[derive(Debug)]
+pub struct DrainListener<'a> {
+    signal: &'a DrainSignal,
+    id: u64,
+}
+
+impl DrainListener<'_> {
+    /// Poll-style wait: registers the task's waker under this listener's
+    /// slot and reports whether the signal has fired. I/O futures call
+    /// this first so a drain both wakes and preempts them.
+    pub fn poll_set(&self, cx: &mut Context<'_>) -> bool {
+        use std::collections::hash_map::Entry;
+        let mut state = self.signal.state.lock().expect("drain signal poisoned");
+        if state.set {
+            return true;
+        }
+        match state.waiters.entry(self.id) {
+            Entry::Occupied(mut slot) => {
+                if !slot.get().will_wake(cx.waker()) {
+                    slot.insert(cx.waker().clone());
+                }
+            }
+            Entry::Vacant(slot) => {
+                slot.insert(cx.waker().clone());
+            }
+        }
+        false
+    }
+
+    /// Whether the signal has fired (no registration).
+    pub fn is_set(&self) -> bool {
+        self.signal.is_set()
+    }
+}
+
+impl Drop for DrainListener<'_> {
+    fn drop(&mut self) {
+        self.signal.state.lock().expect("drain signal poisoned").waiters.remove(&self.id);
+    }
+}
+
+/// An unbounded waker-backed queue with single-consumer semantics: the
+/// per-connection outbox. Producers [`NotifyQueue::push`] from any task or
+/// thread; the single writer task [`NotifyQueue::poll_pop`]s. Closing
+/// wakes the consumer, which drains the remainder and then sees `Closed`.
+#[derive(Debug)]
+pub struct NotifyQueue<T> {
+    state: Mutex<QueueState<T>>,
+}
+
+#[derive(Debug)]
+struct QueueState<T> {
+    items: VecDeque<T>,
+    waker: Option<Waker>,
+    closed: bool,
+}
+
+/// What [`NotifyQueue::poll_pop`] resolved to.
+pub enum Popped<T> {
+    Item(T),
+    Closed,
+}
+
+impl<T> Default for NotifyQueue<T> {
+    fn default() -> Self {
+        NotifyQueue {
+            state: Mutex::new(QueueState { items: VecDeque::new(), waker: None, closed: false }),
+        }
+    }
+}
+
+impl<T> NotifyQueue<T> {
+    pub fn new() -> NotifyQueue<T> {
+        NotifyQueue::default()
+    }
+
+    /// Enqueues `item`, waking the consumer. Returns `false` (dropping the
+    /// item) if the queue is closed.
+    pub fn push(&self, item: T) -> bool {
+        let waker = {
+            let mut state = self.state.lock().expect("notify queue poisoned");
+            if state.closed {
+                return false;
+            }
+            state.items.push_back(item);
+            state.waker.take()
+        };
+        if let Some(w) = waker {
+            w.wake();
+        }
+        true
+    }
+
+    /// Closes the queue; already-enqueued items still drain.
+    pub fn close(&self) {
+        let waker = {
+            let mut state = self.state.lock().expect("notify queue poisoned");
+            state.closed = true;
+            state.waker.take()
+        };
+        if let Some(w) = waker {
+            w.wake();
+        }
+    }
+
+    /// Single-consumer pop: an item if one is queued, `Closed` once the
+    /// queue is closed **and** empty, `Pending` otherwise.
+    pub fn poll_pop(&self, cx: &mut Context<'_>) -> Poll<Popped<T>> {
+        let mut state = self.state.lock().expect("notify queue poisoned");
+        if let Some(item) = state.items.pop_front() {
+            return Poll::Ready(Popped::Item(item));
+        }
+        if state.closed {
+            return Poll::Ready(Popped::Closed);
+        }
+        state.waker = Some(cx.waker().clone());
+        Poll::Pending
+    }
+
+    /// Async pop (see [`NotifyQueue::poll_pop`]).
+    pub async fn pop(&self) -> Popped<T> {
+        std::future::poll_fn(|cx| self.poll_pop(cx)).await
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn blocking_semaphore_round_trip() {
+        let sem = Arc::new(Semaphore::new(1));
+        assert!(!sem.acquire_blocking(), "first permit is free");
+        let clone = Arc::clone(&sem);
+        let waiter = std::thread::spawn(move || clone.acquire_blocking());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        sem.release();
+        assert!(waiter.join().expect("no panic"), "second acquire had to wait");
+        sem.release();
+        assert_eq!(sem.available(), 1);
+    }
+
+    #[test]
+    fn drain_signal_wakes_blocking_and_is_sticky() {
+        let signal = Arc::new(DrainSignal::new());
+        assert!(!signal.is_set());
+        signal.set();
+        signal.set();
+        assert!(signal.is_set());
+    }
+
+    #[test]
+    fn notify_queue_drains_after_close() {
+        let q: NotifyQueue<u32> = NotifyQueue::new();
+        assert!(q.push(1));
+        assert!(q.push(2));
+        q.close();
+        assert!(!q.push(3), "closed queue rejects new items");
+        let waker = futures_noop_waker();
+        let mut cx = Context::from_waker(&waker);
+        assert!(matches!(q.poll_pop(&mut cx), Poll::Ready(Popped::Item(1))));
+        assert!(matches!(q.poll_pop(&mut cx), Poll::Ready(Popped::Item(2))));
+        assert!(matches!(q.poll_pop(&mut cx), Poll::Ready(Popped::Closed)));
+    }
+
+    fn futures_noop_waker() -> Waker {
+        use std::task::{RawWaker, RawWakerVTable};
+        fn noop(_: *const ()) {}
+        fn clone(_: *const ()) -> RawWaker {
+            RawWaker::new(std::ptr::null(), &VTABLE)
+        }
+        static VTABLE: RawWakerVTable = RawWakerVTable::new(clone, noop, noop, noop);
+        unsafe { Waker::from_raw(RawWaker::new(std::ptr::null(), &VTABLE)) }
+    }
+}

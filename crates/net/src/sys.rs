@@ -1,0 +1,129 @@
+//! Thin `extern "C"` bindings to the Linux epoll/eventfd syscall surface.
+//!
+//! The build environment has no access to registry crates (`libc`, `mio`,
+//! `tokio`), so — following the offline-shim pattern in `crates/shims/` —
+//! the reactor binds the handful of symbols it needs directly. The
+//! constants are the stable Linux ABI values (x86-64 and aarch64 share
+//! them). `epoll_event` is packed **only on x86-64**, where the kernel
+//! declares it `__attribute__((packed))`; every other architecture uses
+//! the natural 16-byte layout, so the struct is `repr(C, packed)` /
+//! `repr(C)` by `target_arch` — getting this wrong would make the kernel
+//! write past the event buffer.
+//!
+//! Everything unsafe is wrapped here behind `io::Result` helpers; the rest
+//! of the crate never issues a raw syscall.
+
+#![cfg(unix)]
+
+use std::io;
+use std::os::unix::io::RawFd;
+
+pub const EPOLL_CTL_ADD: i32 = 1;
+pub const EPOLL_CTL_DEL: i32 = 2;
+
+pub const EPOLLIN: u32 = 0x001;
+pub const EPOLLOUT: u32 = 0x004;
+pub const EPOLLERR: u32 = 0x008;
+pub const EPOLLHUP: u32 = 0x010;
+pub const EPOLLRDHUP: u32 = 0x2000;
+pub const EPOLLET: u32 = 1 << 31;
+
+const EPOLL_CLOEXEC: i32 = 0o2000000;
+const EFD_CLOEXEC: i32 = 0o2000000;
+const EFD_NONBLOCK: i32 = 0o4000;
+
+/// One epoll readiness event (kernel ABI layout — packed on x86-64 only).
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    pub events: u32,
+    pub data: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+    fn eventfd(initval: u32, flags: i32) -> i32;
+    fn close(fd: i32) -> i32;
+    fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+    fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+}
+
+fn cvt(ret: i32) -> io::Result<i32> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// Creates a close-on-exec epoll instance.
+pub fn epoll_create() -> io::Result<RawFd> {
+    cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })
+}
+
+/// Registers `fd` with `interest` (an `EPOLL*` bitmask) under `token`.
+pub fn epoll_add(epfd: RawFd, fd: RawFd, token: u64, interest: u32) -> io::Result<()> {
+    let mut ev = EpollEvent { events: interest, data: token };
+    cvt(unsafe { epoll_ctl(epfd, EPOLL_CTL_ADD, fd, &mut ev) }).map(|_| ())
+}
+
+/// Deregisters `fd`. The event pointer must be non-null for pre-2.6.9
+/// kernels, so a dummy is passed.
+pub fn epoll_del(epfd: RawFd, fd: RawFd) -> io::Result<()> {
+    let mut ev = EpollEvent { events: 0, data: 0 };
+    cvt(unsafe { epoll_ctl(epfd, EPOLL_CTL_DEL, fd, &mut ev) }).map(|_| ())
+}
+
+/// Blocks until readiness events arrive (or `timeout_ms`; `-1` = forever),
+/// filling `events` and returning how many. `EINTR` retries internally.
+pub fn epoll_wait_events(
+    epfd: RawFd,
+    events: &mut [EpollEvent],
+    timeout_ms: i32,
+) -> io::Result<usize> {
+    loop {
+        let n = unsafe { epoll_wait(epfd, events.as_mut_ptr(), events.len() as i32, timeout_ms) };
+        if n >= 0 {
+            return Ok(n as usize);
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() != io::ErrorKind::Interrupted {
+            return Err(err);
+        }
+    }
+}
+
+/// Creates a nonblocking close-on-exec eventfd (the reactor's wakeup pipe).
+pub fn eventfd_create() -> io::Result<RawFd> {
+    cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })
+}
+
+/// Posts one wakeup to an eventfd (adds 1 to its counter).
+pub fn eventfd_signal(fd: RawFd) -> io::Result<()> {
+    let one: u64 = 1;
+    let n = unsafe { write(fd, (&one as *const u64).cast(), 8) };
+    if n == 8 {
+        Ok(())
+    } else {
+        Err(io::Error::last_os_error())
+    }
+}
+
+/// Drains an eventfd's counter (nonblocking; `WouldBlock` means empty).
+pub fn eventfd_drain(fd: RawFd) {
+    let mut buf = [0u8; 8];
+    unsafe {
+        let _ = read(fd, buf.as_mut_ptr(), 8);
+    }
+}
+
+/// Closes a raw descriptor owned by the reactor (epoll or eventfd handles;
+/// socket fds are closed by their owning std types).
+pub fn close_fd(fd: RawFd) {
+    unsafe {
+        let _ = close(fd);
+    }
+}

@@ -14,12 +14,16 @@
 //! * [`zipf`] — Zipf-skewed query streams over the catalogs (the regime the
 //!   throughput benches and the serving front-end measure);
 //! * [`edits`] — Zipf-skewed, replayable document **edit streams** over a
-//!   configurable insert/delete/relabel mix (the update-bench workload).
+//!   configurable insert/delete/relabel mix (the update-bench workload);
+//! * [`socket_load`] — a wire-protocol load generator over `xpv-net`
+//!   client connections (the socket half of `xpv serve-bench`'s
+//!   transport ablation).
 
 pub mod adversarial;
 pub mod edits;
 pub mod patterns;
 pub mod scenarios;
+pub mod socket_load;
 pub mod trees;
 pub mod zipf;
 
@@ -30,5 +34,6 @@ pub use scenarios::{
     bib_catalog, bib_doc, site_catalog, site_doc, site_intersect_catalog,
     split_into_overlapping_views, Catalog,
 };
+pub use socket_load::{run_socket_load, SocketLoadReport};
 pub use trees::{TreeGen, TreeGenConfig};
 pub use zipf::{catalog_zipf_stream, zipf_indices, zipf_stream};

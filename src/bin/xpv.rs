@@ -11,9 +11,21 @@
 //! xpv figures                        verify the paper's figures
 //! xpv serve-bench [--threads N] [--shards S] [--memo-cap M]
 //!                 [--queries Q] [--tenants T] [--no-intersect]
-//!                                    drive the worker-pool front-end with a
+//!                 [--transport inproc|unix|tcp] [--pipeline P] [--sweep]
+//!                                    drive the serving front-end with a
 //!                                    Zipf workload (overlapping-view
-//!                                    catalog) and print throughput
+//!                                    catalog) over the chosen transport and
+//!                                    print throughput; --sweep ablates
+//!                                    transports x threads {1,2,4,8} and
+//!                                    writes BENCH_serving.json
+//! xpv listen   (--tcp ADDR | --unix PATH) [--workers N] [--window W]
+//!              [--xml FILE] [--view NAME=DEF]...
+//!                                    serve the wire protocol until killed
+//!                                    (default: the site document with the
+//!                                    overlapping-view catalog)
+//! xpv client   (--tcp ADDR | --unix PATH) [--tenant T] [--stats] QUERY...
+//!                                    answer a query batch over a socket and
+//!                                    print nodes + routes
 //! xpv update-bench [--edits N] [--edit-mix I:D:R] [--batches B]
 //!                  [--queries Q] [--seed S]
 //!                                    ablate incremental vs full-recompute
@@ -28,13 +40,15 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Instant;
 
-use xpath_views::engine::{CacheServer, ShardedViewCache};
+use xpath_views::engine::{AsyncCacheServer, CacheServer, ShardedViewCache};
 use xpath_views::intersect::plan_intersection_in;
+use xpath_views::net::{WireClient, WireRoute};
 use xpath_views::prelude::*;
 use xpath_views::rewrite::{figure1, figure2, figure3, figure4, NoRewriteReason};
 use xpath_views::semantics::remove_redundant_branches;
 use xpath_views::workload::{
-    catalog_zipf_stream, edit_batches, edit_stream, site_doc, site_intersect_catalog, EditMix,
+    catalog_zipf_stream, edit_batches, edit_stream, run_socket_load, site_doc,
+    site_intersect_catalog, EditMix,
 };
 
 fn fail(msg: &str) -> ExitCode {
@@ -44,7 +58,10 @@ fn fail(msg: &str) -> ExitCode {
          xpv contain <P1> <P2>\n  \
          xpv eval <QUERY> <FILE.xml|->\n  xpv reduce <PATTERN>\n  xpv figures\n  \
          xpv serve-bench [--threads N] [--shards S] [--memo-cap M] [--queries Q] [--tenants T] \
-         [--no-intersect]\n  \
+         [--no-intersect] [--transport inproc|unix|tcp] [--pipeline P] [--sweep]\n  \
+         xpv listen (--tcp ADDR | --unix PATH) [--workers N] [--window W] [--xml FILE] \
+         [--view NAME=DEF]...\n  \
+         xpv client (--tcp ADDR | --unix PATH) [--tenant T] [--stats] QUERY...\n  \
          xpv update-bench [--edits N] [--edit-mix I:D:R] [--batches B] [--queries Q] [--seed S]"
     );
     ExitCode::FAILURE
@@ -212,8 +229,38 @@ fn cmd_figures() -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// Which seam carries the bench traffic to the cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Transport {
+    /// The in-process compatibility transport (`CacheServer::submit`).
+    Inproc,
+    /// The wire protocol over a Unix-domain socket.
+    Unix,
+    /// The wire protocol over loopback TCP.
+    Tcp,
+}
+
+impl Transport {
+    fn parse(s: &str) -> Result<Transport, String> {
+        match s {
+            "inproc" => Ok(Transport::Inproc),
+            "unix" => Ok(Transport::Unix),
+            "tcp" => Ok(Transport::Tcp),
+            other => Err(format!("--transport: expected inproc|unix|tcp, got {other}")),
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            Transport::Inproc => "inproc",
+            Transport::Unix => "unix",
+            Transport::Tcp => "tcp",
+        }
+    }
+}
+
 /// Ablation knobs for `serve-bench`, parsed from `--flag value` pairs plus
-/// the boolean `--no-intersect`.
+/// the booleans `--no-intersect` and `--sweep`.
 struct ServeBenchOpts {
     threads: usize,
     shards: usize,
@@ -221,6 +268,9 @@ struct ServeBenchOpts {
     queries: usize,
     tenants: usize,
     intersect: bool,
+    transport: Transport,
+    pipeline: usize,
+    sweep: bool,
 }
 
 impl ServeBenchOpts {
@@ -232,6 +282,9 @@ impl ServeBenchOpts {
             queries: 2000,
             tenants: 4,
             intersect: true,
+            transport: Transport::Inproc,
+            pipeline: 4,
+            sweep: false,
         };
         let mut it = args.iter();
         while let Some(flag) = it.next() {
@@ -239,17 +292,23 @@ impl ServeBenchOpts {
                 opts.intersect = false;
                 continue;
             }
-            let value = it
-                .next()
-                .ok_or_else(|| format!("{flag}: missing value"))?
-                .parse::<usize>()
-                .map_err(|e| format!("{flag}: {e}"))?;
+            if flag == "--sweep" {
+                opts.sweep = true;
+                continue;
+            }
+            let value = it.next().ok_or_else(|| format!("{flag}: missing value"))?;
+            if flag == "--transport" {
+                opts.transport = Transport::parse(value)?;
+                continue;
+            }
+            let value = value.parse::<usize>().map_err(|e| format!("{flag}: {e}"))?;
             match flag.as_str() {
                 "--threads" => opts.threads = value.max(1),
                 "--shards" => opts.shards = value.max(1),
                 "--memo-cap" => opts.memo_cap = value,
                 "--queries" => opts.queries = value.max(1),
                 "--tenants" => opts.tenants = value.max(1),
+                "--pipeline" => opts.pipeline = value.max(1),
                 other => return Err(format!("unknown serve-bench flag {other}")),
             }
         }
@@ -257,12 +316,19 @@ impl ServeBenchOpts {
     }
 }
 
-/// Drives the worker-pool front-end with the overlapping-view Zipf
-/// workload (single-view hits, multi-view intersection routes, and direct
-/// queries) — the ablation entry point for thread/shard/memo-cap/intersect
-/// sweeps without touching bench code.
-fn cmd_serve_bench(args: &[String]) -> Result<ExitCode, String> {
-    let opts = ServeBenchOpts::parse(args)?;
+/// One serve-bench measurement.
+struct ServeRun {
+    answered: usize,
+    elapsed: std::time::Duration,
+}
+
+impl ServeRun {
+    fn qps(&self) -> f64 {
+        self.answered as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+}
+
+fn build_serving_cache(opts: &ServeBenchOpts) -> Arc<ShardedViewCache> {
     let catalog = site_intersect_catalog();
     let cache = ShardedViewCache::new(site_doc(12, 12, 7))
         .with_shards(opts.shards)
@@ -271,43 +337,349 @@ fn cmd_serve_bench(args: &[String]) -> Result<ExitCode, String> {
     for (name, def) in catalog.views.iter() {
         cache.add_view(name, def.clone());
     }
-    let cache = Arc::new(cache);
-    let server = CacheServer::start(Arc::clone(&cache), opts.threads);
+    Arc::new(cache)
+}
 
-    let stream = catalog_zipf_stream(&catalog, opts.queries, 0x21F);
+/// Runs the Zipf stream through one transport at one thread count; the
+/// server is torn down (drained) before returning.
+fn run_serving(
+    opts: &ServeBenchOpts,
+    transport: Transport,
+    threads: usize,
+    stream: &[Pattern],
+    detail: bool,
+) -> Result<ServeRun, String> {
+    let cache = build_serving_cache(opts);
     let batch_size = (stream.len() / (opts.tenants * 8)).max(1);
-    let start = Instant::now();
-    let tickets: Vec<_> = stream
-        .chunks(batch_size)
-        .enumerate()
-        .map(|(i, chunk)| server.submit(&format!("tenant-{}", i % opts.tenants), chunk.to_vec()))
-        .collect();
-    let mut answered = 0usize;
-    for ticket in tickets {
-        answered += ticket.wait().len();
-    }
-    let elapsed = start.elapsed();
+    let run = match transport {
+        Transport::Inproc => {
+            let server = CacheServer::start(Arc::clone(&cache), threads);
+            let start = Instant::now();
+            let tickets: Vec<_> = stream
+                .chunks(batch_size)
+                .enumerate()
+                .map(|(i, chunk)| {
+                    server.submit(&format!("tenant-{}", i % opts.tenants), chunk.to_vec())
+                })
+                .collect();
+            let mut answered = 0usize;
+            for ticket in tickets {
+                answered += ticket.wait().len();
+            }
+            let elapsed = start.elapsed();
+            if detail {
+                print_serving_detail(&cache, &server.tenants());
+            }
+            ServeRun { answered, elapsed }
+        }
+        Transport::Unix | Transport::Tcp => {
+            let server = AsyncCacheServer::start(Arc::clone(&cache), threads);
+            let report = match transport {
+                Transport::Unix => {
+                    let path = std::env::temp_dir()
+                        .join(format!("xpv-serve-bench-{}.sock", std::process::id()));
+                    let _ = std::fs::remove_file(&path);
+                    server.listen_unix(&path).map_err(|e| format!("listen unix: {e}"))?;
+                    run_socket_load(
+                        || WireClient::connect_unix(&path),
+                        opts.tenants,
+                        stream,
+                        batch_size,
+                        opts.pipeline,
+                        "tenant-",
+                    )
+                }
+                _ => {
+                    let addr =
+                        server.listen_tcp("127.0.0.1:0").map_err(|e| format!("listen tcp: {e}"))?;
+                    let addr = addr.to_string();
+                    run_socket_load(
+                        || WireClient::connect_tcp(&addr),
+                        opts.tenants,
+                        stream,
+                        batch_size,
+                        opts.pipeline,
+                        "tenant-",
+                    )
+                }
+            }
+            .map_err(|e| format!("socket load: {e}"))?;
+            if detail {
+                print_serving_detail(&cache, &server.tenants());
+            }
+            server.shutdown();
+            ServeRun { answered: report.answered, elapsed: report.elapsed }
+        }
+    };
+    Ok(run)
+}
 
-    let qps = answered as f64 / elapsed.as_secs_f64();
-    println!(
-        "served {answered} queries on {} workers / {} shards (memo cap {}, intersect {}) \
-         in {:.1} ms — {qps:.0} q/s",
-        server.workers(),
-        cache.shard_count(),
-        if cache.memo_cap() == usize::MAX {
-            "∞".to_string()
-        } else {
-            cache.memo_cap().to_string()
-        },
-        if cache.intersect_enabled() { "on" } else { "off" },
-        elapsed.as_secs_f64() * 1e3,
-    );
+fn print_serving_detail(cache: &ShardedViewCache, tenants: &[(String, TenantStats)]) {
     println!("cache:  {}", cache.stats());
     println!("oracle: {}", cache.session().oracle().stats());
     println!("plan memo entries: {}", cache.plan_memo_len());
-    for (tenant, stats) in server.tenants() {
+    for (tenant, stats) in tenants {
         println!("{tenant}: {stats}");
     }
+}
+
+/// Drives the serving front-end with the overlapping-view Zipf workload
+/// (single-view hits, multi-view intersection routes, and direct queries)
+/// over the chosen transport — the ablation entry point for
+/// thread/shard/memo-cap/intersect/transport sweeps without touching
+/// bench code. `--sweep` measures transports × threads ∈ {1,2,4,8} and
+/// writes `BENCH_serving.json` (archived by CI next to the other bench
+/// summaries).
+fn cmd_serve_bench(args: &[String]) -> Result<ExitCode, String> {
+    let opts = ServeBenchOpts::parse(args)?;
+    let catalog = site_intersect_catalog();
+    let stream = catalog_zipf_stream(&catalog, opts.queries, 0x21F);
+
+    if !opts.sweep {
+        let run = run_serving(&opts, opts.transport, opts.threads, &stream, true)?;
+        println!(
+            "served {} queries over {} on {} workers / {} shards (memo cap {}, intersect {}) \
+             in {:.1} ms — {:.0} q/s",
+            run.answered,
+            opts.transport.name(),
+            opts.threads,
+            opts.shards,
+            if opts.memo_cap == 0 { "∞".to_string() } else { opts.memo_cap.to_string() },
+            if opts.intersect { "on" } else { "off" },
+            run.elapsed.as_secs_f64() * 1e3,
+            run.qps(),
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let thread_counts = [1usize, 2, 4, 8];
+    let transports = [Transport::Inproc, Transport::Unix, Transport::Tcp];
+    let mut rows = String::new();
+    println!("transport  threads  queries     ms      q/s");
+    for transport in transports {
+        for threads in thread_counts {
+            let run = run_serving(&opts, transport, threads, &stream, false)?;
+            println!(
+                "{:<9}  {:>7}  {:>7}  {:>8.1}  {:>7.0}",
+                transport.name(),
+                threads,
+                run.answered,
+                run.elapsed.as_secs_f64() * 1e3,
+                run.qps(),
+            );
+            if !rows.is_empty() {
+                rows.push_str(",\n");
+            }
+            rows.push_str(&format!(
+                "    {{ \"transport\": \"{}\", \"threads\": {}, \"answered\": {}, \
+                 \"ms\": {:.3}, \"qps\": {:.1} }}",
+                transport.name(),
+                threads,
+                run.answered,
+                run.elapsed.as_secs_f64() * 1e3,
+                run.qps(),
+            ));
+        }
+    }
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"serving_transports_zipf_site\",\n",
+            "  \"queries\": {},\n",
+            "  \"tenants\": {},\n",
+            "  \"pipeline\": {},\n",
+            "  \"hardware_threads\": {},\n",
+            "  \"runs\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        opts.queries,
+        opts.tenants,
+        opts.pipeline,
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        rows,
+    );
+    std::fs::write("BENCH_serving.json", &json).map_err(|e| format!("BENCH_serving.json: {e}"))?;
+    println!("wrote BENCH_serving.json");
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Knobs for `xpv listen`.
+struct ListenOpts {
+    tcp: Option<String>,
+    unix: Option<String>,
+    workers: usize,
+    window: Option<u32>,
+    xml: Option<String>,
+    views: Vec<(String, Pattern)>,
+}
+
+impl ListenOpts {
+    fn parse(args: &[String]) -> Result<ListenOpts, String> {
+        let mut opts = ListenOpts {
+            tcp: None,
+            unix: None,
+            workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            window: None,
+            xml: None,
+            views: Vec::new(),
+        };
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let value = it.next().ok_or_else(|| format!("{flag}: missing value"))?;
+            match flag.as_str() {
+                "--tcp" => opts.tcp = Some(value.clone()),
+                "--unix" => opts.unix = Some(value.clone()),
+                "--workers" => {
+                    opts.workers = parse_num(flag, value)?.max(1);
+                }
+                "--window" => opts.window = Some(parse_num(flag, value)? as u32),
+                "--xml" => opts.xml = Some(value.clone()),
+                "--view" => {
+                    let (name, def) = value
+                        .split_once('=')
+                        .ok_or_else(|| format!("--view: expected NAME=DEF, got {value}"))?;
+                    opts.views.push((name.to_string(), parse("view", def)?));
+                }
+                other => return Err(format!("unknown listen flag {other}")),
+            }
+        }
+        if opts.tcp.is_none() && opts.unix.is_none() {
+            return Err("listen: need --tcp ADDR or --unix PATH".to_string());
+        }
+        Ok(opts)
+    }
+}
+
+/// Serves the wire protocol until the process is killed. Without `--xml`
+/// / `--view`, serves the site document with the overlapping-view catalog
+/// (the serve-bench workload), so a fresh checkout can demo end to end.
+fn cmd_listen(args: &[String]) -> Result<ExitCode, String> {
+    let opts = ListenOpts::parse(args)?;
+    let (doc, views) = match &opts.xml {
+        Some(file) => {
+            let xml = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+            (parse_xml(&xml).map_err(|e| format!("{file}: {e}"))?, opts.views.clone())
+        }
+        None => {
+            let catalog = site_intersect_catalog();
+            let mut views = opts.views.clone();
+            if views.is_empty() {
+                views = catalog.views.iter().map(|(n, d)| (n.to_string(), d.clone())).collect();
+            }
+            (site_doc(12, 12, 7), views)
+        }
+    };
+    let cache = Arc::new(ShardedViewCache::new(doc));
+    for (name, def) in &views {
+        let n = cache.add_view(name, def.clone());
+        println!("view {name} = {def}  ({n} answers materialized)");
+    }
+    let server = AsyncCacheServer::start(cache, opts.workers);
+    if let Some(window) = opts.window {
+        server.set_conn_window(window);
+    }
+    if let Some(addr) = &opts.tcp {
+        let bound = server.listen_tcp(addr).map_err(|e| format!("listen {addr}: {e}"))?;
+        println!(
+            "listening on tcp://{bound} ({} workers, window {})",
+            server.workers(),
+            server.conn_window()
+        );
+    }
+    if let Some(path) = &opts.unix {
+        let _ = std::fs::remove_file(path);
+        server
+            .listen_unix(std::path::Path::new(path))
+            .map_err(|e| format!("listen {path}: {e}"))?;
+        println!(
+            "listening on unix://{path} ({} workers, window {})",
+            server.workers(),
+            server.conn_window()
+        );
+    }
+    loop {
+        std::thread::park();
+    }
+}
+
+/// Knobs for `xpv client`.
+struct ClientOpts {
+    tcp: Option<String>,
+    unix: Option<String>,
+    tenant: String,
+    stats: bool,
+    queries: Vec<Pattern>,
+}
+
+impl ClientOpts {
+    fn parse(args: &[String]) -> Result<ClientOpts, String> {
+        let mut opts = ClientOpts {
+            tcp: None,
+            unix: None,
+            tenant: "cli".to_string(),
+            stats: false,
+            queries: Vec::new(),
+        };
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--stats" => opts.stats = true,
+                "--tcp" | "--unix" | "--tenant" => {
+                    let value = it.next().ok_or_else(|| format!("{arg}: missing value"))?;
+                    match arg.as_str() {
+                        "--tcp" => opts.tcp = Some(value.clone()),
+                        "--unix" => opts.unix = Some(value.clone()),
+                        _ => opts.tenant = value.clone(),
+                    }
+                }
+                query => opts.queries.push(parse("query", query)?),
+            }
+        }
+        if opts.tcp.is_none() && opts.unix.is_none() {
+            return Err("client: need --tcp ADDR or --unix PATH".to_string());
+        }
+        if opts.queries.is_empty() && !opts.stats {
+            return Err("client: need at least one query (or --stats)".to_string());
+        }
+        Ok(opts)
+    }
+}
+
+/// Connects to an `xpv listen` server, answers one query batch, and
+/// prints each query's node count and serving route.
+fn cmd_client(args: &[String]) -> Result<ExitCode, String> {
+    let opts = ClientOpts::parse(args)?;
+    let mut client = match (&opts.tcp, &opts.unix) {
+        (Some(addr), _) => WireClient::connect_tcp(addr).map_err(|e| format!("{addr}: {e}"))?,
+        (None, Some(path)) => WireClient::connect_unix(std::path::Path::new(path))
+            .map_err(|e| format!("{path}: {e}"))?,
+        (None, None) => unreachable!("parse enforces an endpoint"),
+    };
+    if !opts.queries.is_empty() {
+        let answers =
+            client.answer_batch(&opts.tenant, &opts.queries).map_err(|e| format!("batch: {e}"))?;
+        for (q, a) in opts.queries.iter().zip(&answers) {
+            let route = match &a.route {
+                WireRoute::Direct => "direct".to_string(),
+                WireRoute::ViaView { view, rewriting } => format!("view {view} via {rewriting}"),
+                WireRoute::Intersect { views, compensation } => {
+                    format!("intersection {views:?} via {compensation}")
+                }
+            };
+            println!("{q}: {} node(s)  [{route}]", a.nodes.len());
+        }
+    }
+    if opts.stats {
+        match client.tenant_stats(&opts.tenant).map_err(|e| format!("stats: {e}"))? {
+            Some(s) => println!(
+                "tenant {}: {} queries in {} batches ({} via views, {} via intersections, \
+                 {} direct)",
+                opts.tenant, s.queries, s.batches, s.view_hits, s.intersect_hits, s.direct
+            ),
+            None => println!("tenant {}: not seen by this server yet", opts.tenant),
+        }
+    }
+    client.goodbye().map_err(|e| format!("goodbye: {e}"))?;
     Ok(ExitCode::SUCCESS)
 }
 
@@ -488,6 +860,8 @@ fn main() -> ExitCode {
         [cmd, p] if cmd == "reduce" => cmd_reduce(p),
         [cmd] if cmd == "figures" => cmd_figures(),
         [cmd, rest @ ..] if cmd == "serve-bench" => cmd_serve_bench(rest),
+        [cmd, rest @ ..] if cmd == "listen" => cmd_listen(rest),
+        [cmd, rest @ ..] if cmd == "client" => cmd_client(rest),
         [cmd, rest @ ..] if cmd == "update-bench" => cmd_update_bench(rest),
         _ => return fail("expected a subcommand"),
     };

@@ -19,6 +19,9 @@
 //!   problem 5, after Cautis et al.);
 //! * [`maintain`] — the document **edit log** and incremental view
 //!   maintenance under tree updates ([`xpv_maintain`]);
+//! * [`net`] — the hand-rolled async runtime (epoll reactor + executor)
+//!   and the framed xpv **wire protocol** with credit-based backpressure
+//!   ([`xpv_net`]);
 //! * [`engine`] — materialized views and answering queries using views
 //!   ([`xpv_engine`]);
 //! * [`workload`] — generators for patterns, documents, rewriting
@@ -55,9 +58,14 @@
 //! same way over a copy-on-write view pool (LRU-bounded, with per-view
 //! dependency invalidation on `add_view`). Worker threads answer
 //! concurrently through one cache — byte-identical to the single-threaded
-//! `ViewCache` — and [`CacheServer`](engine::CacheServer) fronts it with an
-//! admission queue, a `std::thread` worker pool, and per-tenant stats
-//! (`xpv serve-bench` drives it from the command line).
+//! `ViewCache` — and the serving front-end is **async end to end**:
+//! [`AsyncCacheServer`](engine::AsyncCacheServer) multiplexes any number
+//! of wire-protocol connections (TCP / Unix-domain, `xpv listen`) onto a
+//! fixed CPU worker pool with per-connection credit windows, while
+//! [`CacheServer`](engine::CacheServer) keeps the blocking in-process API
+//! as a thin wrapper over the same pool, with per-tenant stats
+//! (`xpv serve-bench --transport {inproc,unix,tcp}` drives both from the
+//! command line).
 //!
 //! ## Document updates
 //!
@@ -106,6 +114,7 @@ pub use xpv_engine as engine;
 pub use xpv_intersect as intersect;
 pub use xpv_maintain as maintain;
 pub use xpv_model as model;
+pub use xpv_net as net;
 pub use xpv_pattern as pattern;
 pub use xpv_semantics as semantics;
 pub use xpv_workload as workload;
@@ -117,7 +126,8 @@ pub mod prelude {
         Rewriting,
     };
     pub use xpv_engine::{
-        CacheServer, CacheStats, MaterializedView, Route, ShardedViewCache, TenantStats, ViewCache,
+        AsyncCacheServer, CacheServer, CacheStats, MaterializedView, Route, ShardedViewCache,
+        TenantStats, ViewCache,
     };
     pub use xpv_intersect::{IntersectAnswer, IntersectConfig};
     pub use xpv_model::{parse_xml, to_xml, Label, NodeId, Tree, TreeBuilder};

@@ -1,0 +1,328 @@
+//! End-to-end tests of the async serving front-end: idle connections
+//! against a small worker pool, wire-protocol answer fidelity, edit
+//! batches over the wire with version checks, credit-window enforcement,
+//! and graceful drain under concurrent submitters — for both the
+//! [`AsyncCacheServer`] and the legacy [`CacheServer`] wrapper.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use xpath_views::engine::{AsyncCacheServer, CacheServer, ShardedViewCache};
+use xpath_views::net::{Response, WireClient};
+use xpath_views::prelude::*;
+use xpath_views::workload::{
+    catalog_zipf_stream, edit_batches, edit_stream, run_socket_load, site_doc,
+    site_intersect_catalog, EditMix,
+};
+
+fn serving_cache() -> Arc<ShardedViewCache> {
+    let catalog = site_intersect_catalog();
+    let cache = ShardedViewCache::new(site_doc(8, 8, 5));
+    for (name, def) in catalog.views.iter() {
+        cache.add_view(name, def.clone());
+    }
+    Arc::new(cache)
+}
+
+/// The acceptance scenario: ≥ 256 open **idle** connections against a
+/// 4-worker server must not stop a Zipf query mix on 8 active connections
+/// from completing, and every answer must be byte-identical to
+/// [`ShardedViewCache::answer`] on the same cache. Under the old
+/// thread-per-connection seam this would require 264 worker threads; here
+/// the idle connections are suspended reactor tasks.
+#[test]
+fn idle_connections_do_not_pin_workers() {
+    const IDLE: usize = 256;
+    const ACTIVE: usize = 8;
+
+    let cache = serving_cache();
+    let server = AsyncCacheServer::start(Arc::clone(&cache), 4);
+    let addr = server.listen_tcp("127.0.0.1:0").expect("listen").to_string();
+
+    // Expected answers, computed through the serial `&self` serving path.
+    let catalog = site_intersect_catalog();
+    let expected: HashMap<String, Vec<NodeId>> =
+        catalog.queries.iter().map(|(_, q)| (q.to_string(), cache.answer(q).nodes)).collect();
+
+    // Park the idle herd (handshake completed, then silence).
+    let idle: Vec<WireClient> =
+        (0..IDLE).map(|_| WireClient::connect_tcp(&addr).expect("idle connect")).collect();
+    // Connection tasks are spawned by the acceptor; give the reactor a
+    // beat to accept the whole herd before asserting.
+    for _ in 0..200 {
+        if server.connections() >= IDLE {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    assert!(
+        server.connections() >= IDLE,
+        "herd not fully connected: {} of {IDLE}",
+        server.connections()
+    );
+
+    // The active Zipf mix: 8 connections, pipelined batches, every answer
+    // verified against the serial cache.
+    let stream = catalog_zipf_stream(&catalog, 800, 0xA51C);
+    let verified = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let per_conn = stream.len() / ACTIVE;
+        for (i, chunk) in stream.chunks(per_conn).enumerate() {
+            let addr = &addr;
+            let expected = &expected;
+            let verified = &verified;
+            scope.spawn(move || {
+                let mut client = WireClient::connect_tcp(addr).expect("active connect");
+                let tenant = format!("active-{i}");
+                for batch in chunk.chunks(5) {
+                    let answers = client.answer_batch(&tenant, batch).expect("answers");
+                    assert_eq!(answers.len(), batch.len());
+                    for (q, a) in batch.iter().zip(&answers) {
+                        let want = &expected[&q.to_string()];
+                        assert_eq!(
+                            &a.nodes, want,
+                            "wire answer for {q} differs from ShardedViewCache::answer"
+                        );
+                        verified.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                client.goodbye().expect("clean close");
+            });
+        }
+    });
+    assert_eq!(verified.load(Ordering::Relaxed), stream.len());
+    assert_eq!(server.workers(), 4, "the pool never grew");
+
+    drop(idle);
+    server.shutdown();
+}
+
+/// Edit batches over the wire must stay consistent with in-process
+/// `apply_edits`: a reference cache receiving the identical batches
+/// answers identically, and the acked `doc_version`s are exactly
+/// `1, 2, 3, …` (version-checked replication).
+#[test]
+fn edit_batches_over_the_wire_stay_consistent() {
+    let doc = site_doc(6, 6, 4);
+    let catalog = site_intersect_catalog();
+    let build = || {
+        let cache = ShardedViewCache::new(doc.clone());
+        for (name, def) in catalog.views.iter() {
+            cache.add_view(name, def.clone());
+        }
+        Arc::new(cache)
+    };
+    let served = build();
+    let reference = build();
+
+    let server = AsyncCacheServer::start(Arc::clone(&served), 2);
+    let path = std::env::temp_dir().join(format!("xpv-edit-wire-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    server.listen_unix(&path).expect("listen");
+    let mut client = WireClient::connect_unix(&path).expect("connect");
+
+    let probes: Vec<Pattern> = catalog.queries.iter().map(|(_, q)| q.clone()).take(6).collect();
+    let edits = edit_stream(&doc, 60, EditMix::default(), 0xED17);
+    for (i, batch) in edit_batches(&edits, 6).iter().enumerate() {
+        let report =
+            client.apply_edits("writer", batch).expect("transport ok").expect("batch applies");
+        assert_eq!(report.doc_version, (i + 1) as u64, "acked versions must be sequential");
+        assert_eq!(report.edits_applied as usize, batch.len());
+        let ref_report = reference.apply_edits(batch).expect("reference applies");
+        assert_eq!(ref_report.doc_version, report.doc_version);
+        assert_eq!(ref_report.views_changed as u64, report.views_changed);
+
+        for q in &probes {
+            let wire = client.answer_batch("writer", std::slice::from_ref(q)).expect("answers");
+            assert_eq!(
+                wire[0].nodes,
+                reference.answer(q).nodes,
+                "post-edit wire answer diverged for {q} at version {}",
+                report.doc_version
+            );
+        }
+    }
+    assert_eq!(served.doc_version(), 6);
+    let stats = client.tenant_stats("writer").expect("io").expect("seen");
+    assert_eq!(stats.updates_applied, 60);
+
+    // An invalid edit (deleting the root) is rejected without breaking
+    // the connection or bumping the version.
+    let bad = [xpath_views::maintain::Edit::DeleteSubtree { node: served.document().root() }];
+    let rejected = client.apply_edits("writer", &bad).expect("transport ok");
+    assert!(rejected.is_err(), "deleting the root must be rejected");
+    assert_eq!(served.doc_version(), 6, "failed batch must not bump the version");
+    let probe = &probes[0];
+    let wire = client.answer_batch("writer", std::slice::from_ref(probe)).expect("still serving");
+    assert_eq!(wire[0].nodes, reference.answer(probe).nodes);
+
+    client.goodbye().expect("clean close");
+    server.shutdown();
+}
+
+/// The credit window is enforced mechanically: a server granting 2
+/// credits serves a client pipelining 8-deep correctly (the load
+/// generator clamps to the granted window; the server never reads more
+/// than `window` unacknowledged frames).
+#[test]
+fn small_credit_window_still_serves_deep_pipelines() {
+    let cache = serving_cache();
+    let server = AsyncCacheServer::start(Arc::clone(&cache), 2);
+    server.set_conn_window(2);
+    let addr = server.listen_tcp("127.0.0.1:0").expect("listen").to_string();
+
+    let probe = WireClient::connect_tcp(&addr).expect("connect");
+    assert_eq!(probe.window(), 2, "handshake advertises the configured window");
+    drop(probe);
+
+    let catalog = site_intersect_catalog();
+    let stream = catalog_zipf_stream(&catalog, 300, 0x77);
+    let report = run_socket_load(
+        || WireClient::connect_tcp(&addr),
+        3,
+        &stream,
+        4,
+        8, // deeper than the window: clamped to 2 by the client
+        "windowed-",
+    )
+    .expect("load completes");
+    assert_eq!(report.answered, stream.len());
+    server.shutdown();
+}
+
+/// Graceful drain, legacy wrapper: with submitter threads racing a
+/// shutdown, every ticket either resolves to correct answers or reports a
+/// rejection — nothing hangs, nothing is silently dropped.
+#[test]
+fn graceful_drain_serves_or_rejects_legacy_wrapper() {
+    let cache = serving_cache();
+    let server = Arc::new(CacheServer::start_bounded(Arc::clone(&cache), 2, 64));
+    let catalog = site_intersect_catalog();
+    let q = catalog.queries[0].1.clone();
+    let want = cache.answer(&q).nodes;
+
+    let served = AtomicUsize::new(0);
+    let rejected = AtomicUsize::new(0);
+    const PER_THREAD: usize = 40;
+    const THREADS: usize = 4;
+    // All submitters plus the draining main thread: phase 2 starts only
+    // after the drain has completed, so its rejections are deterministic.
+    let drained = std::sync::Barrier::new(THREADS + 1);
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let server = Arc::clone(&server);
+            let q = q.clone();
+            let (served, rejected, want, drained) = (&served, &rejected, &want, &drained);
+            scope.spawn(move || {
+                // Phase 1: race the drain — every ticket must resolve
+                // either way, with exact answers when served.
+                for _ in 0..PER_THREAD {
+                    match server.submit("racer", vec![q.clone()]).wait_result() {
+                        Ok(answers) => {
+                            assert_eq!(answers[0].nodes, *want, "drained batch must be exact");
+                            served.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(_) => {
+                            rejected.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                // Phase 2: after the drain, submissions must reject.
+                drained.wait();
+                let err = server
+                    .submit("racer", vec![q.clone()])
+                    .wait_result()
+                    .expect_err("post-drain submissions are rejected");
+                assert!(err.reason.contains("draining"), "got: {}", err.reason);
+            });
+        }
+        // Let some batches through, then drain mid-traffic.
+        while cache.stats().queries < 20 {
+            std::thread::yield_now();
+        }
+        server.as_async().shutdown();
+        drained.wait();
+    });
+    let (s, r) = (served.load(Ordering::Relaxed), rejected.load(Ordering::Relaxed));
+    assert_eq!(s + r, THREADS * PER_THREAD, "every submission is accounted");
+    assert!(s > 0, "some batches were served before the drain");
+}
+
+/// Graceful drain, async server: local submitters race the shutdown while
+/// a wire connection is mid-conversation. Served batches are exact,
+/// post-drain submissions reject, and the wire client observes an
+/// explicit end (`ServerBye` ⇒ error on the next receive), never a hang.
+#[test]
+fn graceful_drain_async_server_with_concurrent_submitters() {
+    let cache = serving_cache();
+    let server = Arc::new(AsyncCacheServer::start(Arc::clone(&cache), 2));
+    let addr = server.listen_tcp("127.0.0.1:0").expect("listen").to_string();
+    let catalog = site_intersect_catalog();
+    let q = catalog.queries[1].1.clone();
+    let want = cache.answer(&q).nodes;
+
+    let served = AtomicUsize::new(0);
+    let rejected = AtomicUsize::new(0);
+    let wire_served = Arc::new(AtomicUsize::new(0));
+    const PER_THREAD: usize = 40;
+    const THREADS: usize = 3;
+    let drained = std::sync::Barrier::new(THREADS + 1);
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let server = Arc::clone(&server);
+            let q = q.clone();
+            let (served, rejected, want, drained) = (&served, &rejected, &want, &drained);
+            scope.spawn(move || {
+                for _ in 0..PER_THREAD {
+                    match server.submit("racer", vec![q.clone()]).wait_result() {
+                        Ok(answers) => {
+                            assert_eq!(answers[0].nodes, *want);
+                            served.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(_) => {
+                            rejected.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                // After the drain completes, submissions must reject.
+                drained.wait();
+                server
+                    .submit("racer", vec![q.clone()])
+                    .wait_result()
+                    .expect_err("post-drain submissions are rejected");
+            });
+        }
+        // A wire client keeps a conversation going through the drain.
+        let wire_q = q.clone();
+        let addr = addr.clone();
+        let want_wire = want.clone();
+        let wire_count = Arc::clone(&wire_served);
+        let wire = scope.spawn(move || {
+            let mut client = WireClient::connect_tcp(&addr).expect("connect");
+            // A send error means the server closed the socket: explicit end.
+            while let Ok(id) = client.send_queries("wire", std::slice::from_ref(&wire_q)) {
+                match client.recv_for(id) {
+                    Ok(Response::Answers { answers, .. }) => {
+                        assert_eq!(answers[0].nodes, want_wire);
+                        wire_count.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Ok(Response::Rejected { .. }) | Err(_) => break,
+                    Ok(other) => panic!("unexpected response {other:?}"),
+                }
+            }
+        });
+        // Drain only after both the local and the wire path have
+        // demonstrably served traffic.
+        while cache.stats().queries < 20 || wire_served.load(Ordering::Relaxed) == 0 {
+            std::thread::yield_now();
+        }
+        server.shutdown();
+        drained.wait();
+        wire.join().expect("wire thread ends, never hangs");
+    });
+    let (s, r) = (served.load(Ordering::Relaxed), rejected.load(Ordering::Relaxed));
+    assert_eq!(s + r, THREADS * PER_THREAD);
+    assert!(s > 0, "some local batches served");
+    assert!(wire_served.load(Ordering::Relaxed) > 0, "the wire client served traffic");
+}
