@@ -51,7 +51,9 @@ use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 
 use xpv_maintain::Edit;
-use xpv_net::proto::{Msg, WireAnswer, WireRoute, WireTenantStats, WireUpdateReport, VERSION};
+use xpv_net::proto::{
+    AnswersEncoder, Msg, WireRouteRef, WireTenantStats, WireUpdateReport, VERSION,
+};
 use xpv_net::stream::Accepted;
 use xpv_net::{
     read_frame, write_frame, AsyncStream, AsyncTcpListener, AsyncUnixListener, DrainSignal,
@@ -457,8 +459,14 @@ async fn serve_connection(shared: &Arc<ServerShared>, runtime: &Arc<Runtime>, st
                 let spawned = runtime.spawn(async move {
                     let answers = shared.cache.answer_batch(&queries);
                     shared.tenants.account_batch(&tenant, &answers);
-                    let wire = answers.iter().map(wire_answer).collect();
-                    push_response(&conn_for_task, id, Msg::Answers { id, answers: wire });
+                    // Stream the Answers frame straight into its byte
+                    // buffer from the engine's own node slices — no
+                    // WireAnswer clones on the hot response path.
+                    let mut enc = AnswersEncoder::new(id);
+                    for a in &answers {
+                        enc.answer(wire_route_ref(&a.route), &a.nodes);
+                    }
+                    push_body(&conn_for_task, id, enc.finish());
                     conn_for_task.window.release();
                 });
                 if !spawned {
@@ -531,7 +539,11 @@ fn reject(conn: &Conn, id: u64, reason: &str) {
 /// survive, and the client sees an explicit refusal instead of the
 /// protocol error an oversized frame would trigger.
 fn push_response(conn: &Conn, id: u64, msg: Msg) {
-    let body = msg.encode();
+    push_body(conn, id, msg.encode());
+}
+
+/// [`push_response`] for an already-encoded frame body.
+fn push_body(conn: &Conn, id: u64, body: Vec<u8>) {
     if body.len() <= xpv_net::MAX_FRAME {
         conn.out.push(body);
     } else {
@@ -544,18 +556,12 @@ fn push_response(conn: &Conn, id: u64, msg: Msg) {
     }
 }
 
-fn wire_answer(a: &CacheAnswer) -> WireAnswer {
-    WireAnswer {
-        nodes: a.nodes.clone(),
-        route: match &a.route {
-            Route::Direct => WireRoute::Direct,
-            Route::ViaView { view, rewriting } => {
-                WireRoute::ViaView { view: view.clone(), rewriting: rewriting.clone() }
-            }
-            Route::Intersect { views, compensation } => {
-                WireRoute::Intersect { views: views.clone(), compensation: compensation.clone() }
-            }
-        },
+/// The engine route's borrowed wire form (no string clones).
+fn wire_route_ref(route: &Route) -> WireRouteRef<'_> {
+    match route {
+        Route::Direct => WireRouteRef::Direct,
+        Route::ViaView { view, rewriting } => WireRouteRef::ViaView { view, rewriting },
+        Route::Intersect { views, compensation } => WireRouteRef::Intersect { views, compensation },
     }
 }
 

@@ -72,13 +72,15 @@ use std::time::{Duration, Instant};
 
 use xpv_core::{contained_rewriting_in, PlanningSession, RewriteAnswer, RewritePlanner};
 use xpv_intersect::{
-    answer_intersection_virtual, plan_intersection_contained_in, plan_intersection_in,
-    IntersectConfig,
+    answer_intersection_virtual, intersect_node_sets, plan_intersection_contained_in,
+    plan_intersection_in, IntersectConfig,
 };
 use xpv_maintain::{maintain_views, Edit, EditError, MaintainMode, MaintainStats};
-use xpv_model::{NodeId, Tree};
+use xpv_model::{FlatTree, NodeId, Tree};
 use xpv_pattern::{Pattern, PatternKey};
-use xpv_semantics::evaluate;
+use xpv_semantics::{
+    evaluate, evaluate_anchored, evaluate_anchored_flat, evaluate_flat, BatchEval,
+};
 
 use crate::view::MaterializedView;
 
@@ -110,6 +112,12 @@ struct StateSnapshot {
     views: Arc<Vec<MaterializedView>>,
     /// Stable id of each pool entry, parallel to `views`.
     ids: Arc<Vec<ViewId>>,
+    /// The frozen struct-of-arrays form of `doc` (see
+    /// [`xpv_model::FlatTree`]): built once per document swap, *before* the
+    /// snapshot is published, so the flat matcher always runs against the
+    /// exact document of its snapshot — freezing is what makes the flat
+    /// path torn-read-free under concurrent `apply_edits`.
+    flat: Arc<FlatTree>,
 }
 
 impl StateSnapshot {
@@ -391,6 +399,10 @@ pub struct ShardedViewCache {
     memo_enabled: AtomicBool,
     /// Whether multi-view intersection routes are planned (ablation knob).
     intersect_enabled: AtomicBool,
+    /// Whether evaluation runs through the frozen flat snapshot (the
+    /// `xpv serve-bench --no-flat` / `eval-bench` ablation knob; disabled,
+    /// every route evaluates on the arena `Tree` — answers are identical).
+    flat_enabled: AtomicBool,
     /// Budget knobs handed to the intersection planner.
     intersect_cfg: IntersectConfig,
     shards: Box<[CacheShard]>,
@@ -433,17 +445,20 @@ impl ShardedViewCache {
 
     /// Creates an empty cache with a custom planner configuration.
     pub fn with_planner(doc: Tree, planner: RewritePlanner) -> ShardedViewCache {
+        let flat = Arc::new(FlatTree::freeze(&doc));
         ShardedViewCache {
             state: RwLock::new(StateSnapshot {
                 doc: Arc::new(doc),
                 views: Arc::new(Vec::new()),
                 ids: Arc::new(Vec::new()),
+                flat,
             }),
             write_gate: std::sync::Mutex::new(()),
             session: PlanningSession::new(planner),
             policy: ChoicePolicy::default(),
             memo_enabled: AtomicBool::new(true),
             intersect_enabled: AtomicBool::new(true),
+            flat_enabled: AtomicBool::new(true),
             intersect_cfg: IntersectConfig::default(),
             shards: (0..DEFAULT_CACHE_SHARDS).map(|_| CacheShard::default()).collect(),
             memo_cap: usize::MAX,
@@ -563,6 +578,20 @@ impl ShardedViewCache {
     /// Whether intersection routes are planned.
     pub fn intersect_enabled(&self) -> bool {
         self.intersect_enabled.load(Ordering::Relaxed)
+    }
+
+    /// Enables or disables the **flat evaluation path** — the ablation knob
+    /// behind `xpv serve-bench --no-flat`. Routing and planning are
+    /// untouched (no memo invalidation needed): the flag only selects which
+    /// matcher executes routes, and both matchers return byte-identical
+    /// answers.
+    pub fn set_flat_enabled(&self, enabled: bool) {
+        self.flat_enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether evaluation runs through the frozen flat snapshot.
+    pub fn flat_enabled(&self) -> bool {
+        self.flat_enabled.load(Ordering::Relaxed)
     }
 
     /// Drops every memo entry whose [`PlanDep`] matches `stale`, updating
@@ -787,13 +816,18 @@ impl ShardedViewCache {
         } else {
             Arc::clone(&snap.views)
         };
+        // Freeze the flat form off-lock, before publication: readers that
+        // observe the new document always observe its matching flat
+        // snapshot (tombstones from this batch are masked out here).
+        let new_flat = Arc::new(FlatTree::freeze(&doc));
         let new_doc = Arc::new(doc);
         {
             // The only work under the state lock is the pointer swap:
-            // readers block for two `Arc` stores, never for maintenance.
+            // readers block for the `Arc` stores, never for maintenance.
             let mut state = self.state.write().expect("cache state poisoned");
             state.doc = new_doc;
             state.views = new_views;
+            state.flat = new_flat;
         }
         let doc_version = self.doc_version.fetch_add(1, Ordering::Relaxed) + 1;
         self.updates_applied.fetch_add(edits.len() as u64, Ordering::Relaxed);
@@ -1018,19 +1052,39 @@ impl ShardedViewCache {
     /// the snapshot (its views were removed after the route was fetched)
     /// degrades to direct evaluation — always sound, since routed answers
     /// equal direct answers by construction.
+    ///
+    /// Evaluation runs through the snapshot's frozen [`FlatTree`] when the
+    /// flat path is enabled; `batch` additionally threads one fused
+    /// [`BatchEval`] through the deduped survivors of `answer_batch`, so
+    /// sub-match tables are shared across the batch. All three arms return
+    /// byte-identical nodes (the equivalence suite pins this down).
     fn execute(
         &self,
         query: &Pattern,
         route: PlannedRoute,
         shard: &CacheShard,
         snap: &StateSnapshot,
+        mut batch: Option<&mut BatchEval<'_>>,
     ) -> (Vec<NodeId>, Route) {
+        let flat = self.flat_enabled();
+        // One evaluation seam for every arm: `anchors == None` means "from
+        // the document root" (plain evaluation).
+        let mut eval = |p: &Pattern, anchors: Option<&[NodeId]>| -> Vec<NodeId> {
+            match (batch.as_deref_mut(), anchors) {
+                (Some(b), Some(a)) => b.evaluate_anchored(p, a),
+                (Some(b), None) => b.evaluate(p),
+                (None, Some(a)) if flat => evaluate_anchored_flat(p, &snap.flat, a),
+                (None, None) if flat => evaluate_flat(p, &snap.flat),
+                (None, Some(a)) => evaluate_anchored(p, &snap.doc, a),
+                (None, None) => evaluate(p, &snap.doc),
+            }
+        };
         match route {
             PlannedRoute::ViaView { id, hint, rewriting } => {
                 if let Some(index) = snap.resolve(id, hint) {
                     bump(&shard.stats.view_hits);
                     let view = &snap.views[index];
-                    let nodes = view.apply_virtual(&rewriting, &snap.doc);
+                    let nodes = eval(&rewriting, Some(view.nodes()));
                     return (
                         nodes,
                         Route::ViaView {
@@ -1040,7 +1094,7 @@ impl ShardedViewCache {
                     );
                 }
                 bump(&shard.stats.direct);
-                (evaluate(query, &snap.doc), Route::Direct)
+                (eval(query, None), Route::Direct)
             }
             PlannedRoute::Intersect { ids, hints, compensation } => {
                 let indices: Option<Vec<usize>> =
@@ -1049,7 +1103,8 @@ impl ShardedViewCache {
                     bump(&shard.stats.intersect_hits);
                     let sets: Vec<&[NodeId]> =
                         indices.iter().map(|&i| snap.views[i].nodes()).collect();
-                    let nodes = answer_intersection_virtual(&snap.doc, &sets, &compensation);
+                    let anchors = intersect_node_sets(snap.doc.arena_len(), &sets);
+                    let nodes = eval(&compensation, Some(&anchors));
                     return (
                         nodes,
                         Route::Intersect {
@@ -1062,11 +1117,11 @@ impl ShardedViewCache {
                     );
                 }
                 bump(&shard.stats.direct);
-                (evaluate(query, &snap.doc), Route::Direct)
+                (eval(query, None), Route::Direct)
             }
             PlannedRoute::Direct => {
                 bump(&shard.stats.direct);
-                (evaluate(query, &snap.doc), Route::Direct)
+                (eval(query, None), Route::Direct)
             }
         }
     }
@@ -1089,13 +1144,26 @@ impl ShardedViewCache {
     /// document+views snapshot serves both planning and evaluation.
     fn answer_keyed(&self, query: &Pattern, key: PatternKey, fp: u64) -> CacheAnswer {
         let snap = self.snapshot();
+        self.answer_on(query, key, fp, &snap, None)
+    }
+
+    /// Routes and executes one query against a caller-held snapshot,
+    /// optionally through a fused batch evaluator bound to that snapshot.
+    fn answer_on(
+        &self,
+        query: &Pattern,
+        key: PatternKey,
+        fp: u64,
+        snap: &StateSnapshot,
+        batch: Option<&mut BatchEval<'_>>,
+    ) -> CacheAnswer {
         let plan_start = Instant::now();
         let (route, shard) = self.route_for(query, key, fp);
         bump(&shard.stats.queries);
         let planning = plan_start.elapsed();
 
         let eval_start = Instant::now();
-        let (nodes, route) = self.execute(query, route, shard, &snap);
+        let (nodes, route) = self.execute(query, route, shard, snap, batch);
         let evaluation = eval_start.elapsed();
         CacheAnswer { nodes, route, planning, evaluation }
     }
@@ -1115,6 +1183,11 @@ impl ShardedViewCache {
         if !self.memo_enabled() {
             return queries.iter().map(|q| self.answer(q)).collect();
         }
+        // One consistent snapshot serves the whole batch, and one fused
+        // evaluator (when the flat path is on) shares scratch buffers and
+        // sub-match tables across every deduped survivor.
+        let snap = self.snapshot();
+        let mut fused = self.flat_enabled().then(|| BatchEval::new(&snap.flat));
         let mut answers: Vec<CacheAnswer> = Vec::with_capacity(queries.len());
         let mut first_seen: HashMap<PatternKey, usize> = HashMap::new();
         for (i, query) in queries.iter().enumerate() {
@@ -1141,7 +1214,7 @@ impl ShardedViewCache {
                 }
                 None => {
                     first_seen.insert(key, i);
-                    answers.push(self.answer_keyed(query, key, fp));
+                    answers.push(self.answer_on(query, key, fp, &snap, fused.as_mut()));
                 }
             }
         }

@@ -159,7 +159,12 @@ impl MaterializedView {
 /// Normalizes a node-set answer over `doc` to a deduplicated value set
 /// (canonical keys), for comparing virtual and materialized answers.
 pub fn answer_value_set(doc: &Tree, nodes: &[NodeId]) -> Vec<String> {
-    let mut keys: Vec<String> = nodes.iter().map(|&n| doc.canonical_key_at(n)).collect();
+    let mut keys: Vec<String> = Vec::with_capacity(nodes.len());
+    for &n in nodes {
+        let mut key = String::new();
+        doc.canonical_key_into(n, &mut key);
+        keys.push(key);
+    }
     keys.sort();
     keys.dedup();
     keys

@@ -13,9 +13,9 @@
 
 use std::collections::HashSet;
 
-use xpv_model::{BitSet, NodeId, Tree};
+use xpv_model::{BitSet, FlatTree, NodeId, Tree};
 use xpv_pattern::Pattern;
-use xpv_semantics::{evaluate, evaluate_anchored};
+use xpv_semantics::{evaluate, evaluate_anchored, evaluate_anchored_flat};
 
 /// The node-set intersection `∩ sets[i]` over a document with `capacity`
 /// nodes, ascending. Returns the empty set when `sets` is empty.
@@ -27,10 +27,16 @@ pub fn intersect_node_sets(capacity: usize, sets: &[&[NodeId]]) -> Vec<NodeId> {
     for &n in first.iter() {
         acc.insert(n.index());
     }
+    let mut other = BitSet::new(capacity);
     for set in rest {
-        let mut other = BitSet::new(capacity);
+        other.clear();
         for &n in set.iter() {
             other.insert(n.index());
+        }
+        // Word-parallel any-common-bit test: disjoint participants empty
+        // the whole intersection, so stop before scanning further sets.
+        if !acc.intersects(&other) {
+            return Vec::new();
         }
         acc.intersect_with(&other);
     }
@@ -52,6 +58,19 @@ pub fn answer_intersection_virtual(
     // slots, so `arena_len` ≥ every stored `NodeId` index.
     let anchors = intersect_node_sets(doc.arena_len(), sets);
     evaluate_anchored(compensation, doc, &anchors)
+}
+
+/// [`answer_intersection_virtual`] against a frozen [`FlatTree`] snapshot:
+/// the anchors come from the same word-parallel node-set intersection and
+/// the compensation runs through the flat matcher. Byte-identical to the
+/// `Tree` path (the flat matcher is equivalence-tested against it).
+pub fn answer_intersection_virtual_flat(
+    ft: &FlatTree,
+    sets: &[&[NodeId]],
+    compensation: &Pattern,
+) -> Vec<NodeId> {
+    let anchors = intersect_node_sets(ft.arena_len(), sets);
+    evaluate_anchored_flat(compensation, ft, &anchors)
 }
 
 /// The by-value intersection of materialized view results: the trees of
@@ -146,6 +165,21 @@ mod tests {
         let v2 = evaluate(&pat("site/region/item[shipping]/name"), &t);
         let ans = answer_intersection_virtual(&t, &[&v1, &v2], &pat("name"));
         assert_eq!(ans, evaluate(&pat("site/region/item[bids][shipping]/name"), &t));
+    }
+
+    #[test]
+    fn flat_virtual_answer_matches_tree_path() {
+        let t = doc();
+        let ft = FlatTree::freeze(&t);
+        let v1 = evaluate(&pat("site/region/item[bids]/name"), &t);
+        let v2 = evaluate(&pat("site/region/item[shipping]/name"), &t);
+        assert_eq!(
+            answer_intersection_virtual_flat(&ft, &[&v1, &v2], &pat("name")),
+            answer_intersection_virtual(&t, &[&v1, &v2], &pat("name"))
+        );
+        // Disjoint participants: the early-exit path yields empty on both.
+        let bids = evaluate(&pat("site/region/item/bids"), &t);
+        assert!(answer_intersection_virtual_flat(&ft, &[&v1, &bids], &pat("name")).is_empty());
     }
 
     #[test]

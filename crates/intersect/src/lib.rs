@@ -71,8 +71,8 @@ pub mod eval;
 pub mod plan;
 
 pub use eval::{
-    answer_intersection_materialized, answer_intersection_virtual, intersect_node_sets,
-    intersect_trees_by_key,
+    answer_intersection_materialized, answer_intersection_virtual,
+    answer_intersection_virtual_flat, intersect_node_sets, intersect_trees_by_key,
 };
 pub use plan::{
     plan_intersection, plan_intersection_contained_in, plan_intersection_in, IntersectAnswer,

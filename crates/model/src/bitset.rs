@@ -77,6 +77,38 @@ impl BitSet {
         }
     }
 
+    /// Makes `self` an exact copy of `other` without reallocating.
+    /// Capacities must match — the buffer-reuse path of the flat matcher.
+    pub fn copy_from(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.len, other.len);
+        self.words.copy_from_slice(&other.words);
+    }
+
+    /// Whether the two sets share any element. Word-parallel with early
+    /// exit — the any-common-bit test the matcher and the intersection
+    /// planner need without materializing the intersection.
+    pub fn intersects(&self, other: &BitSet) -> bool {
+        debug_assert_eq!(self.len, other.len);
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
+    /// The smallest element, or `None` if the set is empty.
+    pub fn first_set(&self) -> Option<usize> {
+        self.words
+            .iter()
+            .enumerate()
+            .find(|(_, &w)| w != 0)
+            .map(|(wi, w)| wi * 64 + w.trailing_zeros() as usize)
+    }
+
+    /// The raw `u64` word array (bit `i` of the set lives at word `i / 64`,
+    /// bit position `i % 64`). Exposed for word-parallel consumers like the
+    /// flat matcher in `xpv-semantics`.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
     /// Iterates over set elements in increasing order.
     pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
         self.words.iter().enumerate().flat_map(|(wi, &w)| {
@@ -159,5 +191,50 @@ mod tests {
         let s = BitSet::new(0);
         assert!(s.is_empty());
         assert_eq!(s.iter().count(), 0);
+    }
+
+    #[test]
+    fn intersects_early_exit_semantics() {
+        let mut a = BitSet::new(300);
+        let mut b = BitSet::new(300);
+        assert!(!a.intersects(&b), "empty sets are disjoint");
+        a.insert(0);
+        a.insert(299);
+        b.insert(150);
+        assert!(!a.intersects(&b));
+        b.insert(299);
+        assert!(a.intersects(&b));
+        assert!(b.intersects(&a), "symmetric");
+        // Agreement with the naive definition on a mixed pair.
+        let naive = a.iter().any(|i| b.contains(i));
+        assert_eq!(a.intersects(&b), naive);
+    }
+
+    #[test]
+    fn first_set_finds_lowest_bit() {
+        let mut s = BitSet::new(200);
+        assert_eq!(s.first_set(), None);
+        s.insert(190);
+        assert_eq!(s.first_set(), Some(190));
+        s.insert(64);
+        assert_eq!(s.first_set(), Some(64));
+        s.insert(0);
+        assert_eq!(s.first_set(), Some(0));
+        s.remove(0);
+        s.remove(64);
+        assert_eq!(s.first_set(), Some(190));
+    }
+
+    #[test]
+    fn words_exposes_backing_storage() {
+        let mut s = BitSet::new(130);
+        s.insert(0);
+        s.insert(65);
+        s.insert(129);
+        let w = s.words();
+        assert_eq!(w.len(), 3);
+        assert_eq!(w[0], 1);
+        assert_eq!(w[1], 2);
+        assert_eq!(w[2], 2);
     }
 }

@@ -1,0 +1,273 @@
+//! A frozen struct-of-arrays snapshot of a [`Tree`] for the hot matcher.
+//!
+//! The embedding matcher spends its time asking three questions about a
+//! document: *which nodes carry label ℓ*, *who are `n`'s children*, and
+//! *who is `n`'s parent*. The arena [`Tree`] answers them through a
+//! pointer-chasing `Vec<TreeNode>` whose per-node `Vec<NodeId>` child lists
+//! scatter across the heap. [`FlatTree`] re-packs one tree into contiguous
+//! arrays so those questions are answered at memory-bandwidth speed:
+//!
+//! * **`labels`** — one `u32` label id per arena slot (`0` for tombstones;
+//!   real label ids are `NonZeroU32`, so `0` is never a live label);
+//! * **CSR children** — `child_offsets` (length `arena_len + 1`) indexing
+//!   into one flat `children` array, exactly the compressed-sparse-row
+//!   layout used for graph adjacency;
+//! * **`parents`** — one `u32` per slot (`NO_PARENT` for the root and for
+//!   tombstones);
+//! * **`live`** — the live-node mask as a [`BitSet`], the seed set for
+//!   wildcard pattern nodes;
+//! * **per-label posting bitsets** — for every label in the document, the
+//!   bitset of live slots carrying it, the seed set for labeled pattern
+//!   nodes.
+//!
+//! ## Freeze-on-swap contract
+//!
+//! A `FlatTree` is **immutable**: it is built once by [`FlatTree::freeze`]
+//! and never updated. The engine's `ShardedViewCache` constructs one per
+//! copy-on-write snapshot swap — whenever a new document version is
+//! published, the freshly cloned-and-edited `Tree` is frozen *before* the
+//! snapshot pointer is swapped in, so every reader that observes the new
+//! document also observes its matching flat form. Readers therefore never
+//! see a torn (half-updated) index; the cost is one `O(n)` rebuild per edit
+//! batch, which the update benchmarks already amortize across the batch.
+//!
+//! ## Why posting lists are sound under tombstoning
+//!
+//! [`Tree::remove_subtree`] tombstones slots instead of compacting, so raw
+//! `NodeId` indices stay stable and answers materialized before an edit
+//! remain meaningful after it. The flat form keeps that indexing (slot `i`
+//! here is `NodeId(i)` there) but masks tombstones out at freeze time: dead
+//! slots get label id `0`, an empty CSR range, `NO_PARENT`, a cleared bit
+//! in `live`, and no posting entry. This is sound because a tombstoned
+//! subtree is *detached* from its live parent at removal — no live node
+//! lists a dead child, and a live node's parent is always live — so a
+//! matcher that seeds from postings (live bits only) and walks CSR edges
+//! (live edges only) can never reach a dead slot, while the reference
+//! matcher over the un-flattened `Tree` skips dead nodes explicitly. The
+//! two agree bit-for-bit on live slots.
+
+use std::collections::HashMap;
+
+use crate::bitset::BitSet;
+use crate::label::Label;
+use crate::tree::{NodeId, Tree};
+
+/// Sentinel parent index for the root and for tombstoned slots.
+pub const NO_PARENT: u32 = u32::MAX;
+
+/// A frozen struct-of-arrays view of one [`Tree`] (see the module docs for
+/// the layout and the freeze-on-swap contract).
+#[derive(Clone, Debug)]
+pub struct FlatTree {
+    labels: Vec<u32>,
+    parents: Vec<u32>,
+    child_offsets: Vec<u32>,
+    children: Vec<u32>,
+    live: BitSet,
+    postings: HashMap<u32, BitSet>,
+    live_count: usize,
+}
+
+impl FlatTree {
+    /// Builds the flat form of `t`. `O(arena_len)` time and space; the
+    /// result indexes slots exactly like `t` (slot `i` ↔ `NodeId(i)`).
+    pub fn freeze(t: &Tree) -> FlatTree {
+        let nt = t.arena_len();
+        let mut labels = vec![0u32; nt];
+        let mut parents = vec![NO_PARENT; nt];
+        let mut child_offsets = Vec::with_capacity(nt + 1);
+        let mut children = Vec::with_capacity(nt.saturating_sub(1));
+        let mut live = BitSet::new(nt);
+        let mut postings: HashMap<u32, BitSet> = HashMap::new();
+        let mut live_count = 0usize;
+
+        for i in 0..nt {
+            child_offsets.push(children.len() as u32);
+            let n = NodeId(i as u32);
+            if !t.is_alive(n) {
+                continue;
+            }
+            live_count += 1;
+            live.insert(i);
+            let lid = t.label(n).id();
+            labels[i] = lid;
+            postings.entry(lid).or_insert_with(|| BitSet::new(nt)).insert(i);
+            if let Some(p) = t.parent(n) {
+                parents[i] = p.0;
+            }
+            // Live nodes never list tombstoned children (removal detaches
+            // the subtree), so the CSR edge set is exactly the live edges.
+            children.extend(t.children(n).iter().map(|c| c.0));
+        }
+        child_offsets.push(children.len() as u32);
+
+        FlatTree { labels, parents, child_offsets, children, live, postings, live_count }
+    }
+
+    /// Exclusive upper bound on slot indices, tombstones included — the
+    /// capacity every bitset over this tree must use (mirrors
+    /// [`Tree::arena_len`]).
+    #[inline]
+    pub fn arena_len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of live nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.live_count
+    }
+
+    /// Trees always contain at least the root.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The root slot (always 0; the root is never tombstoned).
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// Whether slot `i` is a live node.
+    #[inline]
+    pub fn is_alive(&self, i: usize) -> bool {
+        i < self.arena_len() && self.live.contains(i)
+    }
+
+    /// The label id of slot `i` (`0` for tombstones).
+    #[inline]
+    pub fn label_id(&self, i: usize) -> u32 {
+        self.labels[i]
+    }
+
+    /// The parent slot of `i`, or [`NO_PARENT`] for the root and tombstones.
+    #[inline]
+    pub fn parent(&self, i: usize) -> u32 {
+        self.parents[i]
+    }
+
+    /// The child slots of `i` (empty for tombstones).
+    #[inline]
+    pub fn children(&self, i: usize) -> &[u32] {
+        let lo = self.child_offsets[i] as usize;
+        let hi = self.child_offsets[i + 1] as usize;
+        &self.children[lo..hi]
+    }
+
+    /// The live-node mask — the seed set for wildcard pattern nodes.
+    #[inline]
+    pub fn live_mask(&self) -> &BitSet {
+        &self.live
+    }
+
+    /// The posting bitset of `label` — every live slot carrying it — or
+    /// `None` when the label does not occur in the document (the common
+    /// fast-path for selective queries: an absent label empties the whole
+    /// sub-match set without touching the tree).
+    #[inline]
+    pub fn posting(&self, label: Label) -> Option<&BitSet> {
+        self.postings.get(&label.id())
+    }
+
+    /// Pre-order traversal of the subtree rooted at slot `n` (inclusive),
+    /// over the CSR arrays.
+    pub fn for_each_descendant(&self, n: usize, mut f: impl FnMut(usize)) {
+        fn rec(ft: &FlatTree, n: usize, f: &mut impl FnMut(usize)) {
+            f(n);
+            for &c in ft.children(n) {
+                rec(ft, c as usize, f);
+            }
+        }
+        rec(self, n, &mut f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::TreeBuilder;
+
+    fn abc_tree() -> Tree {
+        // a(b, c(d))
+        TreeBuilder::root("a", |b| {
+            b.leaf("b");
+            b.child("c", |b| {
+                b.leaf("d");
+            });
+        })
+    }
+
+    #[test]
+    fn freeze_mirrors_live_structure() {
+        let t = abc_tree();
+        let ft = FlatTree::freeze(&t);
+        assert_eq!(ft.arena_len(), 4);
+        assert_eq!(ft.len(), 4);
+        assert_eq!(ft.children(0), &[1, 2]);
+        assert_eq!(ft.children(2), &[3]);
+        assert_eq!(ft.parent(0), NO_PARENT);
+        assert_eq!(ft.parent(3), 2);
+        for i in 0..4 {
+            assert!(ft.is_alive(i));
+            assert_eq!(ft.label_id(i), t.label(NodeId(i as u32)).id());
+        }
+        assert_eq!(ft.live_mask().count(), 4);
+    }
+
+    #[test]
+    fn postings_index_labels() {
+        let t = abc_tree();
+        let ft = FlatTree::freeze(&t);
+        let cs = ft.posting(Label::new("c")).expect("c occurs");
+        assert_eq!(cs.iter().collect::<Vec<_>>(), vec![2]);
+        assert!(ft.posting(Label::new("zz-not-here")).is_none());
+    }
+
+    #[test]
+    fn tombstones_are_masked_out() {
+        let mut t = abc_tree();
+        let c = t.children(t.root())[1];
+        t.remove_subtree(c); // kills c (slot 2) and d (slot 3)
+        let ft = FlatTree::freeze(&t);
+        assert_eq!(ft.arena_len(), 4, "slots are kept");
+        assert_eq!(ft.len(), 2);
+        assert!(ft.is_alive(0) && ft.is_alive(1));
+        assert!(!ft.is_alive(2) && !ft.is_alive(3));
+        assert_eq!(ft.label_id(2), 0);
+        assert_eq!(ft.children(0), &[1], "detached child is gone from CSR");
+        assert!(ft.children(2).is_empty(), "dead slots have empty ranges");
+        assert_eq!(ft.parent(3), NO_PARENT);
+        assert!(ft.posting(Label::new("d")).is_none(), "no posting survives removal");
+        assert!(!ft.live_mask().contains(2));
+    }
+
+    #[test]
+    fn for_each_descendant_matches_tree_traversal() {
+        let mut t = abc_tree();
+        t.add_child(t.children(t.root())[0], Label::new("e"));
+        let ft = FlatTree::freeze(&t);
+        let mut flat_seen = Vec::new();
+        ft.for_each_descendant(0, |i| flat_seen.push(i));
+        let mut tree_seen: Vec<usize> =
+            t.descendants_inclusive(t.root()).iter().map(|n| n.index()).collect();
+        flat_seen.sort_unstable();
+        tree_seen.sort_unstable();
+        assert_eq!(flat_seen, tree_seen);
+    }
+
+    #[test]
+    fn child_indices_exceed_parent_indices() {
+        // The matcher's reverse sweep relies on parents preceding children
+        // in slot order; `Tree::add_child` only appends, so this holds by
+        // construction — pin it down.
+        let t = abc_tree();
+        let ft = FlatTree::freeze(&t);
+        for i in 0..ft.arena_len() {
+            for &c in ft.children(i) {
+                assert!((c as usize) > i);
+            }
+        }
+    }
+}

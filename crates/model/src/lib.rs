@@ -9,16 +9,21 @@
 //! * [`Tree`] — rooted, labeled, unordered trees (XML documents `T_Σ`), stored
 //!   as arenas with cheap navigation and unordered-isomorphism keys;
 //! * [`parse_xml`] / [`to_xml`] — an element-only XML subset;
-//! * [`BitSet`] — the set representation used by the embedding matcher.
+//! * [`BitSet`] — the set representation used by the embedding matcher;
+//! * [`FlatTree`] — a frozen struct-of-arrays snapshot of a tree (label
+//!   array, CSR children, parent array, live mask, per-label postings) that
+//!   the word-parallel matcher in `xpv-semantics` runs against.
 //!
 //! Patterns (queries and views) live one layer up, in `xpv-pattern`.
 
 pub mod bitset;
+pub mod flat;
 pub mod label;
 pub mod tree;
 pub mod xml;
 
 pub use bitset::BitSet;
+pub use flat::{FlatTree, NO_PARENT};
 pub use label::{Label, BOTTOM_NAME};
 pub use tree::{NodeId, Tree, TreeBuilder};
 pub use xml::{parse_xml, to_xml, XmlError};

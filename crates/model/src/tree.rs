@@ -257,6 +257,20 @@ impl Tree {
         out
     }
 
+    /// Pre-order traversal of the subtree rooted at `n` (including `n`),
+    /// invoking `f` on every node without materializing a `Vec` — the
+    /// allocation-free counterpart of [`Tree::descendants_inclusive`] for
+    /// hot paths (selection propagation, embedding extraction).
+    pub fn for_each_descendant(&self, n: NodeId, mut f: impl FnMut(NodeId)) {
+        fn rec(t: &Tree, n: NodeId, f: &mut impl FnMut(NodeId)) {
+            f(n);
+            for &c in t.children(n) {
+                rec(t, c, f);
+            }
+        }
+        rec(self, n, &mut f);
+    }
+
     /// The subtree `t↓n` ("t sub n" in the paper: the subtree of `t` rooted at
     /// `n`) copied out as an independent tree. Returns the new tree and, for
     /// callers that need it, the mapping from old ids to new ids.
@@ -292,17 +306,25 @@ impl Tree {
     /// isomorphism: two subtrees have equal keys iff they are isomorphic as
     /// unordered labeled trees.
     pub fn canonical_key_at(&self, n: NodeId) -> String {
+        let mut s = String::new();
+        self.canonical_key_into(n, &mut s);
+        s
+    }
+
+    /// Appends the canonical key of the subtree at `n` to `out` — the
+    /// buffer-reusing form of [`Tree::canonical_key_at`], so callers that
+    /// serialize many subtrees (the engine's `answer_value_set`) pay one
+    /// growing buffer instead of a fresh `String` per level.
+    pub fn canonical_key_into(&self, n: NodeId, out: &mut String) {
         let mut child_keys: Vec<String> =
             self.children(n).iter().map(|&c| self.canonical_key_at(c)).collect();
         child_keys.sort();
-        let mut s = String::new();
-        s.push('(');
-        s.push_str(self.label(n).name());
+        out.push('(');
+        out.push_str(self.label(n).name());
         for k in &child_keys {
-            s.push_str(&k.to_string());
+            out.push_str(k);
         }
-        s.push(')');
-        s
+        out.push(')');
     }
 
     /// Canonical key of the whole tree (see [`Tree::canonical_key_at`]).
@@ -481,6 +503,25 @@ mod tests {
         assert_eq!(all.len(), 4);
         let c = t.children(t.root())[1];
         assert_eq!(t.descendants_inclusive(c).len(), 2);
+    }
+
+    #[test]
+    fn for_each_descendant_visits_the_same_nodes() {
+        let mut t = abc_tree();
+        let c = t.children(t.root())[1];
+        for anchor in [t.root(), c] {
+            let mut seen = Vec::new();
+            t.for_each_descendant(anchor, |n| seen.push(n));
+            let mut expected = t.descendants_inclusive(anchor);
+            seen.sort();
+            expected.sort();
+            assert_eq!(seen, expected);
+        }
+        // Tombstoned subtrees are invisible from live anchors.
+        t.remove_subtree(c);
+        let mut seen = Vec::new();
+        t.for_each_descendant(t.root(), |n| seen.push(n));
+        assert_eq!(seen.len(), 2);
     }
 
     #[test]

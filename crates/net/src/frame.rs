@@ -143,6 +143,19 @@ impl Encoder {
         self
     }
 
+    /// Bytes written so far — a position usable with
+    /// [`Encoder::patch_u32`] to reserve a count field and fill it in
+    /// once the count is known, without building the payload twice.
+    pub fn position(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Overwrites the 4 bytes at `pos` (a former [`Encoder::position`]
+    /// where a `u32` was written) with `v`, little-endian.
+    pub fn patch_u32(&mut self, pos: usize, v: u32) {
+        self.buf[pos..pos + 4].copy_from_slice(&v.to_le_bytes());
+    }
+
     pub fn finish(self) -> Vec<u8> {
         self.buf
     }
@@ -232,6 +245,22 @@ mod tests {
         assert_eq!(d.u32().unwrap(), 70_000);
         assert_eq!(d.u64().unwrap(), 1 << 40);
         assert_eq!(d.str().unwrap(), "héllo");
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn patch_u32_rewrites_a_reserved_slot() {
+        let mut e = Encoder::new();
+        e.u8(0xAA);
+        let pos = e.position();
+        e.u32(0); // reserved
+        e.u16(7);
+        e.patch_u32(pos, 0xDEAD_BEEF);
+        let buf = e.finish();
+        let mut d = Decoder::new(&buf);
+        assert_eq!(d.u8().unwrap(), 0xAA);
+        assert_eq!(d.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(d.u16().unwrap(), 7);
         d.finish().unwrap();
     }
 

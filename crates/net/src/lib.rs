@@ -92,7 +92,10 @@ pub mod sys;
 pub use client::{Response, WireClient};
 pub use executor::Runtime;
 pub use frame::{read_frame, write_frame, DecodeError, FrameEvent, MAX_FRAME};
-pub use proto::{Msg, WireAnswer, WireRoute, WireTenantStats, WireUpdateReport, MAGIC, VERSION};
+pub use proto::{
+    AnswersEncoder, Msg, WireAnswer, WireRoute, WireRouteRef, WireTenantStats, WireUpdateReport,
+    MAGIC, VERSION,
+};
 pub use reactor::{Interest, Reactor, Source};
 pub use stream::{Accepted, AsyncStream, AsyncTcpListener, AsyncUnixListener, ReadEvent};
 pub use sync::{DrainSignal, NotifyQueue, Popped, Semaphore};

@@ -49,12 +49,85 @@ pub enum WireRoute {
     Intersect { views: Vec<String>, compensation: String },
 }
 
+impl WireRoute {
+    /// The borrowed view of this route, for encoding without cloning.
+    pub fn as_ref(&self) -> WireRouteRef<'_> {
+        match self {
+            WireRoute::Direct => WireRouteRef::Direct,
+            WireRoute::ViaView { view, rewriting } => WireRouteRef::ViaView { view, rewriting },
+            WireRoute::Intersect { views, compensation } => {
+                WireRouteRef::Intersect { views, compensation }
+            }
+        }
+    }
+}
+
+/// [`WireRoute`] by reference: what [`AnswersEncoder`] consumes, so a
+/// server can serialize provenance it already owns (the engine's route
+/// strings) without allocating intermediate `WireRoute` clones.
+#[derive(Clone, Copy, Debug)]
+pub enum WireRouteRef<'a> {
+    /// Direct evaluation on the document.
+    Direct,
+    /// An equivalent rewriting over one view.
+    ViaView { view: &'a str, rewriting: &'a str },
+    /// A compensation over a multi-view intersection.
+    Intersect { views: &'a [String], compensation: &'a str },
+}
+
 /// One query's answer on the wire: output nodes (raw `NodeId` values in
 /// the server's document) plus provenance.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct WireAnswer {
     pub nodes: Vec<NodeId>,
     pub route: WireRoute,
+}
+
+/// Streams an [`Msg::Answers`] frame body straight into its final byte
+/// buffer: the answer count is reserved up front and patched on
+/// [`AnswersEncoder::finish`], and each answer's node list is written
+/// directly from the engine's borrowed slices — no intermediate
+/// [`WireAnswer`] vectors, no route-string clones. Produces bytes
+/// identical to `Msg::Answers { .. }.encode()` for the same content.
+#[derive(Debug)]
+pub struct AnswersEncoder {
+    e: Encoder,
+    count_pos: usize,
+    count: u32,
+}
+
+impl AnswersEncoder {
+    /// Starts the Answers frame for batch `id`.
+    pub fn new(id: u64) -> AnswersEncoder {
+        let mut e = Encoder::new();
+        e.u8(tag::ANSWERS).u64(id);
+        let count_pos = e.position();
+        e.u32(0); // answer count, patched in finish()
+        AnswersEncoder { e, count_pos, count: 0 }
+    }
+
+    /// Appends one answer: provenance plus its output nodes.
+    pub fn answer(&mut self, route: WireRouteRef<'_>, nodes: &[NodeId]) -> &mut Self {
+        encode_route_ref(&mut self.e, route);
+        self.e.u32(nodes.len() as u32);
+        for n in nodes {
+            self.e.u32(n.0);
+        }
+        self.count += 1;
+        self
+    }
+
+    /// Bytes encoded so far (the frame-body size if finished now) —
+    /// lets a server check `MAX_FRAME` before enqueuing.
+    pub fn byte_len(&self) -> usize {
+        self.e.position()
+    }
+
+    /// Patches the answer count and returns the finished frame body.
+    pub fn finish(mut self) -> Vec<u8> {
+        self.e.patch_u32(self.count_pos, self.count);
+        self.e.finish()
+    }
 }
 
 /// What an [`Msg::EditAck`] reports (the wire form of `UpdateReport`).
@@ -288,14 +361,18 @@ const ROUTE_VIA_VIEW: u8 = 1;
 const ROUTE_INTERSECT: u8 = 2;
 
 fn encode_route(e: &mut Encoder, route: &WireRoute) {
+    encode_route_ref(e, route.as_ref());
+}
+
+fn encode_route_ref(e: &mut Encoder, route: WireRouteRef<'_>) {
     match route {
-        WireRoute::Direct => {
+        WireRouteRef::Direct => {
             e.u8(ROUTE_DIRECT);
         }
-        WireRoute::ViaView { view, rewriting } => {
+        WireRouteRef::ViaView { view, rewriting } => {
             e.u8(ROUTE_VIA_VIEW).str(view).str(rewriting);
         }
-        WireRoute::Intersect { views, compensation } => {
+        WireRouteRef::Intersect { views, compensation } => {
             e.u8(ROUTE_INTERSECT).u32(views.len() as u32);
             for v in views {
                 e.str(v);
@@ -433,6 +510,36 @@ mod tests {
             }
             other => panic!("wrong decode: {other:?}"),
         }
+    }
+
+    #[test]
+    fn answers_encoder_is_byte_identical_to_msg_encode() {
+        let answers = vec![
+            WireAnswer { nodes: vec![NodeId(1), NodeId(7)], route: WireRoute::Direct },
+            WireAnswer {
+                nodes: vec![],
+                route: WireRoute::ViaView { view: "v".into(), rewriting: "a/b".into() },
+            },
+            WireAnswer {
+                nodes: vec![NodeId(42), NodeId(43), NodeId(99)],
+                route: WireRoute::Intersect {
+                    views: vec!["v1".into(), "v2".into()],
+                    compensation: "c/d".into(),
+                },
+            },
+        ];
+        let mut enc = AnswersEncoder::new(3);
+        for a in &answers {
+            enc.answer(a.route.as_ref(), &a.nodes);
+        }
+        assert!(enc.byte_len() > 0);
+        let body = enc.finish();
+        assert_eq!(body, Msg::Answers { id: 3, answers }.encode());
+        // The empty batch also agrees (count patched to zero).
+        assert_eq!(
+            AnswersEncoder::new(9).finish(),
+            Msg::Answers { id: 9, answers: vec![] }.encode()
+        );
     }
 
     #[test]

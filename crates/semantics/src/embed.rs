@@ -113,11 +113,12 @@ fn propagate_selection(p: &Pattern, t: &Tree, sub: &[BitSet], roots: BitSet) -> 
             }
             Axis::Descendant => {
                 for n in current.iter() {
-                    for m in t.descendants_inclusive(NodeId(n as u32)).into_iter().skip(1) {
-                        if sub[next.index()].contains(m.index()) {
+                    let anchor = NodeId(n as u32);
+                    t.for_each_descendant(anchor, |m| {
+                        if m != anchor && sub[next.index()].contains(m.index()) {
                             reach.insert(m.index());
                         }
-                    }
+                    });
                 }
             }
         }
@@ -196,11 +197,15 @@ fn extract_from(p: &Pattern, t: &Tree, sub: &[BitSet], anchor: NodeId) -> Option
                 Axis::Child => {
                     t.children(at).iter().copied().find(|m| sub[c.index()].contains(m.index()))
                 }
-                Axis::Descendant => t
-                    .descendants_inclusive(at)
-                    .into_iter()
-                    .skip(1)
-                    .find(|m| sub[c.index()].contains(m.index())),
+                Axis::Descendant => {
+                    let mut found = None;
+                    t.for_each_descendant(at, |m| {
+                        if found.is_none() && m != at && sub[c.index()].contains(m.index()) {
+                            found = Some(m);
+                        }
+                    });
+                    found
+                }
             };
             map[c.index()] = witness.expect("sub-match table guarantees a witness");
             stack.push(c);

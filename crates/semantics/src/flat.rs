@@ -1,0 +1,536 @@
+//! Word-parallel evaluation over [`FlatTree`] snapshots.
+//!
+//! The reference matcher ([`crate::embed::sub_match_sets`]) seeds every
+//! pattern node's candidate set by scanning all tree nodes and calling
+//! `test.matches`, and computes child-edge witnesses by walking per-node
+//! child `Vec`s. This module re-derives the same bottom-up dynamic program
+//! against the frozen struct-of-arrays form:
+//!
+//! * **seeding** reads the per-label posting bitset (wildcard = live mask)
+//!   — a `memcpy`, not a scan; a label absent from the document empties the
+//!   set without touching the tree;
+//! * **`Child` witnesses** iterate only the set bits of the child's
+//!   sub-match set and mark each bit's parent slot — `O(|set|)` instead of
+//!   `O(n · avg-degree)`;
+//! * **`Descendant` witnesses** climb from each set bit toward the root,
+//!   stopping at the first already-marked ancestor — the classic union-of-
+//!   ancestor-paths sweep, `O(n)` amortized per edge;
+//! * **branch conjunctions** fold with word-level
+//!   [`BitSet::intersect_with`].
+//!
+//! The reference path stays untouched as the oracle; the equivalence suite
+//! (`tests/eval_flat_properties.rs`) checks the two agree bit-for-bit,
+//! including on post-edit tombstoned trees.
+//!
+//! ## Scratch reuse and fused batches
+//!
+//! Every query over an `n`-slot document wants `|P|` arena-width bitsets.
+//! [`EvalScratch`] recycles those buffers; the free-standing entry points
+//! ([`evaluate_flat`], [`evaluate_anchored_flat`]) draw them from a
+//! thread-local pool keyed by the current capacity, so steady-state serving
+//! allocates nothing per query. [`BatchEval`] additionally shares completed
+//! sub-match sets *across* the queries of one batch, keyed by the same
+//! structural fingerprints the `PatternInterner` dedups with
+//! ([`xpv_pattern::Pattern::fingerprint_at`]): two queries that contain the
+//! same pattern subtree (`catalog//item[price]` as a branch of one query
+//! and the spine of another) compute its table once per snapshot.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use xpv_model::{BitSet, FlatTree, NodeId, NO_PARENT};
+use xpv_pattern::{Axis, NodeTest, PatId, Pattern};
+
+/// A recycling pool of arena-width [`BitSet`] buffers.
+///
+/// All buffers share one capacity (the `arena_len` of the snapshot being
+/// evaluated). With `reuse` disabled the pool degenerates to plain
+/// allocation — the ablation arm of `xpv eval-bench`.
+#[derive(Debug)]
+pub struct EvalScratch {
+    free: Vec<BitSet>,
+    capacity: usize,
+    reuse: bool,
+}
+
+/// Upper bound on pooled buffers; beyond this, returned buffers are dropped
+/// (a pattern has at most a handful of nodes, so the bound is generous).
+const MAX_POOLED: usize = 64;
+
+impl EvalScratch {
+    /// An empty pool for bitsets of capacity `capacity`.
+    pub fn new(capacity: usize) -> EvalScratch {
+        EvalScratch { free: Vec::new(), capacity, reuse: true }
+    }
+
+    /// Like [`EvalScratch::new`], with buffer recycling switched on or off.
+    pub fn with_reuse(capacity: usize, reuse: bool) -> EvalScratch {
+        EvalScratch { free: Vec::new(), capacity, reuse }
+    }
+
+    /// Takes an empty bitset from the pool (or allocates one).
+    fn take(&mut self) -> BitSet {
+        match self.free.pop() {
+            Some(mut b) => {
+                b.clear();
+                b
+            }
+            None => BitSet::new(self.capacity),
+        }
+    }
+
+    /// Returns a buffer to the pool.
+    fn put(&mut self, b: BitSet) {
+        if self.reuse && self.free.len() < MAX_POOLED && b.capacity() == self.capacity {
+            self.free.push(b);
+        }
+    }
+
+    /// Returns a whole sub-match table to the pool.
+    fn put_all(&mut self, sets: Vec<BitSet>) {
+        for b in sets {
+            self.put(b);
+        }
+    }
+}
+
+thread_local! {
+    /// Per-thread buffer pool for the free-standing entry points. Keyed by a
+    /// single capacity: an edit batch grows `arena_len`, at which point the
+    /// stale buffers are dropped and the pool refills at the new width.
+    static TL_SCRATCH: RefCell<EvalScratch> = RefCell::new(EvalScratch::new(0));
+}
+
+/// Runs `f` with this thread's pooled scratch, resized to `capacity`.
+fn with_tl_scratch<R>(capacity: usize, f: impl FnOnce(&mut EvalScratch) -> R) -> R {
+    TL_SCRATCH.with(|s| {
+        let mut s = s.borrow_mut();
+        if s.capacity != capacity {
+            *s = EvalScratch::new(capacity);
+        }
+        f(&mut s)
+    })
+}
+
+/// The flat-tree counterpart of [`crate::embed::sub_match_sets`]: for every
+/// pattern node `p`, the set of live slots `n` such that the pattern
+/// subtree rooted at `p` embeds with `p ↦ n`. Produces bit-identical tables
+/// (the reference path only ever sets live bits, and so does this one).
+pub fn sub_match_sets_flat(
+    p: &Pattern,
+    ft: &FlatTree,
+    pin: Option<(PatId, NodeId)>,
+) -> Vec<BitSet> {
+    let mut scratch = EvalScratch::with_reuse(ft.arena_len(), false);
+    sub_match_sets_into(p, ft, pin, &mut scratch)
+}
+
+fn sub_match_sets_into(
+    p: &Pattern,
+    ft: &FlatTree,
+    pin: Option<(PatId, NodeId)>,
+    scratch: &mut EvalScratch,
+) -> Vec<BitSet> {
+    let mut sub: Vec<BitSet> = (0..p.len()).map(|_| scratch.take()).collect();
+    for pi in (0..p.len()).rev() {
+        let pid = PatId(pi as u32);
+        seed_node(p, ft, pid, &mut sub[pi]);
+        fold_children(p, ft, pid, &mut sub, scratch);
+        if let Some((pin_p, pin_n)) = pin {
+            if pin_p == pid {
+                let keep = sub[pi].contains(pin_n.index());
+                sub[pi].clear();
+                if keep {
+                    sub[pi].insert(pin_n.index());
+                }
+            }
+        }
+    }
+    sub
+}
+
+/// Seeds `out` with the candidate slots for pattern node `pid`: the label's
+/// posting bitset, or the live mask for a wildcard.
+fn seed_node(p: &Pattern, ft: &FlatTree, pid: PatId, out: &mut BitSet) {
+    match p.test(pid) {
+        NodeTest::Wildcard => out.copy_from(ft.live_mask()),
+        NodeTest::Label(l) => match ft.posting(l) {
+            Some(posting) => out.copy_from(posting),
+            None => out.clear(),
+        },
+    }
+}
+
+/// Intersects `sub[pid]` with the witness set of each child edge. Children
+/// occupy higher arena indices than their parent, so `sub[c]` is final.
+fn fold_children(
+    p: &Pattern,
+    ft: &FlatTree,
+    pid: PatId,
+    sub: &mut [BitSet],
+    scratch: &mut EvalScratch,
+) {
+    let pi = pid.index();
+    for &c in p.children(pid) {
+        if sub[pi].is_empty() {
+            break;
+        }
+        let mut ok = scratch.take();
+        match p.axis(c) {
+            Axis::Child => {
+                // ok = { parent(m) : m ∈ sub[c] } — visit only set bits.
+                for m in sub[c.index()].iter() {
+                    let par = ft.parent(m);
+                    if par != NO_PARENT {
+                        ok.insert(par as usize);
+                    }
+                }
+            }
+            Axis::Descendant => {
+                // ok = proper ancestors of sub[c]; each climb stops at the
+                // first slot already marked by an earlier climb.
+                for m in sub[c.index()].iter() {
+                    let mut cur = ft.parent(m);
+                    while cur != NO_PARENT && !ok.contains(cur as usize) {
+                        ok.insert(cur as usize);
+                        cur = ft.parent(cur as usize);
+                    }
+                }
+            }
+        }
+        sub[pi].intersect_with(&ok);
+        scratch.put(ok);
+    }
+}
+
+/// Flat-tree selection propagation: given the slots the pattern root may
+/// map to, returns the exact output-slot set. Mirrors the reference
+/// `propagate_selection`.
+fn propagate_selection_flat(
+    p: &Pattern,
+    ft: &FlatTree,
+    sub: &[BitSet],
+    mut current: BitSet,
+    scratch: &mut EvalScratch,
+) -> BitSet {
+    let path = p.selection_path();
+    current.intersect_with(&sub[path[0].index()]);
+    for &next in &path[1..] {
+        if current.is_empty() {
+            break;
+        }
+        let mut reach = scratch.take();
+        match p.axis(next) {
+            Axis::Child => {
+                for m in sub[next.index()].iter() {
+                    let par = ft.parent(m);
+                    if par != NO_PARENT && current.contains(par as usize) {
+                        reach.insert(m);
+                    }
+                }
+            }
+            Axis::Descendant => {
+                // Forward sweep: a slot is strictly under `current` iff its
+                // parent is in `current` or already under it (parents
+                // precede children in slot order).
+                for i in 0..ft.arena_len() {
+                    let par = ft.parent(i);
+                    if par != NO_PARENT
+                        && (current.contains(par as usize) || reach.contains(par as usize))
+                    {
+                        reach.insert(i);
+                    }
+                }
+                reach.intersect_with(&sub[next.index()]);
+            }
+        }
+        scratch.put(current);
+        current = reach;
+    }
+    current
+}
+
+fn collect_nodes(set: &BitSet) -> Vec<NodeId> {
+    set.iter().map(|i| NodeId(i as u32)).collect()
+}
+
+/// Flat-tree `P(t)` — same output as [`crate::embed::evaluate`] on the
+/// frozen tree, drawing buffers from the thread-local pool.
+pub fn evaluate_flat(p: &Pattern, ft: &FlatTree) -> Vec<NodeId> {
+    with_tl_scratch(ft.arena_len(), |scratch| {
+        let sub = sub_match_sets_into(p, ft, None, scratch);
+        let mut roots = scratch.take();
+        roots.insert(ft.root().index());
+        let out = propagate_selection_flat(p, ft, &sub, roots, scratch);
+        let nodes = collect_nodes(&out);
+        scratch.put(out);
+        scratch.put_all(sub);
+        nodes
+    })
+}
+
+/// Flat-tree anchored evaluation `⋃_n p(t↓n)` — same output as
+/// [`crate::embed::evaluate_anchored`] on the frozen tree. Tombstoned
+/// anchors contribute nothing (their live bit is cleared at freeze time).
+pub fn evaluate_anchored_flat(p: &Pattern, ft: &FlatTree, anchors: &[NodeId]) -> Vec<NodeId> {
+    with_tl_scratch(ft.arena_len(), |scratch| {
+        let sub = sub_match_sets_into(p, ft, None, scratch);
+        let mut roots = scratch.take();
+        for &n in anchors {
+            if ft.is_alive(n.index()) {
+                roots.insert(n.index());
+            }
+        }
+        let out = propagate_selection_flat(p, ft, &sub, roots, scratch);
+        let nodes = collect_nodes(&out);
+        scratch.put(out);
+        scratch.put_all(sub);
+        nodes
+    })
+}
+
+/// A fused evaluator for one batch of queries against one snapshot.
+///
+/// Beyond the scratch pool, it keeps every completed sub-match set of the
+/// batch keyed by the structural fingerprint of its pattern subtree
+/// ([`Pattern::fingerprint_at`] — the same hashes the `PatternInterner`
+/// dedups by, stable under sibling reordering), so queries sharing interned
+/// pattern nodes compute each shared table once.
+pub struct BatchEval<'t> {
+    ft: &'t FlatTree,
+    scratch: EvalScratch,
+    tables: HashMap<u64, BitSet>,
+    share_tables: bool,
+    shared_hits: u64,
+}
+
+impl<'t> BatchEval<'t> {
+    /// A fused evaluator with scratch reuse and table sharing enabled.
+    pub fn new(ft: &'t FlatTree) -> BatchEval<'t> {
+        BatchEval::with_options(ft, true, true)
+    }
+
+    /// Ablation constructor: toggle scratch reuse and cross-query sub-match
+    /// table sharing independently (the `eval-bench` knobs).
+    pub fn with_options(
+        ft: &'t FlatTree,
+        reuse_scratch: bool,
+        share_tables: bool,
+    ) -> BatchEval<'t> {
+        BatchEval {
+            ft,
+            scratch: EvalScratch::with_reuse(ft.arena_len(), reuse_scratch),
+            tables: HashMap::new(),
+            share_tables,
+            shared_hits: 0,
+        }
+    }
+
+    /// How many sub-match sets were served from the shared table cache.
+    pub fn shared_hits(&self) -> u64 {
+        self.shared_hits
+    }
+
+    /// The snapshot this evaluator is bound to.
+    pub fn flat(&self) -> &FlatTree {
+        self.ft
+    }
+
+    /// Sub-match table with cross-query sharing (unpinned only — pinning
+    /// would poison the shared cache).
+    fn sub_tables(&mut self, p: &Pattern) -> Vec<BitSet> {
+        let mut sub: Vec<BitSet> = (0..p.len()).map(|_| self.scratch.take()).collect();
+        for pi in (0..p.len()).rev() {
+            let pid = PatId(pi as u32);
+            if self.share_tables {
+                let fp = p.fingerprint_at(pid);
+                if let Some(cached) = self.tables.get(&fp) {
+                    self.shared_hits += 1;
+                    sub[pi].copy_from(cached);
+                    continue;
+                }
+                seed_node(p, self.ft, pid, &mut sub[pi]);
+                fold_children(p, self.ft, pid, &mut sub, &mut self.scratch);
+                self.tables.insert(fp, sub[pi].clone());
+            } else {
+                seed_node(p, self.ft, pid, &mut sub[pi]);
+                fold_children(p, self.ft, pid, &mut sub, &mut self.scratch);
+            }
+        }
+        sub
+    }
+
+    /// `P(t)` against the bound snapshot — identical output to
+    /// [`evaluate_flat`] (and to the reference [`crate::embed::evaluate`]).
+    pub fn evaluate(&mut self, p: &Pattern) -> Vec<NodeId> {
+        let mut roots = self.scratch.take();
+        roots.insert(self.ft.root().index());
+        self.finish(p, roots)
+    }
+
+    /// Anchored evaluation against the bound snapshot — identical output to
+    /// [`evaluate_anchored_flat`].
+    pub fn evaluate_anchored(&mut self, p: &Pattern, anchors: &[NodeId]) -> Vec<NodeId> {
+        let mut roots = self.scratch.take();
+        for &n in anchors {
+            if self.ft.is_alive(n.index()) {
+                roots.insert(n.index());
+            }
+        }
+        self.finish(p, roots)
+    }
+
+    fn finish(&mut self, p: &Pattern, roots: BitSet) -> Vec<NodeId> {
+        let sub = self.sub_tables(p);
+        let out = propagate_selection_flat(p, self.ft, &sub, roots, &mut self.scratch);
+        let nodes = collect_nodes(&out);
+        self.scratch.put(out);
+        self.scratch.put_all(sub);
+        nodes
+    }
+}
+
+/// Evaluates a whole batch in one fused pass (one [`BatchEval`]) and
+/// returns per-query outputs in order.
+pub fn evaluate_batch_flat(ft: &FlatTree, queries: &[&Pattern]) -> Vec<Vec<NodeId>> {
+    let mut batch = BatchEval::new(ft);
+    queries.iter().map(|p| batch.evaluate(p)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::embed::{evaluate, evaluate_anchored, sub_match_sets};
+    use xpv_model::{Tree, TreeBuilder};
+    use xpv_pattern::parse_xpath;
+
+    fn pat(s: &str) -> Pattern {
+        parse_xpath(s).expect("pattern parses")
+    }
+
+    fn doc() -> Tree {
+        TreeBuilder::root("a", |t| {
+            t.child("b", |t| {
+                t.child("c", |t| {
+                    t.leaf("d");
+                });
+            });
+            t.child("c", |t| {
+                t.leaf("d");
+            });
+        })
+    }
+
+    const QUERIES: &[&str] = &[
+        "a/c/d",
+        "a//d",
+        "a/*",
+        "a//c[d]",
+        "a/b/c[d]",
+        "a//c[x]",
+        "b//d",
+        "a[b]//d",
+        "a[b[c]][c/d]//d",
+        "*/*/*",
+        "*//*",
+        "a",
+        "*",
+        "a//*",
+    ];
+
+    #[test]
+    fn flat_tables_match_reference() {
+        let t = doc();
+        let ft = FlatTree::freeze(&t);
+        for q in QUERIES {
+            let p = pat(q);
+            assert_eq!(sub_match_sets_flat(&p, &ft, None), sub_match_sets(&p, &t, None), "{q}");
+        }
+    }
+
+    #[test]
+    fn flat_evaluate_matches_reference() {
+        let t = doc();
+        let ft = FlatTree::freeze(&t);
+        for q in QUERIES {
+            let p = pat(q);
+            assert_eq!(evaluate_flat(&p, &ft), evaluate(&p, &t), "{q}");
+        }
+    }
+
+    #[test]
+    fn flat_anchored_matches_reference() {
+        let t = doc();
+        let ft = FlatTree::freeze(&t);
+        let cs = evaluate(&pat("a//c"), &t);
+        assert_eq!(
+            evaluate_anchored_flat(&pat("c/d"), &ft, &cs),
+            evaluate_anchored(&pat("c/d"), &t, &cs)
+        );
+        assert!(evaluate_anchored_flat(&pat("c/d"), &ft, &[]).is_empty());
+    }
+
+    #[test]
+    fn flat_handles_tombstones() {
+        let mut t = doc();
+        let b = t.children(t.root())[0];
+        t.remove_subtree(b);
+        let ft = FlatTree::freeze(&t);
+        for q in QUERIES {
+            let p = pat(q);
+            assert_eq!(evaluate_flat(&p, &ft), evaluate(&p, &t), "{q} after edit");
+            assert_eq!(sub_match_sets_flat(&p, &ft, None), sub_match_sets(&p, &t, None), "{q}");
+        }
+        // Tombstoned anchors contribute nothing, matching the reference.
+        let r = evaluate_anchored_flat(&pat("b//d"), &ft, &[b]);
+        assert_eq!(r, evaluate_anchored(&pat("b//d"), &t, &[b]));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn pinning_matches_reference() {
+        let t = doc();
+        let ft = FlatTree::freeze(&t);
+        let p = pat("a//d");
+        for n in t.node_ids() {
+            assert_eq!(
+                sub_match_sets_flat(&p, &ft, Some((p.output(), n))),
+                sub_match_sets(&p, &t, Some((p.output(), n))),
+                "pin at {n:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_matches_per_query_and_shares_tables() {
+        let t = doc();
+        let ft = FlatTree::freeze(&t);
+        let pats: Vec<Pattern> = QUERIES.iter().map(|q| pat(q)).collect();
+        let refs: Vec<&Pattern> = pats.iter().collect();
+        let mut batch = BatchEval::new(&ft);
+        for p in &refs {
+            assert_eq!(batch.evaluate(p), evaluate(p, &t));
+        }
+        // Shared subtrees (a//d appears alone and inside a[b]//d's spine
+        // suffix, the repeated single-node patterns, …) must hit the cache.
+        assert!(batch.shared_hits() > 0, "expected cross-query table sharing");
+        // And the convenience wrapper agrees.
+        let outs = evaluate_batch_flat(&ft, &refs);
+        for (p, out) in refs.iter().zip(&outs) {
+            assert_eq!(*out, evaluate(p, &t));
+        }
+    }
+
+    #[test]
+    fn ablation_arms_agree() {
+        let t = doc();
+        let ft = FlatTree::freeze(&t);
+        let pats: Vec<Pattern> = QUERIES.iter().map(|q| pat(q)).collect();
+        for (reuse, share) in [(true, true), (true, false), (false, true), (false, false)] {
+            let mut batch = BatchEval::with_options(&ft, reuse, share);
+            for p in &pats {
+                assert_eq!(batch.evaluate(p), evaluate(p, &t), "reuse={reuse} share={share}");
+            }
+        }
+    }
+}

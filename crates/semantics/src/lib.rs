@@ -5,6 +5,11 @@
 //!
 //! * **embeddings / weak embeddings** (Definition 2.1) and query evaluation
 //!   `P(t)`, `P^w(t)` as output-node sets ([`evaluate`], [`evaluate_weak`]);
+//! * the **word-parallel flat matcher** ([`evaluate_flat`], [`BatchEval`])
+//!   — the same dynamic program run against frozen
+//!   [`xpv_model::FlatTree`] snapshots with label-posting seeding, scratch
+//!   buffer reuse, and cross-query sub-match sharing; the `Tree`-based path
+//!   above stays as its reference oracle;
 //! * **canonical models** (Section 2.1): the minimal model `τ(P)` ([`tau`])
 //!   and bounded enumeration ([`CanonicalModels`]);
 //! * **pattern homomorphisms** ([`homomorphism_exists`]) — the PTIME
@@ -23,6 +28,7 @@
 pub mod canonical;
 pub mod contain;
 pub mod embed;
+pub mod flat;
 pub mod hom;
 pub mod oracle;
 pub mod reduce;
@@ -38,6 +44,10 @@ pub use embed::{
     check_embedding, embeds_with_output, enumerate_embeddings, evaluate, evaluate_anchored,
     evaluate_weak, find_embedding, find_weak_embedding, sub_match_sets, weakly_embeds_with_output,
     Embedding,
+};
+pub use flat::{
+    evaluate_anchored_flat, evaluate_batch_flat, evaluate_flat, sub_match_sets_flat, BatchEval,
+    EvalScratch,
 };
 pub use hom::{check_homomorphism, find_homomorphism, homomorphism_exists, HomMode};
 pub use oracle::{ContainmentOracle, OracleStats, DEFAULT_ORACLE_SHARDS};

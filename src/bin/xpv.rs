@@ -10,7 +10,7 @@
 //! xpv reduce   <PATTERN>             remove redundant branches
 //! xpv figures                        verify the paper's figures
 //! xpv serve-bench [--threads N] [--shards S] [--memo-cap M]
-//!                 [--queries Q] [--tenants T] [--no-intersect]
+//!                 [--queries Q] [--tenants T] [--no-intersect] [--no-flat]
 //!                 [--transport inproc|unix|tcp] [--pipeline P] [--sweep]
 //!                                    drive the serving front-end with a
 //!                                    Zipf workload (overlapping-view
@@ -31,6 +31,13 @@
 //!                                    ablate incremental vs full-recompute
 //!                                    view maintenance under a Zipf-skewed
 //!                                    edit stream; writes BENCH_updates.json
+//! xpv eval-bench [--nodes N] [--distinct D] [--queries Q] [--labels L]
+//!                [--repeat R] [--seed S]
+//!                                    ablate the evaluation core: reference
+//!                                    Tree matcher vs the word-parallel flat
+//!                                    matcher, fused batch vs per-query,
+//!                                    scratch pool on/off; writes
+//!                                    BENCH_eval.json
 //! ```
 //!
 //! Patterns use the fragment's XPath syntax: `a[b]//c[.//d]/e`.
@@ -58,11 +65,13 @@ fn fail(msg: &str) -> ExitCode {
          xpv contain <P1> <P2>\n  \
          xpv eval <QUERY> <FILE.xml|->\n  xpv reduce <PATTERN>\n  xpv figures\n  \
          xpv serve-bench [--threads N] [--shards S] [--memo-cap M] [--queries Q] [--tenants T] \
-         [--no-intersect] [--transport inproc|unix|tcp] [--pipeline P] [--sweep]\n  \
+         [--no-intersect] [--no-flat] [--transport inproc|unix|tcp] [--pipeline P] [--sweep]\n  \
          xpv listen (--tcp ADDR | --unix PATH) [--workers N] [--window W] [--xml FILE] \
          [--view NAME=DEF]...\n  \
          xpv client (--tcp ADDR | --unix PATH) [--tenant T] [--stats] QUERY...\n  \
-         xpv update-bench [--edits N] [--edit-mix I:D:R] [--batches B] [--queries Q] [--seed S]"
+         xpv update-bench [--edits N] [--edit-mix I:D:R] [--batches B] [--queries Q] [--seed S]\n  \
+         xpv eval-bench [--nodes N] [--distinct D] [--queries Q] [--labels L] [--repeat R] \
+         [--seed S]"
     );
     ExitCode::FAILURE
 }
@@ -268,6 +277,7 @@ struct ServeBenchOpts {
     queries: usize,
     tenants: usize,
     intersect: bool,
+    flat: bool,
     transport: Transport,
     pipeline: usize,
     sweep: bool,
@@ -282,6 +292,7 @@ impl ServeBenchOpts {
             queries: 2000,
             tenants: 4,
             intersect: true,
+            flat: true,
             transport: Transport::Inproc,
             pipeline: 4,
             sweep: false,
@@ -290,6 +301,10 @@ impl ServeBenchOpts {
         while let Some(flag) = it.next() {
             if flag == "--no-intersect" {
                 opts.intersect = false;
+                continue;
+            }
+            if flag == "--no-flat" {
+                opts.flat = false;
                 continue;
             }
             if flag == "--sweep" {
@@ -334,6 +349,7 @@ fn build_serving_cache(opts: &ServeBenchOpts) -> Arc<ShardedViewCache> {
         .with_shards(opts.shards)
         .with_memo_cap(opts.memo_cap);
     cache.set_intersect_enabled(opts.intersect);
+    cache.set_flat_enabled(opts.flat);
     for (name, def) in catalog.views.iter() {
         cache.add_view(name, def.clone());
     }
@@ -438,14 +454,15 @@ fn cmd_serve_bench(args: &[String]) -> Result<ExitCode, String> {
     if !opts.sweep {
         let run = run_serving(&opts, opts.transport, opts.threads, &stream, true)?;
         println!(
-            "served {} queries over {} on {} workers / {} shards (memo cap {}, intersect {}) \
-             in {:.1} ms — {:.0} q/s",
+            "served {} queries over {} on {} workers / {} shards (memo cap {}, intersect {}, \
+             flat {}) in {:.1} ms — {:.0} q/s",
             run.answered,
             opts.transport.name(),
             opts.threads,
             opts.shards,
             if opts.memo_cap == 0 { "∞".to_string() } else { opts.memo_cap.to_string() },
             if opts.intersect { "on" } else { "off" },
+            if opts.flat { "on" } else { "off" },
             run.elapsed.as_secs_f64() * 1e3,
             run.qps(),
         );
@@ -850,6 +867,177 @@ fn cmd_update_bench(args: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// Knobs for `xpv eval-bench`.
+struct EvalBenchOpts {
+    nodes: usize,
+    distinct: usize,
+    queries: usize,
+    labels: usize,
+    repeat: usize,
+    seed: u64,
+}
+
+impl EvalBenchOpts {
+    fn parse(args: &[String]) -> Result<EvalBenchOpts, String> {
+        let mut opts = EvalBenchOpts {
+            nodes: 20_000,
+            distinct: 48,
+            queries: 2_000,
+            labels: 12,
+            repeat: 3,
+            seed: 0xE7A1,
+        };
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let value = it.next().ok_or_else(|| format!("{flag}: missing value"))?;
+            match flag.as_str() {
+                "--nodes" => opts.nodes = parse_num(flag, value)?.max(2),
+                "--distinct" => opts.distinct = parse_num(flag, value)?.max(1),
+                "--queries" => opts.queries = parse_num(flag, value)?.max(1),
+                "--labels" => opts.labels = parse_num(flag, value)?.max(1),
+                "--repeat" => opts.repeat = parse_num(flag, value)?.max(1),
+                "--seed" => opts.seed = parse_num(flag, value)? as u64,
+                other => return Err(format!("unknown eval-bench flag {other}")),
+            }
+        }
+        Ok(opts)
+    }
+}
+
+/// Ablates the evaluation core on a seeded random document and a
+/// Zipf-skewed query stream: the reference `Tree` matcher against the
+/// word-parallel [`FlatTree`] matcher, per-query evaluation against the
+/// fused batch path (shared sub-match tables keyed by pattern
+/// fingerprint), and the scratch-buffer pool on/off. Answers are checked
+/// identical across every path before anything is timed, and the summary
+/// goes to `BENCH_eval.json` (archived by CI next to the other benches).
+fn cmd_eval_bench(args: &[String]) -> Result<ExitCode, String> {
+    use xpath_views::model::FlatTree;
+    use xpath_views::semantics::{evaluate_flat, BatchEval};
+    use xpath_views::workload::zipf_indices;
+
+    let opts = EvalBenchOpts::parse(args)?;
+    let tree_cfg = TreeGenConfig {
+        size: opts.nodes,
+        max_depth: 14,
+        max_children: 8,
+        label_count: opts.labels,
+    };
+    let doc = TreeGen::new(tree_cfg, opts.seed).tree();
+    let pat_cfg =
+        PatternGenConfig { depth: (2, 5), label_count: opts.labels, ..PatternGenConfig::default() };
+    let mut gen = PatternGen::new(pat_cfg, opts.seed ^ 0x9E37_79B9);
+    let base: Vec<Pattern> = (0..opts.distinct).map(|_| gen.pattern()).collect();
+    let stream: Vec<&Pattern> = zipf_indices(base.len(), opts.queries, opts.seed ^ 0x51)
+        .iter()
+        .map(|&i| &base[i])
+        .collect();
+    let ft = FlatTree::freeze(&doc);
+
+    // Correctness gate before any timing: every path must agree on the
+    // whole distinct set.
+    let mut fused_check = BatchEval::new(&ft);
+    for q in &base {
+        let reference = evaluate(q, &doc);
+        if evaluate_flat(q, &ft) != reference {
+            return Err(format!("flat matcher diverged from reference on {q}"));
+        }
+        if fused_check.evaluate(q) != reference {
+            return Err(format!("fused batch path diverged from reference on {q}"));
+        }
+    }
+    drop(fused_check);
+
+    // Best-of-`repeat` wall time; the checksum keeps the work observable.
+    let time = |f: &mut dyn FnMut() -> usize| -> (f64, usize) {
+        let mut best = f64::INFINITY;
+        let mut checksum = 0usize;
+        for _ in 0..opts.repeat {
+            let start = Instant::now();
+            checksum = f();
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        (best * 1e3, checksum)
+    };
+    let (ref_ms, ref_sum) =
+        time(&mut || stream.iter().map(|q| evaluate(q, &doc).len()).sum::<usize>());
+    let (flat_ms, flat_sum) =
+        time(&mut || stream.iter().map(|q| evaluate_flat(q, &ft).len()).sum::<usize>());
+    let (fused_ms, fused_sum) = time(&mut || {
+        let mut b = BatchEval::new(&ft);
+        stream.iter().map(|q| b.evaluate(q).len()).sum::<usize>()
+    });
+    let (noscratch_ms, noscratch_sum) = time(&mut || {
+        let mut b = BatchEval::with_options(&ft, false, true);
+        stream.iter().map(|q| b.evaluate(q).len()).sum::<usize>()
+    });
+    let (noshare_ms, noshare_sum) = time(&mut || {
+        let mut b = BatchEval::with_options(&ft, true, false);
+        stream.iter().map(|q| b.evaluate(q).len()).sum::<usize>()
+    });
+    if [flat_sum, fused_sum, noscratch_sum, noshare_sum].iter().any(|&s| s != ref_sum) {
+        return Err("evaluation paths returned different answer volumes".to_string());
+    }
+
+    let qps = |ms: f64| opts.queries as f64 / (ms / 1e3).max(1e-9);
+    let speedup = |ms: f64| ref_ms / ms.max(1e-9);
+    println!(
+        "evaluated {} queries ({} distinct) over {} nodes, {} answers per pass",
+        opts.queries,
+        opts.distinct,
+        doc.len(),
+        ref_sum,
+    );
+    println!("path                 ms       q/s   speedup");
+    let runs = [
+        ("reference", ref_ms),
+        ("flat", flat_ms),
+        ("flat_fused", fused_ms),
+        ("flat_fused_no_scratch", noscratch_ms),
+        ("flat_fused_no_share", noshare_ms),
+    ];
+    let mut rows = String::new();
+    for (name, ms) in runs {
+        println!("{:<21} {:>8.1}  {:>8.0}  {:>6.2}x", name, ms, qps(ms), speedup(ms));
+        if !rows.is_empty() {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{ \"path\": \"{}\", \"ms\": {:.3}, \"qps\": {:.1}, \
+             \"speedup_vs_reference\": {:.3} }}",
+            name,
+            ms,
+            qps(ms),
+            speedup(ms),
+        ));
+    }
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"eval_flat_fused_zipf\",\n",
+            "  \"doc_nodes\": {},\n",
+            "  \"queries\": {},\n",
+            "  \"distinct_queries\": {},\n",
+            "  \"labels\": {},\n",
+            "  \"repeat\": {},\n",
+            "  \"answers_per_pass\": {},\n",
+            "  \"verified_identical\": true,\n",
+            "  \"runs\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        doc.len(),
+        opts.queries,
+        opts.distinct,
+        opts.labels,
+        opts.repeat,
+        ref_sum,
+        rows,
+    );
+    std::fs::write("BENCH_eval.json", &json).map_err(|e| format!("BENCH_eval.json: {e}"))?;
+    println!("wrote BENCH_eval.json");
+    Ok(ExitCode::SUCCESS)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.as_slice() {
@@ -863,6 +1051,7 @@ fn main() -> ExitCode {
         [cmd, rest @ ..] if cmd == "listen" => cmd_listen(rest),
         [cmd, rest @ ..] if cmd == "client" => cmd_client(rest),
         [cmd, rest @ ..] if cmd == "update-bench" => cmd_update_bench(rest),
+        [cmd, rest @ ..] if cmd == "eval-bench" => cmd_eval_bench(rest),
         _ => return fail("expected a subcommand"),
     };
     match result {
