@@ -1,29 +1,47 @@
-//! Document-update maintenance: incremental affected-region refresh vs
-//! full re-materialization.
+//! Document-update maintenance: coalesced batch refresh vs per-edit
+//! incremental refresh vs full re-materialization.
 //!
-//! The cache serves a Zipf query workload while a Zipf-skewed edit stream
-//! (inserts/deletes/relabels, `xpv_workload::edits`) churns the document.
-//! Two maintenance modes are timed end to end:
+//! The cache serves a Zipf query workload while a **bursty** edit stream
+//! (inserts/deletes/relabels clustered under a few hot subtrees,
+//! `xpv_workload::edits`) churns the document. Three maintenance modes are
+//! timed end to end:
 //!
-//! * **incremental** — `apply_edits` patches each view from the edit's
-//!   affected region (ancestor spine + touched subtree, `xpv-maintain`);
+//! * **coalesced** — `apply_edits` applies the whole batch, merges
+//!   overlapping/nested affected regions, and re-scans each view against
+//!   the few surviving disjoint regions off one shared flat freeze, fanning
+//!   independent regions across worker threads (`xpv-maintain::coalesce`);
+//! * **per_edit** — the legacy path: one affected-region scan per
+//!   (view, edit) pair (the `--no-coalesce` ablation);
 //! * **full** — every view is re-materialized over the whole document per
 //!   batch (the rebuild-the-world baseline).
 //!
-//! Answers are asserted byte-identical between the modes (and against
+//! Answers are asserted byte-identical across the modes (and against
 //! direct evaluation) before anything is timed. The machine-readable
-//! summary with the same ablation lives in `BENCH_updates.json`, written by
-//! `xpv update-bench` (the CLI twin of this bench).
+//! summary with the full ablation grid lives in `BENCH_updates.json`,
+//! written by `xpv update-bench` (the CLI twin of this bench).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use xpv_engine::{Edit, ShardedViewCache};
-use xpv_workload::{edit_batches, edit_stream, site_doc, site_intersect_catalog, EditMix};
+use xpv_workload::{
+    edit_batches, edit_stream_clustered, site_doc, site_intersect_catalog, EditLocality, EditMix,
+};
 
-fn fresh_cache(incremental: bool) -> ShardedViewCache {
+#[derive(Clone, Copy)]
+enum Mode {
+    Coalesced,
+    PerEdit,
+    Full,
+}
+
+fn fresh_cache(mode: Mode) -> ShardedViewCache {
     let cache = ShardedViewCache::new(site_doc(12, 12, 7));
-    cache.set_incremental_maintenance(incremental);
+    match mode {
+        Mode::Coalesced => {}
+        Mode::PerEdit => cache.set_coalesce_enabled(false),
+        Mode::Full => cache.set_incremental_maintenance(false),
+    }
     for (name, def) in site_intersect_catalog().views {
         cache.add_view(name, def);
     }
@@ -32,34 +50,42 @@ fn fresh_cache(incremental: bool) -> ShardedViewCache {
 
 fn batches() -> Vec<Vec<Edit>> {
     let doc = site_doc(12, 12, 7);
-    edit_batches(&edit_stream(&doc, 200, EditMix::default(), 0xED17), 10)
+    let stream =
+        edit_stream_clustered(&doc, 200, EditMix::default(), EditLocality::default(), 0xED17);
+    edit_batches(&stream, 10)
 }
 
 fn updates(c: &mut Criterion) {
     let batches = batches();
 
-    // Correctness anchor: both maintenance modes converge to identical
-    // answers after the whole stream.
+    // Correctness anchor: all three maintenance modes converge to
+    // identical answers after the whole stream.
     {
-        let incremental = fresh_cache(true);
-        let full = fresh_cache(false);
+        let coalesced = fresh_cache(Mode::Coalesced);
+        let per_edit = fresh_cache(Mode::PerEdit);
+        let full = fresh_cache(Mode::Full);
         for batch in &batches {
-            incremental.apply_edits(batch).expect("valid batch");
+            coalesced.apply_edits(batch).expect("valid batch");
+            per_edit.apply_edits(batch).expect("valid batch");
             full.apply_edits(batch).expect("valid batch");
         }
         for (_, q) in site_intersect_catalog().queries {
-            let a = incremental.answer(&q);
-            let b = full.answer(&q);
-            assert_eq!(a.nodes, b.nodes, "maintenance modes diverged on {q}");
-            assert_eq!(a.nodes, incremental.answer_direct(&q), "wrong answer for {q}");
+            let a = coalesced.answer(&q);
+            assert_eq!(a.nodes, per_edit.answer(&q).nodes, "coalesced vs per-edit on {q}");
+            assert_eq!(a.nodes, full.answer(&q).nodes, "maintenance modes diverged on {q}");
+            assert_eq!(a.nodes, coalesced.answer_direct(&q), "wrong answer for {q}");
         }
     }
 
     let mut group = c.benchmark_group("update_maintenance");
-    for (label, incremental) in [("incremental", true), ("full_recompute", false)] {
+    for (label, mode) in [
+        ("coalesced", Mode::Coalesced),
+        ("per_edit", Mode::PerEdit),
+        ("full_recompute", Mode::Full),
+    ] {
         group.bench_with_input(BenchmarkId::new("apply_edits", label), &batches, |b, batches| {
             b.iter(|| {
-                let cache = fresh_cache(incremental);
+                let cache = fresh_cache(mode);
                 for batch in batches {
                     black_box(cache.apply_edits(batch).expect("valid batch"));
                 }

@@ -75,11 +75,16 @@ use xpv_intersect::{
     answer_intersection_virtual, intersect_node_sets, plan_intersection_contained_in,
     plan_intersection_in, IntersectConfig,
 };
-use xpv_maintain::{maintain_views, Edit, EditError, MaintainMode, MaintainStats};
-use xpv_model::{FlatTree, NodeId, Tree};
+use xpv_maintain::{
+    apply_region_results, coalesce_plan, finalize_deltas, maintain_views, prepare_batch,
+    region_answers, CoalescedPlan, Edit, EditError, MaintainMode, MaintainStats, RegionTask,
+    SubMatcher, ViewDelta,
+};
+use xpv_model::{BitSet, FlatTree, NodeId, Tree};
 use xpv_pattern::{Pattern, PatternKey};
 use xpv_semantics::{
-    evaluate, evaluate_anchored, evaluate_anchored_flat, evaluate_flat, BatchEval,
+    evaluate, evaluate_anchored, evaluate_anchored_flat, evaluate_flat, region_answers_flat,
+    BatchEval,
 };
 
 use crate::view::MaterializedView;
@@ -261,6 +266,10 @@ pub struct CacheStats {
     /// suspected bottleneck under write-heavy mixes; a rising stall count
     /// under load is the signal it has become real.
     pub snapshot_read_stalls: u64,
+    /// Lifetime maintenance counters summed over every `apply_edits` batch
+    /// (per-phase timings, coalescing sizes, fan-out widths — see
+    /// [`MaintainStats`]).
+    pub maintain: MaintainStats,
 }
 
 impl std::fmt::Display for CacheStats {
@@ -271,7 +280,7 @@ impl std::fmt::Display for CacheStats {
              {} misses ({} batch-dedup, {} evicted, {} invalidated), intersect {} routes / \
              {} candidates tried / {} participants, oracle {} memo hits / \
              {} canonical runs / {} models, {} edits applied / {} views refreshed incrementally, \
-             {} snapshot read stalls",
+             {} snapshot read stalls; maintenance: {}",
             self.queries,
             self.view_hits,
             self.intersect_hits,
@@ -289,7 +298,8 @@ impl std::fmt::Display for CacheStats {
             self.oracle_models_checked,
             self.updates_applied,
             self.views_refreshed_incrementally,
-            self.snapshot_read_stalls
+            self.snapshot_read_stalls,
+            self.maintain
         )
     }
 }
@@ -375,6 +385,28 @@ fn bump(counter: &AtomicU64) {
     counter.fetch_add(1, Ordering::Relaxed);
 }
 
+/// Scans one merged region for one view — the unit of work the parallel
+/// fan-out stripes across scoped threads. Flat path: masked word-parallel
+/// matching against the shared post-batch freeze; tree path: the
+/// `region_answers` reference walk (kept as the `--no-flat` ablation arm
+/// and property-test oracle). Both return the fresh in-region answers and
+/// the region's live-subtree mask.
+fn scan_region(
+    task: RegionTask,
+    plan: &CoalescedPlan,
+    defs: &[&Pattern],
+    doc: &Tree,
+    flat: &FlatTree,
+    use_flat: bool,
+) -> (Vec<NodeId>, BitSet) {
+    if use_flat {
+        region_answers_flat(defs[task.view], flat, task.root)
+    } else {
+        let mut m = SubMatcher::new(defs[task.view], doc);
+        region_answers(&plan.infos[task.view], doc, task.root, &mut m)
+    }
+}
+
 /// A set of materialized views over a single document with **concurrent**
 /// rewriting-based query answering: the serving methods take `&self`, so
 /// any number of worker threads can answer through one shared cache (see
@@ -426,6 +458,18 @@ pub struct ShardedViewCache {
     /// Whether `apply_edits` maintains views incrementally (the
     /// `xpv update-bench` ablation knob; `false` = full re-materialization).
     incremental_maintenance: AtomicBool,
+    /// Whether incremental maintenance coalesces the batch into merged
+    /// regions (the `--no-coalesce` ablation knob; `false` = the legacy
+    /// per-edit path).
+    coalesce_enabled: AtomicBool,
+    /// Whether independent merged regions are fanned across scoped worker
+    /// threads (the `--no-parallel-regions` ablation knob).
+    parallel_regions: AtomicBool,
+    /// Worker count for the region fan-out (`0` = available parallelism).
+    region_workers: AtomicU64,
+    /// Lifetime maintenance counters (summed per batch under the write
+    /// gate; surfaced through [`CacheStats::maintain`]).
+    maintain_totals: std::sync::Mutex<MaintainStats>,
     /// Lifetime total of edits applied.
     updates_applied: AtomicU64,
     /// Lifetime total of views refreshed via the incremental path.
@@ -468,6 +512,10 @@ impl ShardedViewCache {
             next_view_id: AtomicU64::new(0),
             doc_version: AtomicU64::new(0),
             incremental_maintenance: AtomicBool::new(true),
+            coalesce_enabled: AtomicBool::new(true),
+            parallel_regions: AtomicBool::new(true),
+            region_workers: AtomicU64::new(0),
+            maintain_totals: std::sync::Mutex::new(MaintainStats::default()),
             updates_applied: AtomicU64::new(0),
             views_refreshed_incrementally: AtomicU64::new(0),
             snapshot_read_stalls: AtomicU64::new(0),
@@ -784,8 +832,7 @@ impl ShardedViewCache {
     /// shared document and every view are left exactly as they were.
     pub fn apply_edits(&self, edits: &[Edit]) -> Result<UpdateReport, EditError> {
         let incremental = self.incremental_maintenance.load(Ordering::Relaxed);
-        let mode =
-            if incremental { MaintainMode::Incremental } else { MaintainMode::FullRecompute };
+        let coalesce = incremental && self.coalesce_enabled.load(Ordering::Relaxed);
         // Serialize writers on the gate; the gate holder is the only
         // mutator, so the snapshot below cannot go stale beneath us while
         // we maintain clones of it off-lock.
@@ -795,7 +842,24 @@ impl ShardedViewCache {
         let mut doc = (*snap.doc).clone();
         let defs: Vec<&Pattern> = snap.views.iter().map(|v| v.definition()).collect();
         let mut answers: Vec<Vec<NodeId>> = snap.views.iter().map(|v| v.nodes().to_vec()).collect();
-        let (deltas, maintain) = maintain_views(&mut doc, &defs, &mut answers, edits, mode)?;
+        let (deltas, maintain, new_flat) = if coalesce {
+            // Coalesced path: the post-batch freeze happens *before*
+            // maintenance and drives the flat region scans; the same
+            // snapshot is published by the swap below.
+            self.maintain_coalesced(&snap.doc, &mut doc, &defs, &mut answers, edits)?
+        } else {
+            let mode =
+                if incremental { MaintainMode::Incremental } else { MaintainMode::FullRecompute };
+            let t = Instant::now();
+            let (deltas, mut maintain) =
+                maintain_views(&mut doc, &defs, &mut answers, edits, mode)?;
+            maintain.apply_us += t.elapsed().as_micros() as u64;
+            // Legacy paths freeze after maintenance, for the swap only.
+            let t = Instant::now();
+            let new_flat = Arc::new(FlatTree::freeze(&doc));
+            maintain.freeze_us += t.elapsed().as_micros() as u64;
+            (deltas, maintain, new_flat)
+        };
         drop(defs);
 
         let mut changed: Vec<ViewId> = Vec::new();
@@ -816,10 +880,10 @@ impl ShardedViewCache {
         } else {
             Arc::clone(&snap.views)
         };
-        // Freeze the flat form off-lock, before publication: readers that
-        // observe the new document always observe its matching flat
-        // snapshot (tombstones from this batch are masked out here).
-        let new_flat = Arc::new(FlatTree::freeze(&doc));
+        // Publication: readers that observe the new document always
+        // observe its matching flat snapshot (frozen above — before
+        // maintenance on the coalesced path, after it on the legacy ones;
+        // tombstones from this batch are masked out either way).
         let new_doc = Arc::new(doc);
         {
             // The only work under the state lock is the pointer swap:
@@ -831,6 +895,7 @@ impl ShardedViewCache {
         }
         let doc_version = self.doc_version.fetch_add(1, Ordering::Relaxed) + 1;
         self.updates_applied.fetch_add(edits.len() as u64, Ordering::Relaxed);
+        self.maintain_totals.lock().expect("maintain totals poisoned").add(&maintain);
         if incremental {
             self.views_refreshed_incrementally.fetch_add(refreshed as u64, Ordering::Relaxed);
         }
@@ -871,6 +936,143 @@ impl ShardedViewCache {
         self.incremental_maintenance.load(Ordering::Relaxed)
     }
 
+    /// Enables or disables **batch coalescing** under incremental
+    /// maintenance — the `xpv update-bench --no-coalesce` ablation knob.
+    /// Disabled, the legacy per-edit path runs (one region scan per
+    /// (view, edit) pair); answers are identical either way.
+    pub fn set_coalesce_enabled(&self, enabled: bool) {
+        self.coalesce_enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether incremental maintenance coalesces edit batches.
+    pub fn coalesce_enabled(&self) -> bool {
+        self.coalesce_enabled.load(Ordering::Relaxed)
+    }
+
+    /// Enables or disables the **parallel region fan-out** — the
+    /// `xpv update-bench --no-parallel-regions` ablation knob. Merged
+    /// regions are disjoint, so scans are combined in `(view, root)` order
+    /// and answers, deltas, and counters are identical either way.
+    pub fn set_parallel_regions(&self, enabled: bool) {
+        self.parallel_regions.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether region scans fan out across worker threads.
+    pub fn parallel_regions(&self) -> bool {
+        self.parallel_regions.load(Ordering::Relaxed)
+    }
+
+    /// Sets the worker count for the region fan-out (`0` = use
+    /// `std::thread::available_parallelism`).
+    pub fn set_region_workers(&self, workers: usize) {
+        self.region_workers.store(workers as u64, Ordering::Relaxed);
+    }
+
+    /// The coalesced maintenance pipeline: apply the whole batch, freeze
+    /// the post-batch flat snapshot **once** (shared between the region
+    /// scans and the snapshot swap), diff spines against the pre-batch
+    /// tree, fan the disjoint merged regions across scoped worker threads,
+    /// and patch answers deterministically (results indexed by task order,
+    /// so the outcome is schedule-invariant).
+    fn maintain_coalesced(
+        &self,
+        t0: &Tree,
+        doc: &mut Tree,
+        defs: &[&Pattern],
+        answers: &mut [Vec<NodeId>],
+        edits: &[Edit],
+    ) -> Result<(Vec<ViewDelta>, MaintainStats, Arc<FlatTree>), EditError> {
+        let saved: Vec<Vec<NodeId>> = answers.to_vec();
+
+        let t = Instant::now();
+        let prep = prepare_batch(doc, edits)?;
+        let apply_us = t.elapsed().as_micros() as u64;
+
+        let t = Instant::now();
+        let new_flat = Arc::new(FlatTree::freeze(doc));
+        let freeze_us = t.elapsed().as_micros() as u64;
+
+        let t = Instant::now();
+        let mut plan = coalesce_plan(t0, doc, defs, &prep);
+        let tasks = plan.region_tasks();
+        plan.stats.coalesce_us = t.elapsed().as_micros() as u64;
+        plan.stats.apply_us = apply_us;
+        plan.stats.freeze_us = freeze_us;
+        plan.stats.freeze_reused = 1;
+
+        let use_flat = self.flat_enabled();
+        let parallel = self.parallel_regions.load(Ordering::Relaxed);
+        // A width-1 fan-out would pay thread-spawn cost for nothing (e.g.
+        // a single-core host, or a single-region batch) — run serial then.
+        let width = if parallel && tasks.len() > 1 {
+            let configured = self.region_workers.load(Ordering::Relaxed) as usize;
+            if configured == 0 {
+                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            } else {
+                configured
+            }
+            .min(tasks.len())
+        } else {
+            1
+        };
+        let t = Instant::now();
+        let results: Vec<(Vec<NodeId>, BitSet)> = if width > 1 {
+            plan.stats.parallel_tasks = tasks.len() as u64;
+            plan.stats.parallel_width = width as u64;
+            // Static striping: worker w owns tasks w, w+W, w+2W, …; each
+            // returns (index, result) pairs, so the combined vector is in
+            // task order no matter how the threads interleave.
+            let mut slots: Vec<Option<(Vec<NodeId>, BitSet)>> =
+                (0..tasks.len()).map(|_| None).collect();
+            let doc_ref: &Tree = doc;
+            let flat_ref: &FlatTree = &new_flat;
+            let plan_ref: &CoalescedPlan = &plan;
+            let tasks_ref: &[RegionTask] = &tasks;
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..width)
+                    .map(|w| {
+                        s.spawn(move || {
+                            let mut out = Vec::new();
+                            let mut i = w;
+                            while i < tasks_ref.len() {
+                                let r = scan_region(
+                                    tasks_ref[i],
+                                    plan_ref,
+                                    defs,
+                                    doc_ref,
+                                    flat_ref,
+                                    use_flat,
+                                );
+                                out.push((i, r));
+                                i += width;
+                            }
+                            out
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    for (i, r) in h.join().expect("region worker panicked") {
+                        slots[i] = Some(r);
+                    }
+                }
+            });
+            slots.into_iter().map(|o| o.expect("every task scanned")).collect()
+        } else {
+            tasks
+                .iter()
+                .map(|&task| scan_region(task, &plan, defs, doc, &new_flat, use_flat))
+                .collect()
+        };
+        plan.stats.scan_us = t.elapsed().as_micros() as u64;
+
+        let t = Instant::now();
+        let mut stats = plan.stats;
+        apply_region_results(doc, defs, answers, &plan, &tasks, &results, &mut stats);
+        let deltas = finalize_deltas(doc, &saved, answers, &plan.retag, &mut stats);
+        stats.patch_us = t.elapsed().as_micros() as u64;
+        Ok((deltas, stats, new_flat))
+    }
+
     /// Lifetime statistics, aggregated across shards (the oracle counters
     /// are folded in live).
     pub fn stats(&self) -> CacheStats {
@@ -899,6 +1101,7 @@ impl ShardedViewCache {
         s.views_refreshed_incrementally =
             self.views_refreshed_incrementally.load(Ordering::Relaxed);
         s.snapshot_read_stalls = self.snapshot_read_stalls.load(Ordering::Relaxed);
+        s.maintain = *self.maintain_totals.lock().expect("maintain totals poisoned");
         s
     }
 

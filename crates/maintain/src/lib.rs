@@ -8,12 +8,19 @@
 //!   delete-subtree / relabel mutations applied transactionally to
 //!   `xpv_model::Tree`, with `NodeId`s stable across unrelated edits
 //!   (removal tombstones arena slots, insertion appends);
-//! * the **incremental maintainer** ([`maintain_views`]) — per edit it
-//!   re-evaluates each view only against the edit's *affected region* and
-//!   patches the stored answer set, provably matching a from-scratch
-//!   re-materialization;
-//! * the [`MaintainMode::FullRecompute`] baseline — the ablation arm of
-//!   `xpv update-bench`.
+//! * the **batch-coalesced maintainer** ([`maintain_views`] in its default
+//!   [`MaintainMode::Coalesced`]) — it applies the whole batch first, diffs
+//!   each view's spine predicates between the pre- and post-batch trees in
+//!   one pass, **merges overlapping and nested regions** ([`coalesce`]),
+//!   and re-evaluates each view only against the few surviving disjoint
+//!   regions, provably matching a from-scratch re-materialization; a burst
+//!   of k edits under one hot subtree costs one region scan per view
+//!   instead of k;
+//! * the legacy **per-edit maintainer** ([`MaintainMode::Incremental`]) —
+//!   one affected-region scan per (view, edit) pair, kept as the
+//!   `--no-coalesce` ablation arm and cross-check;
+//! * the [`MaintainMode::FullRecompute`] baseline — the rebuild-the-world
+//!   ablation arm of `xpv update-bench`.
 //!
 //! ## Why the affected region suffices
 //!
@@ -38,6 +45,28 @@
 //!   whole document, exactly when a predicate visible from the root
 //!   flipped and the whole answer set may genuinely move.
 //!
+//! ## Why merged regions suffice for a whole batch
+//!
+//! The coalesced path compares `B`-vectors **once**, between the pre-batch
+//! tree `t0` and the post-batch tree `t1`, along every edit's recorded
+//! anchor spine (ancestor paths of surviving nodes never move, so a spine
+//! recorded mid-batch is also the `t1` path). Any `t1`-live node whose `B`
+//! values differ lies on some affected edit's spine (its subtree or label
+//! changed across that edit) or inside an inserted subtree — nodes new in
+//! `t1` compare against the all-false vector and are flagged the moment
+//! they host anything, and surviving `inserted_root`s are taken as region
+//! roots outright. The region root set is then **merged**: a root with a
+//! proper ancestor in the set collapses into it, and edits whose highest
+//! changed spine node coincides dedup to one root, leaving pairwise
+//! disjoint subtrees whose union contains every node with a changed `B`
+//! value — so answers outside the union kept their whole chain intact and
+//! answers inside are recomputed exactly. The full argument, including why
+//! label-skipped edits contribute nothing to the telescoped `t0 → t1`
+//! difference, lives in [`coalesce`]'s module docs. Disjointness is also
+//! what makes the region scans embarrassingly parallel: the engine fans
+//! them across scoped threads and combines results in `(view, region
+//! root)` order, so answers, deltas, and counters are schedule-invariant.
+//!
 //! The restricted evaluation ([`region_answers`]) runs the same
 //! spine-reachability dynamic program a full evaluation would, but only
 //! down one subtree, with branch matching memoized. Answers outside the
@@ -53,10 +82,15 @@
 //! streams, and the engine's update path is stress-tested against serial
 //! replay.
 
+pub mod coalesce;
 pub mod edit;
 pub mod refresh;
 pub mod region;
 
+pub use coalesce::{
+    apply_region_results, coalesce_plan, merge_regions, prepare_batch, scan_regions_serial,
+    BatchAnchor, CoalescedPlan, PreparedBatch, RegionTask, ViewDisposition,
+};
 pub use edit::{apply_edit, apply_edits, validate_edit, AppliedEdit, Edit, EditError};
-pub use refresh::{maintain_views, MaintainMode, MaintainStats, ViewDelta};
+pub use refresh::{finalize_deltas, maintain_views, MaintainMode, MaintainStats, ViewDelta};
 pub use region::{region_answers, spine_to, SpineInfo, SubMatcher, MAX_TRACKED_DEPTH};

@@ -1,7 +1,11 @@
 //! The incremental maintainer: apply an edit batch and patch every view's
 //! answer set so it equals a from-scratch re-materialization.
 //!
-//! [`maintain_views`] is the engine-facing entry point. Per edit it:
+//! [`maintain_views`] is the entry point. The default
+//! [`MaintainMode::Coalesced`] applies the whole batch first and refreshes
+//! each view from its merged region set (see [`crate::coalesce`]); the
+//! legacy [`MaintainMode::Incremental`] path below interleaves application
+//! and patching. Per edit, the legacy path:
 //!
 //! 1. computes the edit's **anchor** (deepest surviving node whose subtree
 //!    content changes) and the ancestor spine `root → anchor`;
@@ -37,8 +41,13 @@ use crate::region::{region_answers, spine_to, SpineInfo, SubMatcher};
 /// `xpv update-bench`.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum MaintainMode {
-    /// Patch each view from the edit's affected region only.
+    /// Apply the whole batch first, then patch each view from its merged,
+    /// deduplicated region set (see [`crate::coalesce`]) — the default.
     #[default]
+    Coalesced,
+    /// The legacy per-edit path: patch each view from each edit's affected
+    /// region, one scan per (view, edit) pair — the `--no-coalesce`
+    /// ablation arm and the PR 6 baseline.
     Incremental,
     /// Re-evaluate every view over the whole document after the batch —
     /// the rebuild-the-world baseline.
@@ -95,6 +104,28 @@ pub struct MaintainStats {
     pub answers_added: u64,
     /// Answer nodes removed across all views.
     pub answers_removed: u64,
+    /// Per-(view, edit) region roots before coalescing merged them.
+    pub regions_before_merge: u64,
+    /// Region scans the merge eliminated (`regions_before_merge` minus the
+    /// scans actually run) — what the per-edit path would have paid extra.
+    pub scans_saved: u64,
+    /// Batches whose maintenance reused the snapshot-swap `FlatTree` freeze
+    /// (the engine's shared-freeze path).
+    pub freeze_reused: u64,
+    /// Region scans dispatched to the parallel fan-out.
+    pub parallel_tasks: u64,
+    /// Widest worker fan-out used (aggregates as a maximum).
+    pub parallel_width: u64,
+    /// Microseconds applying edits (`prepare_batch`).
+    pub apply_us: u64,
+    /// Microseconds freezing the post-batch `FlatTree`.
+    pub freeze_us: u64,
+    /// Microseconds diffing spines and merging regions (`coalesce_plan`).
+    pub coalesce_us: u64,
+    /// Microseconds scanning regions (serial or parallel, wall-clock).
+    pub scan_us: u64,
+    /// Microseconds patching answer sets and finalizing deltas.
+    pub patch_us: u64,
 }
 
 impl MaintainStats {
@@ -109,6 +140,16 @@ impl MaintainStats {
         self.full_recomputes += other.full_recomputes;
         self.answers_added += other.answers_added;
         self.answers_removed += other.answers_removed;
+        self.regions_before_merge += other.regions_before_merge;
+        self.scans_saved += other.scans_saved;
+        self.freeze_reused += other.freeze_reused;
+        self.parallel_tasks += other.parallel_tasks;
+        self.parallel_width = self.parallel_width.max(other.parallel_width);
+        self.apply_us += other.apply_us;
+        self.freeze_us += other.freeze_us;
+        self.coalesce_us += other.coalesce_us;
+        self.scan_us += other.scan_us;
+        self.patch_us += other.patch_us;
     }
 }
 
@@ -117,7 +158,9 @@ impl std::fmt::Display for MaintainStats {
         write!(
             f,
             "{} edits over {} view-checks ({} label-skips, {} spine-clean, {} regions / \
-             {} nodes, {} full recomputes), answers +{} -{}",
+             {} nodes, {} full recomputes), answers +{} -{}; coalesce: {} -> {} regions \
+             ({} scans saved), {} freezes reused, {} tasks fanned out (width {}); \
+             phases us: apply {} freeze {} coalesce {} scan {} patch {}",
             self.edits_applied,
             self.view_edit_checks,
             self.label_skips,
@@ -126,7 +169,18 @@ impl std::fmt::Display for MaintainStats {
             self.region_nodes,
             self.full_recomputes,
             self.answers_added,
-            self.answers_removed
+            self.answers_removed,
+            self.regions_before_merge,
+            self.regions_scanned,
+            self.scans_saved,
+            self.freeze_reused,
+            self.parallel_tasks,
+            self.parallel_width,
+            self.apply_us,
+            self.freeze_us,
+            self.coalesce_us,
+            self.scan_us,
+            self.patch_us
         )
     }
 }
@@ -167,6 +221,24 @@ pub fn maintain_views(
         let retag_all: Vec<HashSet<NodeId>> =
             answers.iter().map(|a| a.iter().copied().collect()).collect();
         let deltas = finish_deltas(doc, &saved, answers, |i| retag_all[i].clone());
+        count_delta_stats(&deltas, &mut stats);
+        return Ok((deltas, stats));
+    }
+
+    if mode == MaintainMode::Coalesced {
+        // Batch-coalesced path: apply everything, diff spines t0 → t1 once,
+        // scan the merged regions (serially here; the engine swaps in the
+        // flat matcher and a thread fan-out for the same plan).
+        let t0 = doc.clone();
+        let prep = crate::coalesce::prepare_batch(doc, edits)?;
+        let plan = crate::coalesce::coalesce_plan(&t0, doc, defs, &prep);
+        let tasks = plan.region_tasks();
+        let results = crate::coalesce::scan_regions_serial(doc, defs, &plan, &tasks);
+        let mut stats = plan.stats;
+        crate::coalesce::apply_region_results(
+            doc, defs, answers, &plan, &tasks, &results, &mut stats,
+        );
+        let deltas = finish_deltas(doc, &saved, answers, |_| plan.retag.clone());
         count_delta_stats(&deltas, &mut stats);
         return Ok((deltas, stats));
     }
@@ -310,6 +382,22 @@ fn rollback(doc: &mut Tree, applied: &[AppliedEdit]) {
     for receipt in applied.iter().rev() {
         crate::edit::undo(doc, receipt);
     }
+}
+
+/// Engine-facing delta finalizer for externally driven coalesced
+/// maintenance: diffs saved vs final answers, filters the shared retag set
+/// per view, and folds the added/removed counts into `stats`. Produces
+/// exactly what [`maintain_views`] would for the same answers.
+pub fn finalize_deltas(
+    doc: &Tree,
+    saved: &[Vec<NodeId>],
+    finals: &[Vec<NodeId>],
+    retag: &HashSet<NodeId>,
+    stats: &mut MaintainStats,
+) -> Vec<ViewDelta> {
+    let deltas = finish_deltas(doc, saved, finals, |_| retag.clone());
+    count_delta_stats(&deltas, stats);
+    deltas
 }
 
 /// Builds the per-view cumulative deltas by diffing the saved initial

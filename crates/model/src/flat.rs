@@ -20,16 +20,18 @@
 //!   bitset of live slots carrying it, the seed set for labeled pattern
 //!   nodes.
 //!
-//! ## Freeze-on-swap contract
+//! ## Shared-freeze contract
 //!
 //! A `FlatTree` is **immutable**: it is built once by [`FlatTree::freeze`]
-//! and never updated. The engine's `ShardedViewCache` constructs one per
-//! copy-on-write snapshot swap — whenever a new document version is
-//! published, the freshly cloned-and-edited `Tree` is frozen *before* the
-//! snapshot pointer is swapped in, so every reader that observes the new
-//! document also observes its matching flat form. Readers therefore never
-//! see a torn (half-updated) index; the cost is one `O(n)` rebuild per edit
-//! batch, which the update benchmarks already amortize across the batch.
+//! and never updated. The engine's `ShardedViewCache` constructs **one**
+//! per edit batch, immediately after the batch's edits are applied to the
+//! cloned document and *before* view maintenance runs: the same frozen
+//! snapshot first drives the word-parallel region re-evaluations (seeded
+//! from postings intersected with [`FlatTree::subtree_mask`]) and is then
+//! published by the copy-on-write snapshot swap, so every reader that
+//! observes the new document also observes its matching flat form. Readers
+//! therefore never see a torn (half-updated) index, and the `O(n)` rebuild
+//! is paid once per batch and shared between maintenance and serving.
 //!
 //! ## Why posting lists are sound under tombstoning
 //!
@@ -171,6 +173,18 @@ impl FlatTree {
         self.postings.get(&label.id())
     }
 
+    /// The subtree mask of slot `n`: a bitset (capacity `arena_len`) with
+    /// every slot of `subtree(n)` set, `n` inclusive. For a live `n` this is
+    /// exactly the live slots below it (CSR edges never reach tombstones).
+    /// This is the region mask the maintenance path hands to the flat
+    /// matcher: seeding from `posting ∩ subtree_mask` restricts a
+    /// word-parallel re-evaluation to one affected region.
+    pub fn subtree_mask(&self, n: usize) -> BitSet {
+        let mut mask = BitSet::new(self.arena_len());
+        self.for_each_descendant(n, |i| mask.insert(i));
+        mask
+    }
+
     /// Pre-order traversal of the subtree rooted at slot `n` (inclusive),
     /// over the CSR arrays.
     pub fn for_each_descendant(&self, n: usize, mut f: impl FnMut(usize)) {
@@ -255,6 +269,18 @@ mod tests {
         flat_seen.sort_unstable();
         tree_seen.sort_unstable();
         assert_eq!(flat_seen, tree_seen);
+    }
+
+    #[test]
+    fn subtree_mask_marks_exactly_the_subtree() {
+        let mut t = abc_tree();
+        t.add_child(t.children(t.root())[1], Label::new("e"));
+        let ft = FlatTree::freeze(&t);
+        let mask = ft.subtree_mask(2); // c(d, e)
+        assert_eq!(mask.iter().collect::<Vec<_>>(), vec![2, 3, 4]);
+        assert_eq!(mask.capacity(), ft.arena_len());
+        let whole = ft.subtree_mask(0);
+        assert_eq!(whole.count(), ft.len());
     }
 
     #[test]

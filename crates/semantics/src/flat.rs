@@ -161,6 +161,42 @@ fn seed_node(p: &Pattern, ft: &FlatTree, pid: PatId, out: &mut BitSet) {
     }
 }
 
+/// The witness set of one pattern edge into `c`: the slots that have a
+/// member of `sub_c` as a child (`Child` axis) or proper descendant
+/// (`Descendant` axis). The caller returns the buffer to the scratch pool.
+fn edge_witness(
+    p: &Pattern,
+    ft: &FlatTree,
+    c: PatId,
+    sub_c: &BitSet,
+    scratch: &mut EvalScratch,
+) -> BitSet {
+    let mut ok = scratch.take();
+    match p.axis(c) {
+        Axis::Child => {
+            // ok = { parent(m) : m ∈ sub_c } — visit only set bits.
+            for m in sub_c.iter() {
+                let par = ft.parent(m);
+                if par != NO_PARENT {
+                    ok.insert(par as usize);
+                }
+            }
+        }
+        Axis::Descendant => {
+            // ok = proper ancestors of sub_c; each climb stops at the
+            // first slot already marked by an earlier climb.
+            for m in sub_c.iter() {
+                let mut cur = ft.parent(m);
+                while cur != NO_PARENT && !ok.contains(cur as usize) {
+                    ok.insert(cur as usize);
+                    cur = ft.parent(cur as usize);
+                }
+            }
+        }
+    }
+    ok
+}
+
 /// Intersects `sub[pid]` with the witness set of each child edge. Children
 /// occupy higher arena indices than their parent, so `sub[c]` is final.
 fn fold_children(
@@ -175,29 +211,7 @@ fn fold_children(
         if sub[pi].is_empty() {
             break;
         }
-        let mut ok = scratch.take();
-        match p.axis(c) {
-            Axis::Child => {
-                // ok = { parent(m) : m ∈ sub[c] } — visit only set bits.
-                for m in sub[c.index()].iter() {
-                    let par = ft.parent(m);
-                    if par != NO_PARENT {
-                        ok.insert(par as usize);
-                    }
-                }
-            }
-            Axis::Descendant => {
-                // ok = proper ancestors of sub[c]; each climb stops at the
-                // first slot already marked by an earlier climb.
-                for m in sub[c.index()].iter() {
-                    let mut cur = ft.parent(m);
-                    while cur != NO_PARENT && !ok.contains(cur as usize) {
-                        ok.insert(cur as usize);
-                        cur = ft.parent(cur as usize);
-                    }
-                }
-            }
-        }
+        let ok = edge_witness(p, ft, c, &sub[c.index()], scratch);
         sub[pi].intersect_with(&ok);
         scratch.put(ok);
     }
@@ -287,6 +301,267 @@ pub fn evaluate_anchored_flat(p: &Pattern, ft: &FlatTree, anchors: &[NodeId]) ->
         scratch.put_all(sub);
         nodes
     })
+}
+
+/// Does `test` accept slot `i`? (Dead slots carry label id `0`, which no
+/// live label ever has, so they fail both arms.)
+#[inline]
+fn test_matches_flat(test: NodeTest, ft: &FlatTree, i: usize) -> bool {
+    match test {
+        NodeTest::Wildcard => ft.is_alive(i),
+        NodeTest::Label(l) => ft.label_id(i) == l.id(),
+    }
+}
+
+/// Memoizing lazy subtree matcher over a [`FlatTree`] — the flat twin of
+/// the maintainer's `SubMatcher`, used for the handful of *path* nodes of a
+/// region evaluation (the proper ancestors of the region root), where
+/// building full word-parallel tables would defeat the point of the
+/// restriction.
+struct FlatSubMatcher<'a> {
+    p: &'a Pattern,
+    ft: &'a FlatTree,
+    node_memo: HashMap<(u32, u32), bool>,
+    desc_memo: HashMap<(u32, u32), bool>,
+}
+
+impl<'a> FlatSubMatcher<'a> {
+    fn new(p: &'a Pattern, ft: &'a FlatTree) -> FlatSubMatcher<'a> {
+        FlatSubMatcher { p, ft, node_memo: HashMap::new(), desc_memo: HashMap::new() }
+    }
+
+    /// Does the pattern subtree rooted at `q` embed with `q ↦ slot w`?
+    fn matches_at(&mut self, q: PatId, w: usize) -> bool {
+        if let Some(&v) = self.node_memo.get(&(q.0, w as u32)) {
+            return v;
+        }
+        let (p, ft) = (self.p, self.ft);
+        let ok = test_matches_flat(p.test(q), ft, w)
+            && p.children(q).iter().all(|&c| self.witness_below(c, w));
+        self.node_memo.insert((q.0, w as u32), ok);
+        ok
+    }
+
+    fn witness_below(&mut self, c: PatId, v: usize) -> bool {
+        let ft = self.ft;
+        match self.p.axis(c) {
+            Axis::Child => ft.children(v).iter().any(|&w| self.matches_at(c, w as usize)),
+            Axis::Descendant => self.desc_witness(c, v),
+        }
+    }
+
+    fn desc_witness(&mut self, c: PatId, v: usize) -> bool {
+        if let Some(&hit) = self.desc_memo.get(&(c.0, v as u32)) {
+            return hit;
+        }
+        let ft = self.ft;
+        let hit = ft
+            .children(v)
+            .iter()
+            .any(|&w| self.matches_at(c, w as usize) || self.desc_witness(c, w as usize));
+        self.desc_memo.insert((c.0, v as u32), hit);
+        hit
+    }
+
+    /// `B_i(v)` for the spine decomposition: node test plus every non-spine
+    /// branch hanging off spine position `i`.
+    fn b_holds(&mut self, spine: &FlatSpine, i: usize, v: usize) -> bool {
+        test_matches_flat(self.p.test(spine.nodes[i]), self.ft, v)
+            && spine.branches[i].iter().all(|&c| self.witness_below(c, v))
+    }
+}
+
+/// The selection-spine decomposition of a pattern (spine nodes, the axis
+/// entering each, and the non-spine branches hanging off each) — the shape
+/// the region-restricted evaluation walks. Mirrors the maintainer's
+/// `SpineInfo`, rebuilt here so `xpv-semantics` stays dependency-free.
+struct FlatSpine {
+    nodes: Vec<PatId>,
+    axes: Vec<Axis>,
+    branches: Vec<Vec<PatId>>,
+}
+
+impl FlatSpine {
+    fn new(p: &Pattern) -> FlatSpine {
+        let nodes = p.selection_path();
+        let axes = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, &u)| if i == 0 { Axis::Child } else { p.axis(u) })
+            .collect();
+        let branches = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, &u)| {
+                let next = nodes.get(i + 1).copied();
+                p.children(u).iter().copied().filter(|&c| Some(c) != next).collect()
+            })
+            .collect();
+        FlatSpine { nodes, axes, branches }
+    }
+}
+
+/// Region-restricted word-parallel evaluation: the answers of `p` that lie
+/// **inside `subtree(region_root)`** on the frozen snapshot, plus the
+/// region's subtree mask. Output-identical to the maintainer's `Tree`-path
+/// `region_answers` (the property-test oracle), but runs the flat matcher:
+///
+/// * branch sub-match tables are seeded from **postings intersected with
+///   the region's subtree mask** — sound because any embedding that places
+///   a spine node inside the region places that node's whole pattern
+///   subtree inside it too (regions are subtree-closed), so masked tables
+///   are exact for in-region images;
+/// * the **path part** (proper ancestors of the region root, whose branch
+///   witnesses may live outside the region) uses the lazy memoized
+///   [`FlatSubMatcher`] instead — `O(depth)` nodes, not `O(n)`;
+/// * the in-region reachability sweep is run per spine position with
+///   word-level set operations, exploiting the parents-precede-children
+///   slot order for the `Descendant` closure.
+///
+/// `region_root` must be a live slot. Patterns whose spine exceeds the
+/// 63-position reach mask fall back to a full flat evaluation filtered to
+/// the region (sound; never observed in practice).
+pub fn region_answers_flat(
+    p: &Pattern,
+    ft: &FlatTree,
+    region_root: NodeId,
+) -> (Vec<NodeId>, BitSet) {
+    debug_assert!(ft.is_alive(region_root.index()), "region roots are live");
+    let mask = ft.subtree_mask(region_root.index());
+    let spine = FlatSpine::new(p);
+    let k = spine.nodes.len() - 1;
+    if k > 63 {
+        let found = evaluate_flat(p, ft).into_iter().filter(|n| mask.contains(n.index())).collect();
+        return (found, mask);
+    }
+    let root = ft.root().index();
+    let rr = region_root.index();
+
+    let found = with_tl_scratch(ft.arena_len(), |scratch| {
+        // Masked sub-match tables: for every pattern node, the in-region
+        // slots where its pattern subtree embeds (exact within the region —
+        // see above). Only branch subtrees are read below, but the bottom-up
+        // sweep computes all nodes in one pass.
+        let mut sub: Vec<BitSet> = (0..p.len()).map(|_| scratch.take()).collect();
+        for pi in (0..p.len()).rev() {
+            let pid = PatId(pi as u32);
+            seed_node(p, ft, pid, &mut sub[pi]);
+            sub[pi].intersect_with(&mask);
+            fold_children(p, ft, pid, &mut sub, scratch);
+        }
+
+        // B-sets per spine position, in-region: node test ∩ mask ∩ the
+        // witness set of every non-spine branch.
+        let mut bm: Vec<BitSet> = Vec::with_capacity(k + 1);
+        for i in 0..=k {
+            let mut b = scratch.take();
+            seed_node(p, ft, spine.nodes[i], &mut b);
+            b.intersect_with(&mask);
+            for &c in &spine.branches[i] {
+                if b.is_empty() {
+                    break;
+                }
+                let ok = edge_witness(p, ft, c, &sub[c.index()], scratch);
+                b.intersect_with(&ok);
+                scratch.put(ok);
+            }
+            bm.push(b);
+        }
+        scratch.put_all(sub);
+
+        // Path walk over the proper ancestors of the region root (outside
+        // the region, lazy matcher): reach mask and ancestor-union at the
+        // region root's parent.
+        let mut lazy = FlatSubMatcher::new(p, ft);
+        let mut path: Vec<usize> = Vec::new();
+        let mut cur = ft.parent(rr);
+        while cur != NO_PARENT {
+            path.push(cur as usize);
+            cur = ft.parent(cur as usize);
+        }
+        path.reverse();
+        let mut reach_parent = 0u64;
+        let mut anc_parent = 0u64;
+        for (step, &v) in path.iter().enumerate() {
+            if step == 0 {
+                // Only the document root can host u_0 (strong embeddings).
+                reach_parent = if lazy.b_holds(&spine, 0, v) { 1 } else { 0 };
+            } else {
+                let anc = anc_parent | reach_parent;
+                let mut r = 0u64;
+                for i in 1..=k {
+                    let prev_ok = match spine.axes[i] {
+                        Axis::Child => reach_parent & (1 << (i - 1)) != 0,
+                        Axis::Descendant => anc & (1 << (i - 1)) != 0,
+                    };
+                    if prev_ok && lazy.b_holds(&spine, i, v) {
+                        r |= 1 << i;
+                    }
+                }
+                anc_parent = anc;
+                reach_parent = r;
+            }
+        }
+        let outside = anc_parent | reach_parent;
+
+        // In-region reachability, one set per spine position. `r_prev`
+        // holds the valid in-region images of position i-1.
+        let mut r_prev = scratch.take();
+        if rr == root && bm[0].contains(root) {
+            r_prev.insert(root);
+        }
+        // `i` walks spine positions, indexing `bm`, `spine.axes`, and the
+        // reach bit masks in lockstep — a range loop is the clear shape.
+        #[allow(clippy::needless_range_loop)]
+        for i in 1..=k {
+            let mut cur_set = scratch.take();
+            match spine.axes[i] {
+                Axis::Child => {
+                    // Entering the region from the path: u_{i-1} at the
+                    // region root's parent puts u_i exactly at the root.
+                    if reach_parent & (1 << (i - 1)) != 0 && bm[i].contains(rr) {
+                        cur_set.insert(rr);
+                    }
+                    for m in bm[i].iter() {
+                        let par = ft.parent(m);
+                        if par != NO_PARENT && r_prev.contains(par as usize) {
+                            cur_set.insert(m);
+                        }
+                    }
+                }
+                Axis::Descendant => {
+                    if outside & (1 << (i - 1)) != 0 {
+                        // Some outside ancestor hosts u_{i-1}: every region
+                        // slot is a proper descendant of it.
+                        cur_set.copy_from(&bm[i]);
+                    } else {
+                        // Strict-descendant closure of r_prev within the
+                        // region: forward sweep in slot order (parents
+                        // precede children).
+                        let mut below = scratch.take();
+                        for m in mask.iter() {
+                            let par = ft.parent(m);
+                            if par != NO_PARENT
+                                && (r_prev.contains(par as usize) || below.contains(par as usize))
+                            {
+                                below.insert(m);
+                            }
+                        }
+                        cur_set.copy_from(&bm[i]);
+                        cur_set.intersect_with(&below);
+                        scratch.put(below);
+                    }
+                }
+            }
+            scratch.put(r_prev);
+            r_prev = cur_set;
+        }
+        let found = collect_nodes(&r_prev);
+        scratch.put(r_prev);
+        scratch.put_all(bm);
+        found
+    });
+    (found, mask)
 }
 
 /// A fused evaluator for one batch of queries against one snapshot.
@@ -485,6 +760,45 @@ mod tests {
         let r = evaluate_anchored_flat(&pat("b//d"), &ft, &[b]);
         assert_eq!(r, evaluate_anchored(&pat("b//d"), &t, &[b]));
         assert!(r.is_empty());
+    }
+
+    #[test]
+    fn region_answers_match_global_restriction() {
+        // For every live region root: region answers = global answers that
+        // lie inside the subtree (the same equivalence the maintainer's
+        // `Tree`-path oracle pins, here for the flat matcher).
+        let t = doc();
+        let ft = FlatTree::freeze(&t);
+        for q in QUERIES {
+            let p = pat(q);
+            let global = evaluate_flat(&p, &ft);
+            for n in t.node_ids() {
+                let (found, mask) = region_answers_flat(&p, &ft, n);
+                let expect: Vec<NodeId> =
+                    global.iter().copied().filter(|m| mask.contains(m.index())).collect();
+                assert_eq!(found, expect, "{q} at region {n:?}");
+                assert_eq!(mask, ft.subtree_mask(n.index()), "{q} mask at {n:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn region_answers_handle_tombstones() {
+        let mut t = doc();
+        let b = t.children(t.root())[0];
+        t.remove_subtree(b);
+        t.add_child(t.root(), xpv_model::Label::new("c"));
+        let ft = FlatTree::freeze(&t);
+        for q in QUERIES {
+            let p = pat(q);
+            let global = evaluate_flat(&p, &ft);
+            for n in t.node_ids() {
+                let (found, mask) = region_answers_flat(&p, &ft, n);
+                let expect: Vec<NodeId> =
+                    global.iter().copied().filter(|m| mask.contains(m.index())).collect();
+                assert_eq!(found, expect, "{q} at region {n:?} after edits");
+            }
+        }
     }
 
     #[test]

@@ -46,8 +46,8 @@ pub use embed::{
     Embedding,
 };
 pub use flat::{
-    evaluate_anchored_flat, evaluate_batch_flat, evaluate_flat, sub_match_sets_flat, BatchEval,
-    EvalScratch,
+    evaluate_anchored_flat, evaluate_batch_flat, evaluate_flat, region_answers_flat,
+    sub_match_sets_flat, BatchEval, EvalScratch,
 };
 pub use hom::{check_homomorphism, find_homomorphism, homomorphism_exists, HomMode};
 pub use oracle::{ContainmentOracle, OracleStats, DEFAULT_ORACLE_SHARDS};

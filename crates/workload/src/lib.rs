@@ -28,7 +28,7 @@ pub mod trees;
 pub mod zipf;
 
 pub use adversarial::{conp_stress_instance, hom_gap_instance, no_condition_instance};
-pub use edits::{edit_batches, edit_stream, EditMix};
+pub use edits::{edit_batches, edit_stream, edit_stream_clustered, EditLocality, EditMix};
 pub use patterns::{workload_labels, Fragment, PatternGen, PatternGenConfig};
 pub use scenarios::{
     bib_catalog, bib_doc, site_catalog, site_doc, site_intersect_catalog,

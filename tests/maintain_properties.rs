@@ -22,7 +22,8 @@ use xpath_views::engine::{
 use xpath_views::maintain::{maintain_views, MaintainMode};
 use xpath_views::prelude::*;
 use xpath_views::workload::{
-    catalog_zipf_stream, edit_batches, edit_stream, site_catalog, site_doc, EditMix, Fragment,
+    catalog_zipf_stream, edit_batches, edit_stream, edit_stream_clustered, site_catalog, site_doc,
+    EditLocality, EditMix, Fragment,
 };
 
 use common::{pattern_from_seed, tree_from_seed};
@@ -98,6 +99,102 @@ proptest! {
             for n in &d.removed {
                 prop_assert!(ans_inc[i].binary_search(n).is_err());
             }
+        }
+    }
+
+    /// Batch coalescing is invisible in the state: for random documents,
+    /// view pools, and edit batches, the coalesced maintainer produces the
+    /// same document, the same answer sets (node identity and value sets),
+    /// and deltas that reconcile identically to both the legacy per-edit
+    /// path and full re-materialization.
+    #[test]
+    fn coalesced_equals_per_edit_and_full(
+        tseed in any::<u64>(),
+        vseed in any::<u64>(),
+        eseed in any::<u64>(),
+    ) {
+        let doc = tree_from_seed(tseed, 32);
+        let defs = defs_from_seed(vseed);
+        let def_refs: Vec<&Pattern> = defs.iter().collect();
+        let edits = edit_stream(&doc, 24, mix_from_seed(eseed), eseed);
+
+        let run = |mode: MaintainMode| {
+            let mut d = doc.clone();
+            let mut ans: Vec<Vec<NodeId>> =
+                defs.iter().map(|def| evaluate(def, &d)).collect();
+            let (deltas, stats) =
+                maintain_views(&mut d, &def_refs, &mut ans, &edits, mode)
+                    .expect("generated streams are valid");
+            (d, ans, deltas, stats)
+        };
+        let (doc_co, ans_co, deltas_co, stats_co) = run(MaintainMode::Coalesced);
+        let (doc_pe, ans_pe, deltas_pe, _) = run(MaintainMode::Incremental);
+        let (doc_fu, ans_fu, _, _) = run(MaintainMode::FullRecompute);
+
+        prop_assert_eq!(stats_co.edits_applied, edits.len() as u64);
+        // A batch can never cost more region scans than its pre-merge
+        // root count — coalescing only removes work.
+        prop_assert!(stats_co.regions_scanned <= stats_co.regions_before_merge);
+        prop_assert_eq!(doc_co.canonical_key(), doc_pe.canonical_key());
+        prop_assert_eq!(doc_co.canonical_key(), doc_fu.canonical_key());
+        for (i, def) in defs.iter().enumerate() {
+            prop_assert_eq!(
+                &ans_co[i], &evaluate(def, &doc_co),
+                "coalesced diverged from recomputation for view {}", def
+            );
+            prop_assert_eq!(&ans_co[i], &ans_pe[i], "coalesced vs per-edit for view {}", def);
+            prop_assert_eq!(&ans_co[i], &ans_fu[i], "coalesced vs full for view {}", def);
+            prop_assert_eq!(
+                answer_value_set(&doc_co, &ans_co[i]),
+                answer_value_set(&doc_pe, &ans_pe[i])
+            );
+            // The two incremental modes must agree delta-for-delta, so
+            // materialized representations patch identically either way.
+            prop_assert_eq!(&deltas_co[i].added, &deltas_pe[i].added);
+            prop_assert_eq!(&deltas_co[i].removed, &deltas_pe[i].removed);
+        }
+    }
+
+    /// Materialized subtree copies patched through coalesced deltas stay
+    /// value-identical to a fresh materialization of the post-batch tree.
+    #[test]
+    fn coalesced_materialized_copies_match_fresh(
+        tseed in any::<u64>(),
+        vseed in any::<u64>(),
+        eseed in any::<u64>(),
+    ) {
+        let doc = tree_from_seed(tseed, 28);
+        let defs = defs_from_seed(vseed);
+        let def_refs: Vec<&Pattern> = defs.iter().collect();
+        let edits = edit_stream(&doc, 16, mix_from_seed(eseed), eseed);
+
+        let mut views: Vec<MaterializedView> = defs
+            .iter()
+            .enumerate()
+            .map(|(i, d)| MaterializedView::materialize(format!("v{i}"), d.clone(), &doc))
+            .collect();
+        let mut doc_co = doc.clone();
+        let mut answers: Vec<Vec<NodeId>> =
+            views.iter().map(|v| v.nodes().to_vec()).collect();
+        let (deltas, _) = maintain_views(
+            &mut doc_co, &def_refs, &mut answers, &edits, MaintainMode::Coalesced,
+        ).expect("valid stream");
+        for ((view, delta), ans) in views.iter_mut().zip(&deltas).zip(&answers) {
+            view.apply_delta(&doc_co, ans, delta);
+        }
+        for (view, def) in views.iter().zip(&defs) {
+            let fresh = MaterializedView::materialize("fresh", def.clone(), &doc_co);
+            prop_assert_eq!(view.nodes(), fresh.nodes());
+            let keys = |mv: &MaterializedView| {
+                let mut ks: Vec<String> =
+                    mv.trees().iter().map(|t| t.canonical_key()).collect();
+                ks.sort();
+                ks
+            };
+            prop_assert_eq!(
+                keys(view), keys(&fresh),
+                "coalesced materialized copies diverged for view {}", def
+            );
         }
     }
 
@@ -278,6 +375,65 @@ fn view_cache_wrapper_applies_edits() {
     assert_eq!(
         cache.views()[0].nodes().len(),
         cache.answer_direct(&parse_xpath("site/region/item").unwrap()).len()
+    );
+}
+
+/// The parallel region fan-out is schedule-invariant: an 8-worker cache
+/// refreshing a bursty clustered stream stays **byte-identical** to a
+/// serial cache — per batch, every probe answer (nodes) and every
+/// surviving route — because disjoint merged regions are combined in
+/// `(view, region root)` order regardless of worker interleaving.
+#[test]
+fn parallel_region_refresh_matches_serial() {
+    let doc = site_doc(10, 10, 7);
+    let catalog = site_catalog();
+    let probes: Vec<Pattern> = catalog_zipf_stream(&catalog, 24, 0xFA17).into_iter().collect();
+
+    let serial = ShardedViewCache::new(doc.clone());
+    serial.set_parallel_regions(false);
+    let parallel = ShardedViewCache::new(doc.clone());
+    parallel.set_region_workers(8);
+    assert!(parallel.parallel_regions(), "fan-out is on by default");
+    assert!(parallel.coalesce_enabled(), "coalescing is on by default");
+    for (name, def) in catalog.views.iter() {
+        serial.add_view(name, def.clone());
+        parallel.add_view(name, def.clone());
+        let _ = (serial.answer(def), parallel.answer(def));
+    }
+    for q in &probes {
+        let _ = (serial.answer(q), parallel.answer(q)); // warm both memos
+    }
+
+    // A bursty clustered stream — many edits under few hot subtrees — is
+    // exactly the regime that produces multi-region batches to fan out.
+    let edits =
+        edit_stream_clustered(&doc, 160, EditMix::default(), EditLocality::new(4, 90), 0x5EED);
+    for batch in edit_batches(&edits, 8) {
+        let rs = serial.apply_edits(&batch).expect("valid batch");
+        let rp = parallel.apply_edits(&batch).expect("valid batch");
+        assert_eq!(rs.views_refreshed, rp.views_refreshed);
+        assert_eq!(rs.views_changed, rp.views_changed);
+        assert_eq!(rs.routes_dropped, rp.routes_dropped);
+        for q in &probes {
+            let a = serial.answer(q);
+            let b = parallel.answer(q);
+            assert_eq!(a.nodes, b.nodes, "parallel answers diverged on {q}");
+            assert_eq!(
+                format!("{:?}", a.route),
+                format!("{:?}", b.route),
+                "surviving routes diverged on {q}"
+            );
+            assert_eq!(a.nodes, serial.answer_direct(q), "serial cache wrong on {q}");
+        }
+    }
+    // The fan-out actually ran multi-region batches at the pinned width.
+    let stats = parallel.stats().maintain;
+    assert!(stats.parallel_tasks > 0, "bursty stream produced no fanned-out batches");
+    assert!(stats.parallel_width > 1, "pinned 8 workers, fan-out never exceeded width 1");
+    assert_eq!(
+        stats.regions_scanned,
+        serial.stats().maintain.regions_scanned,
+        "both caches must scan the same merged regions"
     );
 }
 
