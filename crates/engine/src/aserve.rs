@@ -49,6 +49,7 @@ use std::net::SocketAddr;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
+use std::time::Instant;
 
 use xpv_maintain::Edit;
 use xpv_net::proto::{
@@ -57,10 +58,12 @@ use xpv_net::proto::{
 use xpv_net::stream::Accepted;
 use xpv_net::{
     read_frame, write_frame, AsyncStream, AsyncTcpListener, AsyncUnixListener, DrainSignal,
-    FrameEvent, NotifyQueue, Popped, Runtime, Semaphore,
+    FrameEvent, NotifyQueue, Popped, Runtime, Semaphore, WireCounters,
 };
+use xpv_obs::{MetricsSnapshot, Phase, Span};
 use xpv_pattern::Pattern;
 
+use crate::obs::wire_metrics;
 use crate::shard::{CacheAnswer, Route, ShardedViewCache, UpdateReport};
 use crate::tenants::{TenantRegistry, TenantStats};
 
@@ -138,6 +141,9 @@ struct ServerShared {
     /// Live socket connections (diagnostic; the idle-connection tests
     /// assert hundreds of these coexist with a tiny worker pool).
     connections: AtomicUsize,
+    /// Wire-level traffic counters, shared by every connection (exposed
+    /// as the `xpv_net_*` metric family).
+    net: WireCounters,
 }
 
 /// An async cache server multiplexing any number of connections (plus the
@@ -193,6 +199,7 @@ impl AsyncCacheServer {
                 drain: DrainSignal::new(),
                 draining: AtomicBool::new(false),
                 connections: AtomicUsize::new(0),
+                net: WireCounters::new(),
             }),
             runtime: Arc::new(runtime),
             shut_down: AtomicBool::new(false),
@@ -329,6 +336,16 @@ impl AsyncCacheServer {
         self.shared.tenants.all()
     }
 
+    /// The whole server's metrics as one sorted snapshot: everything in
+    /// [`ShardedViewCache::metrics_snapshot`] plus the per-tenant
+    /// counters (`xpv_tenant_*{tenant="id"}`), the wire-traffic counters
+    /// (`xpv_net_*`), and the server gauges (`xpv_server_connections`,
+    /// `xpv_server_conn_window`). This is exactly the payload of a
+    /// `StatsV2Resp` frame — `xpv stats` prints its text form.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        server_metrics_snapshot(&self.shared)
+    }
+
     /// Graceful drain (idempotent; also run on drop): reject new
     /// submissions, close listeners, finish and flush every admitted
     /// batch, send connected peers a `ServerBye`, then stop the pool.
@@ -349,6 +366,25 @@ impl Drop for AsyncCacheServer {
     }
 }
 
+/// Builds the full-server snapshot (see
+/// [`AsyncCacheServer::metrics_snapshot`]); also the `StatsV2Req`
+/// handler's body.
+fn server_metrics_snapshot(shared: &ServerShared) -> MetricsSnapshot {
+    let mut snap = shared.cache.metrics_snapshot();
+    for (tenant, stats) in shared.tenants.all() {
+        stats.visit(&mut |name, v| {
+            snap.push_counter_labeled(format!("xpv_tenant_{name}"), ("tenant", &tenant), v);
+        });
+    }
+    shared.net.snapshot().visit(&mut |name, v| {
+        snap.push_counter(format!("xpv_net_{name}"), v);
+    });
+    snap.push_gauge("xpv_server_connections", shared.connections.load(Ordering::Relaxed) as u64);
+    snap.push_gauge("xpv_server_conn_window", shared.conn_window.load(Ordering::Relaxed) as u64);
+    snap.sort();
+    snap
+}
+
 fn account_update(shared: &ServerShared, tenant: &str, report: &UpdateReport) {
     let counters = shared.tenants.counters(tenant);
     counters.updates_applied.fetch_add(report.edits_applied as u64, Ordering::Relaxed);
@@ -357,15 +393,31 @@ fn account_update(shared: &ServerShared, tenant: &str, report: &UpdateReport) {
         .fetch_add(report.views_refreshed as u64, Ordering::Relaxed);
 }
 
+/// One response frame awaiting the writer task: the encoded body plus
+/// the request's lifecycle span (disabled for control frames). The
+/// writer marks the span's `flush` phase after the socket write, then
+/// drops it — which is what records the finished trace event.
+struct Outgoing {
+    body: Vec<u8>,
+    span: Span,
+}
+
 /// One accepted connection's shared state.
 struct Conn {
     stream: Arc<AsyncStream>,
     /// Encoded response frames awaiting the writer task.
-    out: NotifyQueue<Vec<u8>>,
+    out: NotifyQueue<Outgoing>,
     /// In-flight credit window: the reader holds one permit per admitted
     /// frame; handlers return it after enqueuing their response.
     window: Semaphore,
     window_size: u32,
+}
+
+impl Conn {
+    /// Enqueues a control frame (no request span to carry).
+    fn push_control(&self, body: Vec<u8>) {
+        self.out.push(Outgoing { body, span: Span::disabled() });
+    }
 }
 
 fn spawn_connection(shared: &Arc<ServerShared>, runtime: &Arc<Runtime>, stream: AsyncStream) {
@@ -389,6 +441,7 @@ async fn serve_connection(shared: &Arc<ServerShared>, runtime: &Arc<Runtime>, st
         Ok(FrameEvent::Frame(body)) => body,
         _ => return,
     };
+    shared.net.frame_in(body.len());
     match Msg::decode(&body) {
         Ok(Msg::Hello { version }) if version == VERSION => {}
         Ok(Msg::Hello { version }) => {
@@ -407,10 +460,11 @@ async fn serve_connection(shared: &Arc<ServerShared>, runtime: &Arc<Runtime>, st
         }
     }
     let window_size = shared.conn_window.load(Ordering::Relaxed).max(1);
-    let ack = Msg::HelloAck { version: VERSION, window: window_size };
-    if write_frame(&stream, &ack.encode()).await.is_err() {
+    let ack = Msg::HelloAck { version: VERSION, window: window_size }.encode();
+    if write_frame(&stream, &ack).await.is_err() {
         return;
     }
+    shared.net.frame_out(ack.len());
 
     let conn = Arc::new(Conn {
         stream: Arc::new(stream),
@@ -422,15 +476,25 @@ async fn serve_connection(shared: &Arc<ServerShared>, runtime: &Arc<Runtime>, st
     // --- Writer task: flushes the outbox until it closes -----------------
     {
         let conn = Arc::clone(&conn);
+        let shared = Arc::clone(shared);
         runtime.spawn(async move {
             loop {
                 match conn.out.pop().await {
-                    Popped::Item(body) => {
-                        if write_frame(&conn.stream, &body).await.is_err() {
+                    Popped::Item(mut outgoing) => {
+                        let started = Instant::now();
+                        if write_frame(&conn.stream, &outgoing.body).await.is_err() {
                             // Peer gone: drain silently so handlers'
                             // pushes don't pile up.
                             continue;
                         }
+                        let wrote = started.elapsed();
+                        shared.net.frame_out(outgoing.body.len());
+                        shared.cache.obs.flush_us.record_duration(wrote);
+                        if outgoing.span.is_enabled() {
+                            outgoing.span.mark_us(Phase::Flush, wrote.as_micros() as u64);
+                        }
+                        // Dropping the span here records the request's
+                        // trace event with its full timeline.
                     }
                     Popped::Closed => return,
                 }
@@ -442,8 +506,12 @@ async fn serve_connection(shared: &Arc<ServerShared>, runtime: &Arc<Runtime>, st
     loop {
         // Credit gate: in-flight handlers always finish, so this acquire
         // always returns; a full window merely stops the socket read —
-        // kernel-buffer backpressure onto the client.
-        conn.window.acquire().await;
+        // kernel-buffer backpressure onto the client. A stalled read
+        // (window exhausted) is the per-connection backpressure signal.
+        if !conn.window.try_acquire() {
+            shared.net.credit_stalls.fetch_add(1, Ordering::Relaxed);
+            conn.window.acquire().await;
+        }
         let event = read_frame(&conn.stream, &drain).await;
         let body = match event {
             Ok(FrameEvent::Frame(body)) => body,
@@ -452,21 +520,38 @@ async fn serve_connection(shared: &Arc<ServerShared>, runtime: &Arc<Runtime>, st
                 break;
             }
         };
+        shared.net.frame_in(body.len());
         match Msg::decode(&body) {
             Ok(Msg::QueryBatch { id, tenant, queries }) => {
                 let shared = Arc::clone(shared);
                 let conn_for_task = Arc::clone(&conn);
+                // The request's lifecycle span opens at decode; the time
+                // until the handler runs is its admission wait.
+                let mut span = Span::begin("net.query");
+                let admitted = Instant::now();
                 let spawned = runtime.spawn(async move {
-                    let answers = shared.cache.answer_batch(&queries);
+                    let waited = admitted.elapsed();
+                    shared.cache.obs.admission_us.record_duration(waited);
+                    if span.is_enabled() {
+                        span.mark_us(Phase::Admission, waited.as_micros() as u64);
+                    }
+                    let answers = shared.cache.answer_batch_spanned(&queries, &mut span);
                     shared.tenants.account_batch(&tenant, &answers);
                     // Stream the Answers frame straight into its byte
                     // buffer from the engine's own node slices — no
                     // WireAnswer clones on the hot response path.
+                    let encode_started = Instant::now();
                     let mut enc = AnswersEncoder::new(id);
                     for a in &answers {
                         enc.answer(wire_route_ref(&a.route), &a.nodes);
                     }
-                    push_body(&conn_for_task, id, enc.finish());
+                    let body = enc.finish();
+                    let encoded = encode_started.elapsed();
+                    shared.cache.obs.encode_us.record_duration(encoded);
+                    if span.is_enabled() {
+                        span.mark_us(Phase::Encode, encoded.as_micros() as u64);
+                    }
+                    push_body(&shared, &conn_for_task, id, body, span);
                     conn_for_task.window.release();
                 });
                 if !spawned {
@@ -484,7 +569,7 @@ async fn serve_connection(shared: &Arc<ServerShared>, runtime: &Arc<Runtime>, st
                         }
                         Err(e) => Msg::Rejected { id, reason: e.to_string() },
                     };
-                    push_response(&conn_for_task, id, msg);
+                    push_body(&shared, &conn_for_task, id, msg.encode(), Span::disabled());
                     conn_for_task.window.release();
                 });
                 if !spawned {
@@ -498,7 +583,13 @@ async fn serve_connection(shared: &Arc<ServerShared>, runtime: &Arc<Runtime>, st
                     found: stats.is_some(),
                     stats: wire_tenant_stats(stats.unwrap_or_default()),
                 };
-                conn.out.push(msg.encode());
+                conn.push_control(msg.encode());
+                conn.window.release();
+            }
+            Ok(Msg::StatsV2Req { id }) => {
+                let snap = server_metrics_snapshot(shared);
+                let msg = Msg::StatsV2Resp { id, metrics: wire_metrics(&snap) };
+                push_body(shared, &conn, id, msg.encode(), Span::disabled());
                 conn.window.release();
             }
             Ok(Msg::Goodbye) => {
@@ -506,13 +597,14 @@ async fn serve_connection(shared: &Arc<ServerShared>, runtime: &Arc<Runtime>, st
                 break;
             }
             Ok(other) => {
-                conn.out
-                    .push(Msg::Error { message: format!("unexpected frame {other:?}") }.encode());
+                conn.push_control(
+                    Msg::Error { message: format!("unexpected frame {other:?}") }.encode(),
+                );
                 conn.window.release();
                 break;
             }
             Err(e) => {
-                conn.out.push(Msg::Error { message: e.to_string() }.encode());
+                conn.push_control(Msg::Error { message: e.to_string() }.encode());
                 conn.window.release();
                 break;
             }
@@ -525,34 +617,31 @@ async fn serve_connection(shared: &Arc<ServerShared>, runtime: &Arc<Runtime>, st
     for _ in 0..conn.window_size {
         conn.window.acquire().await;
     }
-    conn.out.push(Msg::ServerBye.encode());
+    conn.push_control(Msg::ServerBye.encode());
     conn.out.close();
 }
 
 fn reject(conn: &Conn, id: u64, reason: &str) {
-    conn.out.push(Msg::Rejected { id, reason: reason.to_string() }.encode());
+    conn.push_control(Msg::Rejected { id, reason: reason.to_string() }.encode());
     conn.window.release();
 }
 
-/// Enqueues a response, downgrading one whose encoding exceeds the frame
-/// cap to a `Rejected` — the connection (and its pipelined siblings)
-/// survive, and the client sees an explicit refusal instead of the
-/// protocol error an oversized frame would trigger.
-fn push_response(conn: &Conn, id: u64, msg: Msg) {
-    push_body(conn, id, msg.encode());
-}
-
-/// [`push_response`] for an already-encoded frame body.
-fn push_body(conn: &Conn, id: u64, body: Vec<u8>) {
+/// Enqueues a response body with its request span, downgrading one whose
+/// encoding exceeds the frame cap to a `Rejected` — the connection (and
+/// its pipelined siblings) survive, and the client sees an explicit
+/// refusal instead of the protocol error an oversized frame would
+/// trigger. The downgrade is counted as an oversized rejection.
+fn push_body(shared: &ServerShared, conn: &Conn, id: u64, body: Vec<u8>, span: Span) {
     if body.len() <= xpv_net::MAX_FRAME {
-        conn.out.push(body);
+        conn.out.push(Outgoing { body, span });
     } else {
+        shared.net.oversized_rejections.fetch_add(1, Ordering::Relaxed);
         let reason = format!(
             "response of {} bytes exceeds the {}-byte frame limit; narrow the batch",
             body.len(),
             xpv_net::MAX_FRAME
         );
-        conn.out.push(Msg::Rejected { id, reason }.encode());
+        conn.out.push(Outgoing { body: Msg::Rejected { id, reason }.encode(), span });
     }
 }
 

@@ -45,9 +45,20 @@
 //! one thread use `ViewCache`; multi-threaded embedders share a
 //! `ShardedViewCache`; in-process services front it with `CacheServer`;
 //! network services with `AsyncCacheServer`.
+//!
+//! ## Observability
+//!
+//! Every layer reports through the `xpv-obs` registry (see that crate's
+//! docs for the metric naming scheme and trace-sampling semantics):
+//! [`ShardedViewCache::metrics_snapshot`] exposes the cache-side families
+//! (`xpv_oracle_*`, `xpv_cache_*`, `xpv_maintain_*`, `xpv_phase_*_us`),
+//! [`AsyncCacheServer::metrics_snapshot`] adds the serving families
+//! (`xpv_tenant_*`, `xpv_net_*`, `xpv_server_*`), and the **[`obs`]**
+//! module converts snapshots to and from the wire's `StatsV2Resp` form.
 
 pub mod aserve;
 pub mod cache;
+pub mod obs;
 pub mod serve;
 pub mod shard;
 pub mod tenants;
@@ -57,6 +68,7 @@ pub use aserve::{
     AsyncCacheServer, BatchRejected, BatchTicket, DEFAULT_CONN_WINDOW, DEFAULT_MAX_PENDING,
 };
 pub use cache::ViewCache;
+pub use obs::{metrics_from_wire, wire_metrics};
 pub use serve::CacheServer;
 pub use shard::{
     CacheAnswer, CacheStats, ChoicePolicy, Route, ShardedViewCache, UpdateReport, ViewId,

@@ -231,10 +231,15 @@ mod tests {
     fn tenant_stats_display() {
         let server = server(1);
         let _ = server.answer_batch("acme", &[pat("site/region/item/name")]);
-        let line = server.tenant_stats("acme").unwrap().to_string();
-        assert!(line.contains("1 queries in 1 batches"), "got: {line}");
-        assert!(line.contains("edits applied"), "got: {line}");
-        assert!(line.contains("admission waits"), "got: {line}");
+        let stats = server.tenant_stats("acme").unwrap();
+        let line = stats.to_string();
+        assert!(line.contains("queries=1"), "got: {line}");
+        assert!(line.contains("batches=1"), "got: {line}");
+        // Display renders the same enumeration `visit` exposes.
+        stats.visit(&mut |name, _| {
+            assert!(line.contains(&format!("{name}=")), "{name} missing from: {line}");
+        });
+        assert!(!line.contains('\n'));
     }
 
     #[test]

@@ -81,6 +81,7 @@ use xpv_maintain::{
     SubMatcher, ViewDelta,
 };
 use xpv_model::{BitSet, FlatTree, NodeId, Tree};
+use xpv_obs::{Histogram, MetricsSnapshot, Phase, Registry, Span};
 use xpv_pattern::{Pattern, PatternKey};
 use xpv_semantics::{
     evaluate, evaluate_anchored, evaluate_anchored_flat, evaluate_flat, region_answers_flat,
@@ -272,35 +273,47 @@ pub struct CacheStats {
     pub maintain: MaintainStats,
 }
 
+impl CacheStats {
+    /// The canonical counter enumeration for the cache's **own** scalar
+    /// fields: one `(name, value)` pair per field, in declaration order.
+    /// The observability registry exposes these under `xpv_cache_*`, and
+    /// `Display` renders the same list — one naming authority, so the
+    /// rendered line and the exposition can never drift (see the
+    /// `xpv-obs` crate docs).
+    ///
+    /// The three `oracle_*` fields are mirrors of the session oracle's
+    /// counters kept for API compatibility; the registry exposition emits
+    /// those numbers only under `xpv_oracle_*` (no counter reaches the
+    /// snapshot under two names), which is why
+    /// [`ShardedViewCache::metrics_snapshot`] skips the `oracle_` prefix
+    /// here. The nested [`CacheStats::maintain`] block enumerates through
+    /// its own [`MaintainStats::visit`].
+    pub fn visit(&self, f: &mut dyn FnMut(&'static str, u64)) {
+        f("queries", self.queries);
+        f("view_hits", self.view_hits);
+        f("intersect_hits", self.intersect_hits);
+        f("direct", self.direct);
+        f("intersect_routes", self.intersect_routes);
+        f("intersect_candidates_tried", self.intersect_candidates_tried);
+        f("intersect_participants", self.intersect_participants);
+        f("plan_memo_hits", self.plan_memo_hits);
+        f("plan_memo_misses", self.plan_memo_misses);
+        f("batch_dedup_hits", self.batch_dedup_hits);
+        f("plan_memo_evictions", self.plan_memo_evictions);
+        f("plan_memo_invalidations", self.plan_memo_invalidations);
+        f("oracle_memo_hits", self.oracle_memo_hits);
+        f("oracle_canonical_runs", self.oracle_canonical_runs);
+        f("oracle_models_checked", self.oracle_models_checked);
+        f("updates_applied", self.updates_applied);
+        f("views_refreshed_incrementally", self.views_refreshed_incrementally);
+        f("snapshot_read_stalls", self.snapshot_read_stalls);
+    }
+}
+
 impl std::fmt::Display for CacheStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "{} queries ({} via views, {} via intersections, {} direct), plan memo {} hits / \
-             {} misses ({} batch-dedup, {} evicted, {} invalidated), intersect {} routes / \
-             {} candidates tried / {} participants, oracle {} memo hits / \
-             {} canonical runs / {} models, {} edits applied / {} views refreshed incrementally, \
-             {} snapshot read stalls; maintenance: {}",
-            self.queries,
-            self.view_hits,
-            self.intersect_hits,
-            self.direct,
-            self.plan_memo_hits,
-            self.plan_memo_misses,
-            self.batch_dedup_hits,
-            self.plan_memo_evictions,
-            self.plan_memo_invalidations,
-            self.intersect_routes,
-            self.intersect_candidates_tried,
-            self.intersect_participants,
-            self.oracle_memo_hits,
-            self.oracle_canonical_runs,
-            self.oracle_models_checked,
-            self.updates_applied,
-            self.views_refreshed_incrementally,
-            self.snapshot_read_stalls,
-            self.maintain
-        )
+        xpv_obs::write_kv_line(f, |emit| self.visit(emit))?;
+        write!(f, " maintain: {}", self.maintain)
     }
 }
 
@@ -407,6 +420,57 @@ fn scan_region(
     }
 }
 
+/// The cache's observability handles: its private metric [`Registry`]
+/// plus the pre-resolved latency histograms the hot paths record into
+/// (resolved once at construction — answering never touches the registry
+/// table). The serving front-end shares this registry for its own phase
+/// histograms, so one snapshot covers the whole request path.
+#[derive(Debug)]
+pub(crate) struct CacheObs {
+    pub registry: Arc<Registry>,
+    /// Per-query routing time (plan-memo lookup or planner call), µs.
+    pub plan_us: Arc<Histogram>,
+    /// Per-query evaluation time, µs.
+    pub eval_us: Arc<Histogram>,
+    /// Whole `answer_batch` wall time, µs.
+    pub batch_us: Arc<Histogram>,
+    /// Admission wait (credit window / executor queue) per served batch,
+    /// µs — recorded by the serving front-end.
+    pub admission_us: Arc<Histogram>,
+    /// Response-frame encoding time per served batch, µs (wire only).
+    pub encode_us: Arc<Histogram>,
+    /// Response-frame socket write time, µs (wire only).
+    pub flush_us: Arc<Histogram>,
+    /// Per-`apply_edits`-batch maintenance phase times, µs (the
+    /// distribution behind the lifetime sums in
+    /// [`MaintainStats`]'s `*_us` counters).
+    pub maintain_apply_us: Arc<Histogram>,
+    pub maintain_freeze_us: Arc<Histogram>,
+    pub maintain_coalesce_us: Arc<Histogram>,
+    pub maintain_scan_us: Arc<Histogram>,
+    pub maintain_patch_us: Arc<Histogram>,
+}
+
+impl CacheObs {
+    fn new() -> CacheObs {
+        let registry = Arc::new(Registry::new());
+        CacheObs {
+            plan_us: registry.histogram("xpv_phase_plan_us"),
+            eval_us: registry.histogram("xpv_phase_eval_us"),
+            batch_us: registry.histogram("xpv_phase_batch_us"),
+            admission_us: registry.histogram("xpv_phase_admission_us"),
+            encode_us: registry.histogram("xpv_phase_encode_us"),
+            flush_us: registry.histogram("xpv_phase_flush_us"),
+            maintain_apply_us: registry.histogram("xpv_phase_maintain_apply_us"),
+            maintain_freeze_us: registry.histogram("xpv_phase_maintain_freeze_us"),
+            maintain_coalesce_us: registry.histogram("xpv_phase_maintain_coalesce_us"),
+            maintain_scan_us: registry.histogram("xpv_phase_maintain_scan_us"),
+            maintain_patch_us: registry.histogram("xpv_phase_maintain_patch_us"),
+            registry,
+        }
+    }
+}
+
 /// A set of materialized views over a single document with **concurrent**
 /// rewriting-based query answering: the serving methods take `&self`, so
 /// any number of worker threads can answer through one shared cache (see
@@ -478,6 +542,8 @@ pub struct ShardedViewCache {
     /// writer was swapping pointers) — see
     /// [`CacheStats::snapshot_read_stalls`].
     snapshot_read_stalls: AtomicU64,
+    /// Latency histograms + the metric registry (see [`CacheObs`]).
+    pub(crate) obs: CacheObs,
 }
 
 impl ShardedViewCache {
@@ -519,6 +585,7 @@ impl ShardedViewCache {
             updates_applied: AtomicU64::new(0),
             views_refreshed_incrementally: AtomicU64::new(0),
             snapshot_read_stalls: AtomicU64::new(0),
+            obs: CacheObs::new(),
         }
     }
 
@@ -831,6 +898,7 @@ impl ShardedViewCache {
     /// On error (an edit targeting a dead node, or deleting the root) the
     /// shared document and every view are left exactly as they were.
     pub fn apply_edits(&self, edits: &[Edit]) -> Result<UpdateReport, EditError> {
+        let mut span = Span::begin("cache.update");
         let incremental = self.incremental_maintenance.load(Ordering::Relaxed);
         let coalesce = incremental && self.coalesce_enabled.load(Ordering::Relaxed);
         // Serialize writers on the gate; the gate holder is the only
@@ -896,6 +964,22 @@ impl ShardedViewCache {
         let doc_version = self.doc_version.fetch_add(1, Ordering::Relaxed) + 1;
         self.updates_applied.fetch_add(edits.len() as u64, Ordering::Relaxed);
         self.maintain_totals.lock().expect("maintain totals poisoned").add(&maintain);
+        // Per-batch phase distributions (the histograms behind the
+        // lifetime sums above), plus a sampled maintenance span carrying
+        // the same externally-timed phases.
+        self.obs.maintain_apply_us.record(maintain.apply_us);
+        self.obs.maintain_freeze_us.record(maintain.freeze_us);
+        self.obs.maintain_coalesce_us.record(maintain.coalesce_us);
+        self.obs.maintain_scan_us.record(maintain.scan_us);
+        self.obs.maintain_patch_us.record(maintain.patch_us);
+        if span.is_enabled() {
+            span.mark_us(Phase::Apply, maintain.apply_us);
+            span.mark_us(Phase::Freeze, maintain.freeze_us);
+            span.mark_us(Phase::Coalesce, maintain.coalesce_us);
+            span.mark_us(Phase::Scan, maintain.scan_us);
+            span.mark_us(Phase::Patch, maintain.patch_us);
+        }
+        span.finish();
         if incremental {
             self.views_refreshed_incrementally.fetch_add(refreshed as u64, Ordering::Relaxed);
         }
@@ -1103,6 +1187,41 @@ impl ShardedViewCache {
         s.snapshot_read_stalls = self.snapshot_read_stalls.load(Ordering::Relaxed);
         s.maintain = *self.maintain_totals.lock().expect("maintain totals poisoned");
         s
+    }
+
+    /// The cache's metric [`Registry`] (latency histograms live here).
+    /// Benchmarks hold histogram handles from it and diff snapshots
+    /// around a run; the serving front-end records its own phase
+    /// histograms into the same registry.
+    pub fn obs_registry(&self) -> &Arc<Registry> {
+        &self.obs.registry
+    }
+
+    /// Every cache-side metric as one sorted [`MetricsSnapshot`]:
+    /// the registry's latency histograms plus the `xpv_oracle_*`,
+    /// `xpv_cache_*`, and `xpv_maintain_*` counter families (each
+    /// enumerated by its stats struct's canonical `visit`, so the
+    /// snapshot, the wire frame, and the `Display` impls share one
+    /// naming authority). The `oracle_*` mirror fields of [`CacheStats`]
+    /// are skipped here — those numbers are already present under
+    /// `xpv_oracle_*`, and no counter reaches the snapshot under two
+    /// names.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut snap = self.obs.registry.snapshot();
+        self.session.oracle().stats().visit(&mut |name, v| {
+            snap.push_counter(format!("xpv_oracle_{name}"), v);
+        });
+        let stats = self.stats();
+        stats.visit(&mut |name, v| {
+            if !name.starts_with("oracle_") {
+                snap.push_counter(format!("xpv_cache_{name}"), v);
+            }
+        });
+        stats.maintain.visit(&mut |name, v| {
+            snap.push_counter(format!("xpv_maintain_{name}"), v);
+        });
+        snap.sort();
+        snap
     }
 
     #[inline]
@@ -1368,6 +1487,8 @@ impl ShardedViewCache {
         let eval_start = Instant::now();
         let (nodes, route) = self.execute(query, route, shard, snap, batch);
         let evaluation = eval_start.elapsed();
+        self.obs.plan_us.record_duration(planning);
+        self.obs.eval_us.record_duration(evaluation);
         CacheAnswer { nodes, route, planning, evaluation }
     }
 
@@ -1383,6 +1504,32 @@ impl ShardedViewCache {
     /// ([`ShardedViewCache::set_memo_enabled`]) every position replans, so
     /// the ablation baseline measures genuinely unshared work.
     pub fn answer_batch(&self, queries: &[Pattern]) -> Vec<CacheAnswer> {
+        let mut span = Span::begin("cache.batch");
+        let answers = self.answer_batch_spanned(queries, &mut span);
+        span.finish();
+        answers
+    }
+
+    /// [`ShardedViewCache::answer_batch`] with a caller-owned trace
+    /// [`Span`]: the batch's aggregate plan and eval phase times are
+    /// marked onto `span` (when it is enabled), letting a serving
+    /// front-end thread one request-lifecycle span through admission,
+    /// routing, evaluation, encoding, and flush. The batch-level latency
+    /// histograms record regardless of the span.
+    pub fn answer_batch_spanned(&self, queries: &[Pattern], span: &mut Span) -> Vec<CacheAnswer> {
+        let batch_start = Instant::now();
+        let answers = self.answer_batch_inner(queries);
+        self.obs.batch_us.record_duration(batch_start.elapsed());
+        if span.is_enabled() {
+            let plan: Duration = answers.iter().map(|a| a.planning).sum();
+            let eval: Duration = answers.iter().map(|a| a.evaluation).sum();
+            span.mark_us(Phase::Plan, plan.as_micros() as u64);
+            span.mark_us(Phase::Eval, eval.as_micros() as u64);
+        }
+        answers
+    }
+
+    fn answer_batch_inner(&self, queries: &[Pattern]) -> Vec<CacheAnswer> {
         if !self.memo_enabled() {
             return queries.iter().map(|q| self.answer(q)).collect();
         }

@@ -45,21 +45,27 @@ pub struct TenantStats {
     pub admission_waits: u64,
 }
 
+impl TenantStats {
+    /// The canonical counter enumeration: one `(name, value)` pair per
+    /// field, in declaration order. The observability registry exposes
+    /// these under `xpv_tenant_*{tenant="id"}`, and `Display` renders the
+    /// same list — one naming authority, so the rendered line and the
+    /// exposition can never drift (see the `xpv-obs` crate docs).
+    pub fn visit(&self, f: &mut dyn FnMut(&'static str, u64)) {
+        f("batches", self.batches);
+        f("queries", self.queries);
+        f("view_hits", self.view_hits);
+        f("intersect_hits", self.intersect_hits);
+        f("direct", self.direct);
+        f("updates_applied", self.updates_applied);
+        f("views_refreshed_incrementally", self.views_refreshed_incrementally);
+        f("admission_waits", self.admission_waits);
+    }
+}
+
 impl std::fmt::Display for TenantStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "{} queries in {} batches ({} via views, {} via intersections, {} direct), \
-             {} edits applied / {} views refreshed incrementally, {} admission waits",
-            self.queries,
-            self.batches,
-            self.view_hits,
-            self.intersect_hits,
-            self.direct,
-            self.updates_applied,
-            self.views_refreshed_incrementally,
-            self.admission_waits
-        )
+        xpv_obs::write_kv_line(f, |emit| self.visit(emit))
     }
 }
 

@@ -151,37 +151,39 @@ impl MaintainStats {
         self.scan_us += other.scan_us;
         self.patch_us += other.patch_us;
     }
+
+    /// The canonical counter enumeration: one `(name, value)` pair per
+    /// field, in declaration order. The observability registry exposes
+    /// these under `xpv_maintain_*`, and `Display` renders the same list
+    /// — one naming authority, so the rendered line and the exposition
+    /// can never drift (see the `xpv-obs` crate docs). Note
+    /// `parallel_width` aggregates as a maximum, not a sum.
+    pub fn visit(&self, f: &mut dyn FnMut(&'static str, u64)) {
+        f("edits_applied", self.edits_applied);
+        f("view_edit_checks", self.view_edit_checks);
+        f("label_skips", self.label_skips);
+        f("spine_clean", self.spine_clean);
+        f("regions_scanned", self.regions_scanned);
+        f("region_nodes", self.region_nodes);
+        f("full_recomputes", self.full_recomputes);
+        f("answers_added", self.answers_added);
+        f("answers_removed", self.answers_removed);
+        f("regions_before_merge", self.regions_before_merge);
+        f("scans_saved", self.scans_saved);
+        f("freeze_reused", self.freeze_reused);
+        f("parallel_tasks", self.parallel_tasks);
+        f("parallel_width", self.parallel_width);
+        f("apply_us", self.apply_us);
+        f("freeze_us", self.freeze_us);
+        f("coalesce_us", self.coalesce_us);
+        f("scan_us", self.scan_us);
+        f("patch_us", self.patch_us);
+    }
 }
 
 impl std::fmt::Display for MaintainStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "{} edits over {} view-checks ({} label-skips, {} spine-clean, {} regions / \
-             {} nodes, {} full recomputes), answers +{} -{}; coalesce: {} -> {} regions \
-             ({} scans saved), {} freezes reused, {} tasks fanned out (width {}); \
-             phases us: apply {} freeze {} coalesce {} scan {} patch {}",
-            self.edits_applied,
-            self.view_edit_checks,
-            self.label_skips,
-            self.spine_clean,
-            self.regions_scanned,
-            self.region_nodes,
-            self.full_recomputes,
-            self.answers_added,
-            self.answers_removed,
-            self.regions_before_merge,
-            self.regions_scanned,
-            self.scans_saved,
-            self.freeze_reused,
-            self.parallel_tasks,
-            self.parallel_width,
-            self.apply_us,
-            self.freeze_us,
-            self.coalesce_us,
-            self.scan_us,
-            self.patch_us
-        )
+        xpv_obs::write_kv_line(f, |emit| self.visit(emit))
     }
 }
 

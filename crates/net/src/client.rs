@@ -18,7 +18,7 @@ use xpv_maintain::Edit;
 use xpv_pattern::Pattern;
 
 use crate::frame::MAX_FRAME;
-use crate::proto::{Msg, WireAnswer, WireTenantStats, WireUpdateReport, VERSION};
+use crate::proto::{Msg, WireAnswer, WireMetric, WireTenantStats, WireUpdateReport, VERSION};
 
 /// One response frame, correlated to its request by `id`.
 #[derive(Clone, Debug)]
@@ -29,6 +29,8 @@ pub enum Response {
     EditAck { id: u64, report: WireUpdateReport },
     /// Tenant counters for stats request `id`.
     Stats { id: u64, found: bool, stats: WireTenantStats },
+    /// Whole-server metrics snapshot for stats-v2 request `id`.
+    Metrics { id: u64, metrics: Vec<WireMetric> },
     /// Request `id` was not served (e.g. the server is draining, or the
     /// edit batch failed validation).
     Rejected { id: u64, reason: String },
@@ -41,6 +43,7 @@ impl Response {
             Response::Answers { id, .. }
             | Response::EditAck { id, .. }
             | Response::Stats { id, .. }
+            | Response::Metrics { id, .. }
             | Response::Rejected { id, .. } => *id,
         }
     }
@@ -148,6 +151,7 @@ impl WireClient {
             Msg::Answers { id, answers } => Response::Answers { id, answers },
             Msg::EditAck { id, report } => Response::EditAck { id, report },
             Msg::StatsResp { id, found, stats } => Response::Stats { id, found, stats },
+            Msg::StatsV2Resp { id, metrics } => Response::Metrics { id, metrics },
             Msg::Rejected { id, reason } => Response::Rejected { id, reason },
             Msg::ServerBye => {
                 return Err(io::Error::new(
@@ -251,6 +255,22 @@ impl WireClient {
         }
     }
 
+    /// Fetches the server's full metrics snapshot (every metric family,
+    /// sorted by name then labels) — the wire face of `xpv stats`.
+    pub fn metrics(&mut self) -> io::Result<Vec<WireMetric>> {
+        self.take_credit()?;
+        let id = self.next_id;
+        self.next_id += 1;
+        self.send(&Msg::StatsV2Req { id })?;
+        match self.recv_for(id)? {
+            Response::Metrics { metrics, .. } => Ok(metrics),
+            Response::Rejected { reason, .. } => {
+                Err(io::Error::new(io::ErrorKind::ConnectionRefused, reason))
+            }
+            other => Err(protocol_err(format!("expected Metrics, got {other:?}"))),
+        }
+    }
+
     /// Clean close: announce goodbye, drain every in-flight response, and
     /// wait for the server's bye. Returns the drained responses.
     pub fn goodbye(mut self) -> io::Result<Vec<Response>> {
@@ -263,6 +283,7 @@ impl WireClient {
                 Msg::StatsResp { id, found, stats } => {
                     drained.push(Response::Stats { id, found, stats })
                 }
+                Msg::StatsV2Resp { id, metrics } => drained.push(Response::Metrics { id, metrics }),
                 Msg::Rejected { id, reason } => drained.push(Response::Rejected { id, reason }),
                 Msg::ServerBye => return Ok(drained),
                 Msg::Error { message } => return Err(protocol_err(message)),

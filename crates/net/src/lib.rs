@@ -47,6 +47,7 @@
 //! | `QueryBatch { id, tenant, queries }` | `Answers { id, answers }` | query batch / per-query nodes + route |
 //! | `EditBatch { id, tenant, edits }` | `EditAck { id, report }` or `Rejected { id, reason }` | document updates / post-batch `doc_version` |
 //! | `StatsReq { id, tenant }` | `StatsResp { id, found, stats }` | tenant counters |
+//! | `StatsV2Req { id }` | `StatsV2Resp { id, metrics }` | whole-server metrics snapshot (every family, sorted; histograms as `[count, sum, max, p50, p90, p99]` summaries) |
 //! | `Goodbye` | `ServerBye` | clean close |
 //! | — | `Error { message }` | fatal protocol error, then close |
 //!
@@ -59,7 +60,8 @@
 //!
 //! ### Credit-based backpressure
 //!
-//! Every request frame (`QueryBatch`, `EditBatch`, `StatsReq`) **costs one
+//! Every request frame (`QueryBatch`, `EditBatch`, `StatsReq`,
+//! `StatsV2Req`) **costs one
 //! credit**; every response (`Answers`, `EditAck`, `StatsResp`,
 //! `Rejected`) **returns it**. The handshake grants `window` credits. The
 //! server enforces the window mechanically: its connection reader owns a
@@ -81,6 +83,7 @@
 //! left.
 
 pub mod client;
+pub mod counters;
 pub mod executor;
 pub mod frame;
 pub mod proto;
@@ -90,11 +93,12 @@ pub mod sync;
 pub mod sys;
 
 pub use client::{Response, WireClient};
+pub use counters::{WireCounters, WireCountersSnapshot};
 pub use executor::Runtime;
 pub use frame::{read_frame, write_frame, DecodeError, FrameEvent, MAX_FRAME};
 pub use proto::{
-    AnswersEncoder, Msg, WireAnswer, WireRoute, WireRouteRef, WireTenantStats, WireUpdateReport,
-    MAGIC, VERSION,
+    AnswersEncoder, Msg, WireAnswer, WireMetric, WireRoute, WireRouteRef, WireTenantStats,
+    WireUpdateReport, MAGIC, METRIC_COUNTER, METRIC_GAUGE, METRIC_HISTOGRAM, VERSION,
 };
 pub use reactor::{Interest, Reactor, Source};
 pub use stream::{Accepted, AsyncStream, AsyncTcpListener, AsyncUnixListener, ReadEvent};

@@ -31,6 +31,8 @@ mod tag {
     pub const EDIT_ACK: u8 = 0x21;
     pub const STATS_REQ: u8 = 0x30;
     pub const STATS_RESP: u8 = 0x31;
+    pub const STATS2_REQ: u8 = 0x32;
+    pub const STATS2_RESP: u8 = 0x33;
     pub const REJECTED: u8 = 0x40;
     pub const GOODBYE: u8 = 0x50;
     pub const SERVER_BYE: u8 = 0x51;
@@ -158,6 +160,33 @@ pub struct WireTenantStats {
     pub admission_waits: u64,
 }
 
+/// Metric kind discriminants for [`WireMetric::kind`].
+pub const METRIC_COUNTER: u8 = 0;
+/// See [`METRIC_COUNTER`].
+pub const METRIC_GAUGE: u8 = 1;
+/// See [`METRIC_COUNTER`].
+pub const METRIC_HISTOGRAM: u8 = 2;
+
+/// One metric sample in a [`Msg::StatsV2Resp`] frame — the wire form of
+/// the observability registry's snapshot (`xpv-obs`'s `Sample`, without
+/// the dependency; `xpv-engine` converts both ways).
+///
+/// `values` is kind-dependent: counters and gauges carry one value;
+/// histograms carry `[count, sum, max, p50, p90, p99]` (the summary the
+/// server computes from its log-bucketed histogram — raw buckets do not
+/// travel).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WireMetric {
+    /// Full metric name, e.g. `xpv_cache_queries`.
+    pub name: String,
+    /// Label pairs, e.g. `[("tenant", "acme")]`. Usually empty.
+    pub labels: Vec<(String, String)>,
+    /// [`METRIC_COUNTER`], [`METRIC_GAUGE`], or [`METRIC_HISTOGRAM`].
+    pub kind: u8,
+    /// Kind-dependent payload (see type docs).
+    pub values: Vec<u64>,
+}
+
 /// One protocol message (a decoded frame body).
 #[derive(Clone, Debug)]
 pub enum Msg {
@@ -181,6 +210,13 @@ pub enum Msg {
     /// Server → client: the counters (`found == false` ⇒ zeroed stats for
     /// a tenant the server has not seen). Returns the credit.
     StatsResp { id: u64, found: bool, stats: WireTenantStats },
+    /// Client → server: request the **whole server's** metrics snapshot —
+    /// every family (oracle, cache, per-tenant, maintain, net, server),
+    /// not one tenant's counters. Costs one credit.
+    StatsV2Req { id: u64 },
+    /// Server → client: the metrics snapshot, sorted by (name, labels).
+    /// Returns the credit.
+    StatsV2Resp { id: u64, metrics: Vec<WireMetric> },
     /// Server → client: request `id` was not served (drain, bad edit, …).
     /// Returns the credit.
     Rejected { id: u64, reason: String },
@@ -250,6 +286,22 @@ impl Msg {
                     .u64(stats.updates_applied)
                     .u64(stats.views_refreshed_incrementally)
                     .u64(stats.admission_waits);
+            }
+            Msg::StatsV2Req { id } => {
+                e.u8(tag::STATS2_REQ).u64(*id);
+            }
+            Msg::StatsV2Resp { id, metrics } => {
+                e.u8(tag::STATS2_RESP).u64(*id).u32(metrics.len() as u32);
+                for m in metrics {
+                    e.str(&m.name).u8(m.kind).u32(m.labels.len() as u32);
+                    for (k, v) in &m.labels {
+                        e.str(k).str(v);
+                    }
+                    e.u32(m.values.len() as u32);
+                    for v in &m.values {
+                        e.u64(*v);
+                    }
+                }
             }
             Msg::Rejected { id, reason } => {
                 e.u8(tag::REJECTED).u64(*id).str(reason);
@@ -345,6 +397,31 @@ impl Msg {
                     admission_waits: d.u64()?,
                 },
             },
+            tag::STATS2_REQ => Msg::StatsV2Req { id: d.u64()? },
+            tag::STATS2_RESP => {
+                let id = d.u64()?;
+                let n = d.u32()? as usize;
+                let mut metrics = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    let name = d.str()?;
+                    let kind = d.u8()?;
+                    if kind > METRIC_HISTOGRAM {
+                        return Err(DecodeError(format!("unknown metric kind {kind}")));
+                    }
+                    let labels_n = d.u32()? as usize;
+                    let mut labels = Vec::with_capacity(labels_n.min(64));
+                    for _ in 0..labels_n {
+                        labels.push((d.str()?, d.str()?));
+                    }
+                    let values_n = d.u32()? as usize;
+                    let mut values = Vec::with_capacity(values_n.min(64));
+                    for _ in 0..values_n {
+                        values.push(d.u64()?);
+                    }
+                    metrics.push(WireMetric { name, labels, kind, values });
+                }
+                Msg::StatsV2Resp { id, metrics }
+            }
             tag::REJECTED => Msg::Rejected { id: d.u64()?, reason: d.str()? },
             tag::GOODBYE => Msg::Goodbye,
             tag::SERVER_BYE => Msg::ServerBye,
@@ -573,6 +650,51 @@ mod tests {
             }
             other => panic!("wrong decode: {other:?}"),
         }
+    }
+
+    #[test]
+    fn stats_v2_round_trips() {
+        match round_trip(&Msg::StatsV2Req { id: 77 }) {
+            Msg::StatsV2Req { id } => assert_eq!(id, 77),
+            other => panic!("wrong decode: {other:?}"),
+        }
+        let metrics = vec![
+            WireMetric {
+                name: "xpv_cache_queries".into(),
+                labels: vec![],
+                kind: METRIC_COUNTER,
+                values: vec![42],
+            },
+            WireMetric {
+                name: "xpv_server_connections".into(),
+                labels: vec![],
+                kind: METRIC_GAUGE,
+                values: vec![3],
+            },
+            WireMetric {
+                name: "xpv_tenant_queries".into(),
+                labels: vec![("tenant".into(), "acme".into())],
+                kind: METRIC_COUNTER,
+                values: vec![7],
+            },
+            WireMetric {
+                name: "xpv_phase_eval_us".into(),
+                labels: vec![],
+                kind: METRIC_HISTOGRAM,
+                values: vec![100, 12345, 900, 80, 300, 800],
+            },
+        ];
+        match round_trip(&Msg::StatsV2Resp { id: 78, metrics: metrics.clone() }) {
+            Msg::StatsV2Resp { id, metrics: decoded } => {
+                assert_eq!(id, 78);
+                assert_eq!(decoded, metrics);
+            }
+            other => panic!("wrong decode: {other:?}"),
+        }
+        // An unknown metric kind is a decode error, not a silent pass.
+        let mut e = Encoder::new();
+        e.u8(tag::STATS2_RESP).u64(1).u32(1).str("m").u8(9).u32(0).u32(0);
+        assert!(Msg::decode(&e.finish()).is_err(), "bad metric kind");
     }
 
     #[test]

@@ -103,22 +103,27 @@ impl OracleStats {
     }
 }
 
+impl OracleStats {
+    /// The canonical counter enumeration: one `(name, value)` pair per
+    /// field, in declaration order. The observability registry exposes
+    /// these under `xpv_oracle_*`, and [`OracleStats`]'s `Display` renders
+    /// the same list — one naming authority, so the rendered line and the
+    /// exposition can never drift (see the `xpv-obs` crate docs).
+    pub fn visit(&self, f: &mut dyn FnMut(&'static str, u64)) {
+        f("queries", self.queries);
+        f("verdict_memo_hits", self.verdict_memo_hits);
+        f("verdict_memo_misses", self.verdict_memo_misses);
+        f("hom_queries", self.hom_queries);
+        f("hom_memo_hits", self.hom_memo_hits);
+        f("hom_fast_path_hits", self.hom_fast_path_hits);
+        f("canonical_runs", self.canonical_runs);
+        f("models_checked", self.models_checked);
+    }
+}
+
 impl fmt::Display for OracleStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{} containment queries ({} memo hits, {} misses), \
-             {} hom queries ({} memo hits, {} fast-path), \
-             {} canonical runs / {} models",
-            self.queries,
-            self.verdict_memo_hits,
-            self.verdict_memo_misses,
-            self.hom_queries,
-            self.hom_memo_hits,
-            self.hom_fast_path_hits,
-            self.canonical_runs,
-            self.models_checked
-        )
+        xpv_obs::write_kv_line(f, |emit| self.visit(emit))
     }
 }
 
@@ -534,8 +539,13 @@ mod tests {
         let oracle = ContainmentOracle::new();
         assert!(oracle.contained(&pat("a/b/c"), &pat("a//c")));
         let s = oracle.stats().to_string();
-        assert!(s.contains("containment queries"), "got: {s}");
-        assert!(s.contains("canonical runs"), "got: {s}");
+        assert!(s.contains("queries="), "got: {s}");
+        assert!(s.contains("canonical_runs="), "got: {s}");
+        // Display renders the same enumeration `visit` exposes: every
+        // canonical counter name appears in the line.
+        oracle.stats().visit(&mut |name, _| {
+            assert!(s.contains(&format!("{name}=")), "{name} missing from: {s}");
+        });
     }
 
     #[test]

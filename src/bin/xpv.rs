@@ -26,6 +26,24 @@
 //! xpv client   (--tcp ADDR | --unix PATH) [--tenant T] [--stats] QUERY...
 //!                                    answer a query batch over a socket and
 //!                                    print nodes + routes
+//! xpv stats    (--tcp ADDR | --unix PATH)
+//!                                    fetch the server's full metrics
+//!                                    snapshot (every family: oracle, cache,
+//!                                    tenants, maintain, net, server) and
+//!                                    print the text exposition
+//! xpv top      (--tcp ADDR | --unix PATH) [--interval S] [--count N]
+//!                                    live metrics: redraw the snapshot
+//!                                    every S seconds with per-interval
+//!                                    counter deltas (N = 0 runs until
+//!                                    killed)
+//! xpv obs-bench [--queries Q] [--repeat R] [--max-overhead PCT]
+//!                                    measure the observability layer's
+//!                                    serving overhead (tracing off /
+//!                                    sampled 1-in-64 / always-on) plus
+//!                                    disabled-span and histogram-record
+//!                                    costs; writes BENCH_obs.json and
+//!                                    fails if always-on costs more than
+//!                                    PCT percent (default 10)
 //! xpv update-bench [--edits N] [--edit-mix I:D:R] [--edit-locality H:P]
 //!                  [--batches B] [--queries Q] [--repeat R] [--seed S]
 //!                  [--no-coalesce] [--no-parallel-regions]
@@ -51,9 +69,10 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Instant;
 
-use xpath_views::engine::{AsyncCacheServer, CacheServer, ShardedViewCache};
+use xpath_views::engine::{metrics_from_wire, AsyncCacheServer, CacheServer, ShardedViewCache};
 use xpath_views::intersect::plan_intersection_in;
 use xpath_views::net::{WireClient, WireRoute};
+use xpath_views::obs::{HistogramSummary, SampleValue};
 use xpath_views::prelude::*;
 use xpath_views::rewrite::{figure1, figure2, figure3, figure4, NoRewriteReason};
 use xpath_views::semantics::remove_redundant_branches;
@@ -73,6 +92,9 @@ fn fail(msg: &str) -> ExitCode {
          xpv listen (--tcp ADDR | --unix PATH) [--workers N] [--window W] [--xml FILE] \
          [--view NAME=DEF]...\n  \
          xpv client (--tcp ADDR | --unix PATH) [--tenant T] [--stats] QUERY...\n  \
+         xpv stats (--tcp ADDR | --unix PATH)\n  \
+         xpv top (--tcp ADDR | --unix PATH) [--interval S] [--count N]\n  \
+         xpv obs-bench [--queries Q] [--repeat R] [--max-overhead PCT]\n  \
          xpv update-bench [--edits N] [--edit-mix I:D:R] [--edit-locality H:P] [--batches B] \
          [--queries Q] [--repeat R] [--seed S] [--no-coalesce] [--no-parallel-regions]\n  \
          xpv eval-bench [--nodes N] [--distinct D] [--queries Q] [--labels L] [--repeat R] \
@@ -336,16 +358,69 @@ impl ServeBenchOpts {
     }
 }
 
-/// One serve-bench measurement.
+/// One serve-bench measurement, including the run's per-phase latency
+/// histograms (drawn from the cache's observability registry after the
+/// load completes — socket transports populate the admission / encode /
+/// flush phases on top of plan / eval / batch).
 struct ServeRun {
     answered: usize,
     elapsed: std::time::Duration,
+    phases: Vec<(&'static str, HistogramSummary)>,
 }
 
 impl ServeRun {
     fn qps(&self) -> f64 {
         self.answered as f64 / self.elapsed.as_secs_f64().max(1e-9)
     }
+}
+
+/// The phase histograms a serving run can populate, in pipeline order.
+const SERVE_PHASES: [&str; 6] = [
+    "xpv_phase_admission_us",
+    "xpv_phase_plan_us",
+    "xpv_phase_eval_us",
+    "xpv_phase_batch_us",
+    "xpv_phase_encode_us",
+    "xpv_phase_flush_us",
+];
+
+/// Pulls the non-empty phase histograms out of a cache's snapshot.
+fn phase_summaries(
+    cache: &ShardedViewCache,
+    names: &[&'static str],
+) -> Vec<(&'static str, HistogramSummary)> {
+    let snap = cache.metrics_snapshot();
+    names
+        .iter()
+        .filter_map(|&name| match snap.get(name)?.value {
+            SampleValue::Histogram(h) if h.count > 0 => Some((name, h)),
+            _ => None,
+        })
+        .collect()
+}
+
+/// The short phase key (`xpv_phase_eval_us` → `eval`) for tables/JSON.
+fn phase_key(name: &str) -> &str {
+    name.strip_prefix("xpv_phase_").and_then(|n| n.strip_suffix("_us")).unwrap_or(name)
+}
+
+/// Renders phase summaries as one JSON object:
+/// `{ "eval": { "count": …, "p50": …, "p99": …, "max": … }, … }`.
+fn phase_json(phases: &[(&'static str, HistogramSummary)]) -> String {
+    let fields: Vec<String> = phases
+        .iter()
+        .map(|(name, h)| {
+            format!(
+                "\"{}\": {{ \"count\": {}, \"p50\": {}, \"p99\": {}, \"max\": {} }}",
+                phase_key(name),
+                h.count,
+                h.p50,
+                h.p99,
+                h.max
+            )
+        })
+        .collect();
+    format!("{{ {} }}", fields.join(", "))
 }
 
 fn build_serving_cache(opts: &ServeBenchOpts) -> Arc<ShardedViewCache> {
@@ -391,7 +466,7 @@ fn run_serving(
             if detail {
                 print_serving_detail(&cache, &server.tenants());
             }
-            ServeRun { answered, elapsed }
+            ServeRun { answered, elapsed, phases: phase_summaries(&cache, &SERVE_PHASES) }
         }
         Transport::Unix | Transport::Tcp => {
             let server = AsyncCacheServer::start(Arc::clone(&cache), threads);
@@ -429,7 +504,11 @@ fn run_serving(
                 print_serving_detail(&cache, &server.tenants());
             }
             server.shutdown();
-            ServeRun { answered: report.answered, elapsed: report.elapsed }
+            ServeRun {
+                answered: report.answered,
+                elapsed: report.elapsed,
+                phases: phase_summaries(&cache, &SERVE_PHASES),
+            }
         }
     };
     Ok(run)
@@ -471,6 +550,19 @@ fn cmd_serve_bench(args: &[String]) -> Result<ExitCode, String> {
             run.elapsed.as_secs_f64() * 1e3,
             run.qps(),
         );
+        if !run.phases.is_empty() {
+            println!("phase latency (µs):     count      p50      p99      max");
+            for (name, h) in &run.phases {
+                println!(
+                    "  {:<18} {:>8}  {:>7}  {:>7}  {:>7}",
+                    phase_key(name),
+                    h.count,
+                    h.p50,
+                    h.p99,
+                    h.max
+                );
+            }
+        }
         return Ok(ExitCode::SUCCESS);
     }
 
@@ -494,12 +586,13 @@ fn cmd_serve_bench(args: &[String]) -> Result<ExitCode, String> {
             }
             rows.push_str(&format!(
                 "    {{ \"transport\": \"{}\", \"threads\": {}, \"answered\": {}, \
-                 \"ms\": {:.3}, \"qps\": {:.1} }}",
+                 \"ms\": {:.3}, \"qps\": {:.1}, \"phase_us\": {} }}",
                 transport.name(),
                 threads,
                 run.answered,
                 run.elapsed.as_secs_f64() * 1e3,
                 run.qps(),
+                phase_json(&run.phases),
             ));
         }
     }
@@ -702,6 +795,273 @@ fn cmd_client(args: &[String]) -> Result<ExitCode, String> {
         }
     }
     client.goodbye().map_err(|e| format!("goodbye: {e}"))?;
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Endpoint and cadence knobs shared by `xpv stats` and `xpv top`.
+struct StatsOpts {
+    tcp: Option<String>,
+    unix: Option<String>,
+    interval: f64,
+    count: usize,
+}
+
+impl StatsOpts {
+    fn parse(args: &[String]) -> Result<StatsOpts, String> {
+        let mut opts = StatsOpts { tcp: None, unix: None, interval: 2.0, count: 0 };
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let value = it.next().ok_or_else(|| format!("{flag}: missing value"))?;
+            match flag.as_str() {
+                "--tcp" => opts.tcp = Some(value.clone()),
+                "--unix" => opts.unix = Some(value.clone()),
+                "--interval" => {
+                    opts.interval =
+                        value.parse::<f64>().map_err(|e| format!("--interval: {e}"))?.max(0.1)
+                }
+                "--count" => opts.count = parse_num(flag, value)?,
+                other => return Err(format!("unknown flag {other}")),
+            }
+        }
+        if opts.tcp.is_none() && opts.unix.is_none() {
+            return Err("need --tcp ADDR or --unix PATH".to_string());
+        }
+        Ok(opts)
+    }
+
+    fn connect(&self) -> Result<WireClient, String> {
+        match (&self.tcp, &self.unix) {
+            (Some(addr), _) => WireClient::connect_tcp(addr).map_err(|e| format!("{addr}: {e}")),
+            (None, Some(path)) => WireClient::connect_unix(std::path::Path::new(path))
+                .map_err(|e| format!("{path}: {e}")),
+            (None, None) => unreachable!("parse enforces an endpoint"),
+        }
+    }
+}
+
+/// Fetches an `xpv listen` server's full metrics snapshot over the
+/// `StatsV2` frames and prints the text exposition — every family the
+/// server accounts (oracle, cache, per-tenant, maintain, net, server
+/// gauges, phase histograms) in one sorted listing.
+fn cmd_stats(args: &[String]) -> Result<ExitCode, String> {
+    let opts = StatsOpts::parse(args).map_err(|e| format!("stats: {e}"))?;
+    let mut client = opts.connect()?;
+    let metrics = client.metrics().map_err(|e| format!("stats: {e}"))?;
+    print!("{}", metrics_from_wire(&metrics).to_text());
+    client.goodbye().map_err(|e| format!("goodbye: {e}"))?;
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Live metrics: redraws the server's snapshot every `--interval` seconds
+/// with per-interval counter rates (`--count 0` runs until killed). One
+/// connection and one credit are reused across refreshes.
+fn cmd_top(args: &[String]) -> Result<ExitCode, String> {
+    use std::collections::HashMap;
+
+    let opts = StatsOpts::parse(args).map_err(|e| format!("top: {e}"))?;
+    let mut client = opts.connect()?;
+    let mut prev: HashMap<String, u64> = HashMap::new();
+    let mut iteration = 0usize;
+    loop {
+        let fetched = Instant::now();
+        let snap = metrics_from_wire(&client.metrics().map_err(|e| format!("top: {e}"))?);
+        // Clear the screen and home the cursor for a top-style redraw.
+        print!("\x1b[2J\x1b[H");
+        println!(
+            "xpv top — {} metrics, refresh {:.1}s (iteration {})",
+            snap.samples.len(),
+            opts.interval,
+            iteration + 1,
+        );
+        let mut next: HashMap<String, u64> = HashMap::new();
+        for s in &snap.samples {
+            let labels = if s.labels.is_empty() {
+                String::new()
+            } else {
+                let pairs: Vec<String> =
+                    s.labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+                format!("{{{}}}", pairs.join(","))
+            };
+            let key = format!("{}{labels}", s.name);
+            match s.value {
+                SampleValue::Counter(v) => {
+                    let rate = prev
+                        .get(&key)
+                        .map(|&p| (v.saturating_sub(p)) as f64 / opts.interval)
+                        .unwrap_or(0.0);
+                    println!("{key:<52} {v:>12}  {rate:>10.1}/s");
+                    next.insert(key, v);
+                }
+                SampleValue::Gauge(v) => println!("{key:<52} {v:>12}"),
+                SampleValue::Histogram(h) => {
+                    println!("{key:<52} {:>12}  p50={} p99={} max={}", h.count, h.p50, h.p99, h.max)
+                }
+            }
+        }
+        prev = next;
+        iteration += 1;
+        if opts.count > 0 && iteration >= opts.count {
+            break;
+        }
+        let elapsed = fetched.elapsed().as_secs_f64();
+        if elapsed < opts.interval {
+            std::thread::sleep(std::time::Duration::from_secs_f64(opts.interval - elapsed));
+        }
+    }
+    client.goodbye().map_err(|e| format!("goodbye: {e}"))?;
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Knobs for `xpv obs-bench`.
+struct ObsBenchOpts {
+    queries: usize,
+    repeat: usize,
+    max_overhead: f64,
+}
+
+impl ObsBenchOpts {
+    fn parse(args: &[String]) -> Result<ObsBenchOpts, String> {
+        let mut opts = ObsBenchOpts { queries: 4000, repeat: 5, max_overhead: 10.0 };
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let value = it.next().ok_or_else(|| format!("{flag}: missing value"))?;
+            match flag.as_str() {
+                "--queries" => opts.queries = parse_num(flag, value)?.max(1),
+                "--repeat" => opts.repeat = parse_num(flag, value)?.max(1),
+                "--max-overhead" => {
+                    opts.max_overhead =
+                        value.parse::<f64>().map_err(|e| format!("--max-overhead: {e}"))?
+                }
+                other => return Err(format!("unknown obs-bench flag {other}")),
+            }
+        }
+        Ok(opts)
+    }
+}
+
+/// Measures what the observability layer costs on the serving hot path:
+/// the Zipf serve mix is answered through a warmed [`ShardedViewCache`]
+/// with tracing **off** (sampling 0), **sampled** (the 1-in-64 default),
+/// and **always-on** (sampling 1), best-of-`--repeat` each, plus two
+/// microbenches (disabled-span construction, histogram record). Writes
+/// `BENCH_obs.json` and fails when the always-on overhead exceeds
+/// `--max-overhead` percent — the regression gate CI runs.
+fn cmd_obs_bench(args: &[String]) -> Result<ExitCode, String> {
+    use xpath_views::obs::{
+        drain_trace_events, set_trace_sampling, Registry, Span, DEFAULT_TRACE_SAMPLING,
+    };
+
+    let opts = ObsBenchOpts::parse(args)?;
+    let catalog = site_intersect_catalog();
+    let stream = catalog_zipf_stream(&catalog, opts.queries, 0x0B5);
+    let build = || {
+        let cache = ShardedViewCache::new(site_doc(12, 12, 7));
+        for (name, def) in catalog.views.iter() {
+            cache.add_view(name, def.clone());
+        }
+        // Warm the plan memo so the timed passes measure the steady
+        // state the sampling knob actually guards.
+        let _ = cache.answer_batch(&stream);
+        cache
+    };
+
+    let modes: [(&str, u32); 3] = [("off", 0), ("sampled_1_in_64", 64), ("always_on", 1)];
+    let mut results: Vec<(&str, f64, usize)> = Vec::new();
+    for (name, sampling) in modes {
+        set_trace_sampling(sampling);
+        let cache = build();
+        let mut best = f64::INFINITY;
+        let mut answered = 0usize;
+        for _ in 0..opts.repeat {
+            let start = Instant::now();
+            answered = cache.answer_batch(&stream).len();
+            best = best.min(start.elapsed().as_secs_f64());
+            // Drain outside the timed region so ring occupancy cannot
+            // snowball across repeats.
+            let _ = drain_trace_events();
+        }
+        results.push((name, best * 1e3, answered));
+    }
+    set_trace_sampling(DEFAULT_TRACE_SAMPLING);
+
+    // Microbench: a disabled span (sampling off) and one histogram
+    // record — the two costs the crate docs budget.
+    const MICRO_ITERS: u64 = 1_000_000;
+    set_trace_sampling(0);
+    let mut span_ns = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        for _ in 0..MICRO_ITERS {
+            let span = Span::begin("obs-bench");
+            std::hint::black_box(&span);
+            span.finish();
+        }
+        span_ns = span_ns.min(start.elapsed().as_nanos() as f64 / MICRO_ITERS as f64);
+    }
+    set_trace_sampling(DEFAULT_TRACE_SAMPLING);
+    let registry = Registry::new();
+    let hist = registry.histogram("obs_bench_record_ns");
+    let mut hist_ns = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        for i in 0..MICRO_ITERS {
+            hist.record(i);
+        }
+        hist_ns = hist_ns.min(start.elapsed().as_nanos() as f64 / MICRO_ITERS as f64);
+    }
+
+    let off_ms = results[0].1;
+    let overhead = |ms: f64| if off_ms > 0.0 { (ms - off_ms) / off_ms * 100.0 } else { 0.0 };
+    println!("answered {} queries per pass (best of {})", results[0].2, opts.repeat);
+    println!("tracing mode          ms      overhead");
+    let mut rows = String::new();
+    for &(name, ms, answered) in &results {
+        println!("{:<17} {:>8.2}  {:>+7.2}%", name, ms, overhead(ms));
+        if !rows.is_empty() {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{ \"mode\": \"{}\", \"ms\": {:.3}, \"answered\": {}, \
+             \"overhead_pct\": {:.3} }}",
+            name,
+            ms,
+            answered,
+            overhead(ms),
+        ));
+    }
+    println!("disabled span: {span_ns:.1} ns/op   histogram record: {hist_ns:.1} ns/op");
+    let always_pct = overhead(results[2].1);
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"obs_overhead_zipf_site\",\n",
+            "  \"queries\": {},\n",
+            "  \"repeat\": {},\n",
+            "  \"max_overhead_pct\": {:.1},\n",
+            "  \"always_on_overhead_pct\": {:.3},\n",
+            "  \"span_disabled_ns\": {:.2},\n",
+            "  \"histogram_record_ns\": {:.2},\n",
+            "  \"within_budget\": {},\n",
+            "  \"runs\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        opts.queries,
+        opts.repeat,
+        opts.max_overhead,
+        always_pct,
+        span_ns,
+        hist_ns,
+        always_pct <= opts.max_overhead,
+        rows,
+    );
+    std::fs::write("BENCH_obs.json", &json).map_err(|e| format!("BENCH_obs.json: {e}"))?;
+    println!("wrote BENCH_obs.json");
+    if always_pct > opts.max_overhead {
+        return Err(format!(
+            "always-on tracing costs {always_pct:.2}% (budget {:.1}%)",
+            opts.max_overhead
+        ));
+    }
     Ok(ExitCode::SUCCESS)
 }
 
@@ -937,6 +1297,29 @@ fn cmd_update_bench(args: &[String]) -> Result<ExitCode, String> {
         survived_hits, probe_queries, primary.routes_dropped
     );
     println!("cache: {post_stats}");
+    // The primary arm's per-batch maintenance phase histograms — the
+    // distribution behind the cumulative `phase_us` totals above.
+    const MAINTAIN_PHASES: [&str; 5] = [
+        "xpv_phase_maintain_apply_us",
+        "xpv_phase_maintain_freeze_us",
+        "xpv_phase_maintain_coalesce_us",
+        "xpv_phase_maintain_scan_us",
+        "xpv_phase_maintain_patch_us",
+    ];
+    let phase_hist = phase_summaries(&primary.cache, &MAINTAIN_PHASES);
+    if !phase_hist.is_empty() {
+        println!("maintenance phase latency per batch (µs):  count    p50    p99    max");
+        for (name, h) in &phase_hist {
+            println!(
+                "  {:<24} {:>18}  {:>5}  {:>5}  {:>5}",
+                phase_key(name),
+                h.count,
+                h.p50,
+                h.p99,
+                h.max
+            );
+        }
+    }
 
     let json = format!(
         concat!(
@@ -971,7 +1354,8 @@ fn cmd_update_bench(args: &[String]) -> Result<ExitCode, String> {
             "    \"answers_added\": {},\n",
             "    \"answers_removed\": {},\n",
             "    \"phase_us\": {{ \"apply\": {}, \"freeze\": {}, \"coalesce\": {}, ",
-            "\"scan\": {}, \"patch\": {} }}\n",
+            "\"scan\": {}, \"patch\": {} }},\n",
+            "    \"phase_hist_us\": {}\n",
             "  }},\n",
             "  \"routes\": {{\n",
             "    \"probe_queries\": {},\n",
@@ -1012,6 +1396,7 @@ fn cmd_update_bench(args: &[String]) -> Result<ExitCode, String> {
         maintain.coalesce_us,
         maintain.scan_us,
         maintain.patch_us,
+        phase_json(&phase_hist),
         probe_queries,
         survived_hits,
         primary.routes_dropped,
@@ -1205,6 +1590,9 @@ fn main() -> ExitCode {
         [cmd, rest @ ..] if cmd == "serve-bench" => cmd_serve_bench(rest),
         [cmd, rest @ ..] if cmd == "listen" => cmd_listen(rest),
         [cmd, rest @ ..] if cmd == "client" => cmd_client(rest),
+        [cmd, rest @ ..] if cmd == "stats" => cmd_stats(rest),
+        [cmd, rest @ ..] if cmd == "top" => cmd_top(rest),
+        [cmd, rest @ ..] if cmd == "obs-bench" => cmd_obs_bench(rest),
         [cmd, rest @ ..] if cmd == "update-bench" => cmd_update_bench(rest),
         [cmd, rest @ ..] if cmd == "eval-bench" => cmd_eval_bench(rest),
         _ => return fail("expected a subcommand"),

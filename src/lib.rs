@@ -22,6 +22,11 @@
 //! * [`net`] — the hand-rolled async runtime (epoll reactor + executor)
 //!   and the framed xpv **wire protocol** with credit-based backpressure
 //!   ([`xpv_net`]);
+//! * [`obs`] — the dependency-free observability layer: lock-free
+//!   counters and log-bucketed latency histograms, request-lifecycle
+//!   trace spans with global sampling, and the metrics-snapshot text
+//!   exposition ([`xpv_obs`] — `xpv stats` / `xpv top` read it over the
+//!   wire);
 //! * [`engine`] — materialized views and answering queries using views
 //!   ([`xpv_engine`]);
 //! * [`workload`] — generators for patterns, documents, rewriting
@@ -115,6 +120,7 @@ pub use xpv_intersect as intersect;
 pub use xpv_maintain as maintain;
 pub use xpv_model as model;
 pub use xpv_net as net;
+pub use xpv_obs as obs;
 pub use xpv_pattern as pattern;
 pub use xpv_semantics as semantics;
 pub use xpv_workload as workload;
