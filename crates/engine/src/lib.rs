@@ -55,6 +55,12 @@
 //! [`AsyncCacheServer::metrics_snapshot`] adds the serving families
 //! (`xpv_tenant_*`, `xpv_net_*`, `xpv_server_*`), and the **[`obs`]**
 //! module converts snapshots to and from the wire's `StatsV2Resp` form.
+//! The server also runs the `xpv-obs` history sampler and health
+//! watchdog by default ([`ObsConfig`]): per-metric time-series rings
+//! served over `HistoryReq`, heartbeat stall rules over the maintenance
+//! and flush paths, and a flight-recorder `DebugDumpReq` bundling
+//! metrics + history + alerts + drained traces (the full metric
+//! catalogue lives in `docs/METRICS.md`).
 
 pub mod aserve;
 pub mod cache;
@@ -65,10 +71,11 @@ pub mod tenants;
 pub mod view;
 
 pub use aserve::{
-    AsyncCacheServer, BatchRejected, BatchTicket, DEFAULT_CONN_WINDOW, DEFAULT_MAX_PENDING,
+    AsyncCacheServer, BatchRejected, BatchTicket, ObsConfig, DEFAULT_CONN_WINDOW,
+    DEFAULT_MAX_PENDING,
 };
 pub use cache::ViewCache;
-pub use obs::{metrics_from_wire, wire_metrics};
+pub use obs::{metrics_from_wire, wire_alerts, wire_history, wire_metrics, wire_traces};
 pub use serve::CacheServer;
 pub use shard::{
     CacheAnswer, CacheStats, ChoicePolicy, Route, ShardedViewCache, UpdateReport, ViewId,

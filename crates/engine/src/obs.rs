@@ -1,18 +1,26 @@
-//! Metrics exposition glue: [`MetricsSnapshot`] ⇄ the wire's
-//! [`WireMetric`] list.
+//! Observability exposition glue: `xpv-obs` structures ⇄ their wire
+//! forms ([`WireMetric`], `WireSeries`, `WireAlert`, `WireTraceEvent`).
 //!
-//! `xpv-obs` owns the snapshot model and `xpv-net` owns the frame
-//! encoding; neither depends on the other, so the engine — which depends
-//! on both — is where a snapshot becomes a `StatsV2Resp` payload (server
-//! side) and a received payload becomes a snapshot again (client side,
-//! e.g. the `xpv stats` command rendering
-//! [`MetricsSnapshot::to_text`]). The conversion is lossless for the
-//! wire's vocabulary: counters and gauges carry their value, histograms
-//! carry the `[count, sum, max, p50, p90, p99]` summary (raw buckets
-//! never travel).
+//! `xpv-obs` owns the snapshot/history/health model and `xpv-net` owns
+//! the frame encoding; neither depends on the other, so the engine —
+//! which depends on both — is where a snapshot becomes a `StatsV2Resp`
+//! payload, a [`History`] becomes a `HistoryResp` series list, and
+//! alerts/trace events become `DebugDumpResp` fields (and the reverse,
+//! client side, e.g. the `xpv stats` command rendering
+//! [`MetricsSnapshot::to_text`]). The metric conversion is lossless for
+//! the wire's vocabulary: counters and gauges carry their value,
+//! histograms carry the `[count, sum, max, p50, p90, p99]` summary (raw
+//! buckets never travel); history points carry the kind-dependent
+//! payloads documented on `WirePoint`.
 
-use xpv_net::{WireMetric, METRIC_COUNTER, METRIC_GAUGE, METRIC_HISTOGRAM};
-use xpv_obs::{HistogramSummary, MetricsSnapshot, Sample, SampleValue};
+use xpv_net::{
+    WireAlert, WireMetric, WirePoint, WireSeries, WireTraceEvent, METRIC_COUNTER, METRIC_GAUGE,
+    METRIC_HISTOGRAM,
+};
+use xpv_obs::{
+    Alert, HistogramSummary, History, MetricsSnapshot, PointValue, Sample, SampleValue, SeriesKind,
+    TraceEvent,
+};
 
 /// Encodes a snapshot as the `StatsV2Resp` metric list (order preserved).
 pub fn wire_metrics(snapshot: &MetricsSnapshot) -> Vec<WireMetric> {
@@ -56,6 +64,65 @@ pub fn metrics_from_wire(metrics: &[WireMetric]) -> MetricsSnapshot {
     snap
 }
 
+/// Encodes a server-side [`History`] as the `HistoryResp` series list:
+/// every retained series, points oldest first, with the kind-dependent
+/// point payloads (`[delta]` / `[level]` / `[count, p50, p90, p99]`).
+pub fn wire_history(history: &History) -> Vec<WireSeries> {
+    history
+        .all_series()
+        .into_iter()
+        .map(|s| {
+            let kind = match s.kind {
+                SeriesKind::Counter => METRIC_COUNTER,
+                SeriesKind::Gauge => METRIC_GAUGE,
+                SeriesKind::Histogram => METRIC_HISTOGRAM,
+            };
+            let points = s
+                .points
+                .iter()
+                .map(|p| WirePoint {
+                    at_us: p.at_us,
+                    values: match p.value {
+                        PointValue::Delta(v) | PointValue::Level(v) => vec![v],
+                        PointValue::Quantiles { count, p50, p90, p99 } => {
+                            vec![count, p50, p90, p99]
+                        }
+                    },
+                })
+                .collect();
+            WireSeries { name: s.name, kind, points }
+        })
+        .collect()
+}
+
+/// Encodes watchdog alert states for a `DebugDumpResp`.
+pub fn wire_alerts(alerts: &[Alert]) -> Vec<WireAlert> {
+    alerts
+        .iter()
+        .map(|a| WireAlert {
+            name: a.name.clone(),
+            kind: a.kind.clone(),
+            firing: a.firing,
+            since_tick: a.since_tick,
+            fired_total: a.fired_total,
+            detail: a.detail.clone(),
+        })
+        .collect()
+}
+
+/// Encodes drained trace spans for a `DebugDumpResp` (phases travel as
+/// their names, so a client needs no `Phase` enum agreement).
+pub fn wire_traces(events: &[TraceEvent]) -> Vec<WireTraceEvent> {
+    events
+        .iter()
+        .map(|e| WireTraceEvent {
+            kind: e.kind.to_string(),
+            total_us: e.total_us,
+            phases: e.phases.iter().map(|(p, us)| (p.as_str().to_string(), *us)).collect(),
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -74,6 +141,50 @@ mod tests {
         let rebuilt = metrics_from_wire(&wire_metrics(&snap));
         assert_eq!(rebuilt, snap);
         assert_eq!(rebuilt.to_text(), snap.to_text());
+    }
+
+    #[test]
+    fn history_series_carry_kind_dependent_point_payloads() {
+        let history = History::new(8);
+        let mut snap = MetricsSnapshot::new();
+        snap.push_counter("xpv_cache_queries", 10);
+        snap.push_gauge("xpv_server_connections", 3);
+        let hist = xpv_obs::Histogram::new();
+        hist.record(100);
+        history.record_tick(&snap, &[("xpv_phase_eval_us".to_string(), hist.snapshot())]);
+        let series = wire_history(&history);
+        let names: Vec<&str> = series.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["xpv_cache_queries", "xpv_phase_eval_us", "xpv_server_connections"]);
+        assert_eq!((series[0].kind, &series[0].points[0].values), (METRIC_COUNTER, &vec![10]));
+        assert_eq!(series[1].kind, METRIC_HISTOGRAM);
+        assert_eq!(series[1].points[0].values.len(), 4, "[count, p50, p90, p99]");
+        assert_eq!(series[1].points[0].values[0], 1, "one observation this tick");
+        assert_eq!((series[2].kind, &series[2].points[0].values), (METRIC_GAUGE, &vec![3]));
+    }
+
+    #[test]
+    fn alerts_and_traces_convert_structurally() {
+        let alerts = vec![Alert {
+            name: "maintain_stall".into(),
+            kind: "heartbeat_stall".into(),
+            firing: true,
+            since_tick: 7,
+            fired_total: 3,
+            detail: "1 in flight".into(),
+        }];
+        let wired = wire_alerts(&alerts);
+        assert_eq!(wired[0].name, "maintain_stall");
+        assert!(wired[0].firing);
+        assert_eq!(wired[0].since_tick, 7);
+
+        let events = vec![TraceEvent {
+            kind: "cache.update",
+            total_us: 500,
+            phases: vec![(xpv_obs::Phase::Apply, 200), (xpv_obs::Phase::Patch, 300)],
+        }];
+        let wired = wire_traces(&events);
+        assert_eq!(wired[0].kind, "cache.update");
+        assert_eq!(wired[0].phases, vec![("apply".to_string(), 200), ("patch".to_string(), 300)]);
     }
 
     #[test]

@@ -81,7 +81,7 @@ use xpv_maintain::{
     SubMatcher, ViewDelta,
 };
 use xpv_model::{BitSet, FlatTree, NodeId, Tree};
-use xpv_obs::{Histogram, MetricsSnapshot, Phase, Registry, Span};
+use xpv_obs::{Heartbeat, Histogram, MetricsSnapshot, Phase, Registry, Span};
 use xpv_pattern::{Pattern, PatternKey};
 use xpv_semantics::{
     evaluate, evaluate_anchored, evaluate_anchored_flat, evaluate_flat, region_answers_flat,
@@ -449,6 +449,10 @@ pub(crate) struct CacheObs {
     pub maintain_coalesce_us: Arc<Histogram>,
     pub maintain_scan_us: Arc<Histogram>,
     pub maintain_patch_us: Arc<Histogram>,
+    /// Liveness heartbeat around each `apply_edits` batch: in-flight
+    /// while a batch holds the write gate, one beat per completed batch.
+    /// The watchdog's `maintain` stall rule reads these gauges.
+    pub hb_maintain: Heartbeat,
 }
 
 impl CacheObs {
@@ -466,6 +470,7 @@ impl CacheObs {
             maintain_coalesce_us: registry.histogram("xpv_phase_maintain_coalesce_us"),
             maintain_scan_us: registry.histogram("xpv_phase_maintain_scan_us"),
             maintain_patch_us: registry.histogram("xpv_phase_maintain_patch_us"),
+            hb_maintain: Heartbeat::new(&registry, "maintain"),
             registry,
         }
     }
@@ -542,6 +547,10 @@ pub struct ShardedViewCache {
     /// writer was swapping pointers) — see
     /// [`CacheStats::snapshot_read_stalls`].
     snapshot_read_stalls: AtomicU64,
+    /// Test-only fault injection: microseconds each `apply_edits` batch
+    /// sleeps while holding the write gate (0 = disabled). Lets the
+    /// watchdog integration tests manufacture a wedged maintenance pass.
+    maintain_pause_us: AtomicU64,
     /// Latency histograms + the metric registry (see [`CacheObs`]).
     pub(crate) obs: CacheObs,
 }
@@ -585,6 +594,7 @@ impl ShardedViewCache {
             updates_applied: AtomicU64::new(0),
             views_refreshed_incrementally: AtomicU64::new(0),
             snapshot_read_stalls: AtomicU64::new(0),
+            maintain_pause_us: AtomicU64::new(0),
             obs: CacheObs::new(),
         }
     }
@@ -905,6 +915,14 @@ impl ShardedViewCache {
         // mutator, so the snapshot below cannot go stale beneath us while
         // we maintain clones of it off-lock.
         let _gate = self.write_gate.lock().expect("write gate poisoned");
+        // In flight from here; the guard beats when the batch completes
+        // (any exit path, including errors). A batch wedged past the
+        // watchdog's stall window fires the `maintain` stall rule.
+        let _hb = self.obs.hb_maintain.begin();
+        let pause_us = self.maintain_pause_us.load(Ordering::Relaxed);
+        if pause_us > 0 {
+            std::thread::sleep(Duration::from_micros(pause_us));
+        }
         let snap = self.snapshot();
 
         let mut doc = (*snap.doc).clone();
@@ -1195,6 +1213,16 @@ impl ShardedViewCache {
     /// histograms into the same registry.
     pub fn obs_registry(&self) -> &Arc<Registry> {
         &self.obs.registry
+    }
+
+    /// Fault injection for watchdog tests: every subsequent
+    /// [`ShardedViewCache::apply_edits`] batch sleeps for `pause` while
+    /// holding the write gate (with the maintenance heartbeat in flight),
+    /// simulating a wedged maintenance pass. Pass `Duration::ZERO` to
+    /// disable. Not part of the public API contract.
+    #[doc(hidden)]
+    pub fn inject_maintain_pause_for_tests(&self, pause: Duration) {
+        self.maintain_pause_us.store(pause.as_micros() as u64, Ordering::Relaxed);
     }
 
     /// Every cache-side metric as one sorted [`MetricsSnapshot`]:

@@ -18,7 +18,9 @@ use xpv_maintain::Edit;
 use xpv_pattern::Pattern;
 
 use crate::frame::MAX_FRAME;
-use crate::proto::{Msg, WireAnswer, WireMetric, WireTenantStats, WireUpdateReport, VERSION};
+use crate::proto::{
+    Msg, WireAnswer, WireDump, WireMetric, WireSeries, WireTenantStats, WireUpdateReport, VERSION,
+};
 
 /// One response frame, correlated to its request by `id`.
 #[derive(Clone, Debug)]
@@ -31,6 +33,10 @@ pub enum Response {
     Stats { id: u64, found: bool, stats: WireTenantStats },
     /// Whole-server metrics snapshot for stats-v2 request `id`.
     Metrics { id: u64, metrics: Vec<WireMetric> },
+    /// Server-side metric history for history request `id`.
+    History { id: u64, interval_us: u64, series: Vec<WireSeries> },
+    /// Flight-recorder artifact for dump request `id`.
+    Dump { id: u64, dump: Box<WireDump> },
     /// Request `id` was not served (e.g. the server is draining, or the
     /// edit batch failed validation).
     Rejected { id: u64, reason: String },
@@ -44,6 +50,8 @@ impl Response {
             | Response::EditAck { id, .. }
             | Response::Stats { id, .. }
             | Response::Metrics { id, .. }
+            | Response::History { id, .. }
+            | Response::Dump { id, .. }
             | Response::Rejected { id, .. } => *id,
         }
     }
@@ -152,6 +160,10 @@ impl WireClient {
             Msg::EditAck { id, report } => Response::EditAck { id, report },
             Msg::StatsResp { id, found, stats } => Response::Stats { id, found, stats },
             Msg::StatsV2Resp { id, metrics } => Response::Metrics { id, metrics },
+            Msg::HistoryResp { id, interval_us, series } => {
+                Response::History { id, interval_us, series }
+            }
+            Msg::DebugDumpResp { id, dump } => Response::Dump { id, dump: Box::new(dump) },
             Msg::Rejected { id, reason } => Response::Rejected { id, reason },
             Msg::ServerBye => {
                 return Err(io::Error::new(
@@ -271,6 +283,41 @@ impl WireClient {
         }
     }
 
+    /// Fetches the server's retained metric history: the sampler tick
+    /// interval in microseconds (0 = no sampler running) and every
+    /// series' ring, points oldest first — what `xpv top` renders.
+    pub fn history(&mut self) -> io::Result<(u64, Vec<WireSeries>)> {
+        self.take_credit()?;
+        let id = self.next_id;
+        self.next_id += 1;
+        self.send(&Msg::HistoryReq { id })?;
+        match self.recv_for(id)? {
+            Response::History { interval_us, series, .. } => Ok((interval_us, series)),
+            Response::Rejected { reason, .. } => {
+                Err(io::Error::new(io::ErrorKind::ConnectionRefused, reason))
+            }
+            other => Err(protocol_err(format!("expected History, got {other:?}"))),
+        }
+    }
+
+    /// Fetches a flight-recorder dump: metrics, history window, alerts,
+    /// drained trace spans, and config state in one artifact. Draining is
+    /// destructive server-side — the server's buffered spans move into
+    /// this dump.
+    pub fn debug_dump(&mut self) -> io::Result<WireDump> {
+        self.take_credit()?;
+        let id = self.next_id;
+        self.next_id += 1;
+        self.send(&Msg::DebugDumpReq { id })?;
+        match self.recv_for(id)? {
+            Response::Dump { dump, .. } => Ok(*dump),
+            Response::Rejected { reason, .. } => {
+                Err(io::Error::new(io::ErrorKind::ConnectionRefused, reason))
+            }
+            other => Err(protocol_err(format!("expected Dump, got {other:?}"))),
+        }
+    }
+
     /// Clean close: announce goodbye, drain every in-flight response, and
     /// wait for the server's bye. Returns the drained responses.
     pub fn goodbye(mut self) -> io::Result<Vec<Response>> {
@@ -284,6 +331,12 @@ impl WireClient {
                     drained.push(Response::Stats { id, found, stats })
                 }
                 Msg::StatsV2Resp { id, metrics } => drained.push(Response::Metrics { id, metrics }),
+                Msg::HistoryResp { id, interval_us, series } => {
+                    drained.push(Response::History { id, interval_us, series })
+                }
+                Msg::DebugDumpResp { id, dump } => {
+                    drained.push(Response::Dump { id, dump: Box::new(dump) })
+                }
                 Msg::Rejected { id, reason } => drained.push(Response::Rejected { id, reason }),
                 Msg::ServerBye => return Ok(drained),
                 Msg::Error { message } => return Err(protocol_err(message)),

@@ -61,9 +61,9 @@
 //! ### Credit-based backpressure
 //!
 //! Every request frame (`QueryBatch`, `EditBatch`, `StatsReq`,
-//! `StatsV2Req`) **costs one
+//! `StatsV2Req`, `HistoryReq`, `DebugDumpReq`) **costs one
 //! credit**; every response (`Answers`, `EditAck`, `StatsResp`,
-//! `Rejected`) **returns it**. The handshake grants `window` credits. The
+//! `HistoryResp`, `DebugDumpResp`, `Rejected`) **returns it**. The handshake grants `window` credits. The
 //! server enforces the window mechanically: its connection reader owns a
 //! semaphore of `window` permits and does not read the next frame until a
 //! permit frees, so an over-eager client is throttled by the kernel
@@ -97,8 +97,9 @@ pub use counters::{WireCounters, WireCountersSnapshot};
 pub use executor::Runtime;
 pub use frame::{read_frame, write_frame, DecodeError, FrameEvent, MAX_FRAME};
 pub use proto::{
-    AnswersEncoder, Msg, WireAnswer, WireMetric, WireRoute, WireRouteRef, WireTenantStats,
-    WireUpdateReport, MAGIC, METRIC_COUNTER, METRIC_GAUGE, METRIC_HISTOGRAM, VERSION,
+    AnswersEncoder, Msg, WireAlert, WireAnswer, WireDump, WireMetric, WirePoint, WireRoute,
+    WireRouteRef, WireSeries, WireTenantStats, WireTraceEvent, WireUpdateReport, MAGIC,
+    METRIC_COUNTER, METRIC_GAUGE, METRIC_HISTOGRAM, VERSION,
 };
 pub use reactor::{Interest, Reactor, Source};
 pub use stream::{Accepted, AsyncStream, AsyncTcpListener, AsyncUnixListener, ReadEvent};

@@ -33,6 +33,10 @@ mod tag {
     pub const STATS_RESP: u8 = 0x31;
     pub const STATS2_REQ: u8 = 0x32;
     pub const STATS2_RESP: u8 = 0x33;
+    pub const HISTORY_REQ: u8 = 0x34;
+    pub const HISTORY_RESP: u8 = 0x35;
+    pub const DUMP_REQ: u8 = 0x36;
+    pub const DUMP_RESP: u8 = 0x37;
     pub const REJECTED: u8 = 0x40;
     pub const GOODBYE: u8 = 0x50;
     pub const SERVER_BYE: u8 = 0x51;
@@ -187,6 +191,93 @@ pub struct WireMetric {
     pub values: Vec<u64>,
 }
 
+/// One recorded tick of one history series (the wire form of `xpv-obs`'s
+/// `HistoryPoint`).
+///
+/// `values` is kind-dependent, like [`WireMetric::values`]: counter
+/// points carry `[delta]` (the increment over the tick), gauge points
+/// `[level]`, histogram points `[count, p50, p90, p99]` (the tick's
+/// *interval* percentiles). The length prefix makes every point
+/// self-delimiting, so a decoder can skip points of kinds it does not
+/// know.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WirePoint {
+    /// Microseconds since the server's history started.
+    pub at_us: u64,
+    /// Kind-dependent payload (see type docs).
+    pub values: Vec<u64>,
+}
+
+/// One metric's retained history in a [`Msg::HistoryResp`] /
+/// [`Msg::DebugDumpResp`] frame.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WireSeries {
+    /// Rendered series key: the metric name with labels inlined
+    /// (`xpv_tenant_queries{tenant="acme"}`).
+    pub name: String,
+    /// [`METRIC_COUNTER`], [`METRIC_GAUGE`], or [`METRIC_HISTOGRAM`] —
+    /// decoders skip series of unknown kinds.
+    pub kind: u8,
+    /// Points oldest first.
+    pub points: Vec<WirePoint>,
+}
+
+/// One watchdog rule's state in a [`Msg::DebugDumpResp`] frame (the wire
+/// form of `xpv-obs`'s `Alert`).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WireAlert {
+    /// Rule name (its counter is `xpv_alert_<name>_total`).
+    pub name: String,
+    /// Rule kind tag (`heartbeat_stall` | `slo_burn`), free-form so new
+    /// rule kinds need no protocol change.
+    pub kind: String,
+    /// Firing as of the server's last sampler tick.
+    pub firing: bool,
+    /// Tick the current firing streak started at (0 = never fired).
+    pub since_tick: u64,
+    /// Lifetime count of firing ticks.
+    pub fired_total: u64,
+    /// Human-readable evidence from the last firing evaluation.
+    pub detail: String,
+}
+
+/// One drained trace span in a [`Msg::DebugDumpResp`] frame (the wire
+/// form of `xpv-obs`'s `TraceEvent`; phases travel as their names).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WireTraceEvent {
+    /// Span kind (`net.query`, `cache.update`, …).
+    pub kind: String,
+    /// Wall time begin → finish, microseconds.
+    pub total_us: u64,
+    /// `(phase name, duration_us)` in mark order.
+    pub phases: Vec<(String, u64)>,
+}
+
+/// The flight-recorder artifact a [`Msg::DebugDumpResp`] carries: one
+/// structured bundle of everything an operator needs after an incident —
+/// the live metrics snapshot, the retained history window, the watchdog
+/// alerts, the drained trace spans, and the knob/config state.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WireDump {
+    /// The full metrics snapshot at dump time (as a `StatsV2Resp` would
+    /// carry).
+    pub metrics: Vec<WireMetric>,
+    /// The server's sampler tick interval, microseconds (0 = sampler
+    /// not running).
+    pub interval_us: u64,
+    /// The retained history window, every series.
+    pub series: Vec<WireSeries>,
+    /// Every watchdog rule's state.
+    pub alerts: Vec<WireAlert>,
+    /// Trace spans drained from the server's rings at dump time. Note
+    /// that draining is destructive server-side: the spans move into
+    /// this dump.
+    pub traces: Vec<WireTraceEvent>,
+    /// Free-form `(key, value)` config/knob pairs (sampling rate, rule
+    /// roster, window sizes, …).
+    pub config: Vec<(String, String)>,
+}
+
 /// One protocol message (a decoded frame body).
 #[derive(Clone, Debug)]
 pub enum Msg {
@@ -217,6 +308,20 @@ pub enum Msg {
     /// Server → client: the metrics snapshot, sorted by (name, labels).
     /// Returns the credit.
     StatsV2Resp { id: u64, metrics: Vec<WireMetric> },
+    /// Client → server: request the server-side metric history (every
+    /// retained series). Costs one credit.
+    HistoryReq { id: u64 },
+    /// Server → client: the retained history — the sampler interval and
+    /// every series' ring, oldest point first. `interval_us == 0` means
+    /// no sampler is running (empty series list). Returns the credit.
+    HistoryResp { id: u64, interval_us: u64, series: Vec<WireSeries> },
+    /// Client → server: request a flight-recorder dump. **Drains the
+    /// server's trace rings** into the response. Costs one credit.
+    DebugDumpReq { id: u64 },
+    /// Server → client: the flight-recorder artifact. Forward-tolerant
+    /// like [`Msg::StatsV2Resp`]: samples, points, and series of unknown
+    /// kinds are skipped by old decoders, not errors. Returns the credit.
+    DebugDumpResp { id: u64, dump: WireDump },
     /// Server → client: request `id` was not served (drain, bad edit, …).
     /// Returns the credit.
     Rejected { id: u64, reason: String },
@@ -291,16 +396,42 @@ impl Msg {
                 e.u8(tag::STATS2_REQ).u64(*id);
             }
             Msg::StatsV2Resp { id, metrics } => {
-                e.u8(tag::STATS2_RESP).u64(*id).u32(metrics.len() as u32);
-                for m in metrics {
-                    e.str(&m.name).u8(m.kind).u32(m.labels.len() as u32);
-                    for (k, v) in &m.labels {
-                        e.str(k).str(v);
+                e.u8(tag::STATS2_RESP).u64(*id);
+                encode_metric_list(&mut e, metrics);
+            }
+            Msg::HistoryReq { id } => {
+                e.u8(tag::HISTORY_REQ).u64(*id);
+            }
+            Msg::HistoryResp { id, interval_us, series } => {
+                e.u8(tag::HISTORY_RESP).u64(*id).u64(*interval_us);
+                encode_series_list(&mut e, series);
+            }
+            Msg::DebugDumpReq { id } => {
+                e.u8(tag::DUMP_REQ).u64(*id);
+            }
+            Msg::DebugDumpResp { id, dump } => {
+                e.u8(tag::DUMP_RESP).u64(*id).u64(dump.interval_us);
+                encode_metric_list(&mut e, &dump.metrics);
+                encode_series_list(&mut e, &dump.series);
+                e.u32(dump.alerts.len() as u32);
+                for a in &dump.alerts {
+                    e.str(&a.name)
+                        .str(&a.kind)
+                        .u8(u8::from(a.firing))
+                        .u64(a.since_tick)
+                        .u64(a.fired_total)
+                        .str(&a.detail);
+                }
+                e.u32(dump.traces.len() as u32);
+                for t in &dump.traces {
+                    e.str(&t.kind).u64(t.total_us).u32(t.phases.len() as u32);
+                    for (phase, us) in &t.phases {
+                        e.str(phase).u64(*us);
                     }
-                    e.u32(m.values.len() as u32);
-                    for v in &m.values {
-                        e.u64(*v);
-                    }
+                }
+                e.u32(dump.config.len() as u32);
+                for (k, v) in &dump.config {
+                    e.str(k).str(v);
                 }
             }
             Msg::Rejected { id, reason } => {
@@ -400,27 +531,53 @@ impl Msg {
             tag::STATS2_REQ => Msg::StatsV2Req { id: d.u64()? },
             tag::STATS2_RESP => {
                 let id = d.u64()?;
-                let n = d.u32()? as usize;
-                let mut metrics = Vec::with_capacity(n.min(4096));
-                for _ in 0..n {
-                    let name = d.str()?;
-                    let kind = d.u8()?;
-                    if kind > METRIC_HISTOGRAM {
-                        return Err(DecodeError(format!("unknown metric kind {kind}")));
-                    }
-                    let labels_n = d.u32()? as usize;
-                    let mut labels = Vec::with_capacity(labels_n.min(64));
-                    for _ in 0..labels_n {
-                        labels.push((d.str()?, d.str()?));
-                    }
-                    let values_n = d.u32()? as usize;
-                    let mut values = Vec::with_capacity(values_n.min(64));
-                    for _ in 0..values_n {
-                        values.push(d.u64()?);
-                    }
-                    metrics.push(WireMetric { name, labels, kind, values });
+                Msg::StatsV2Resp { id, metrics: decode_metric_list(&mut d)? }
+            }
+            tag::HISTORY_REQ => Msg::HistoryReq { id: d.u64()? },
+            tag::HISTORY_RESP => {
+                let id = d.u64()?;
+                let interval_us = d.u64()?;
+                Msg::HistoryResp { id, interval_us, series: decode_series_list(&mut d)? }
+            }
+            tag::DUMP_REQ => Msg::DebugDumpReq { id: d.u64()? },
+            tag::DUMP_RESP => {
+                let id = d.u64()?;
+                let interval_us = d.u64()?;
+                let metrics = decode_metric_list(&mut d)?;
+                let series = decode_series_list(&mut d)?;
+                let alerts_n = d.u32()? as usize;
+                let mut alerts = Vec::with_capacity(alerts_n.min(256));
+                for _ in 0..alerts_n {
+                    alerts.push(WireAlert {
+                        name: d.str()?,
+                        kind: d.str()?,
+                        firing: d.u8()? != 0,
+                        since_tick: d.u64()?,
+                        fired_total: d.u64()?,
+                        detail: d.str()?,
+                    });
                 }
-                Msg::StatsV2Resp { id, metrics }
+                let traces_n = d.u32()? as usize;
+                let mut traces = Vec::with_capacity(traces_n.min(4096));
+                for _ in 0..traces_n {
+                    let kind = d.str()?;
+                    let total_us = d.u64()?;
+                    let phases_n = d.u32()? as usize;
+                    let mut phases = Vec::with_capacity(phases_n.min(64));
+                    for _ in 0..phases_n {
+                        phases.push((d.str()?, d.u64()?));
+                    }
+                    traces.push(WireTraceEvent { kind, total_us, phases });
+                }
+                let config_n = d.u32()? as usize;
+                let mut config = Vec::with_capacity(config_n.min(256));
+                for _ in 0..config_n {
+                    config.push((d.str()?, d.str()?));
+                }
+                Msg::DebugDumpResp {
+                    id,
+                    dump: WireDump { metrics, interval_us, series, alerts, traces, config },
+                }
             }
             tag::REJECTED => Msg::Rejected { id: d.u64()?, reason: d.str()? },
             tag::GOODBYE => Msg::Goodbye,
@@ -431,6 +588,89 @@ impl Msg {
         d.finish()?;
         Ok(msg)
     }
+}
+
+fn encode_metric_list(e: &mut Encoder, metrics: &[WireMetric]) {
+    e.u32(metrics.len() as u32);
+    for m in metrics {
+        e.str(&m.name).u8(m.kind).u32(m.labels.len() as u32);
+        for (k, v) in &m.labels {
+            e.str(k).str(v);
+        }
+        e.u32(m.values.len() as u32);
+        for v in &m.values {
+            e.u64(*v);
+        }
+    }
+}
+
+/// Decodes a metric list **forward-tolerantly**: a sample of an unknown
+/// kind is fully consumed (its labels and values are length-prefixed,
+/// so it is self-delimiting) and then *skipped*, so an old client keeps
+/// working against a server that exposes kinds it never learned —
+/// the same posture short `values` payloads already get (`xpv-engine`'s
+/// converter reads missing positions as 0).
+fn decode_metric_list(d: &mut Decoder<'_>) -> Result<Vec<WireMetric>, DecodeError> {
+    let n = d.u32()? as usize;
+    let mut metrics = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        let name = d.str()?;
+        let kind = d.u8()?;
+        let labels_n = d.u32()? as usize;
+        let mut labels = Vec::with_capacity(labels_n.min(64));
+        for _ in 0..labels_n {
+            labels.push((d.str()?, d.str()?));
+        }
+        let values_n = d.u32()? as usize;
+        let mut values = Vec::with_capacity(values_n.min(64));
+        for _ in 0..values_n {
+            values.push(d.u64()?);
+        }
+        if kind <= METRIC_HISTOGRAM {
+            metrics.push(WireMetric { name, labels, kind, values });
+        }
+    }
+    Ok(metrics)
+}
+
+fn encode_series_list(e: &mut Encoder, series: &[WireSeries]) {
+    e.u32(series.len() as u32);
+    for s in series {
+        e.str(&s.name).u8(s.kind).u32(s.points.len() as u32);
+        for p in &s.points {
+            e.u64(p.at_us).u32(p.values.len() as u32);
+            for v in &p.values {
+                e.u64(*v);
+            }
+        }
+    }
+}
+
+/// Decodes a history series list with the same forward tolerance as
+/// [`decode_metric_list`]: a series of an unknown kind is consumed
+/// (points are self-delimiting) and skipped.
+fn decode_series_list(d: &mut Decoder<'_>) -> Result<Vec<WireSeries>, DecodeError> {
+    let n = d.u32()? as usize;
+    let mut series = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        let name = d.str()?;
+        let kind = d.u8()?;
+        let points_n = d.u32()? as usize;
+        let mut points = Vec::with_capacity(points_n.min(4096));
+        for _ in 0..points_n {
+            let at_us = d.u64()?;
+            let values_n = d.u32()? as usize;
+            let mut values = Vec::with_capacity(values_n.min(64));
+            for _ in 0..values_n {
+                values.push(d.u64()?);
+            }
+            points.push(WirePoint { at_us, values });
+        }
+        if kind <= METRIC_HISTOGRAM {
+            series.push(WireSeries { name, kind, points });
+        }
+    }
+    Ok(series)
 }
 
 const ROUTE_DIRECT: u8 = 0;
@@ -691,10 +931,142 @@ mod tests {
             }
             other => panic!("wrong decode: {other:?}"),
         }
-        // An unknown metric kind is a decode error, not a silent pass.
+    }
+
+    #[test]
+    fn unknown_metric_kinds_are_skipped_not_errors() {
+        // Forward tolerance: an old client receiving a StatsV2Resp with a
+        // metric kind from a newer server must skip it and keep the
+        // samples it understands — three metrics on the wire, the middle
+        // one of future kind 9 with labels and values to step over.
         let mut e = Encoder::new();
-        e.u8(tag::STATS2_RESP).u64(1).u32(1).str("m").u8(9).u32(0).u32(0);
-        assert!(Msg::decode(&e.finish()).is_err(), "bad metric kind");
+        e.u8(tag::STATS2_RESP).u64(1).u32(3);
+        e.str("xpv_cache_queries").u8(METRIC_COUNTER).u32(0).u32(1).u64(42);
+        e.str("xpv_future_sketch").u8(9).u32(1).str("tenant").str("acme").u32(3);
+        e.u64(7).u64(8).u64(9);
+        e.str("xpv_server_connections").u8(METRIC_GAUGE).u32(0).u32(1).u64(3);
+        match Msg::decode(&e.finish()).expect("unknown kind skipped, not an error") {
+            Msg::StatsV2Resp { id, metrics } => {
+                assert_eq!(id, 1);
+                let names: Vec<&str> = metrics.iter().map(|m| m.name.as_str()).collect();
+                assert_eq!(names, vec!["xpv_cache_queries", "xpv_server_connections"]);
+                assert_eq!(metrics[0].values, vec![42]);
+                assert_eq!(metrics[1].values, vec![3]);
+            }
+            other => panic!("wrong decode: {other:?}"),
+        }
+        // A kind-9 metric whose payload is *truncated* is still an error:
+        // tolerance skips well-formed unknowns, it does not mask damage.
+        let mut e = Encoder::new();
+        e.u8(tag::STATS2_RESP).u64(1).u32(1).str("m").u8(9).u32(1).str("k");
+        assert!(Msg::decode(&e.finish()).is_err(), "truncated unknown-kind metric");
+    }
+
+    #[test]
+    fn history_frames_round_trip() {
+        match round_trip(&Msg::HistoryReq { id: 5 }) {
+            Msg::HistoryReq { id } => assert_eq!(id, 5),
+            other => panic!("wrong decode: {other:?}"),
+        }
+        let series = vec![
+            WireSeries {
+                name: "xpv_cache_queries".into(),
+                kind: METRIC_COUNTER,
+                points: vec![
+                    WirePoint { at_us: 1_000_000, values: vec![40] },
+                    WirePoint { at_us: 2_000_000, values: vec![55] },
+                ],
+            },
+            WireSeries {
+                name: "xpv_tenant_queries{tenant=\"acme\"}".into(),
+                kind: METRIC_COUNTER,
+                points: vec![WirePoint { at_us: 2_000_000, values: vec![7] }],
+            },
+            WireSeries {
+                name: "xpv_phase_eval_us".into(),
+                kind: METRIC_HISTOGRAM,
+                points: vec![WirePoint { at_us: 2_000_000, values: vec![100, 80, 300, 800] }],
+            },
+        ];
+        let msg = Msg::HistoryResp { id: 6, interval_us: 1_000_000, series: series.clone() };
+        match round_trip(&msg) {
+            Msg::HistoryResp { id, interval_us, series: decoded } => {
+                assert_eq!((id, interval_us), (6, 1_000_000));
+                assert_eq!(decoded, series);
+            }
+            other => panic!("wrong decode: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_series_kinds_are_skipped() {
+        let mut e = Encoder::new();
+        e.u8(tag::HISTORY_RESP).u64(1).u64(1_000_000).u32(2);
+        e.str("xpv_future_series").u8(7).u32(2);
+        e.u64(1).u32(2).u64(10).u64(20);
+        e.u64(2).u32(2).u64(11).u64(21);
+        e.str("xpv_cache_queries").u8(METRIC_COUNTER).u32(1).u64(3).u32(1).u64(9);
+        match Msg::decode(&e.finish()).expect("unknown series kind skipped") {
+            Msg::HistoryResp { series, .. } => {
+                assert_eq!(series.len(), 1);
+                assert_eq!(series[0].name, "xpv_cache_queries");
+                assert_eq!(series[0].points, vec![WirePoint { at_us: 3, values: vec![9] }]);
+            }
+            other => panic!("wrong decode: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn debug_dump_round_trips() {
+        match round_trip(&Msg::DebugDumpReq { id: 11 }) {
+            Msg::DebugDumpReq { id } => assert_eq!(id, 11),
+            other => panic!("wrong decode: {other:?}"),
+        }
+        let dump = WireDump {
+            metrics: vec![WireMetric {
+                name: "xpv_alert_stall_total".into(),
+                labels: vec![],
+                kind: METRIC_COUNTER,
+                values: vec![2],
+            }],
+            interval_us: 40_000,
+            series: vec![WireSeries {
+                name: "xpv_hb_maintain_beats".into(),
+                kind: METRIC_GAUGE,
+                points: vec![WirePoint { at_us: 40_000, values: vec![5] }],
+            }],
+            alerts: vec![WireAlert {
+                name: "maintain_stall".into(),
+                kind: "heartbeat_stall".into(),
+                firing: true,
+                since_tick: 4,
+                fired_total: 2,
+                detail: "1 in flight, no beat for 2 ticks (beats=5)".into(),
+            }],
+            traces: vec![WireTraceEvent {
+                kind: "net.query".into(),
+                total_us: 1234,
+                phases: vec![("admission".into(), 10), ("eval".into(), 900)],
+            }],
+            config: vec![("trace_sampling".into(), "1".into())],
+        };
+        let msg = Msg::DebugDumpResp { id: 12, dump: dump.clone() };
+        match round_trip(&msg) {
+            Msg::DebugDumpResp { id, dump: decoded } => {
+                assert_eq!(id, 12);
+                assert_eq!(decoded, dump);
+            }
+            other => panic!("wrong decode: {other:?}"),
+        }
+        // The empty dump (no sampler, nothing drained) round-trips too.
+        let empty = Msg::DebugDumpResp { id: 13, dump: WireDump::default() };
+        match round_trip(&empty) {
+            Msg::DebugDumpResp { id, dump } => {
+                assert_eq!(id, 13);
+                assert_eq!(dump, WireDump::default());
+            }
+            other => panic!("wrong decode: {other:?}"),
+        }
     }
 
     #[test]

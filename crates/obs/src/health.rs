@@ -1,0 +1,565 @@
+//! The health watchdog: heartbeats, declarative per-tick rules, and
+//! tail-based trace capture.
+//!
+//! A metrics snapshot can show a stall only as an *absence* (a counter
+//! that stopped moving); this module makes absences first-class:
+//!
+//! - [`Heartbeat`] is a pair of gauges an operation bumps —
+//!   `xpv_hb_<name>_inflight` while the operation runs and
+//!   `xpv_hb_<name>_beats` on completion. A wedged operation is then
+//!   *visible*: inflight > 0 with beats frozen across sampler ticks.
+//! - [`HealthRule`] is the declarative judgment: [`HealthRule::heartbeat_stall`]
+//!   fires when a heartbeat shows no progress for N consecutive ticks;
+//!   [`HealthRule::slo_burn`] fires when a phase histogram's *interval*
+//!   quantile (per-tick, from the history sampler) exceeds a threshold in
+//!   too many of the last W ticks — a burn rate, not a single blip.
+//! - [`Health`] evaluates the rules each tick (driven by the sampler).
+//!   A firing rule increments its own `xpv_alert_<rule>_total` counter
+//!   plus the `xpv_alerts_total` roll-up (`xpv_alert_stall_total` too,
+//!   for heartbeat rules), and — the tail-based-sampling move — **forces
+//!   trace sampling to always-on** so the trace rings fill with exactly
+//!   the slow period's spans. When every rule has been quiet for the
+//!   cooldown window the previous sampling knob is restored.
+//!
+//! All alert instruments are pre-registered at construction so they
+//! expose as zeros before anything fires (dashboards can alert on the
+//! counter existing *and* moving, not on its first appearance).
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+use crate::history::TickObservation;
+use crate::metrics::{Counter, Gauge, Registry};
+use crate::trace::{set_trace_sampling, trace_sampling};
+
+/// Default quiet ticks before forced always-on sampling is released
+/// (30 s at the default 1 s sampler interval).
+pub const DEFAULT_COOLDOWN_TICKS: u32 = 30;
+
+/// A liveness instrument: `begin` marks an operation in flight, the
+/// returned guard beats on drop (panic-safe — an unwound operation still
+/// beats, a *wedged* one does not, which is exactly the signal).
+/// Cheap to clone; both gauges live in the registry as
+/// `xpv_hb_<name>_inflight` / `xpv_hb_<name>_beats`.
+#[derive(Clone, Debug)]
+pub struct Heartbeat {
+    inflight: Arc<Gauge>,
+    beats: Arc<Gauge>,
+}
+
+impl Heartbeat {
+    pub fn new(registry: &Registry, name: &str) -> Heartbeat {
+        Heartbeat {
+            inflight: registry.gauge(&format!("xpv_hb_{name}_inflight")),
+            beats: registry.gauge(&format!("xpv_hb_{name}_beats")),
+        }
+    }
+
+    /// Marks an operation in flight; the guard beats when dropped.
+    pub fn begin(&self) -> HeartbeatGuard {
+        self.inflight.add(1);
+        HeartbeatGuard { hb: self.clone() }
+    }
+
+    /// A bare beat with no inflight window — for loops that want to
+    /// prove liveness per iteration without bracketing each step.
+    pub fn beat_now(&self) {
+        self.beats.add(1);
+    }
+
+    /// Completed beats so far (test/diagnostic readout).
+    pub fn beats(&self) -> u64 {
+        self.beats.value()
+    }
+
+    /// Operations currently in flight (test/diagnostic readout).
+    pub fn inflight(&self) -> u64 {
+        self.inflight.value()
+    }
+}
+
+/// Beats its [`Heartbeat`] on drop (see [`Heartbeat::begin`]).
+#[derive(Debug)]
+pub struct HeartbeatGuard {
+    hb: Heartbeat,
+}
+
+impl Drop for HeartbeatGuard {
+    fn drop(&mut self) {
+        self.hb.inflight.sub(1);
+        self.hb.beats.add(1);
+    }
+}
+
+/// Which interval quantile an SLO rule judges.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Quantile {
+    P50,
+    P90,
+    P99,
+}
+
+impl Quantile {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Quantile::P50 => "p50",
+            Quantile::P90 => "p90",
+            Quantile::P99 => "p99",
+        }
+    }
+}
+
+/// One declarative watchdog rule (see the module docs for semantics).
+#[derive(Clone, Debug)]
+pub enum HealthRule {
+    /// Fires when heartbeat `heartbeat` shows work in flight but no beat
+    /// for `max_stalled_ticks` consecutive ticks.
+    HeartbeatStall { name: String, heartbeat: String, max_stalled_ticks: u32 },
+    /// Fires when histogram `histogram`'s per-tick `quantile` exceeded
+    /// `threshold_us` in at least `fire_at` of the last `window` ticks.
+    SloBurn {
+        name: String,
+        histogram: String,
+        quantile: Quantile,
+        threshold_us: u64,
+        window: u32,
+        fire_at: u32,
+    },
+}
+
+impl HealthRule {
+    /// A stall rule over the heartbeat registered as
+    /// `xpv_hb_<heartbeat>_*`, named `<heartbeat>_stall`.
+    pub fn heartbeat_stall(heartbeat: &str, max_stalled_ticks: u32) -> HealthRule {
+        HealthRule::HeartbeatStall {
+            name: format!("{heartbeat}_stall"),
+            heartbeat: heartbeat.to_string(),
+            max_stalled_ticks: max_stalled_ticks.max(1),
+        }
+    }
+
+    /// An SLO burn-rate rule over `histogram` (full metric name, e.g.
+    /// `xpv_phase_eval_us`), named `<name>`.
+    pub fn slo_burn(
+        name: &str,
+        histogram: &str,
+        quantile: Quantile,
+        threshold_us: u64,
+        window: u32,
+        fire_at: u32,
+    ) -> HealthRule {
+        HealthRule::SloBurn {
+            name: name.to_string(),
+            histogram: histogram.to_string(),
+            quantile,
+            threshold_us,
+            window: window.max(1),
+            fire_at: fire_at.clamp(1, window.max(1)),
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        match self {
+            HealthRule::HeartbeatStall { name, .. } => name,
+            HealthRule::SloBurn { name, .. } => name,
+        }
+    }
+
+    /// Short kind tag for dumps and the wire frame.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            HealthRule::HeartbeatStall { .. } => "heartbeat_stall",
+            HealthRule::SloBurn { .. } => "slo_burn",
+        }
+    }
+}
+
+/// One rule's externally visible state (dump / wire payload).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Alert {
+    /// Rule name (`xpv_alert_<name>_total` is its counter).
+    pub name: String,
+    /// Rule kind tag (`heartbeat_stall` | `slo_burn`).
+    pub kind: String,
+    /// Firing as of the last evaluated tick.
+    pub firing: bool,
+    /// Tick the current firing streak started at (0 = never fired).
+    pub since_tick: u64,
+    /// Ticks this rule has fired over its lifetime.
+    pub fired_total: u64,
+    /// Human-readable evidence from the last firing evaluation.
+    pub detail: String,
+}
+
+struct RuleState {
+    rule: HealthRule,
+    counter: Arc<Counter>,
+    firing: bool,
+    since_tick: u64,
+    fired_total: u64,
+    detail: String,
+    /// HeartbeatStall: beats gauge at the previous tick.
+    last_beats: Option<u64>,
+    /// HeartbeatStall: consecutive no-progress ticks with work in flight.
+    stalled_ticks: u32,
+    /// SloBurn: breach flags for the last `window` ticks.
+    breaches: VecDeque<bool>,
+}
+
+struct HealthInner {
+    rules: Vec<RuleState>,
+    /// Quiet ticks remaining before forced sampling is released.
+    cooldown_left: u32,
+    /// The sampling knob to restore, captured when forcing began.
+    saved_sampling: Option<u32>,
+}
+
+/// The watchdog: owns the rules, the alert instruments, and the forced
+/// trace-sampling state machine. Driven by the sampler's tick; see the
+/// module docs.
+pub struct Health {
+    registry: Arc<Registry>,
+    alerts_total: Arc<Counter>,
+    stall_total: Arc<Counter>,
+    firing_gauge: Arc<Gauge>,
+    forced_gauge: Arc<Gauge>,
+    cooldown_ticks: u32,
+    inner: Mutex<HealthInner>,
+}
+
+impl Health {
+    /// Builds the watchdog over `rules`; every alert instrument (the
+    /// roll-ups and one `xpv_alert_<rule>_total` per rule) is created in
+    /// `registry` immediately so it exposes as zero.
+    pub fn new(registry: Arc<Registry>, rules: Vec<HealthRule>, cooldown_ticks: u32) -> Health {
+        let states = rules
+            .into_iter()
+            .map(|rule| RuleState {
+                counter: registry.counter(&format!("xpv_alert_{}_total", rule.name())),
+                rule,
+                firing: false,
+                since_tick: 0,
+                fired_total: 0,
+                detail: String::new(),
+                last_beats: None,
+                stalled_ticks: 0,
+                breaches: VecDeque::new(),
+            })
+            .collect();
+        Health {
+            alerts_total: registry.counter("xpv_alerts_total"),
+            stall_total: registry.counter("xpv_alert_stall_total"),
+            firing_gauge: registry.gauge("xpv_alert_firing"),
+            forced_gauge: registry.gauge("xpv_alert_trace_forced"),
+            registry,
+            cooldown_ticks: cooldown_ticks.max(1),
+            inner: Mutex::new(HealthInner {
+                rules: states,
+                cooldown_left: 0,
+                saved_sampling: None,
+            }),
+        }
+    }
+
+    /// Evaluates every rule against one tick's observation (called by
+    /// the sampler after recording history). Updates alert counters and
+    /// the forced-sampling cooldown.
+    pub fn evaluate(&self, obs: &TickObservation) {
+        let mut inner = self.inner.lock().expect("health poisoned");
+        let mut any_firing = false;
+        let mut firing_count = 0u64;
+        for state in inner.rules.iter_mut() {
+            let (firing, detail) = judge(state, obs);
+            if firing {
+                any_firing = true;
+                firing_count += 1;
+                if !state.firing {
+                    state.since_tick = obs.tick;
+                }
+                state.fired_total += 1;
+                state.detail = detail;
+                state.counter.inc();
+                self.alerts_total.inc();
+                if matches!(state.rule, HealthRule::HeartbeatStall { .. }) {
+                    self.stall_total.inc();
+                }
+            }
+            state.firing = firing;
+        }
+        self.firing_gauge.set(firing_count);
+        if any_firing {
+            // Tail-based sampling: capture the slow period's spans in
+            // full. Save the operator's knob once, on the quiet→firing
+            // edge, and re-arm the cooldown every firing tick.
+            if inner.saved_sampling.is_none() {
+                inner.saved_sampling = Some(trace_sampling());
+                set_trace_sampling(1);
+                self.forced_gauge.set(1);
+            }
+            inner.cooldown_left = self.cooldown_ticks;
+        } else if let Some(saved) = inner.saved_sampling {
+            inner.cooldown_left = inner.cooldown_left.saturating_sub(1);
+            if inner.cooldown_left == 0 {
+                set_trace_sampling(saved);
+                inner.saved_sampling = None;
+                self.forced_gauge.set(0);
+            }
+        }
+    }
+
+    /// Every rule's current state, in registration order.
+    pub fn alerts(&self) -> Vec<Alert> {
+        let inner = self.inner.lock().expect("health poisoned");
+        inner
+            .rules
+            .iter()
+            .map(|s| Alert {
+                name: s.rule.name().to_string(),
+                kind: s.rule.kind().to_string(),
+                firing: s.firing,
+                since_tick: s.since_tick,
+                fired_total: s.fired_total,
+                detail: s.detail.clone(),
+            })
+            .collect()
+    }
+
+    /// Whether the watchdog is currently forcing always-on sampling.
+    pub fn trace_forced(&self) -> bool {
+        self.inner.lock().expect("health poisoned").saved_sampling.is_some()
+    }
+
+    /// The registry the alert instruments live in.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+}
+
+impl std::fmt::Debug for Health {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Health")
+            .field("rules", &self.inner.lock().expect("health poisoned").rules.len())
+            .field("cooldown_ticks", &self.cooldown_ticks)
+            .finish()
+    }
+}
+
+/// One rule, one tick: returns (firing, detail).
+fn judge(state: &mut RuleState, obs: &TickObservation) -> (bool, String) {
+    match &state.rule {
+        HealthRule::HeartbeatStall { heartbeat, max_stalled_ticks, .. } => {
+            let inflight =
+                obs.gauges.get(&format!("xpv_hb_{heartbeat}_inflight")).copied().unwrap_or(0);
+            let beats = obs.gauges.get(&format!("xpv_hb_{heartbeat}_beats")).copied().unwrap_or(0);
+            let progressed = state.last_beats != Some(beats);
+            let known = state.last_beats.is_some();
+            state.last_beats = Some(beats);
+            if known && !progressed && inflight > 0 {
+                state.stalled_ticks += 1;
+            } else {
+                state.stalled_ticks = 0;
+            }
+            if state.stalled_ticks >= *max_stalled_ticks {
+                (
+                    true,
+                    format!(
+                        "{inflight} in flight, no beat for {} ticks (beats={beats})",
+                        state.stalled_ticks
+                    ),
+                )
+            } else {
+                (false, String::new())
+            }
+        }
+        HealthRule::SloBurn { histogram, quantile, threshold_us, window, fire_at, .. } => {
+            let observed =
+                obs.intervals.get(histogram).filter(|s| s.count > 0).map(|s| match quantile {
+                    Quantile::P50 => s.p50,
+                    Quantile::P90 => s.p90,
+                    Quantile::P99 => s.p99,
+                });
+            let breached = observed.is_some_and(|v| v > *threshold_us);
+            state.breaches.push_back(breached);
+            while state.breaches.len() > *window as usize {
+                state.breaches.pop_front();
+            }
+            let hits = state.breaches.iter().filter(|b| **b).count() as u32;
+            if hits >= *fire_at {
+                (
+                    true,
+                    format!(
+                        "{histogram} {} > {threshold_us}us in {hits}/{} ticks (last={})",
+                        quantile.as_str(),
+                        state.breaches.len(),
+                        observed.unwrap_or(0)
+                    ),
+                )
+            } else {
+                (false, String::new())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::History;
+    use crate::snapshot::MetricsSnapshot;
+    use crate::trace::tests_support::trace_lock;
+
+    /// Records one tick of the registry into `history` and evaluates.
+    fn tick(registry: &Arc<Registry>, history: &History, health: &Health) {
+        let obs = history.record_tick(&registry.snapshot(), &registry.histograms_raw());
+        health.evaluate(&obs);
+    }
+
+    fn alert_count(registry: &Registry, name: &str) -> u64 {
+        registry.counter(name).value()
+    }
+
+    #[test]
+    fn heartbeat_guard_beats_even_on_unwind() {
+        let registry = Registry::new();
+        let hb = Heartbeat::new(&registry, "t");
+        {
+            let _g = hb.begin();
+            assert_eq!(hb.inflight(), 1);
+        }
+        assert_eq!((hb.inflight(), hb.beats()), (0, 1));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = hb.begin();
+            panic!("unwind");
+        }));
+        assert!(result.is_err());
+        assert_eq!((hb.inflight(), hb.beats()), (0, 2), "unwound op still beats");
+    }
+
+    #[test]
+    fn stall_rule_fires_on_frozen_inflight_heartbeat_and_clears() {
+        let _guard = trace_lock();
+        let registry = Arc::new(Registry::new());
+        let hb = Heartbeat::new(&registry, "maintain");
+        let history = History::new(32);
+        let health =
+            Health::new(Arc::clone(&registry), vec![HealthRule::heartbeat_stall("maintain", 2)], 3);
+
+        // Healthy traffic: begin/end between ticks — never fires.
+        for _ in 0..4 {
+            drop(hb.begin());
+            tick(&registry, &history, &health);
+        }
+        assert_eq!(alert_count(&registry, "xpv_alert_maintain_stall_total"), 0);
+
+        // Wedge: in flight, beats frozen. The healthy ticks already
+        // established the beat baseline, so the stall is observed from
+        // the first wedged tick and fires on the second.
+        let wedged = hb.begin();
+        tick(&registry, &history, &health);
+        assert_eq!(alert_count(&registry, "xpv_alert_stall_total"), 0, "below threshold");
+        tick(&registry, &history, &health);
+        assert_eq!(alert_count(&registry, "xpv_alert_maintain_stall_total"), 1, "fires at 2 ticks");
+        assert_eq!(alert_count(&registry, "xpv_alert_stall_total"), 1);
+        assert_eq!(alert_count(&registry, "xpv_alerts_total"), 1);
+        let alerts = health.alerts();
+        assert!(alerts[0].firing, "alert visible: {alerts:?}");
+        assert!(alerts[0].detail.contains("no beat"), "detail: {}", alerts[0].detail);
+
+        // Unwedge: the beat advances, the rule clears.
+        drop(wedged);
+        tick(&registry, &history, &health);
+        assert!(!health.alerts()[0].firing);
+        assert_eq!(registry.gauge("xpv_alert_firing").value(), 0);
+    }
+
+    #[test]
+    fn idle_heartbeat_never_fires() {
+        let _guard = trace_lock();
+        let registry = Arc::new(Registry::new());
+        let _hb = Heartbeat::new(&registry, "flush");
+        let history = History::new(32);
+        let health =
+            Health::new(Arc::clone(&registry), vec![HealthRule::heartbeat_stall("flush", 1)], 3);
+        for _ in 0..10 {
+            tick(&registry, &history, &health);
+        }
+        assert_eq!(alert_count(&registry, "xpv_alerts_total"), 0, "idle is not a stall");
+    }
+
+    #[test]
+    fn slo_burn_fires_on_sustained_interval_breach_only() {
+        let _guard = trace_lock();
+        let registry = Arc::new(Registry::new());
+        let hist = registry.histogram("xpv_phase_eval_us");
+        let history = History::new(32);
+        let health = Health::new(
+            Arc::clone(&registry),
+            vec![HealthRule::slo_burn("eval_slo", "xpv_phase_eval_us", Quantile::P99, 1_000, 4, 2)],
+            3,
+        );
+
+        // One slow tick out of four: under the burn threshold.
+        hist.record(50_000);
+        tick(&registry, &history, &health);
+        for _ in 0..3 {
+            hist.record(10);
+            tick(&registry, &history, &health);
+        }
+        assert_eq!(alert_count(&registry, "xpv_alert_eval_slo_total"), 0, "a blip is not a burn");
+
+        // Two slow ticks inside the window: fires.
+        hist.record(50_000);
+        tick(&registry, &history, &health);
+        hist.record(50_000);
+        tick(&registry, &history, &health);
+        assert!(alert_count(&registry, "xpv_alert_eval_slo_total") >= 1, "sustained breach fires");
+        assert!(health.alerts()[0].detail.contains("xpv_phase_eval_us"), "evidence in detail");
+        // Stall roll-up untouched: this is not a heartbeat rule.
+        assert_eq!(alert_count(&registry, "xpv_alert_stall_total"), 0);
+    }
+
+    #[test]
+    fn firing_forces_always_on_sampling_then_cooldown_restores() {
+        let _guard = trace_lock();
+        set_trace_sampling(64);
+        let registry = Arc::new(Registry::new());
+        let hb = Heartbeat::new(&registry, "w");
+        let history = History::new(32);
+        let health =
+            Health::new(Arc::clone(&registry), vec![HealthRule::heartbeat_stall("w", 1)], 2);
+
+        let wedged = hb.begin();
+        tick(&registry, &history, &health); // baseline
+        tick(&registry, &history, &health); // stalled 1 tick → fires
+        assert_eq!(trace_sampling(), 1, "firing forces always-on");
+        assert!(health.trace_forced());
+        assert_eq!(registry.gauge("xpv_alert_trace_forced").value(), 1);
+
+        // Recovery: cooldown of 2 quiet ticks, then the knob restores.
+        drop(wedged);
+        tick(&registry, &history, &health);
+        assert_eq!(trace_sampling(), 1, "still in cooldown");
+        tick(&registry, &history, &health);
+        assert_eq!(trace_sampling(), 64, "cooldown elapsed, knob restored");
+        assert!(!health.trace_forced());
+        assert_eq!(registry.gauge("xpv_alert_trace_forced").value(), 0);
+        set_trace_sampling(crate::trace::DEFAULT_TRACE_SAMPLING);
+    }
+
+    #[test]
+    fn alert_instruments_exist_before_any_firing() {
+        let registry = Arc::new(Registry::new());
+        let _health = Health::new(
+            Arc::clone(&registry),
+            vec![HealthRule::heartbeat_stall("maintain", 5)],
+            DEFAULT_COOLDOWN_TICKS,
+        );
+        let snap = registry.snapshot();
+        for name in ["xpv_alerts_total", "xpv_alert_stall_total", "xpv_alert_maintain_stall_total"]
+        {
+            assert!(snap.get(name).is_some(), "{name} pre-registered");
+        }
+        assert!(snap.get("xpv_alert_firing").is_some());
+        let _ = MetricsSnapshot::new();
+    }
+}

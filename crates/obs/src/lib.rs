@@ -17,6 +17,18 @@
 //!   output, the legacy stats structs' `Display` impls via
 //!   [`write_kv_line`]) renders from it or from the same `visit`
 //!   enumeration that fills it.
+//! - [`History`] / [`Sampler`] — per-metric ring buffers fed by a
+//!   background sampler thread: counter deltas, gauge levels, and
+//!   per-tick histogram percentiles over a retained window (see
+//!   [`history`]).
+//! - [`Heartbeat`] / [`HealthRule`] / [`Health`] — liveness gauges and
+//!   the per-tick watchdog that turns a stall or an SLO burn into
+//!   `xpv_alert_*` counters and forced always-on trace capture (see
+//!   [`health`]).
+//!
+//! The full metric catalogue — every family, the heartbeat gauges, and
+//! the alert-rule semantics — is documented in `docs/METRICS.md` at the
+//! repository root.
 //!
 //! ## Naming scheme
 //!
@@ -32,6 +44,8 @@
 //! | `xpv_net_*` | wire counters | `xpv_net_frames_in`, `xpv_net_credit_stalls` |
 //! | `xpv_server_*` | serving-front-end gauges | `xpv_server_connections` |
 //! | `xpv_phase_*_us` | latency histograms, microseconds | `xpv_phase_eval_us`, `xpv_phase_maintain_scan_us` |
+//! | `xpv_hb_*` | heartbeat gauges (liveness) | `xpv_hb_maintain_inflight`, `xpv_hb_maintain_beats` |
+//! | `xpv_alert_*`, `xpv_alerts_total` | watchdog alert counters/gauges | `xpv_alert_stall_total`, `xpv_alert_firing` |
 //!
 //! Every counter has **one** name: a number that reaches the snapshot
 //! through one family is never re-exported under another (the
@@ -61,16 +75,25 @@
 //!   4000-query pass; the span cost is dwarfed by planning/eval). The CI
 //!   gate on `BENCH_obs.json` fails the build past **10%**.
 
+pub mod health;
+pub mod history;
 pub mod metrics;
 pub mod snapshot;
 pub mod trace;
 
+pub use health::{
+    Alert, Health, HealthRule, Heartbeat, HeartbeatGuard, Quantile, DEFAULT_COOLDOWN_TICKS,
+};
+pub use history::{
+    series_key, History, HistoryPoint, PointValue, Sampler, SamplerConfig, SeriesData, SeriesKind,
+    TickObservation, WindowStats, DEFAULT_HISTORY_CAPACITY, DEFAULT_SAMPLE_INTERVAL,
+};
 pub use metrics::{
     bucket_index, bucket_upper, Counter, Gauge, Histogram, HistogramSnapshot, Registry,
     COUNTER_STRIPES, HIST_BUCKETS,
 };
 pub use snapshot::{write_kv_line, HistogramSummary, MetricsSnapshot, Sample, SampleValue};
 pub use trace::{
-    drain_trace_events, set_trace_sampling, trace_sampling, Phase, Span, TraceEvent,
-    DEFAULT_TRACE_SAMPLING, RING_CAPACITY,
+    drain_trace_events, set_trace_sampling, trace_ring_count, trace_sampling, Phase, Span,
+    TraceEvent, DEFAULT_TRACE_SAMPLING, RING_CAPACITY,
 };

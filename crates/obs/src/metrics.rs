@@ -227,13 +227,18 @@ impl HistogramSnapshot {
     /// The `q`-quantile (`q ∈ [0, 1]`), reported as the rank bucket's
     /// upper bound clamped to the observed max: never below the true
     /// order statistic, at most 2× above it (power-of-two buckets).
-    /// Zero when empty.
+    ///
+    /// Edge cases are defined, not incidental: an **empty** histogram
+    /// reads `0` for every `q`; an out-of-range `q` **clamps** to
+    /// `[0, 1]` (so `q ≤ 0` is the minimum order statistic and `q ≥ 1`
+    /// the maximum); a **NaN** `q` is treated as `0`.
     pub fn percentile(&self, q: f64) -> u64 {
         let count = self.count();
         if count == 0 {
             return 0;
         }
-        let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).clamp(1, count);
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
         let mut cum = 0u64;
         for (i, &c) in self.buckets.iter().enumerate() {
             cum += c;
@@ -313,6 +318,20 @@ impl Registry {
     /// [`Registry::counter`]).
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
         get_or_create(&self.histograms, name)
+    }
+
+    /// Raw bucket snapshots of every registered histogram, sorted by
+    /// name. Unlike [`Registry::snapshot`] (which pre-summarizes into
+    /// six numbers), the raw buckets support interval math — the history
+    /// sampler diffs consecutive snapshots with
+    /// [`HistogramSnapshot::since`] to get per-tick percentiles.
+    pub fn histograms_raw(&self) -> Vec<(String, HistogramSnapshot)> {
+        self.histograms
+            .read()
+            .expect("registry poisoned")
+            .iter()
+            .map(|(name, h)| (name.clone(), h.snapshot()))
+            .collect()
     }
 
     /// Every registered instrument as one [`MetricsSnapshot`], sorted by
@@ -421,6 +440,28 @@ mod tests {
         assert_eq!(snap.count(), 0);
         assert_eq!(snap.percentile(0.5), 0);
         assert_eq!(snap.mean(), 0);
+    }
+
+    #[test]
+    fn percentile_edge_cases_are_defined() {
+        // Empty: zero for every q, including the weird ones.
+        let empty = Histogram::new().snapshot();
+        for q in [-1.0, 0.0, 0.5, 1.0, 7.5, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(empty.percentile(q), 0, "empty histogram, q={q}");
+        }
+        // Non-empty: out-of-range q clamps to [0, 1], NaN acts as 0.
+        let h = Histogram::new();
+        h.record(1);
+        h.record(1000);
+        let snap = h.snapshot();
+        let min = snap.percentile(0.0);
+        let max = snap.percentile(1.0);
+        assert_eq!(snap.percentile(-3.0), min, "q below range clamps to the minimum");
+        assert_eq!(snap.percentile(f64::NEG_INFINITY), min);
+        assert_eq!(snap.percentile(42.0), max, "q above range clamps to the maximum");
+        assert_eq!(snap.percentile(f64::INFINITY), max);
+        assert_eq!(snap.percentile(f64::NAN), min, "NaN is treated as q = 0");
+        assert_eq!(max, snap.max, "q = 1 is the exact observed max");
     }
 
     #[test]

@@ -272,16 +272,31 @@ pub fn drain_trace_events() -> Vec<TraceEvent> {
     out
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
+/// Rings currently registered: live recording threads plus dead threads
+/// whose rings a drain has not yet pruned. A leak diagnostic — under
+/// thread churn with periodic drains this must stay bounded by the live
+/// thread count, not grow with every thread ever spawned.
+pub fn trace_ring_count() -> usize {
+    ring_registry().lock().expect("ring registry poisoned").len()
+}
 
-    /// Serializes the tests that touch the global sampling knob and the
-    /// global rings (cargo runs tests in parallel within the crate).
-    fn trace_lock() -> std::sync::MutexGuard<'static, ()> {
+#[cfg(test)]
+pub(crate) mod tests_support {
+    use std::sync::Mutex;
+
+    /// Serializes the tests (across this crate's modules) that touch the
+    /// global sampling knob and the global rings (cargo runs tests in
+    /// parallel within the crate).
+    pub(crate) fn trace_lock() -> std::sync::MutexGuard<'static, ()> {
         static LOCK: Mutex<()> = Mutex::new(());
         LOCK.lock().expect("trace test lock poisoned")
     }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::tests_support::trace_lock;
+    use super::*;
 
     #[test]
     fn span_records_phases_in_mark_order() {
@@ -335,6 +350,40 @@ mod tests {
         }
         let flood = drain_trace_events().into_iter().filter(|e| e.kind == "test.flood").count();
         assert_eq!(flood, RING_CAPACITY);
+    }
+
+    #[test]
+    fn thread_churn_does_not_grow_the_ring_registry() {
+        let _guard = trace_lock();
+        let _ = drain_trace_events();
+        let baseline = trace_ring_count();
+        // Many generations of short-lived instrumented threads, with a
+        // drain between generations (as a live server's stats path does).
+        for _ in 0..8 {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    std::thread::spawn(|| {
+                        for _ in 0..4 {
+                            Span::forced("test.churn").finish();
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("no panic");
+            }
+            let drained =
+                drain_trace_events().into_iter().filter(|e| e.kind == "test.churn").count();
+            assert_eq!(drained, 32, "dead threads' events survive until the drain");
+        }
+        // 64 dead threads later: the registry pruned their rings instead
+        // of accumulating a strong Arc per thread ever spawned.
+        let _ = drain_trace_events();
+        assert!(
+            trace_ring_count() <= baseline + 1,
+            "ring registry grew under thread churn: {} rings (baseline {baseline})",
+            trace_ring_count()
+        );
     }
 
     #[test]

@@ -1,0 +1,218 @@
+//! `bench-gate` — CI regression gate over the committed bench baselines.
+//!
+//! ```text
+//! bench-gate [--baseline-dir DIR] [--fresh-dir DIR] [--tolerance F]
+//! ```
+//!
+//! Compares freshly produced `BENCH_serving.json`, `BENCH_updates.json`,
+//! and `BENCH_obs.json` (in `--fresh-dir`, default `.`) against the
+//! committed copies in `--baseline-dir` (default `baselines/`) and exits
+//! non-zero when a headline number regresses past the tolerance band:
+//!
+//! * **serving** — best qps across the sweep's runs must stay within
+//!   `1 - F` of the baseline's best;
+//! * **updates** — `speedup_primary_vs_full` must stay within `1 - F`
+//!   of baseline, and `verified_identical` must be `true` (correctness,
+//!   never tolerance-banded);
+//! * **obs** — `within_budget` must be `true`, and
+//!   `always_on_overhead_pct` may not exceed the baseline by more than
+//!   `F × 100` percentage points.
+//!
+//! The default tolerance is deliberately wide (`0.5` — CI machines are
+//! not the machines the baselines were measured on); the gate exists to
+//! catch step-function regressions, not single-digit noise. The parsing
+//! is a dependency-free key scan, not a JSON parser: the bench writers
+//! in `xpv` emit one `"key": value` pair per headline metric, which is
+//! all the gate needs.
+
+use std::process::ExitCode;
+
+/// Every number attached to `"key":` anywhere in the document.
+fn scan_numbers(json: &str, key: &str) -> Vec<f64> {
+    let needle = format!("\"{key}\":");
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(at) = rest.find(&needle) {
+        rest = &rest[at + needle.len()..];
+        let trimmed = rest.trim_start();
+        let end = trimmed
+            .find(|c: char| !(c.is_ascii_digit() || c == '-' || c == '+' || c == '.' || c == 'e'))
+            .unwrap_or(trimmed.len());
+        if let Ok(v) = trimmed[..end].parse::<f64>() {
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// The first boolean attached to `"key":`, if any.
+fn scan_bool(json: &str, key: &str) -> Option<bool> {
+    let needle = format!("\"{key}\":");
+    let rest = &json[json.find(&needle)? + needle.len()..];
+    let trimmed = rest.trim_start();
+    if trimmed.starts_with("true") {
+        Some(true)
+    } else if trimmed.starts_with("false") {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+fn read(dir: &str, name: &str) -> Result<String, String> {
+    let path = std::path::Path::new(dir).join(name);
+    std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+struct Gate {
+    failures: Vec<String>,
+}
+
+impl Gate {
+    /// `fresh` must stay within `1 - tolerance` of `base` (higher is
+    /// better for every ratio the gate checks).
+    fn check_floor(&mut self, what: &str, base: f64, fresh: f64, tolerance: f64) {
+        let floor = base * (1.0 - tolerance);
+        let verdict = if fresh >= floor { "ok" } else { "REGRESSED" };
+        println!(
+            "{what:<40} base {base:>12.3}  fresh {fresh:>12.3}  floor {floor:>12.3}  {verdict}"
+        );
+        if fresh < floor {
+            self.failures.push(format!("{what}: {fresh:.3} < floor {floor:.3} (base {base:.3})"));
+        }
+    }
+
+    fn require(&mut self, what: &str, ok: bool) {
+        println!("{what:<40} {}", if ok { "ok" } else { "FAILED" });
+        if !ok {
+            self.failures.push(what.to_string());
+        }
+    }
+}
+
+fn run(baseline_dir: &str, fresh_dir: &str, tolerance: f64) -> Result<Vec<String>, String> {
+    let mut gate = Gate { failures: Vec::new() };
+
+    // --- serving: best qps across the sweep -----------------------------
+    let base = read(baseline_dir, "BENCH_serving.json")?;
+    let fresh = read(fresh_dir, "BENCH_serving.json")?;
+    let best = |json: &str| scan_numbers(json, "qps").into_iter().fold(0.0, f64::max);
+    let (base_qps, fresh_qps) = (best(&base), best(&fresh));
+    if base_qps <= 0.0 || fresh_qps <= 0.0 {
+        return Err("BENCH_serving.json: no qps values found".to_string());
+    }
+    gate.check_floor("serving: best qps", base_qps, fresh_qps, tolerance);
+
+    // --- updates: incremental-maintenance speedup + correctness ---------
+    let base = read(baseline_dir, "BENCH_updates.json")?;
+    let fresh = read(fresh_dir, "BENCH_updates.json")?;
+    let speedup = |json: &str| scan_numbers(json, "speedup_primary_vs_full").first().copied();
+    match (speedup(&base), speedup(&fresh)) {
+        (Some(b), Some(f)) => gate.check_floor("updates: speedup_primary_vs_full", b, f, tolerance),
+        _ => return Err("BENCH_updates.json: no speedup_primary_vs_full found".to_string()),
+    }
+    gate.require(
+        "updates: verified_identical",
+        scan_bool(&fresh, "verified_identical") == Some(true),
+    );
+
+    // --- obs: tracing budget --------------------------------------------
+    let base = read(baseline_dir, "BENCH_obs.json")?;
+    let fresh = read(fresh_dir, "BENCH_obs.json")?;
+    gate.require("obs: within_budget", scan_bool(&fresh, "within_budget") == Some(true));
+    let overhead = |json: &str| scan_numbers(json, "always_on_overhead_pct").first().copied();
+    if let (Some(b), Some(f)) = (overhead(&base), overhead(&fresh)) {
+        let ceiling = b + tolerance * 100.0;
+        let ok = f <= ceiling;
+        println!(
+            "{:<40} base {b:>+11.3}%  fresh {f:>+11.3}%  ceiling {ceiling:>+10.3}%  {}",
+            "obs: always_on_overhead_pct",
+            if ok { "ok" } else { "REGRESSED" }
+        );
+        if !ok {
+            gate.failures.push(format!("obs overhead {f:+.3}% exceeds ceiling {ceiling:+.3}%"));
+        }
+    } else {
+        return Err("BENCH_obs.json: no always_on_overhead_pct found".to_string());
+    }
+
+    Ok(gate.failures)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut baseline_dir = "baselines".to_string();
+    let mut fresh_dir = ".".to_string();
+    let mut tolerance = 0.5f64;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let value = match it.next() {
+            Some(v) => v,
+            None => {
+                eprintln!("error: {flag}: missing value");
+                return ExitCode::FAILURE;
+            }
+        };
+        match flag.as_str() {
+            "--baseline-dir" => baseline_dir = value.clone(),
+            "--fresh-dir" => fresh_dir = value.clone(),
+            "--tolerance" => match value.parse::<f64>() {
+                Ok(v) if (0.0..1.0).contains(&v) => tolerance = v,
+                _ => {
+                    eprintln!("error: --tolerance: expected a fraction in [0, 1)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!(
+                    "error: unknown flag {other}\nusage: bench-gate [--baseline-dir DIR] \
+                     [--fresh-dir DIR] [--tolerance F]"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!("bench-gate: baselines from {baseline_dir}/, fresh from {fresh_dir}/, tolerance {tolerance}");
+    match run(&baseline_dir, &fresh_dir, tolerance) {
+        Ok(failures) if failures.is_empty() => {
+            println!("bench-gate: all headline metrics within the tolerance band");
+            ExitCode::SUCCESS
+        }
+        Ok(failures) => {
+            for f in &failures {
+                eprintln!("bench-gate regression: {f}");
+            }
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("bench-gate error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scanners_pull_headline_values() {
+        let json = r#"{ "qps": 1000.5, "runs": [ { "qps": 2000 }, { "qps": 1500.25 } ],
+                        "within_budget": true, "speedup_primary_vs_full": 1.245,
+                        "always_on_overhead_pct": -5.810 }"#;
+        assert_eq!(scan_numbers(json, "qps"), vec![1000.5, 2000.0, 1500.25]);
+        assert_eq!(scan_bool(json, "within_budget"), Some(true));
+        assert_eq!(scan_numbers(json, "always_on_overhead_pct"), vec![-5.810]);
+        assert_eq!(scan_bool(json, "missing"), None);
+        assert!(scan_numbers(json, "missing").is_empty());
+    }
+
+    #[test]
+    fn floor_check_flags_regressions_only() {
+        let mut gate = Gate { failures: Vec::new() };
+        gate.check_floor("metric", 100.0, 80.0, 0.5); // floor 50: ok
+        assert!(gate.failures.is_empty());
+        gate.check_floor("metric", 100.0, 40.0, 0.5); // floor 50: regressed
+        assert_eq!(gate.failures.len(), 1);
+    }
+}

@@ -32,18 +32,32 @@
 //!                                    tenants, maintain, net, server) and
 //!                                    print the text exposition
 //! xpv top      (--tcp ADDR | --unix PATH) [--interval S] [--count N]
-//!                                    live metrics: redraw the snapshot
-//!                                    every S seconds with per-interval
-//!                                    counter deltas (N = 0 runs until
-//!                                    killed)
+//!              [--filter PREFIX] [--sort-rate]
+//!                                    live metrics from the server-side
+//!                                    history sampler: redraw every S
+//!                                    seconds with per-tick rates and
+//!                                    sparklines (N = 0 runs until
+//!                                    killed); --filter keeps metric
+//!                                    names starting with PREFIX,
+//!                                    --sort-rate orders by rate instead
+//!                                    of name
+//! xpv dump     (--tcp ADDR | --unix PATH) [--out FILE] [--traces N]
+//!                                    pull the server's flight-recorder
+//!                                    artifact — live metrics, history
+//!                                    window, watchdog alerts, drained
+//!                                    trace spans, config — and print it
+//!                                    (or write it to FILE); draining is
+//!                                    destructive server-side
 //! xpv obs-bench [--queries Q] [--repeat R] [--max-overhead PCT]
 //!                                    measure the observability layer's
 //!                                    serving overhead (tracing off /
-//!                                    sampled 1-in-64 / always-on) plus
-//!                                    disabled-span and histogram-record
-//!                                    costs; writes BENCH_obs.json and
-//!                                    fails if always-on costs more than
-//!                                    PCT percent (default 10)
+//!                                    sampled 1-in-64 / always-on, with
+//!                                    the 1 s history sampler running)
+//!                                    plus disabled-span and
+//!                                    histogram-record costs; writes
+//!                                    BENCH_obs.json and fails if
+//!                                    always-on costs more than PCT
+//!                                    percent (default 10)
 //! xpv update-bench [--edits N] [--edit-mix I:D:R] [--edit-locality H:P]
 //!                  [--batches B] [--queries Q] [--repeat R] [--seed S]
 //!                  [--no-coalesce] [--no-parallel-regions]
@@ -93,7 +107,9 @@ fn fail(msg: &str) -> ExitCode {
          [--view NAME=DEF]...\n  \
          xpv client (--tcp ADDR | --unix PATH) [--tenant T] [--stats] QUERY...\n  \
          xpv stats (--tcp ADDR | --unix PATH)\n  \
-         xpv top (--tcp ADDR | --unix PATH) [--interval S] [--count N]\n  \
+         xpv top (--tcp ADDR | --unix PATH) [--interval S] [--count N] [--filter PREFIX] \
+         [--sort-rate]\n  \
+         xpv dump (--tcp ADDR | --unix PATH) [--out FILE] [--traces N]\n  \
          xpv obs-bench [--queries Q] [--repeat R] [--max-overhead PCT]\n  \
          xpv update-bench [--edits N] [--edit-mix I:D:R] [--edit-locality H:P] [--batches B] \
          [--queries Q] [--repeat R] [--seed S] [--no-coalesce] [--no-parallel-regions]\n  \
@@ -798,19 +814,41 @@ fn cmd_client(args: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
-/// Endpoint and cadence knobs shared by `xpv stats` and `xpv top`.
+/// Endpoint and cadence knobs shared by `xpv stats`, `xpv top`, and
+/// `xpv dump`.
 struct StatsOpts {
     tcp: Option<String>,
     unix: Option<String>,
     interval: f64,
     count: usize,
+    /// `xpv top --filter`: keep metric names starting with this prefix.
+    filter: Option<String>,
+    /// `xpv top --sort-rate`: order rows by rate instead of name.
+    sort_rate: bool,
+    /// `xpv dump --out`: write the artifact here instead of stdout.
+    out: Option<String>,
+    /// `xpv dump --traces`: print at most this many trace spans.
+    traces: usize,
 }
 
 impl StatsOpts {
     fn parse(args: &[String]) -> Result<StatsOpts, String> {
-        let mut opts = StatsOpts { tcp: None, unix: None, interval: 2.0, count: 0 };
+        let mut opts = StatsOpts {
+            tcp: None,
+            unix: None,
+            interval: 2.0,
+            count: 0,
+            filter: None,
+            sort_rate: false,
+            out: None,
+            traces: 20,
+        };
         let mut it = args.iter();
         while let Some(flag) = it.next() {
+            if flag == "--sort-rate" {
+                opts.sort_rate = true;
+                continue;
+            }
             let value = it.next().ok_or_else(|| format!("{flag}: missing value"))?;
             match flag.as_str() {
                 "--tcp" => opts.tcp = Some(value.clone()),
@@ -820,6 +858,9 @@ impl StatsOpts {
                         value.parse::<f64>().map_err(|e| format!("--interval: {e}"))?.max(0.1)
                 }
                 "--count" => opts.count = parse_num(flag, value)?,
+                "--filter" => opts.filter = Some(value.clone()),
+                "--out" => opts.out = Some(value.clone()),
+                "--traces" => opts.traces = parse_num(flag, value)?,
                 other => return Err(format!("unknown flag {other}")),
             }
         }
@@ -852,53 +893,86 @@ fn cmd_stats(args: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
-/// Live metrics: redraws the server's snapshot every `--interval` seconds
-/// with per-interval counter rates (`--count 0` runs until killed). One
+/// Renders `values` as a unicode sparkline scaled to the slice maximum
+/// (an all-zero window renders flat).
+fn sparkline(values: &[u64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = values.iter().copied().max().unwrap_or(0);
+    values
+        .iter()
+        .map(|&v| {
+            if max == 0 {
+                BARS[0]
+            } else {
+                BARS[((v as u128 * (BARS.len() as u128 - 1)) / max as u128) as usize]
+            }
+        })
+        .collect()
+}
+
+/// One value per retained point, chosen by series kind: counter → delta,
+/// gauge → level, histogram → interval p99 (`values[3]`).
+fn headline_values(series: &xpath_views::net::WireSeries) -> Vec<u64> {
+    let at = match series.kind {
+        xpath_views::net::METRIC_HISTOGRAM => 3,
+        _ => 0,
+    };
+    series.points.iter().map(|p| p.values.get(at).copied().unwrap_or(0)).collect()
+}
+
+/// Live metrics from the **server-side history sampler**: every
+/// `--interval` seconds one `HistoryReq` fetches the retained rings and
+/// each series renders as its latest value, its per-tick rate (counter
+/// deltas over the sampler interval), and a sparkline of the window
+/// (`--count 0` runs until killed). `--filter` keeps names starting
+/// with the prefix; `--sort-rate` orders by rate, busiest first. One
 /// connection and one credit are reused across refreshes.
 fn cmd_top(args: &[String]) -> Result<ExitCode, String> {
-    use std::collections::HashMap;
-
+    const SPARK_POINTS: usize = 32;
     let opts = StatsOpts::parse(args).map_err(|e| format!("top: {e}"))?;
     let mut client = opts.connect()?;
-    let mut prev: HashMap<String, u64> = HashMap::new();
     let mut iteration = 0usize;
     loop {
         let fetched = Instant::now();
-        let snap = metrics_from_wire(&client.metrics().map_err(|e| format!("top: {e}"))?);
+        let (interval_us, mut series) = client.history().map_err(|e| format!("top: {e}"))?;
+        if interval_us == 0 {
+            return Err(
+                "top: server runs no history sampler (started with the sampler disabled); \
+                 use `xpv stats` for a one-shot snapshot"
+                    .to_string(),
+            );
+        }
+        if let Some(prefix) = &opts.filter {
+            series.retain(|s| s.name.starts_with(prefix.as_str()));
+        }
+        let tick_secs = interval_us as f64 / 1e6;
+        let mut rows: Vec<(String, u64, f64, String)> = series
+            .iter()
+            .map(|s| {
+                let values = headline_values(s);
+                let last = values.last().copied().unwrap_or(0);
+                let rate = match s.kind {
+                    xpath_views::net::METRIC_COUNTER => last as f64 / tick_secs,
+                    _ => 0.0,
+                };
+                let window = &values[values.len().saturating_sub(SPARK_POINTS)..];
+                (s.name.clone(), last, rate, sparkline(window))
+            })
+            .collect();
+        if opts.sort_rate {
+            rows.sort_by(|a, b| b.2.total_cmp(&a.2).then_with(|| a.0.cmp(&b.0)));
+        }
         // Clear the screen and home the cursor for a top-style redraw.
         print!("\x1b[2J\x1b[H");
         println!(
-            "xpv top — {} metrics, refresh {:.1}s (iteration {})",
-            snap.samples.len(),
+            "xpv top — {} series, sampler tick {tick_secs:.1}s, refresh {:.1}s (iteration {})",
+            rows.len(),
             opts.interval,
             iteration + 1,
         );
-        let mut next: HashMap<String, u64> = HashMap::new();
-        for s in &snap.samples {
-            let labels = if s.labels.is_empty() {
-                String::new()
-            } else {
-                let pairs: Vec<String> =
-                    s.labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
-                format!("{{{}}}", pairs.join(","))
-            };
-            let key = format!("{}{labels}", s.name);
-            match s.value {
-                SampleValue::Counter(v) => {
-                    let rate = prev
-                        .get(&key)
-                        .map(|&p| (v.saturating_sub(p)) as f64 / opts.interval)
-                        .unwrap_or(0.0);
-                    println!("{key:<52} {v:>12}  {rate:>10.1}/s");
-                    next.insert(key, v);
-                }
-                SampleValue::Gauge(v) => println!("{key:<52} {v:>12}"),
-                SampleValue::Histogram(h) => {
-                    println!("{key:<52} {:>12}  p50={} p99={} max={}", h.count, h.p50, h.p99, h.max)
-                }
-            }
+        for (name, last, rate, spark) in &rows {
+            println!("{name:<52} {last:>12}  {rate:>10.1}/s  {spark}");
         }
-        prev = next;
         iteration += 1;
         if opts.count > 0 && iteration >= opts.count {
             break;
@@ -909,6 +983,64 @@ fn cmd_top(args: &[String]) -> Result<ExitCode, String> {
         }
     }
     client.goodbye().map_err(|e| format!("goodbye: {e}"))?;
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Pulls the flight-recorder artifact (`DebugDumpReq`) and renders it as
+/// text: watchdog alerts, config state, the history window (sparklines),
+/// up to `--traces` drained spans, and the live metric exposition.
+/// `--out FILE` writes the rendering to a file instead of stdout.
+fn cmd_dump(args: &[String]) -> Result<ExitCode, String> {
+    use std::fmt::Write as _;
+
+    let opts = StatsOpts::parse(args).map_err(|e| format!("dump: {e}"))?;
+    let mut client = opts.connect()?;
+    let dump = client.debug_dump().map_err(|e| format!("dump: {e}"))?;
+    client.goodbye().map_err(|e| format!("goodbye: {e}"))?;
+
+    let mut text = String::new();
+    let _ = writeln!(text, "# xpv flight-recorder dump");
+    let _ = writeln!(text, "\n## alerts ({})", dump.alerts.len());
+    for a in &dump.alerts {
+        let state = if a.firing { "FIRING" } else { "ok" };
+        let _ = writeln!(
+            text,
+            "{:<24} {:<16} {:<7} fired_total={} since_tick={} {}",
+            a.name, a.kind, state, a.fired_total, a.since_tick, a.detail
+        );
+    }
+    let _ = writeln!(text, "\n## config");
+    for (k, v) in &dump.config {
+        let _ = writeln!(text, "{k} = {v}");
+    }
+    let tick_secs = dump.interval_us as f64 / 1e6;
+    let _ = writeln!(text, "\n## history ({} series, tick {tick_secs:.1}s)", dump.series.len());
+    for s in &dump.series {
+        let values = headline_values(s);
+        let last = values.last().copied().unwrap_or(0);
+        let _ = writeln!(text, "{:<52} {last:>12}  {}", s.name, sparkline(&values));
+    }
+    let shown = dump.traces.len().min(opts.traces);
+    let _ = writeln!(text, "\n## traces ({} drained, showing {shown})", dump.traces.len());
+    for t in dump.traces.iter().take(opts.traces) {
+        let phases: Vec<String> = t.phases.iter().map(|(p, us)| format!("{p}={us}us")).collect();
+        let _ = writeln!(text, "{:<16} {:>8}us  {}", t.kind, t.total_us, phases.join(" "));
+    }
+    let _ = writeln!(text, "\n## metrics");
+    let _ = write!(text, "{}", metrics_from_wire(&dump.metrics).to_text());
+
+    match &opts.out {
+        Some(path) => {
+            std::fs::write(path, &text).map_err(|e| format!("dump: {path}: {e}"))?;
+            println!(
+                "wrote {path} ({} alerts, {} series, {} traces)",
+                dump.alerts.len(),
+                dump.series.len(),
+                dump.traces.len()
+            );
+        }
+        None => print!("{text}"),
+    }
     Ok(ExitCode::SUCCESS)
 }
 
@@ -942,20 +1074,23 @@ impl ObsBenchOpts {
 /// Measures what the observability layer costs on the serving hot path:
 /// the Zipf serve mix is answered through a warmed [`ShardedViewCache`]
 /// with tracing **off** (sampling 0), **sampled** (the 1-in-64 default),
-/// and **always-on** (sampling 1), best-of-`--repeat` each, plus two
-/// microbenches (disabled-span construction, histogram record). Writes
-/// `BENCH_obs.json` and fails when the always-on overhead exceeds
-/// `--max-overhead` percent — the regression gate CI runs.
+/// and **always-on** (sampling 1), best-of-`--repeat` each — with the
+/// 1 s history sampler recording throughout, so the budget covers the
+/// watchdog too — plus two microbenches (disabled-span construction,
+/// histogram record). Writes `BENCH_obs.json` and fails when the
+/// always-on overhead exceeds `--max-overhead` percent — the regression
+/// gate CI runs.
 fn cmd_obs_bench(args: &[String]) -> Result<ExitCode, String> {
     use xpath_views::obs::{
-        drain_trace_events, set_trace_sampling, Registry, Span, DEFAULT_TRACE_SAMPLING,
+        drain_trace_events, set_trace_sampling, Registry, Sampler, SamplerConfig, Span,
+        DEFAULT_TRACE_SAMPLING,
     };
 
     let opts = ObsBenchOpts::parse(args)?;
     let catalog = site_intersect_catalog();
     let stream = catalog_zipf_stream(&catalog, opts.queries, 0x0B5);
     let build = || {
-        let cache = ShardedViewCache::new(site_doc(12, 12, 7));
+        let cache = Arc::new(ShardedViewCache::new(site_doc(12, 12, 7)));
         for (name, def) in catalog.views.iter() {
             cache.add_view(name, def.clone());
         }
@@ -970,6 +1105,14 @@ fn cmd_obs_bench(args: &[String]) -> Result<ExitCode, String> {
     for (name, sampling) in modes {
         set_trace_sampling(sampling);
         let cache = build();
+        // The production default: a 1 s history sampler walking the
+        // registry while the timed passes run.
+        let source_cache = Arc::clone(&cache);
+        let sampler = Sampler::start(
+            Arc::clone(cache.obs_registry()),
+            move || source_cache.metrics_snapshot(),
+            SamplerConfig::default(),
+        );
         let mut best = f64::INFINITY;
         let mut answered = 0usize;
         for _ in 0..opts.repeat {
@@ -980,6 +1123,7 @@ fn cmd_obs_bench(args: &[String]) -> Result<ExitCode, String> {
             // snowball across repeats.
             let _ = drain_trace_events();
         }
+        sampler.stop();
         results.push((name, best * 1e3, answered));
     }
     set_trace_sampling(DEFAULT_TRACE_SAMPLING);
@@ -1038,6 +1182,7 @@ fn cmd_obs_bench(args: &[String]) -> Result<ExitCode, String> {
             "  \"queries\": {},\n",
             "  \"repeat\": {},\n",
             "  \"max_overhead_pct\": {:.1},\n",
+            "  \"history_sampler\": \"1s\",\n",
             "  \"always_on_overhead_pct\": {:.3},\n",
             "  \"span_disabled_ns\": {:.2},\n",
             "  \"histogram_record_ns\": {:.2},\n",
@@ -1592,6 +1737,7 @@ fn main() -> ExitCode {
         [cmd, rest @ ..] if cmd == "client" => cmd_client(rest),
         [cmd, rest @ ..] if cmd == "stats" => cmd_stats(rest),
         [cmd, rest @ ..] if cmd == "top" => cmd_top(rest),
+        [cmd, rest @ ..] if cmd == "dump" => cmd_dump(rest),
         [cmd, rest @ ..] if cmd == "obs-bench" => cmd_obs_bench(rest),
         [cmd, rest @ ..] if cmd == "update-bench" => cmd_update_bench(rest),
         [cmd, rest @ ..] if cmd == "eval-bench" => cmd_eval_bench(rest),
