@@ -19,12 +19,20 @@
 //! views), not the latency delta; on documents where direct evaluation is
 //! the expensive path, the hit counters are the capacity win.
 //!
+//! A third pass measures the **plan-miss fast path**: the plan memo is
+//! disabled (every arrival replans cold) against a ~40-view pool derived
+//! from the site *and* bib catalogs — most candidates can never rewrite a
+//! site query, which is exactly the regime the per-view signature filter
+//! targets. Filter on vs. off must return identical answers and routes;
+//! the filter-on run reports how many candidates were rejected before any
+//! oracle call (`sig_rejects / candidates_tried`).
+//!
 //! Besides the criterion timings, the bench writes a machine-readable
 //! summary to `BENCH_throughput.json` at the repository root: mean
 //! per-query latency for each configuration, the amortized speedup, the
 //! memo-hit counters that prove repeated queries run zero canonical-model
-//! containment calls, and the intersect-route counters showing how often
-//! multi-view routes fired.
+//! containment calls, the intersect-route counters showing how often
+//! multi-view routes fired, and the signature-filter ablation block.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -32,7 +40,10 @@ use std::time::Instant;
 
 use xpv_engine::{CacheStats, ViewCache};
 use xpv_pattern::Pattern;
-use xpv_workload::{catalog_zipf_stream, site_catalog, site_doc, site_intersect_catalog};
+use xpv_workload::{
+    bib_catalog, catalog_zipf_stream, derived_view_pool, site_catalog, site_doc,
+    site_intersect_catalog,
+};
 
 /// The workload: a Zipf-repeated stream over the site catalog's queries
 /// (shared with the parallel bench and the CLI via `xpv_workload::zipf`).
@@ -64,6 +75,44 @@ fn intersect_cache(intersect: bool) -> ViewCache {
     cache
 }
 
+/// The multi-tenant-shaped view pool for the plan-miss ablation: a few
+/// views derived from the site catalog plus a large block derived from
+/// the foreign bib catalog — candidates a cold planner must wade through
+/// but that can never rewrite a site query.
+fn sig_pool() -> Vec<(String, Pattern)> {
+    let mut pool = derived_view_pool(&[&site_catalog()], 1, 0xC01D);
+    pool.extend(derived_view_pool(&[&bib_catalog()], 9, 0xC01D ^ 1));
+    pool
+}
+
+/// A memo-disabled cache over [`sig_pool`]: every arrival is a cold plan
+/// miss against ~40 candidates — the regime the per-view signature
+/// filter targets.
+fn sig_pool_cache(sig_filter: bool) -> ViewCache {
+    let doc = site_doc(12, 12, 7);
+    let mut cache = ViewCache::new(doc);
+    cache.set_memo_enabled(false);
+    cache.set_sig_filter_enabled(sig_filter);
+    for (name, def) in sig_pool() {
+        cache.add_view(&name, def);
+    }
+    cache
+}
+
+/// One timed pass over the stream; (mean total µs, mean **planning** µs)
+/// per query — the planning share is what the signature filter attacks.
+fn run_stream_phases(cache: &mut ViewCache, stream: &[Pattern]) -> (f64, f64) {
+    let start = Instant::now();
+    let answers = cache.answer_batch(stream);
+    let elapsed = start.elapsed();
+    assert_eq!(answers.len(), stream.len());
+    let plan: std::time::Duration = answers.iter().map(|a| a.planning).sum();
+    (
+        elapsed.as_secs_f64() * 1e6 / stream.len() as f64,
+        plan.as_secs_f64() * 1e6 / stream.len() as f64,
+    )
+}
+
 /// One timed pass over the stream; mean µs per query.
 fn run_stream(cache: &mut ViewCache, stream: &[Pattern]) -> f64 {
     let start = Instant::now();
@@ -83,10 +132,22 @@ fn write_summary_json(
     mean_ix_on_us: f64,
     mean_ix_off_us: f64,
     ix_stats: &CacheStats,
+    pool_views: usize,
+    sig_on: (f64, f64),
+    sig_off: (f64, f64),
+    sig_stats: &CacheStats,
 ) {
     let s = cache_on.stats();
     let speedup = if mean_on_us > 0.0 { mean_off_us / mean_on_us } else { 0.0 };
     let ix_speedup = if mean_ix_on_us > 0.0 { mean_ix_off_us / mean_ix_on_us } else { 0.0 };
+    let (mean_sig_on_us, plan_sig_on_us) = sig_on;
+    let (mean_sig_off_us, plan_sig_off_us) = sig_off;
+    // The filter attacks the planning phase; evaluation is identical
+    // across the two arms, so the headline speedup compares plan time.
+    let sig_speedup = if plan_sig_on_us > 0.0 { plan_sig_off_us / plan_sig_on_us } else { 0.0 };
+    let sig_candidates = sig_stats.sig_rejects + sig_stats.sig_passes;
+    let sig_reject_rate =
+        if sig_candidates > 0 { sig_stats.sig_rejects as f64 / sig_candidates as f64 } else { 0.0 };
     let json = format!(
         concat!(
             "{{\n",
@@ -112,6 +173,19 @@ fn write_summary_json(
             "    \"intersect_participants\": {},\n",
             "    \"view_hits\": {},\n",
             "    \"direct\": {}\n",
+            "  }},\n",
+            "  \"sig_filter\": {{\n",
+            "    \"pool_views\": {},\n",
+            "    \"mean_us_per_query_filter_on\": {:.3},\n",
+            "    \"mean_us_per_query_filter_off\": {:.3},\n",
+            "    \"mean_plan_us_per_query_filter_on\": {:.3},\n",
+            "    \"mean_plan_us_per_query_filter_off\": {:.3},\n",
+            "    \"speedup_filter_on_vs_off\": {:.3},\n",
+            "    \"sig_rejects\": {},\n",
+            "    \"sig_passes\": {},\n",
+            "    \"candidates_tried\": {},\n",
+            "    \"sig_reject_rate\": {:.4},\n",
+            "    \"answers_identical\": true\n",
             "  }}\n",
             "}}\n"
         ),
@@ -135,6 +209,16 @@ fn write_summary_json(
         ix_stats.intersect_participants,
         ix_stats.view_hits,
         ix_stats.direct,
+        pool_views,
+        mean_sig_on_us,
+        mean_sig_off_us,
+        plan_sig_on_us,
+        plan_sig_off_us,
+        sig_speedup,
+        sig_stats.sig_rejects,
+        sig_stats.sig_passes,
+        sig_candidates,
+        sig_reject_rate,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_throughput.json");
     if let Err(e) = std::fs::write(path, &json) {
@@ -196,6 +280,30 @@ fn throughput(c: &mut Criterion) {
     let mean_ix_off_us = run_stream(&mut ix_off, &ix_stream);
     assert_eq!(ix_off.stats().intersect_hits, 0, "ablation must disable intersect routes");
 
+    // Plan-miss fast path ablation: cold planning on every arrival against
+    // the derived ~40-view pool, signature filter on vs. off. The filter
+    // must be invisible in the answers and routes, and must reject most of
+    // the pool before any oracle call.
+    let pool_views = sig_pool().len();
+    {
+        let mut a = sig_pool_cache(true);
+        let mut b = sig_pool_cache(false);
+        for q in stream.iter().take(40) {
+            let x = a.answer(q);
+            let y = b.answer(q);
+            assert_eq!(x.nodes, y.nodes, "signature filter changed an answer for {q}");
+            assert_eq!(x.route, y.route, "signature filter changed a route for {q}");
+        }
+    }
+    let sig_stream = query_stream(240);
+    let mut sig_on = sig_pool_cache(true);
+    let sig_on_run = run_stream_phases(&mut sig_on, &sig_stream);
+    let sig_stats = sig_on.stats();
+    assert!(sig_stats.sig_rejects > 0, "the derived pool must trigger signature rejections");
+    let mut sig_off = sig_pool_cache(false);
+    let sig_off_run = run_stream_phases(&mut sig_off, &sig_stream);
+    assert_eq!(sig_off.stats().sig_rejects, 0, "ablation must disable the signature filter");
+
     write_summary_json(
         stream.len(),
         mean_on_us,
@@ -205,6 +313,10 @@ fn throughput(c: &mut Criterion) {
         mean_ix_on_us,
         mean_ix_off_us,
         &ix_stats,
+        pool_views,
+        sig_on_run,
+        sig_off_run,
+        &sig_stats,
     );
     assert_eq!(
         cache_on.stats().plan_memo_hits + cache_on.stats().plan_memo_misses,

@@ -52,6 +52,7 @@ use std::sync::{mpsc, Arc, OnceLock, Weak};
 use std::time::{Duration, Instant};
 
 use xpv_maintain::Edit;
+use xpv_model::AnswerArena;
 use xpv_net::proto::{
     AnswersEncoder, Msg, WireDump, WireRouteRef, WireTenantStats, WireUpdateReport, VERSION,
 };
@@ -696,22 +697,47 @@ async fn serve_connection(shared: &Arc<ServerShared>, runtime: &Arc<Runtime>, st
                     if span.is_enabled() {
                         span.mark_us(Phase::Admission, waited.as_micros() as u64);
                     }
-                    let answers = shared.cache.answer_batch_spanned(&queries, &mut span);
-                    shared.tenants.account_batch(&tenant, &answers);
                     // Stream the Answers frame straight into its byte
                     // buffer from the engine's own node slices — no
-                    // WireAnswer clones on the hot response path.
-                    let encode_started = Instant::now();
-                    let mut enc = AnswersEncoder::new(id);
-                    for a in &answers {
-                        enc.answer(wire_route_ref(&a.route), &a.nodes);
-                    }
-                    let body = enc.finish();
-                    let encoded = encode_started.elapsed();
-                    shared.cache.obs.encode_us.record_duration(encoded);
-                    if span.is_enabled() {
-                        span.mark_us(Phase::Encode, encoded.as_micros() as u64);
-                    }
+                    // WireAnswer clones on the hot response path. On the
+                    // arena lane (the default) the node runs live in one
+                    // per-batch bump arena and the encoder reads them as
+                    // borrowed slices; `--no-arena` falls back to the
+                    // owned-`Vec` API (identical bytes, one `Vec` per
+                    // answer).
+                    let body = if shared.cache.arena_enabled() {
+                        let mut arena = AnswerArena::new();
+                        let answers =
+                            shared.cache.answer_batch_refs_spanned(&queries, &mut span, &mut arena);
+                        shared.tenants.account_batch_refs(&tenant, &answers);
+                        let encode_started = Instant::now();
+                        let mut enc = AnswersEncoder::new(id);
+                        for a in &answers {
+                            enc.answer(wire_route_ref(&a.route), arena.get(a.nodes));
+                        }
+                        let body = enc.finish();
+                        let encoded = encode_started.elapsed();
+                        shared.cache.obs.encode_us.record_duration(encoded);
+                        if span.is_enabled() {
+                            span.mark_us(Phase::Encode, encoded.as_micros() as u64);
+                        }
+                        body
+                    } else {
+                        let answers = shared.cache.answer_batch_spanned(&queries, &mut span);
+                        shared.tenants.account_batch(&tenant, &answers);
+                        let encode_started = Instant::now();
+                        let mut enc = AnswersEncoder::new(id);
+                        for a in &answers {
+                            enc.answer(wire_route_ref(&a.route), &a.nodes);
+                        }
+                        let body = enc.finish();
+                        let encoded = encode_started.elapsed();
+                        shared.cache.obs.encode_us.record_duration(encoded);
+                        if span.is_enabled() {
+                            span.mark_us(Phase::Encode, encoded.as_micros() as u64);
+                        }
+                        body
+                    };
                     push_body(&shared, &conn_for_task, id, body, span);
                     conn_for_task.window.release();
                 });

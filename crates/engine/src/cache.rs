@@ -46,10 +46,10 @@ use std::sync::Arc;
 use xpv_core::RewritePlanner;
 use xpv_intersect::IntersectConfig;
 use xpv_maintain::{Edit, EditError};
-use xpv_model::{NodeId, Tree};
+use xpv_model::{AnswerArena, NodeId, Tree};
 use xpv_pattern::Pattern;
 
-pub use crate::shard::{CacheAnswer, CacheStats, ChoicePolicy, Route};
+pub use crate::shard::{CacheAnswer, CacheAnswerRef, CacheStats, ChoicePolicy, Route};
 use crate::shard::{ShardedViewCache, UpdateReport};
 use crate::view::MaterializedView;
 
@@ -104,6 +104,19 @@ impl ViewCache {
     /// Whether intersection routes are planned.
     pub fn intersect_enabled(&self) -> bool {
         self.inner.intersect_enabled()
+    }
+
+    /// Enables or disables the plan-miss **signature fast path** (the
+    /// `--no-sig-filter` ablation knob); see
+    /// [`ShardedViewCache::set_sig_filter_enabled`] — routes and answers
+    /// are identical either way.
+    pub fn set_sig_filter_enabled(&mut self, enabled: bool) {
+        self.inner.set_sig_filter_enabled(enabled);
+    }
+
+    /// Whether plan misses pre-filter candidates by signature.
+    pub fn sig_filter_enabled(&self) -> bool {
+        self.inner.sig_filter_enabled()
     }
 
     /// Enables or disables **all** memoization — the plan memo and the
@@ -256,6 +269,18 @@ impl ViewCache {
     /// first occurrence's answer; answers come back in input order.
     pub fn answer_batch(&mut self, queries: &[Pattern]) -> Vec<CacheAnswer> {
         self.inner.answer_batch(queries)
+    }
+
+    /// [`ViewCache::answer_batch`] through the zero-allocation arena lane:
+    /// node runs land in the caller's [`AnswerArena`] (cleared first) and
+    /// each answer carries an 8-byte handle instead of an owned `Vec` (see
+    /// [`ShardedViewCache::answer_batch_refs`]).
+    pub fn answer_batch_refs(
+        &mut self,
+        queries: &[Pattern],
+        arena: &mut AnswerArena,
+    ) -> Vec<CacheAnswerRef> {
+        self.inner.answer_batch_refs(queries, arena)
     }
 
     /// Answers `query` by direct evaluation only (baseline for benchmarks).

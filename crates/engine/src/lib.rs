@@ -78,8 +78,8 @@ pub use cache::ViewCache;
 pub use obs::{metrics_from_wire, wire_alerts, wire_history, wire_metrics, wire_traces};
 pub use serve::CacheServer;
 pub use shard::{
-    CacheAnswer, CacheStats, ChoicePolicy, Route, ShardedViewCache, UpdateReport, ViewId,
-    DEFAULT_CACHE_SHARDS,
+    CacheAnswer, CacheAnswerRef, CacheStats, ChoicePolicy, Route, ShardedViewCache, UpdateReport,
+    ViewId, DEFAULT_CACHE_SHARDS,
 };
 pub use tenants::TenantStats;
 pub use view::{answer_value_set, MaterializedDelta, MaterializedView};

@@ -73,16 +73,16 @@ use std::time::{Duration, Instant};
 use xpv_core::{contained_rewriting_in, PlanningSession, RewriteAnswer, RewritePlanner};
 use xpv_intersect::{
     answer_intersection_virtual, intersect_node_sets, plan_intersection_contained_in,
-    plan_intersection_in, IntersectConfig,
+    plan_intersection_sig, IntersectConfig,
 };
 use xpv_maintain::{
     apply_region_results, coalesce_plan, finalize_deltas, maintain_views, prepare_batch,
     region_answers, CoalescedPlan, Edit, EditError, MaintainMode, MaintainStats, RegionTask,
     SubMatcher, ViewDelta,
 };
-use xpv_model::{BitSet, FlatTree, NodeId, Tree};
+use xpv_model::{AnswerArena, AnswerRef, BitSet, FlatTree, NodeId, Tree};
 use xpv_obs::{Heartbeat, Histogram, MetricsSnapshot, Phase, Registry, Span};
-use xpv_pattern::{Pattern, PatternKey};
+use xpv_pattern::{Pattern, PatternKey, QuerySignature, ViewSignature};
 use xpv_semantics::{
     evaluate, evaluate_anchored, evaluate_anchored_flat, evaluate_flat, region_answers_flat,
     BatchEval,
@@ -118,6 +118,13 @@ struct StateSnapshot {
     views: Arc<Vec<MaterializedView>>,
     /// Stable id of each pool entry, parallel to `views`.
     ids: Arc<Vec<ViewId>>,
+    /// Precomputed [`ViewSignature`] of each pool entry, parallel to
+    /// `views` — the word-sized necessary-condition facts the plan-miss
+    /// fast path checks before paying a containment decision. Signatures
+    /// are derived from view *definitions* only, so document edits never
+    /// touch them; `add_view`/`remove_view` rebuild the vector alongside
+    /// the pool.
+    sigs: Arc<Vec<ViewSignature>>,
     /// The frozen struct-of-arrays form of `doc` (see
     /// [`xpv_model::FlatTree`]): built once per document swap, *before* the
     /// snapshot is published, so the flat matcher always runs against the
@@ -206,6 +213,23 @@ pub struct CacheAnswer {
     pub evaluation: Duration,
 }
 
+/// A cache answer whose nodes live in a caller-supplied [`AnswerArena`]
+/// — the zero-allocation sibling of [`CacheAnswer`] returned by
+/// [`ShardedViewCache::answer_batch_refs`]. The route is shared behind an
+/// `Arc`, so batch fan-out of a repeated query copies a handle and bumps
+/// a refcount instead of cloning node vectors and route strings.
+#[derive(Clone, Debug)]
+pub struct CacheAnswerRef {
+    /// Handle to the output nodes in the arena the batch call filled.
+    pub nodes: AnswerRef,
+    /// How the answer was produced (shared across fan-out duplicates).
+    pub route: Arc<Route>,
+    /// Time spent deciding rewritability (zero for fanned-out duplicates).
+    pub planning: Duration,
+    /// Time spent evaluating (zero for fanned-out duplicates).
+    pub evaluation: Duration,
+}
+
 /// Aggregate statistics over the cache's lifetime.
 ///
 /// `queries == plan_memo_hits + plan_memo_misses` holds across
@@ -235,6 +259,15 @@ pub struct CacheStats {
     /// Total participants across planned intersection routes
     /// (`/ intersect_routes` = average arity).
     pub intersect_participants: u64,
+    /// Candidate views the signature filter rejected before any oracle
+    /// call (plan misses only; see `xpv_pattern::signature`). Together
+    /// with [`CacheStats::sig_passes`] this measures the plan-miss fast
+    /// path: `sig_rejects / (sig_rejects + sig_passes)` is the fraction
+    /// of pool candidates dismissed with word ops.
+    pub sig_rejects: u64,
+    /// Candidate views that survived the signature filter and went to the
+    /// planner's containment machinery.
+    pub sig_passes: u64,
     /// Queries whose route came straight from the plan memo (no planner
     /// call, zero containment tests). Includes batch-deduplicated repeats.
     pub plan_memo_hits: u64,
@@ -296,6 +329,8 @@ impl CacheStats {
         f("intersect_routes", self.intersect_routes);
         f("intersect_candidates_tried", self.intersect_candidates_tried);
         f("intersect_participants", self.intersect_participants);
+        f("sig_rejects", self.sig_rejects);
+        f("sig_passes", self.sig_passes);
         f("plan_memo_hits", self.plan_memo_hits);
         f("plan_memo_misses", self.plan_memo_misses);
         f("batch_dedup_hits", self.batch_dedup_hits);
@@ -385,12 +420,20 @@ struct ShardStats {
     intersect_routes: AtomicU64,
     intersect_candidates_tried: AtomicU64,
     intersect_participants: AtomicU64,
+    sig_rejects: AtomicU64,
+    sig_passes: AtomicU64,
 }
 
 #[derive(Debug, Default)]
 struct CacheShard {
     memo: RwLock<HashMap<PatternKey, MemoEntry>>,
     stats: ShardStats,
+    /// Plan-time win counts per view (how often a `FirstMatch` plan on
+    /// this shard chose the view): the hit-rate-ordered index the miss
+    /// path sorts filter survivors by, so the common winner pays the
+    /// first containment decision. Keyed by stable id — pool churn never
+    /// misattributes a win.
+    wins: std::sync::Mutex<HashMap<ViewId, u64>>,
 }
 
 #[inline]
@@ -430,6 +473,10 @@ pub(crate) struct CacheObs {
     pub registry: Arc<Registry>,
     /// Per-query routing time (plan-memo lookup or planner call), µs.
     pub plan_us: Arc<Histogram>,
+    /// Planner time on plan-memo **misses** only, µs — the latency the
+    /// signature fast path attacks (memo hits never record here, so the
+    /// distribution is not diluted by cheap lookups).
+    pub plan_miss_us: Arc<Histogram>,
     /// Per-query evaluation time, µs.
     pub eval_us: Arc<Histogram>,
     /// Whole `answer_batch` wall time, µs.
@@ -460,6 +507,7 @@ impl CacheObs {
         let registry = Arc::new(Registry::new());
         CacheObs {
             plan_us: registry.histogram("xpv_phase_plan_us"),
+            plan_miss_us: registry.histogram("xpv_phase_plan_miss_us"),
             eval_us: registry.histogram("xpv_phase_eval_us"),
             batch_us: registry.histogram("xpv_phase_batch_us"),
             admission_us: registry.histogram("xpv_phase_admission_us"),
@@ -504,6 +552,16 @@ pub struct ShardedViewCache {
     /// `xpv serve-bench --no-flat` / `eval-bench` ablation knob; disabled,
     /// every route evaluates on the arena `Tree` — answers are identical).
     flat_enabled: AtomicBool,
+    /// Whether the plan-miss fast path consults view signatures before
+    /// paying containment decisions (the `--no-sig-filter` ablation knob;
+    /// routes and answers are identical either way — the filter is a
+    /// necessary condition).
+    sig_filter_enabled: AtomicBool,
+    /// Whether the serving front-ends return answers through the
+    /// [`AnswerArena`] lane ([`ShardedViewCache::answer_batch_refs`]) or
+    /// the owned-`Vec` wrapper (the `--no-arena` ablation knob; bytes on
+    /// the wire are identical either way).
+    arena_enabled: AtomicBool,
     /// Budget knobs handed to the intersection planner.
     intersect_cfg: IntersectConfig,
     shards: Box<[CacheShard]>,
@@ -570,6 +628,7 @@ impl ShardedViewCache {
                 doc: Arc::new(doc),
                 views: Arc::new(Vec::new()),
                 ids: Arc::new(Vec::new()),
+                sigs: Arc::new(Vec::new()),
                 flat,
             }),
             write_gate: std::sync::Mutex::new(()),
@@ -578,6 +637,8 @@ impl ShardedViewCache {
             memo_enabled: AtomicBool::new(true),
             intersect_enabled: AtomicBool::new(true),
             flat_enabled: AtomicBool::new(true),
+            sig_filter_enabled: AtomicBool::new(true),
+            arena_enabled: AtomicBool::new(true),
             intersect_cfg: IntersectConfig::default(),
             shards: (0..DEFAULT_CACHE_SHARDS).map(|_| CacheShard::default()).collect(),
             memo_cap: usize::MAX,
@@ -719,6 +780,38 @@ impl ShardedViewCache {
         self.flat_enabled.load(Ordering::Relaxed)
     }
 
+    /// Enables or disables the **signature fast path** on plan-memo
+    /// misses — the ablation knob behind `xpv serve-bench
+    /// --no-sig-filter`. The filter is a *necessary condition* (a
+    /// rejected candidate provably admits no equivalent rewriting — see
+    /// the `xpv_pattern::signature` module docs), and the hit-rate try
+    /// order is applied identically in both arms over the same success
+    /// set, so routes and answers are byte-identical either way and no
+    /// memo invalidation is needed: the flag only selects whether doomed
+    /// candidates pay a containment decision before failing.
+    pub fn set_sig_filter_enabled(&self, enabled: bool) {
+        self.sig_filter_enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether plan misses pre-filter candidates by signature.
+    pub fn sig_filter_enabled(&self) -> bool {
+        self.sig_filter_enabled.load(Ordering::Relaxed)
+    }
+
+    /// Toggles the arena answer lane for the serving front-ends — `xpv
+    /// serve-bench --no-arena`. The flag only selects which batch API the
+    /// servers call ([`ShardedViewCache::answer_batch_refs`] vs
+    /// [`ShardedViewCache::answer_batch`]); both produce the same nodes
+    /// and routes, so the wire bytes are identical.
+    pub fn set_arena_enabled(&self, enabled: bool) {
+        self.arena_enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether the serving front-ends use the arena answer lane.
+    pub fn arena_enabled(&self) -> bool {
+        self.arena_enabled.load(Ordering::Relaxed)
+    }
+
     /// Drops every memo entry whose [`PlanDep`] matches `stale`, updating
     /// the live entry count and the invalidation counters. Returns the
     /// number of routes dropped.
@@ -798,6 +891,7 @@ impl ShardedViewCache {
         // from moving beneath us); readers only wait for the swap.
         let snap = self.snapshot();
         assert!(snap.views.iter().all(|v| v.name() != name), "duplicate view name {name:?}");
+        let sig = ViewSignature::of(&def);
         let view = MaterializedView::materialize(name, def, &snap.doc);
         let n = view.len();
         let mut grown = Vec::with_capacity(snap.views.len() + 1);
@@ -806,10 +900,14 @@ impl ShardedViewCache {
         let mut ids = Vec::with_capacity(snap.ids.len() + 1);
         ids.extend(snap.ids.iter().copied());
         ids.push(ViewId(self.next_view_id.fetch_add(1, Ordering::Relaxed)));
+        let mut sigs = Vec::with_capacity(snap.sigs.len() + 1);
+        sigs.extend(snap.sigs.iter().copied());
+        sigs.push(sig);
         {
             let mut state = self.state.write().expect("cache state poisoned");
             state.views = Arc::new(grown);
             state.ids = Arc::new(ids);
+            state.sigs = Arc::new(sigs);
         }
         // Version bump strictly before the sweep: an in-flight plan either
         // sees the bump (and skips memoizing) or inserts before the sweep
@@ -844,10 +942,13 @@ impl ShardedViewCache {
         shrunk.remove(idx);
         let mut ids: Vec<ViewId> = snap.ids.iter().copied().collect();
         let removed_id = ids.remove(idx);
+        let mut sigs: Vec<ViewSignature> = snap.sigs.iter().copied().collect();
+        sigs.remove(idx);
         {
             let mut state = self.state.write().expect("cache state poisoned");
             state.views = Arc::new(shrunk);
             state.ids = Arc::new(ids);
+            state.sigs = Arc::new(sigs);
         }
         self.views_version.fetch_add(1, Ordering::Release);
         self.sweep_memo(|dep| match dep {
@@ -1194,6 +1295,8 @@ impl ShardedViewCache {
             s.intersect_candidates_tried +=
                 shard.stats.intersect_candidates_tried.load(Ordering::Relaxed);
             s.intersect_participants += shard.stats.intersect_participants.load(Ordering::Relaxed);
+            s.sig_rejects += shard.stats.sig_rejects.load(Ordering::Relaxed);
+            s.sig_passes += shard.stats.sig_passes.load(Ordering::Relaxed);
         }
         let oracle = self.session.oracle().stats();
         s.oracle_memo_hits = oracle.verdict_memo_hits;
@@ -1281,7 +1384,9 @@ impl ShardedViewCache {
         // caller's, which may predate the version load.)
         let planned_at = self.views_version.load(Ordering::Acquire);
         let plan_snap = self.snapshot();
+        let miss_start = Instant::now();
         let (route, dep) = self.plan(query, shard, &plan_snap);
+        self.obs.plan_miss_us.record_duration(miss_start.elapsed());
         if memo {
             let mut map = shard.memo.write().expect("plan memo poisoned");
             if self.views_version.load(Ordering::Acquire) == planned_at && !map.contains_key(&key) {
@@ -1333,6 +1438,16 @@ impl ShardedViewCache {
     /// involvement): the single-view scan first, then — when no view
     /// suffices and intersections are enabled — the multi-view intersection
     /// planner.
+    ///
+    /// The scan is the **plan-miss fast path**: the query's
+    /// [`QuerySignature`] is computed once, every pool candidate is first
+    /// checked against its precomputed [`ViewSignature`] (a few word ops;
+    /// rejected candidates provably admit no equivalent rewriting and
+    /// never reach the containment oracle), and the survivors are tried
+    /// in this shard's hit-rate order so a `FirstMatch` plan usually pays
+    /// exactly one containment decision. Since filtered-out candidates
+    /// can never produce a rewriting and the try order ignores the filter
+    /// knob, the chosen route is identical with the filter on or off.
     fn plan(
         &self,
         query: &Pattern,
@@ -1340,8 +1455,37 @@ impl ShardedViewCache {
         snap: &StateSnapshot,
     ) -> (PlannedRoute, PlanDep) {
         let views = &snap.views;
+        let use_filter = self.sig_filter_enabled();
+        let qsig = (use_filter && !views.is_empty()).then(|| QuerySignature::of(query));
+        let mut order: Vec<usize> = Vec::with_capacity(views.len());
+        for i in 0..views.len() {
+            if let Some(qsig) = &qsig {
+                if !qsig.admits(&snap.sigs[i]) {
+                    continue;
+                }
+            }
+            order.push(i);
+        }
+        if use_filter {
+            let rejected = (views.len() - order.len()) as u64;
+            shard.stats.sig_rejects.fetch_add(rejected, Ordering::Relaxed);
+            shard.stats.sig_passes.fetch_add(order.len() as u64, Ordering::Relaxed);
+        }
+        // Winner-first try order (stable sort, pool order breaks ties):
+        // under `FirstMatch` the historically winning view is decided
+        // first, so a recurring miss pattern costs one oracle call instead
+        // of a prefix scan. `SmallestView` ranks every survivor anyway.
+        if self.policy == ChoicePolicy::FirstMatch && order.len() > 1 {
+            let wins = shard.wins.lock().expect("win index poisoned");
+            if !wins.is_empty() {
+                order.sort_by_key(|&i| {
+                    std::cmp::Reverse(wins.get(&snap.ids[i]).copied().unwrap_or(0))
+                });
+            }
+        }
         let mut chosen: Option<(usize, Pattern)> = None;
-        for (i, view) in views.iter().enumerate() {
+        for &i in &order {
+            let view = &views[i];
             if let RewriteAnswer::Rewriting(rw) = self.session.decide(query, view.definition()) {
                 let better = match (&chosen, self.policy) {
                     (None, _) => true,
@@ -1358,10 +1502,19 @@ impl ShardedViewCache {
         }
         if let Some((index, rewriting)) = chosen {
             let dep = match self.policy {
-                // Earlier views failed for pattern-level reasons and later
-                // appends cannot become "first": the route depends on the
-                // chosen view alone.
-                ChoicePolicy::FirstMatch => PlanDep::Chosen(snap.ids[index]),
+                // The route is justified by the chosen view alone (its
+                // rewriting was verified pairwise), so it depends on that
+                // view's presence and answers — not on the scan order that
+                // found it.
+                ChoicePolicy::FirstMatch => {
+                    *shard
+                        .wins
+                        .lock()
+                        .expect("win index poisoned")
+                        .entry(snap.ids[index])
+                        .or_insert(0) += 1;
+                    PlanDep::Chosen(snap.ids[index])
+                }
                 ChoicePolicy::SmallestView => PlanDep::WholePool,
             };
             return (PlannedRoute::ViaView { id: snap.ids[index], hint: index, rewriting }, dep);
@@ -1369,8 +1522,13 @@ impl ShardedViewCache {
         // No single view rewrites the query: try a multi-view intersection.
         if self.intersect_enabled() && views.len() >= 2 {
             let pool: Vec<&Pattern> = views.iter().map(|v| v.definition()).collect();
-            let (answer, istats) =
-                plan_intersection_in(&self.session, query, &pool, &self.intersect_cfg);
+            let (answer, istats) = plan_intersection_sig(
+                &self.session,
+                query,
+                &pool,
+                qsig.as_ref().map(|q| (q, snap.sigs.as_slice())),
+                &self.intersect_cfg,
+            );
             shard
                 .stats
                 .intersect_candidates_tried
@@ -1429,6 +1587,49 @@ impl ShardedViewCache {
                 (None, None) => evaluate(p, &snap.doc),
             }
         };
+        self.execute_route(query, route, shard, snap, &mut eval)
+    }
+
+    /// [`ShardedViewCache::execute`] writing the answer nodes into a
+    /// caller-supplied arena: on the fused batch path the output bitset is
+    /// drained straight into the arena (no intermediate `Vec`); the
+    /// non-fused fallbacks evaluate to a `Vec` and append it, so every arm
+    /// stays byte-identical to the owned path.
+    fn execute_refs(
+        &self,
+        query: &Pattern,
+        route: PlannedRoute,
+        shard: &CacheShard,
+        snap: &StateSnapshot,
+        mut batch: Option<&mut BatchEval<'_>>,
+        arena: &mut AnswerArena,
+    ) -> (AnswerRef, Route) {
+        let flat = self.flat_enabled();
+        let mut eval = |p: &Pattern, anchors: Option<&[NodeId]>| -> AnswerRef {
+            match (batch.as_deref_mut(), anchors) {
+                (Some(b), Some(a)) => b.evaluate_anchored_into(p, a, arena),
+                (Some(b), None) => b.evaluate_into(p, arena),
+                (None, Some(a)) if flat => arena.push_run(evaluate_anchored_flat(p, &snap.flat, a)),
+                (None, None) if flat => arena.push_run(evaluate_flat(p, &snap.flat)),
+                (None, Some(a)) => arena.push_run(evaluate_anchored(p, &snap.doc, a)),
+                (None, None) => arena.push_run(evaluate(p, &snap.doc)),
+            }
+        };
+        self.execute_route(query, route, shard, snap, &mut eval)
+    }
+
+    /// The route-resolution core shared by the owned and arena execution
+    /// paths: resolves stable ids against the snapshot, bumps the route
+    /// counters, computes intersection anchors, and calls `eval` exactly
+    /// once per answer.
+    fn execute_route<T>(
+        &self,
+        query: &Pattern,
+        route: PlannedRoute,
+        shard: &CacheShard,
+        snap: &StateSnapshot,
+        eval: &mut dyn FnMut(&Pattern, Option<&[NodeId]>) -> T,
+    ) -> (T, Route) {
         match route {
             PlannedRoute::ViaView { id, hint, rewriting } => {
                 if let Some(index) = snap.resolve(id, hint) {
@@ -1520,6 +1721,30 @@ impl ShardedViewCache {
         CacheAnswer { nodes, route, planning, evaluation }
     }
 
+    /// [`ShardedViewCache::answer_on`] for the arena lane: identical
+    /// routing and accounting, nodes written into `arena`.
+    fn answer_on_refs(
+        &self,
+        query: &Pattern,
+        key: PatternKey,
+        fp: u64,
+        snap: &StateSnapshot,
+        batch: Option<&mut BatchEval<'_>>,
+        arena: &mut AnswerArena,
+    ) -> CacheAnswerRef {
+        let plan_start = Instant::now();
+        let (route, shard) = self.route_for(query, key, fp);
+        bump(&shard.stats.queries);
+        let planning = plan_start.elapsed();
+
+        let eval_start = Instant::now();
+        let (nodes, route) = self.execute_refs(query, route, shard, snap, batch, arena);
+        let evaluation = eval_start.elapsed();
+        self.obs.plan_us.record_duration(planning);
+        self.obs.eval_us.record_duration(evaluation);
+        CacheAnswerRef { nodes, route: Arc::new(route), planning, evaluation }
+    }
+
     /// Answers a whole workload slice in one pass; answers come back in
     /// input order.
     ///
@@ -1593,6 +1818,100 @@ impl ShardedViewCache {
                 None => {
                     first_seen.insert(key, i);
                     answers.push(self.answer_on(query, key, fp, &snap, fused.as_mut()));
+                }
+            }
+        }
+        answers
+    }
+
+    /// [`ShardedViewCache::answer_batch`] through the **arena lane**: the
+    /// answers' node runs are bump-allocated into the caller's `arena`
+    /// (cleared first), and each [`CacheAnswerRef`] holds an 8-byte handle
+    /// plus an `Arc`'d route. On the memoized hot path — route from the
+    /// plan memo, fused flat evaluation — an answer touches the heap only
+    /// through the arena's amortized growth; batch-deduplicated repeats
+    /// share the first occurrence's run outright (the handle is `Copy`),
+    /// so fan-out allocates nothing at all. Nodes, routes, and counter
+    /// effects are identical to the owned API (the ablation suite pins the
+    /// encoded bytes).
+    pub fn answer_batch_refs(
+        &self,
+        queries: &[Pattern],
+        arena: &mut AnswerArena,
+    ) -> Vec<CacheAnswerRef> {
+        let mut span = Span::begin("cache.batch");
+        let answers = self.answer_batch_refs_spanned(queries, &mut span, arena);
+        span.finish();
+        answers
+    }
+
+    /// [`ShardedViewCache::answer_batch_refs`] with a caller-owned trace
+    /// [`Span`] (see [`ShardedViewCache::answer_batch_spanned`]).
+    pub fn answer_batch_refs_spanned(
+        &self,
+        queries: &[Pattern],
+        span: &mut Span,
+        arena: &mut AnswerArena,
+    ) -> Vec<CacheAnswerRef> {
+        let batch_start = Instant::now();
+        let answers = self.answer_batch_refs_inner(queries, arena);
+        self.obs.batch_us.record_duration(batch_start.elapsed());
+        if span.is_enabled() {
+            let plan: Duration = answers.iter().map(|a| a.planning).sum();
+            let eval: Duration = answers.iter().map(|a| a.evaluation).sum();
+            span.mark_us(Phase::Plan, plan.as_micros() as u64);
+            span.mark_us(Phase::Eval, eval.as_micros() as u64);
+        }
+        answers
+    }
+
+    fn answer_batch_refs_inner(
+        &self,
+        queries: &[Pattern],
+        arena: &mut AnswerArena,
+    ) -> Vec<CacheAnswerRef> {
+        arena.clear();
+        let snap = self.snapshot();
+        let mut fused = self.flat_enabled().then(|| BatchEval::new(&snap.flat));
+        if !self.memo_enabled() {
+            // Ablation baseline: every position replans and re-evaluates
+            // (same per-position work as the owned path's fallback, one
+            // consistent snapshot either way).
+            return queries
+                .iter()
+                .map(|q| {
+                    let (key, fp) = self.session.oracle().intern_fingerprinted(q);
+                    self.answer_on_refs(q, key, fp, &snap, fused.as_mut(), arena)
+                })
+                .collect();
+        }
+        let mut answers: Vec<CacheAnswerRef> = Vec::with_capacity(queries.len());
+        let mut first_seen: HashMap<PatternKey, usize> = HashMap::new();
+        for (i, query) in queries.iter().enumerate() {
+            let (key, fp) = self.session.oracle().intern_fingerprinted(query);
+            match first_seen.get(&key) {
+                Some(&j) => {
+                    let original = &answers[j];
+                    let fanned = CacheAnswerRef {
+                        nodes: original.nodes,
+                        route: Arc::clone(&original.route),
+                        planning: Duration::ZERO,
+                        evaluation: Duration::ZERO,
+                    };
+                    let shard = self.shard_for(fp);
+                    bump(&shard.stats.queries);
+                    bump(&shard.stats.plan_memo_hits);
+                    bump(&shard.stats.batch_dedup_hits);
+                    match *fanned.route {
+                        Route::ViaView { .. } => bump(&shard.stats.view_hits),
+                        Route::Intersect { .. } => bump(&shard.stats.intersect_hits),
+                        Route::Direct => bump(&shard.stats.direct),
+                    }
+                    answers.push(fanned);
+                }
+                None => {
+                    first_seen.insert(key, i);
+                    answers.push(self.answer_on_refs(query, key, fp, &snap, fused.as_mut(), arena));
                 }
             }
         }

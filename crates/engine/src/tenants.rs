@@ -16,7 +16,7 @@ use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
-use crate::shard::{CacheAnswer, Route};
+use crate::shard::{CacheAnswer, CacheAnswerRef, Route};
 
 /// Number of tenant-stats lock shards.
 const TENANT_SHARDS: usize = 16;
@@ -133,11 +133,25 @@ impl TenantRegistry {
 
     /// Accounts one answered batch to `tenant`.
     pub fn account_batch(&self, tenant: &str, answers: &[CacheAnswer]) {
+        self.account_routes(tenant, answers.len(), answers.iter().map(|a| &a.route));
+    }
+
+    /// [`TenantRegistry::account_batch`] for the arena answer lane.
+    pub fn account_batch_refs(&self, tenant: &str, answers: &[CacheAnswerRef]) {
+        self.account_routes(tenant, answers.len(), answers.iter().map(|a| a.route.as_ref()));
+    }
+
+    fn account_routes<'a>(
+        &self,
+        tenant: &str,
+        queries: usize,
+        routes: impl Iterator<Item = &'a Route>,
+    ) {
         let counters = self.counters(tenant);
         counters.batches.fetch_add(1, Ordering::Relaxed);
-        counters.queries.fetch_add(answers.len() as u64, Ordering::Relaxed);
-        for a in answers {
-            match a.route {
+        counters.queries.fetch_add(queries as u64, Ordering::Relaxed);
+        for route in routes {
+            match route {
                 Route::ViaView { .. } => counters.view_hits.fetch_add(1, Ordering::Relaxed),
                 Route::Intersect { .. } => counters.intersect_hits.fetch_add(1, Ordering::Relaxed),
                 Route::Direct => counters.direct.fetch_add(1, Ordering::Relaxed),

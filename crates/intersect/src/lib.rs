@@ -75,6 +75,6 @@ pub use eval::{
     answer_intersection_virtual_flat, intersect_node_sets, intersect_trees_by_key,
 };
 pub use plan::{
-    plan_intersection, plan_intersection_contained_in, plan_intersection_in, IntersectAnswer,
-    IntersectConfig, IntersectStats,
+    plan_intersection, plan_intersection_contained_in, plan_intersection_in, plan_intersection_sig,
+    IntersectAnswer, IntersectConfig, IntersectStats,
 };

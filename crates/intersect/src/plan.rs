@@ -9,7 +9,7 @@
 use std::fmt;
 
 use xpv_core::{contained_rewriting_in, PlanningSession, RewriteAnswer};
-use xpv_pattern::{intersect_patterns, Axis, Pattern};
+use xpv_pattern::{intersect_patterns, Axis, Pattern, QuerySignature, ViewSignature};
 
 /// A verified multi-view rewriting over a node-set intersection.
 #[derive(Clone, Debug)]
@@ -49,6 +49,10 @@ impl Default for IntersectConfig {
 pub struct IntersectStats {
     /// Subsets for which a merge was attempted.
     pub candidates_tried: u64,
+    /// Subsets dismissed by the signature-union necessary condition
+    /// before any structural merge or containment work (zero when the
+    /// caller passed no signatures).
+    pub sig_skipped: u64,
     /// Subsets whose views actually merged into an intersection pattern.
     pub merges_built: u64,
     /// Merged anchors skipped because they collapse onto a single
@@ -64,8 +68,10 @@ impl fmt::Display for IntersectStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} subsets tried ({} merged, {} redundant, {} planned), {} participants chosen",
+            "{} subsets tried ({} sig-skipped, {} merged, {} redundant, {} planned), \
+             {} participants chosen",
             self.candidates_tried,
+            self.sig_skipped,
             self.merges_built,
             self.redundant_skipped,
             self.plans_attempted,
@@ -116,6 +122,7 @@ fn search(
     session: &PlanningSession,
     p: &Pattern,
     pool: &[&Pattern],
+    sigs: Option<(&QuerySignature, &[ViewSignature])>,
     cfg: &IntersectConfig,
     stats: &mut IntersectStats,
     attempt: &mut impl FnMut(&PlanningSession, &Pattern, &Pattern) -> Option<(Pattern, bool)>,
@@ -152,6 +159,21 @@ fn search(
                 }
                 budget -= 1;
                 stats.candidates_tried += 1;
+                // Signature-union prune, *after* the budget decrement so
+                // the filtered and unfiltered arms enumerate identical
+                // subset sequences (byte-identical routes either way): the
+                // union is the merged anchor's signature, and a rejected
+                // union proves the subset cannot support an equivalent
+                // compensation — or the merge itself would fail.
+                if let Some((qsig, vsigs)) = sigs {
+                    let unified = subset[1..]
+                        .iter()
+                        .try_fold(vsigs[subset[0]], |acc, &i| acc.union(&vsigs[i]));
+                    if !unified.is_some_and(|u| qsig.admits(&u)) {
+                        stats.sig_skipped += 1;
+                        return true;
+                    }
+                }
                 let views: Vec<&Pattern> = subset.iter().map(|&i| pool[i]).collect();
                 let Some(merged) = intersect_patterns(&views) else {
                     return true;
@@ -204,13 +226,34 @@ pub fn plan_intersection_in(
     pool: &[&Pattern],
     cfg: &IntersectConfig,
 ) -> (Option<IntersectAnswer>, IntersectStats) {
+    plan_intersection_sig(session, p, pool, None, cfg)
+}
+
+/// [`plan_intersection_in`] with the serving layer's precomputed
+/// signatures: each enumerated subset is first checked against the
+/// **signature union** (the merged anchor's signature — label masks
+/// union, output tests glb), and subsets whose union the query signature
+/// rejects skip the structural merge, the redundancy containment check,
+/// and the full decision procedure. The prune is a necessary condition,
+/// so the returned answer is identical to the unfiltered search's (only
+/// [`IntersectStats::sig_skipped`] and the work done differ). Pass
+/// `sigs = None` for the unfiltered ablation arm; `sigs` must be
+/// parallel to `pool`.
+pub fn plan_intersection_sig(
+    session: &PlanningSession,
+    p: &Pattern,
+    pool: &[&Pattern],
+    sigs: Option<(&QuerySignature, &[ViewSignature])>,
+    cfg: &IntersectConfig,
+) -> (Option<IntersectAnswer>, IntersectStats) {
     let mut stats = IntersectStats::default();
-    let found = search(session, p, pool, cfg, &mut stats, &mut |session, p, merged| match session
-        .decide(p, merged)
-    {
-        RewriteAnswer::Rewriting(rw) => Some((rw.pattern().clone(), true)),
-        _ => None,
-    });
+    let found =
+        search(session, p, pool, sigs, cfg, &mut stats, &mut |session, p, merged| match session
+            .decide(p, merged)
+        {
+            RewriteAnswer::Rewriting(rw) => Some((rw.pattern().clone(), true)),
+            _ => None,
+        });
     (found, stats)
 }
 
@@ -229,6 +272,10 @@ pub fn plan_intersection(
 /// node is a genuine answer; some may be missing). Only subsets with **no**
 /// equivalent compensation reach the contained test, so `equivalent` is
 /// `true` on the returned answer exactly when the full answer is recovered.
+///
+/// Never signature-filtered: the signature conditions are necessary for
+/// *equivalent* rewritings only — a contained compensation may use views
+/// with labels or depth the query lacks.
 pub fn plan_intersection_contained_in(
     session: &PlanningSession,
     p: &Pattern,
@@ -236,12 +283,13 @@ pub fn plan_intersection_contained_in(
     cfg: &IntersectConfig,
 ) -> (Option<IntersectAnswer>, IntersectStats) {
     let mut stats = IntersectStats::default();
-    let found = search(session, p, pool, cfg, &mut stats, &mut |session, p, merged| match session
-        .decide(p, merged)
-    {
-        RewriteAnswer::Rewriting(rw) => Some((rw.pattern().clone(), true)),
-        _ => contained_rewriting_in(session.oracle(), p, merged).map(|r| (r, false)),
-    });
+    let found =
+        search(session, p, pool, None, cfg, &mut stats, &mut |session, p, merged| match session
+            .decide(p, merged)
+        {
+            RewriteAnswer::Rewriting(rw) => Some((rw.pattern().clone(), true)),
+            _ => contained_rewriting_in(session.oracle(), p, merged).map(|r| (r, false)),
+        });
     (found, stats)
 }
 

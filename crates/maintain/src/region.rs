@@ -132,10 +132,12 @@ impl<'a> SubMatcher<'a> {
         if let Some(&v) = self.node_memo.get(&(q.0, w.0)) {
             return v;
         }
-        let ok = self.p.test(q).matches(self.t.label(w)) && {
-            let children: Vec<PatId> = self.p.children(q).to_vec();
-            children.iter().all(|&c| self.witness_below(c, w))
-        };
+        // Copying the `&'a` field out lets the children slice (lifetime
+        // `'a`, not `self`'s) outlive the `&mut self` recursion — no
+        // per-node clone of the child list.
+        let p = self.p;
+        let ok = p.test(q).matches(self.t.label(w))
+            && p.children(q).iter().all(|&c| self.witness_below(c, w));
         self.node_memo.insert((q.0, w.0), ok);
         ok
     }
@@ -145,8 +147,8 @@ impl<'a> SubMatcher<'a> {
     fn witness_below(&mut self, c: PatId, v: NodeId) -> bool {
         match self.p.axis(c) {
             Axis::Child => {
-                let kids: Vec<NodeId> = self.t.children(v).to_vec();
-                kids.into_iter().any(|w| self.matches_at(c, w))
+                let t = self.t;
+                t.children(v).iter().any(|&w| self.matches_at(c, w))
             }
             Axis::Descendant => self.desc_witness(c, v),
         }
@@ -156,18 +158,16 @@ impl<'a> SubMatcher<'a> {
         if let Some(&hit) = self.desc_memo.get(&(c.0, v.0)) {
             return hit;
         }
-        let kids: Vec<NodeId> = self.t.children(v).to_vec();
-        let hit = kids.into_iter().any(|w| self.matches_at(c, w) || self.desc_witness(c, w));
+        let t = self.t;
+        let hit = t.children(v).iter().any(|&w| self.matches_at(c, w) || self.desc_witness(c, w));
         self.desc_memo.insert((c.0, v.0), hit);
         hit
     }
 
     /// `B_i(v)`: node test of the `i`-th spine node plus all its branches.
     pub fn b_holds(&mut self, info: &SpineInfo, i: usize, v: NodeId) -> bool {
-        self.p.test(info.spine[i]).matches(self.t.label(v)) && {
-            let branches: Vec<PatId> = info.branches[i].clone();
-            branches.into_iter().all(|c| self.witness_below(c, v))
-        }
+        self.p.test(info.spine[i]).matches(self.t.label(v))
+            && info.branches[i].iter().all(|&c| self.witness_below(c, v))
     }
 
     /// The full `B`-vector at `v` as a bitmask over spine positions.

@@ -1,0 +1,120 @@
+//! A bump arena for answer **node runs** — the zero-allocation return
+//! lane of the serving hot path.
+//!
+//! Answering a batch used to allocate one `Vec<NodeId>` per answer, even
+//! when the route came from the plan memo and the nodes from a shared
+//! flat evaluation. An [`AnswerArena`] replaces those per-answer vectors
+//! with one growable buffer per batch: each answer appends its run of
+//! node ids and gets back an [`AnswerRef`] — a `(offset, len)` handle,
+//! `Copy`, eight bytes. Repeated queries in a batch fan out by copying
+//! the *handle*, sharing one run; the wire encoder reads the run as a
+//! borrowed slice ([`AnswerArena::get`]) straight into the response
+//! frame. Cleared arenas ([`AnswerArena::clear`]) keep their capacity,
+//! so a serving loop reaches a steady state with **zero** per-answer
+//! heap traffic.
+//!
+//! A ref is only meaningful against the arena that issued it (and only
+//! until that arena is cleared); [`AnswerArena::get`] panics on a ref
+//! from elsewhere that points past the end, and silently returns wrong
+//! nodes on one that happens to fit — the same discipline as any index
+//! handed across data structures.
+
+use crate::tree::NodeId;
+
+/// A handle to one run of nodes in an [`AnswerArena`]: eight bytes,
+/// `Copy`, cheap to fan out to duplicate queries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct AnswerRef {
+    offset: u32,
+    len: u32,
+}
+
+impl AnswerRef {
+    /// Number of nodes in the run.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the run is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// A per-batch bump arena of [`NodeId`] runs (see the module docs).
+#[derive(Debug, Default)]
+pub struct AnswerArena {
+    nodes: Vec<NodeId>,
+}
+
+impl AnswerArena {
+    /// An empty arena; the first batch grows it to the workload's size.
+    pub fn new() -> AnswerArena {
+        AnswerArena { nodes: Vec::new() }
+    }
+
+    /// An arena pre-sized for `nodes` total answer nodes.
+    pub fn with_capacity(nodes: usize) -> AnswerArena {
+        AnswerArena { nodes: Vec::with_capacity(nodes) }
+    }
+
+    /// Appends one answer's run and returns its handle.
+    pub fn push_run(&mut self, run: impl IntoIterator<Item = NodeId>) -> AnswerRef {
+        let offset = self.nodes.len() as u32;
+        self.nodes.extend(run);
+        AnswerRef { offset, len: self.nodes.len() as u32 - offset }
+    }
+
+    /// The run behind `r`, as a borrowed slice.
+    pub fn get(&self, r: AnswerRef) -> &[NodeId] {
+        &self.nodes[r.offset as usize..(r.offset + r.len) as usize]
+    }
+
+    /// Total nodes stored across all runs.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether any run has been pushed since the last clear.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Forgets every run but keeps the allocation, invalidating all
+    /// outstanding refs — call between batches to reuse the buffer.
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_round_trip_and_share_storage() {
+        let mut arena = AnswerArena::new();
+        let a = arena.push_run([NodeId(1), NodeId(2)]);
+        let b = arena.push_run([]);
+        let c = arena.push_run([NodeId(7)]);
+        assert_eq!(arena.get(a), &[NodeId(1), NodeId(2)]);
+        assert_eq!(arena.get(b), &[] as &[NodeId]);
+        assert!(b.is_empty());
+        assert_eq!(arena.get(c), &[NodeId(7)]);
+        assert_eq!(arena.node_count(), 3);
+        // Handles are Copy: fanning out an answer copies 8 bytes, not nodes.
+        let a2 = a;
+        assert_eq!(arena.get(a2), arena.get(a));
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut arena = AnswerArena::with_capacity(64);
+        arena.push_run((0..50).map(NodeId));
+        arena.clear();
+        assert!(arena.is_empty());
+        assert_eq!(arena.node_count(), 0);
+        let r = arena.push_run([NodeId(3)]);
+        assert_eq!(arena.get(r), &[NodeId(3)]);
+    }
+}

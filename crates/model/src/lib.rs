@@ -12,16 +12,21 @@
 //! * [`BitSet`] — the set representation used by the embedding matcher;
 //! * [`FlatTree`] — a frozen struct-of-arrays snapshot of a tree (label
 //!   array, CSR children, parent array, live mask, per-label postings) that
-//!   the word-parallel matcher in `xpv-semantics` runs against.
+//!   the word-parallel matcher in `xpv-semantics` runs against;
+//! * [`AnswerArena`] — a per-batch bump arena of answer node runs with
+//!   `Copy` [`AnswerRef`] handles, the serving layer's zero-allocation
+//!   return lane.
 //!
 //! Patterns (queries and views) live one layer up, in `xpv-pattern`.
 
+pub mod arena;
 pub mod bitset;
 pub mod flat;
 pub mod label;
 pub mod tree;
 pub mod xml;
 
+pub use arena::{AnswerArena, AnswerRef};
 pub use bitset::BitSet;
 pub use flat::{FlatTree, NO_PARENT};
 pub use label::{Label, BOTTOM_NAME};

@@ -22,6 +22,10 @@
 //!   [`PatternInterner`] / [`PatternKey`]) — stable under sibling
 //!   reordering — so patterns can serve as cheap memo keys for the
 //!   containment oracle in `xpv-semantics`;
+//! * word-sized **signatures** ([`ViewSignature`] / [`QuerySignature`]):
+//!   necessary conditions for an equivalent rewriting, used by the serving
+//!   layer to reject most candidate views before any containment call (the
+//!   soundness argument lives in the [`signature`] module docs);
 //! * syntactic classification: fragments ([`FragmentFlags`]), linearity,
 //!   the Proposition 4.1 stability witnesses ([`stability_witness`]) and the
 //!   GNF/* normal form of Definition 5.3 ([`is_gnf_star`]).
@@ -34,6 +38,7 @@ pub mod ops;
 pub mod parse;
 pub mod pattern;
 pub mod print;
+pub mod signature;
 
 pub use classify::{
     deepest_descendant_selection_edge, gnf_star_certificate, is_gnf_star, is_linear,
@@ -45,3 +50,4 @@ pub use ops::{compose, compose_chain, intersect_patterns};
 pub use parse::{parse_xpath, ParseError};
 pub use pattern::{Axis, NodeTest, PatId, Pattern, PatternBuilder};
 pub use print::to_xpath;
+pub use signature::{OutClass, QuerySignature, ViewSignature};

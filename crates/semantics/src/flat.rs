@@ -38,7 +38,7 @@
 use std::cell::RefCell;
 use std::collections::HashMap;
 
-use xpv_model::{BitSet, FlatTree, NodeId, NO_PARENT};
+use xpv_model::{AnswerArena, AnswerRef, BitSet, FlatTree, NodeId, NO_PARENT};
 use xpv_pattern::{Axis, NodeTest, PatId, Pattern};
 
 /// A recycling pool of arena-width [`BitSet`] buffers.
@@ -638,30 +638,65 @@ impl<'t> BatchEval<'t> {
     /// `P(t)` against the bound snapshot — identical output to
     /// [`evaluate_flat`] (and to the reference [`crate::embed::evaluate`]).
     pub fn evaluate(&mut self, p: &Pattern) -> Vec<NodeId> {
-        let mut roots = self.scratch.take();
-        roots.insert(self.ft.root().index());
-        self.finish(p, roots)
+        let out = self.output_set(p, None);
+        let nodes = collect_nodes(&out);
+        self.scratch.put(out);
+        nodes
     }
 
     /// Anchored evaluation against the bound snapshot — identical output to
     /// [`evaluate_anchored_flat`].
     pub fn evaluate_anchored(&mut self, p: &Pattern, anchors: &[NodeId]) -> Vec<NodeId> {
-        let mut roots = self.scratch.take();
-        for &n in anchors {
-            if self.ft.is_alive(n.index()) {
-                roots.insert(n.index());
-            }
-        }
-        self.finish(p, roots)
-    }
-
-    fn finish(&mut self, p: &Pattern, roots: BitSet) -> Vec<NodeId> {
-        let sub = self.sub_tables(p);
-        let out = propagate_selection_flat(p, self.ft, &sub, roots, &mut self.scratch);
+        let out = self.output_set(p, Some(anchors));
         let nodes = collect_nodes(&out);
         self.scratch.put(out);
-        self.scratch.put_all(sub);
         nodes
+    }
+
+    /// [`BatchEval::evaluate`] writing the answer into `arena` instead of
+    /// allocating a `Vec` — the run's nodes are identical (the ablation
+    /// suite pins this byte-for-byte).
+    pub fn evaluate_into(&mut self, p: &Pattern, arena: &mut AnswerArena) -> AnswerRef {
+        let out = self.output_set(p, None);
+        let r = arena.push_run(out.iter().map(|i| NodeId(i as u32)));
+        self.scratch.put(out);
+        r
+    }
+
+    /// [`BatchEval::evaluate_anchored`] writing into `arena`.
+    pub fn evaluate_anchored_into(
+        &mut self,
+        p: &Pattern,
+        anchors: &[NodeId],
+        arena: &mut AnswerArena,
+    ) -> AnswerRef {
+        let out = self.output_set(p, Some(anchors));
+        let r = arena.push_run(out.iter().map(|i| NodeId(i as u32)));
+        self.scratch.put(out);
+        r
+    }
+
+    /// The output node set of `p` over the snapshot (`anchors == None`
+    /// means "from the document root"); the caller returns the set to the
+    /// scratch pool after reading it out.
+    fn output_set(&mut self, p: &Pattern, anchors: Option<&[NodeId]>) -> BitSet {
+        let mut roots = self.scratch.take();
+        match anchors {
+            None => {
+                roots.insert(self.ft.root().index());
+            }
+            Some(anchors) => {
+                for &n in anchors {
+                    if self.ft.is_alive(n.index()) {
+                        roots.insert(n.index());
+                    }
+                }
+            }
+        }
+        let sub = self.sub_tables(p);
+        let out = propagate_selection_flat(p, self.ft, &sub, roots, &mut self.scratch);
+        self.scratch.put_all(sub);
+        out
     }
 }
 

@@ -31,7 +31,7 @@ pub use adversarial::{conp_stress_instance, hom_gap_instance, no_condition_insta
 pub use edits::{edit_batches, edit_stream, edit_stream_clustered, EditLocality, EditMix};
 pub use patterns::{workload_labels, Fragment, PatternGen, PatternGenConfig};
 pub use scenarios::{
-    bib_catalog, bib_doc, site_catalog, site_doc, site_intersect_catalog,
+    bib_catalog, bib_doc, derived_view_pool, site_catalog, site_doc, site_intersect_catalog,
     split_into_overlapping_views, Catalog,
 };
 pub use socket_load::{run_socket_load, SocketLoadReport};

@@ -5,18 +5,27 @@
 //! ```
 //!
 //! Compares freshly produced `BENCH_serving.json`, `BENCH_updates.json`,
-//! and `BENCH_obs.json` (in `--fresh-dir`, default `.`) against the
-//! committed copies in `--baseline-dir` (default `baselines/`) and exits
-//! non-zero when a headline number regresses past the tolerance band:
+//! `BENCH_obs.json`, `BENCH_eval.json`, and `BENCH_throughput.json` (in
+//! `--fresh-dir`, default `.`) against the committed copies in
+//! `--baseline-dir` (default `baselines/`) and exits non-zero when a
+//! headline number regresses past the tolerance band:
 //!
 //! * **serving** — best qps across the sweep's runs must stay within
-//!   `1 - F` of the baseline's best;
+//!   `1 - F` of the baseline's best, and the cold-miss arm's
+//!   `ablation_arms_agree` must be `true` (correctness, never
+//!   tolerance-banded);
 //! * **updates** — `speedup_primary_vs_full` must stay within `1 - F`
-//!   of baseline, and `verified_identical` must be `true` (correctness,
-//!   never tolerance-banded);
+//!   of baseline, and `verified_identical` must be `true`;
 //! * **obs** — `within_budget` must be `true`, and
 //!   `always_on_overhead_pct` may not exceed the baseline by more than
-//!   `F × 100` percentage points.
+//!   `F × 100` percentage points;
+//! * **eval** — the best fused-path qps (`flat_fused` / `flat_fused_arena`
+//!   rows) must stay within `1 - F` of baseline, with
+//!   `verified_identical` `true`;
+//! * **throughput** — the plan-miss fast path: `speedup_filter_on_vs_off`
+//!   within `1 - F` of baseline, `sig_reject_rate ≥ 0.9` (the filter must
+//!   keep rejecting ~all useless candidates before any oracle call), and
+//!   `answers_identical` `true`.
 //!
 //! The default tolerance is deliberately wide (`0.5` — CI machines are
 //! not the machines the baselines were measured on); the gate exists to
@@ -102,6 +111,10 @@ fn run(baseline_dir: &str, fresh_dir: &str, tolerance: f64) -> Result<Vec<String
         return Err("BENCH_serving.json: no qps values found".to_string());
     }
     gate.check_floor("serving: best qps", base_qps, fresh_qps, tolerance);
+    gate.require(
+        "serving: cold_miss ablation_arms_agree",
+        scan_bool(&fresh, "ablation_arms_agree") == Some(true),
+    );
 
     // --- updates: incremental-maintenance speedup + correctness ---------
     let base = read(baseline_dir, "BENCH_updates.json")?;
@@ -135,6 +148,41 @@ fn run(baseline_dir: &str, fresh_dir: &str, tolerance: f64) -> Result<Vec<String
     } else {
         return Err("BENCH_obs.json: no always_on_overhead_pct found".to_string());
     }
+
+    // --- eval: fused flat matcher (arena lane included) -----------------
+    let base = read(baseline_dir, "BENCH_eval.json")?;
+    let fresh = read(fresh_dir, "BENCH_eval.json")?;
+    // All qps rows describe fused/flat paths except the reference row;
+    // best-of keeps the gate robust to which variant wins on a given box.
+    let best_qps = |json: &str| scan_numbers(json, "qps").into_iter().fold(0.0, f64::max);
+    let (base_eval, fresh_eval) = (best_qps(&base), best_qps(&fresh));
+    if base_eval <= 0.0 || fresh_eval <= 0.0 {
+        return Err("BENCH_eval.json: no qps values found".to_string());
+    }
+    gate.check_floor("eval: best qps", base_eval, fresh_eval, tolerance);
+    gate.require("eval: verified_identical", scan_bool(&fresh, "verified_identical") == Some(true));
+
+    // --- throughput: plan-miss fast path --------------------------------
+    let base = read(baseline_dir, "BENCH_throughput.json")?;
+    let fresh = read(fresh_dir, "BENCH_throughput.json")?;
+    let sig_speedup = |json: &str| scan_numbers(json, "speedup_filter_on_vs_off").first().copied();
+    match (sig_speedup(&base), sig_speedup(&fresh)) {
+        (Some(b), Some(f)) => {
+            gate.check_floor("throughput: speedup_filter_on_vs_off", b, f, tolerance)
+        }
+        _ => return Err("BENCH_throughput.json: no speedup_filter_on_vs_off found".to_string()),
+    }
+    let reject_rate = scan_numbers(&fresh, "sig_reject_rate").first().copied().unwrap_or(0.0);
+    gate.require(
+        "throughput: sig_reject_rate >= 0.9",
+        // A hard floor, not tolerance-banded: the filter's necessary
+        // conditions either reject the foreign-catalog pool or they don't.
+        reject_rate >= 0.9,
+    );
+    gate.require(
+        "throughput: answers_identical",
+        scan_bool(&fresh, "answers_identical") == Some(true),
+    );
 
     Ok(gate.failures)
 }

@@ -11,13 +11,18 @@
 //! xpv figures                        verify the paper's figures
 //! xpv serve-bench [--threads N] [--shards S] [--memo-cap M]
 //!                 [--queries Q] [--tenants T] [--no-intersect] [--no-flat]
+//!                 [--no-sig-filter] [--no-arena]
 //!                 [--transport inproc|unix|tcp] [--pipeline P] [--sweep]
 //!                                    drive the serving front-end with a
 //!                                    Zipf workload (overlapping-view
 //!                                    catalog) over the chosen transport and
 //!                                    print throughput; --sweep ablates
-//!                                    transports x threads {1,2,4,8} and
-//!                                    writes BENCH_serving.json
+//!                                    transports x threads {1,2,4,8}, runs
+//!                                    the cold-cache/high-miss plan arm
+//!                                    (sig filter on vs off over a large
+//!                                    derived-view pool, all ablation arms
+//!                                    verified identical) and writes
+//!                                    BENCH_serving.json
 //! xpv listen   (--tcp ADDR | --unix PATH) [--workers N] [--window W]
 //!              [--xml FILE] [--view NAME=DEF]...
 //!                                    serve the wire protocol until killed
@@ -72,8 +77,9 @@
 //!                                    ablate the evaluation core: reference
 //!                                    Tree matcher vs the word-parallel flat
 //!                                    matcher, fused batch vs per-query,
-//!                                    scratch pool on/off; writes
-//!                                    BENCH_eval.json
+//!                                    scratch pool on/off, and the fused
+//!                                    path writing into the reusable answer
+//!                                    arena; writes BENCH_eval.json
 //! ```
 //!
 //! Patterns use the fragment's XPath syntax: `a[b]//c[.//d]/e`.
@@ -91,8 +97,8 @@ use xpath_views::prelude::*;
 use xpath_views::rewrite::{figure1, figure2, figure3, figure4, NoRewriteReason};
 use xpath_views::semantics::remove_redundant_branches;
 use xpath_views::workload::{
-    catalog_zipf_stream, edit_batches, edit_stream_clustered, run_socket_load, site_doc,
-    site_intersect_catalog, EditLocality, EditMix,
+    bib_catalog, catalog_zipf_stream, derived_view_pool, edit_batches, edit_stream_clustered,
+    run_socket_load, site_catalog, site_doc, site_intersect_catalog, EditLocality, EditMix,
 };
 
 fn fail(msg: &str) -> ExitCode {
@@ -102,7 +108,8 @@ fn fail(msg: &str) -> ExitCode {
          xpv contain <P1> <P2>\n  \
          xpv eval <QUERY> <FILE.xml|->\n  xpv reduce <PATTERN>\n  xpv figures\n  \
          xpv serve-bench [--threads N] [--shards S] [--memo-cap M] [--queries Q] [--tenants T] \
-         [--no-intersect] [--no-flat] [--transport inproc|unix|tcp] [--pipeline P] [--sweep]\n  \
+         [--no-intersect] [--no-flat] [--no-sig-filter] [--no-arena] \
+         [--transport inproc|unix|tcp] [--pipeline P] [--sweep]\n  \
          xpv listen (--tcp ADDR | --unix PATH) [--workers N] [--window W] [--xml FILE] \
          [--view NAME=DEF]...\n  \
          xpv client (--tcp ADDR | --unix PATH) [--tenant T] [--stats] QUERY...\n  \
@@ -312,7 +319,8 @@ impl Transport {
 }
 
 /// Ablation knobs for `serve-bench`, parsed from `--flag value` pairs plus
-/// the booleans `--no-intersect` and `--sweep`.
+/// the booleans `--no-intersect`, `--no-flat`, `--no-sig-filter`,
+/// `--no-arena` and `--sweep`.
 struct ServeBenchOpts {
     threads: usize,
     shards: usize,
@@ -321,6 +329,8 @@ struct ServeBenchOpts {
     tenants: usize,
     intersect: bool,
     flat: bool,
+    sig_filter: bool,
+    arena: bool,
     transport: Transport,
     pipeline: usize,
     sweep: bool,
@@ -336,6 +346,8 @@ impl ServeBenchOpts {
             tenants: 4,
             intersect: true,
             flat: true,
+            sig_filter: true,
+            arena: true,
             transport: Transport::Inproc,
             pipeline: 4,
             sweep: false,
@@ -348,6 +360,14 @@ impl ServeBenchOpts {
             }
             if flag == "--no-flat" {
                 opts.flat = false;
+                continue;
+            }
+            if flag == "--no-sig-filter" {
+                opts.sig_filter = false;
+                continue;
+            }
+            if flag == "--no-arena" {
+                opts.arena = false;
                 continue;
             }
             if flag == "--sweep" {
@@ -446,6 +466,8 @@ fn build_serving_cache(opts: &ServeBenchOpts) -> Arc<ShardedViewCache> {
         .with_memo_cap(opts.memo_cap);
     cache.set_intersect_enabled(opts.intersect);
     cache.set_flat_enabled(opts.flat);
+    cache.set_sig_filter_enabled(opts.sig_filter);
+    cache.set_arena_enabled(opts.arena);
     for (name, def) in catalog.views.iter() {
         cache.add_view(name, def.clone());
     }
@@ -539,6 +561,129 @@ fn print_serving_detail(cache: &ShardedViewCache, tenants: &[(String, TenantStat
     }
 }
 
+/// The cold-cache / high-miss arm of `serve-bench --sweep`: a large pool
+/// of views derived from the site + bib catalogs (most provably useless
+/// for any given query), the plan memo disabled so **every** arrival is a
+/// plan miss, and the four signature-filter × arena ablation arms. The
+/// headline is the cold-planning speedup with the filter on vs off; all
+/// four arms must return identical nodes and routes (an `Err` — a failed
+/// bench run — otherwise). Returns the `cold_miss` JSON object for
+/// `BENCH_serving.json`.
+fn cold_miss_arm(queries: usize) -> Result<String, String> {
+    use xpath_views::model::AnswerArena;
+
+    let site = site_catalog();
+    let bib = bib_catalog();
+    // A multi-tenant-shaped pool: a few views derived from this tenant's
+    // catalog plus a large block derived from a foreign one — the
+    // candidates a cold planner must wade through but that can never
+    // rewrite a site query.
+    let mut pool = derived_view_pool(&[&site], 1, 0xC01D);
+    pool.extend(derived_view_pool(&[&bib], 9, 0xC01D ^ 1));
+    let stream = catalog_zipf_stream(&site, queries, 0x21F);
+    let build = |sig: bool| {
+        let cache = ShardedViewCache::new(site_doc(12, 12, 7)).with_shards(4);
+        cache.set_memo_enabled(false);
+        cache.set_sig_filter_enabled(sig);
+        for (name, def) in &pool {
+            cache.add_view(name, def.clone());
+        }
+        cache
+    };
+    struct Arm {
+        qps: f64,
+        plan_us: f64,
+        answers: Vec<(Vec<NodeId>, Route)>,
+        stats: CacheStats,
+    }
+    let mut arms: Vec<Arm> = Vec::new();
+    for (sig, arena_lane) in [(true, false), (true, true), (false, false), (false, true)] {
+        let cache = build(sig);
+        let start = Instant::now();
+        let (elapsed, plan, answers) = if arena_lane {
+            let mut arena = AnswerArena::new();
+            let refs = cache.answer_batch_refs(&stream, &mut arena);
+            let elapsed = start.elapsed();
+            let plan: std::time::Duration = refs.iter().map(|a| a.planning).sum();
+            let answers = refs
+                .into_iter()
+                .map(|a| (arena.get(a.nodes).to_vec(), (*a.route).clone()))
+                .collect();
+            (elapsed, plan, answers)
+        } else {
+            let answers = cache.answer_batch(&stream);
+            let elapsed = start.elapsed();
+            let plan: std::time::Duration = answers.iter().map(|a| a.planning).sum();
+            (elapsed, plan, answers.into_iter().map(|a| (a.nodes, a.route)).collect())
+        };
+        arms.push(Arm {
+            qps: stream.len() as f64 / elapsed.as_secs_f64().max(1e-9),
+            plan_us: plan.as_secs_f64() * 1e6,
+            answers,
+            stats: cache.stats(),
+        });
+    }
+    for (i, arm) in arms.iter().enumerate().skip(1) {
+        if arm.answers != arms[0].answers {
+            return Err(format!(
+                "cold-miss ablation arm {i} disagrees with the reference arm on answers/routes"
+            ));
+        }
+    }
+    // Planning is the phase the filter attacks (evaluation is identical
+    // across arms); best-of the two lanes per filter setting.
+    let plan_on_us = arms[0].plan_us.min(arms[1].plan_us);
+    let plan_off_us = arms[2].plan_us.min(arms[3].plan_us);
+    let plan_speedup = plan_off_us / plan_on_us.max(1e-9);
+    let qps_on = arms[0].qps.max(arms[1].qps);
+    let qps_off = arms[2].qps.max(arms[3].qps);
+    let s = &arms[0].stats;
+    let candidates = s.sig_rejects + s.sig_passes;
+    let reject_rate = if candidates > 0 { s.sig_rejects as f64 / candidates as f64 } else { 0.0 };
+    println!(
+        "cold-miss arm: {} views, {} queries — cold planning {:.0} µs sig-filter on vs \
+         {:.0} µs off ({:.2}x), {:.0} vs {:.0} q/s overall, {}/{} candidates sig-rejected \
+         ({:.1}%), all arms identical",
+        pool.len(),
+        stream.len(),
+        plan_on_us,
+        plan_off_us,
+        plan_speedup,
+        qps_on,
+        qps_off,
+        s.sig_rejects,
+        candidates,
+        reject_rate * 100.0,
+    );
+    Ok(format!(
+        concat!(
+            "{{\n",
+            "    \"pool_views\": {},\n",
+            "    \"queries\": {},\n",
+            "    \"plan_us_sig_on\": {:.1},\n",
+            "    \"plan_us_sig_off\": {:.1},\n",
+            "    \"speedup_plan_sig_on_vs_off\": {:.3},\n",
+            "    \"qps_sig_on\": {:.1},\n",
+            "    \"qps_sig_off\": {:.1},\n",
+            "    \"sig_rejects\": {},\n",
+            "    \"sig_passes\": {},\n",
+            "    \"sig_reject_rate\": {:.4},\n",
+            "    \"ablation_arms_agree\": true\n",
+            "  }}"
+        ),
+        pool.len(),
+        stream.len(),
+        plan_on_us,
+        plan_off_us,
+        plan_speedup,
+        qps_on,
+        qps_off,
+        s.sig_rejects,
+        s.sig_passes,
+        reject_rate,
+    ))
+}
+
 /// Drives the serving front-end with the overlapping-view Zipf workload
 /// (single-view hits, multi-view intersection routes, and direct queries)
 /// over the chosen transport — the ablation entry point for
@@ -555,7 +700,7 @@ fn cmd_serve_bench(args: &[String]) -> Result<ExitCode, String> {
         let run = run_serving(&opts, opts.transport, opts.threads, &stream, true)?;
         println!(
             "served {} queries over {} on {} workers / {} shards (memo cap {}, intersect {}, \
-             flat {}) in {:.1} ms — {:.0} q/s",
+             flat {}, sig-filter {}, arena {}) in {:.1} ms — {:.0} q/s",
             run.answered,
             opts.transport.name(),
             opts.threads,
@@ -563,6 +708,8 @@ fn cmd_serve_bench(args: &[String]) -> Result<ExitCode, String> {
             if opts.memo_cap == 0 { "∞".to_string() } else { opts.memo_cap.to_string() },
             if opts.intersect { "on" } else { "off" },
             if opts.flat { "on" } else { "off" },
+            if opts.sig_filter { "on" } else { "off" },
+            if opts.arena { "on" } else { "off" },
             run.elapsed.as_secs_f64() * 1e3,
             run.qps(),
         );
@@ -612,6 +759,7 @@ fn cmd_serve_bench(args: &[String]) -> Result<ExitCode, String> {
             ));
         }
     }
+    let cold_miss = cold_miss_arm(opts.queries.min(240))?;
     let json = format!(
         concat!(
             "{{\n",
@@ -620,6 +768,7 @@ fn cmd_serve_bench(args: &[String]) -> Result<ExitCode, String> {
             "  \"tenants\": {},\n",
             "  \"pipeline\": {},\n",
             "  \"hardware_threads\": {},\n",
+            "  \"cold_miss\": {},\n",
             "  \"runs\": [\n{}\n  ]\n",
             "}}\n"
         ),
@@ -627,6 +776,7 @@ fn cmd_serve_bench(args: &[String]) -> Result<ExitCode, String> {
         opts.tenants,
         opts.pipeline,
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        cold_miss,
         rows,
     );
     std::fs::write("BENCH_serving.json", &json).map_err(|e| format!("BENCH_serving.json: {e}"))?;
@@ -1660,7 +1810,22 @@ fn cmd_eval_bench(args: &[String]) -> Result<ExitCode, String> {
         let mut b = BatchEval::with_options(&ft, true, false);
         stream.iter().map(|q| b.evaluate(q).len()).sum::<usize>()
     });
-    if [flat_sum, fused_sum, noscratch_sum, noshare_sum].iter().any(|&s| s != ref_sum) {
+    // The serve hot loop's shape: fused batch evaluation writing node runs
+    // into a reused bump arena, cleared per 64-query batch. Steady state
+    // does no per-answer heap allocation — the only Vec growth is the
+    // arena warming up to the high-water mark of a batch.
+    let (arena_ms, arena_sum) = time(&mut || {
+        let mut b = BatchEval::new(&ft);
+        let mut arena = xpath_views::model::AnswerArena::new();
+        let mut total = 0usize;
+        for batch in stream.chunks(64) {
+            arena.clear();
+            let refs: Vec<_> = batch.iter().map(|q| b.evaluate_into(q, &mut arena)).collect();
+            total += refs.iter().map(|&r| arena.get(r).len()).sum::<usize>();
+        }
+        total
+    });
+    if [flat_sum, fused_sum, noscratch_sum, noshare_sum, arena_sum].iter().any(|&s| s != ref_sum) {
         return Err("evaluation paths returned different answer volumes".to_string());
     }
 
@@ -1680,6 +1845,7 @@ fn cmd_eval_bench(args: &[String]) -> Result<ExitCode, String> {
         ("flat_fused", fused_ms),
         ("flat_fused_no_scratch", noscratch_ms),
         ("flat_fused_no_share", noshare_ms),
+        ("flat_fused_arena", arena_ms),
     ];
     let mut rows = String::new();
     for (name, ms) in runs {

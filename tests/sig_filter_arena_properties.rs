@@ -1,0 +1,147 @@
+//! Properties of the two serve-hot-loop optimizations: the plan-miss
+//! signature filter (a rejected candidate provably admits no equivalent
+//! rewriting — the filter is invisible in answers and routes) and the
+//! answer arena (`answer_batch_refs` returns byte-identical nodes and
+//! routes to the owned-`Vec` `answer_batch` across every ablation arm,
+//! including multi-view intersection routes).
+
+mod common;
+
+use xpath_views::model::AnswerArena;
+use xpath_views::pattern::{QuerySignature, ViewSignature};
+use xpath_views::prelude::*;
+use xpath_views::workload::{
+    bib_catalog, catalog_zipf_stream, derived_view_pool, site_catalog, site_doc,
+    site_intersect_catalog, Fragment,
+};
+
+use common::instance_from_seed;
+
+/// Filter soundness over generated pairs: whenever the signature check
+/// rejects a (query, view) pair, the full unfiltered planner — oracle,
+/// fallback and all — must agree that no equivalent rewriting exists.
+/// (The converse is not claimed: the filter is a cheap necessary
+/// condition, not a decision procedure.)
+#[test]
+fn signature_reject_implies_no_rewriting() {
+    let planner = RewritePlanner::default();
+    let fragments =
+        [Fragment::Full, Fragment::NoWildcard, Fragment::NoDescendant, Fragment::NoBranch];
+    let mut pairs = 0usize;
+    let mut rejected = 0usize;
+    for seed in 0..160u64 {
+        for &frag in &fragments {
+            // Correlated instances (view derived from the query) plus the
+            // crossed pair from the next seed — the crossed ones are where
+            // rejections actually fire.
+            let (q, v) = instance_from_seed(seed, frag);
+            let (_, v2) = instance_from_seed(seed ^ 0xA5A5, frag);
+            for view in [&v, &v2] {
+                pairs += 1;
+                let qsig = QuerySignature::of(&q);
+                if !qsig.admits(&ViewSignature::of(view)) {
+                    rejected += 1;
+                    assert!(
+                        !matches!(planner.decide(&q, view), RewriteAnswer::Rewriting(_)),
+                        "signature filter rejected a rewritable pair:\n  P = {q}\n  V = {view}"
+                    );
+                }
+            }
+        }
+    }
+    assert!(pairs >= 500, "want 500+ generated pairs, got {pairs}");
+    assert!(rejected >= 50, "filter never fired ({rejected}/{pairs}) — the test is vacuous");
+}
+
+/// The catalog regime the benches measure: with views derived from a
+/// *foreign* catalog in the pool, most candidates are label-mask-rejected,
+/// and the filter must still be invisible in every answer and route.
+#[test]
+fn filter_is_invisible_on_the_derived_pool() {
+    let pool = derived_view_pool(&[&site_catalog(), &bib_catalog()], 3, 7);
+    let stream = catalog_zipf_stream(&site_catalog(), 60, 0x21F);
+    let build = |filter: bool| {
+        let cache = ShardedViewCache::new(site_doc(6, 6, 5)).with_shards(2);
+        cache.set_memo_enabled(false);
+        cache.set_sig_filter_enabled(filter);
+        for (name, def) in &pool {
+            cache.add_view(name, def.clone());
+        }
+        cache
+    };
+    let on = build(true);
+    let off = build(false);
+    let a = on.answer_batch(&stream);
+    let b = off.answer_batch(&stream);
+    for ((x, y), q) in a.iter().zip(&b).zip(&stream) {
+        assert_eq!(x.nodes, y.nodes, "filter changed an answer for {q}");
+        assert_eq!(x.route, y.route, "filter changed a route for {q}");
+    }
+    let s = on.stats();
+    assert!(s.sig_rejects > 0, "the foreign-catalog pool must trigger rejections");
+    assert_eq!(off.stats().sig_rejects, 0, "filter off must not reject");
+}
+
+/// Arena answers are byte-identical to owned-`Vec` answers across the
+/// full ablation grid — flat matcher on/off × signature filter on/off ×
+/// plan memo on/off — over the overlapping-view catalog, whose hot
+/// queries only multi-view **intersection** routes can serve.
+#[test]
+fn arena_answers_match_owned_answers_across_ablations() {
+    let catalog = site_intersect_catalog();
+    let stream = catalog_zipf_stream(&catalog, 48, 0x51);
+    for flat in [true, false] {
+        for filter in [true, false] {
+            for memo in [true, false] {
+                let cache = ShardedViewCache::new(site_doc(6, 6, 5)).with_shards(2);
+                cache.set_flat_enabled(flat);
+                cache.set_sig_filter_enabled(filter);
+                cache.set_memo_enabled(memo);
+                for (name, def) in &catalog.views {
+                    cache.add_view(name, def.clone());
+                }
+                let owned = cache.answer_batch(&stream);
+                let mut arena = AnswerArena::new();
+                let refs = cache.answer_batch_refs(&stream, &mut arena);
+                assert!(
+                    owned.iter().any(|a| matches!(a.route, Route::Intersect { .. })),
+                    "stream must exercise intersection routes"
+                );
+                assert_eq!(owned.len(), refs.len());
+                for ((o, r), q) in owned.iter().zip(&refs).zip(&stream) {
+                    assert_eq!(
+                        o.nodes.as_slice(),
+                        arena.get(r.nodes),
+                        "arena nodes diverge (flat={flat}, filter={filter}, memo={memo}) for {q}"
+                    );
+                    assert_eq!(
+                        &o.route,
+                        r.route.as_ref(),
+                        "arena route diverges (flat={flat}, filter={filter}, memo={memo}) for {q}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Fan-out sharing: a batch of one query repeated K times stores the node
+/// run **once** in the arena; every duplicate answer is a handle to the
+/// same storage.
+#[test]
+fn arena_fanout_shares_storage() {
+    let catalog = site_catalog();
+    let cache = ShardedViewCache::new(site_doc(6, 6, 5)).with_shards(2);
+    for (name, def) in &catalog.views {
+        cache.add_view(name, def.clone());
+    }
+    let q = catalog.queries[0].1.clone();
+    let batch: Vec<Pattern> = std::iter::repeat_with(|| q.clone()).take(64).collect();
+    let mut arena = AnswerArena::new();
+    let refs = cache.answer_batch_refs(&batch, &mut arena);
+    let first = refs[0].nodes;
+    assert!(refs.iter().all(|r| r.nodes == first), "duplicates must share one run");
+    assert_eq!(arena.node_count(), first.len(), "arena must hold exactly one copy of the run");
+    let direct = cache.answer_batch(&batch);
+    assert_eq!(direct[0].nodes.as_slice(), arena.get(first));
+}
